@@ -1,0 +1,101 @@
+// Command experiments regenerates every table and figure of the paper
+// against the simulated Internet and prints paper-vs-measured
+// comparisons (the source of EXPERIMENTS.md).
+//
+// Examples:
+//
+//	experiments                      # run everything at 20% scan scale
+//	experiments -run table1,figure3  # selected experiments
+//	experiments -sample 1.0          # full-population scans
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"iwscan/internal/experiments"
+)
+
+var order = []string{
+	"motivation", "table1", "figure2", "figure3", "table2", "figure4",
+	"figure5", "table3", "bytelimit", "akamai", "trend", "efficiency", "validation", "pathmtu",
+}
+
+func main() {
+	var (
+		run    = flag.String("run", "all", "comma-separated experiments to run, or 'all'")
+		sample = flag.Float64("sample", 0.20, "scan scale: fraction of the address space for the full scans")
+		seed   = flag.Uint64("seed", 2017, "universe and scan seed")
+		list   = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range order {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	selected := map[string]bool{}
+	if *run == "all" {
+		for _, name := range order {
+			selected[name] = true
+		}
+	} else {
+		for _, name := range strings.Split(*run, ",") {
+			selected[strings.TrimSpace(name)] = true
+		}
+	}
+
+	suite := experiments.NewSuite(*seed, *sample)
+	ran := 0
+	for _, name := range order {
+		if !selected[name] {
+			continue
+		}
+		ran++
+		start := time.Now()
+		var text string
+		switch name {
+		case "motivation":
+			text = experiments.Motivation(*seed).Render()
+		case "table1":
+			text = suite.Table1().Render()
+		case "figure2":
+			text = experiments.Figure2(*seed, 365000).Render()
+		case "figure3":
+			text = suite.Figure3().Render()
+		case "table2":
+			text = suite.Table2().Render()
+		case "figure4":
+			text = suite.Figure4(10000).Render()
+		case "figure5":
+			text = suite.Figure5().Render()
+		case "table3":
+			text = suite.Table3().Render()
+		case "bytelimit":
+			text = suite.ByteLimit().Render()
+		case "akamai":
+			text = experiments.AkamaiServices(suite.Universe, *seed, 300).Render()
+		case "trend":
+			text = experiments.Trend(*seed, *sample/2).Render()
+		case "efficiency":
+			text = experiments.Efficiency(suite.Universe, *seed, *sample/2).Render()
+		case "validation":
+			text = experiments.Validation(*seed).Render()
+		case "pathmtu":
+			text = experiments.PathMTU(suite.Universe, *seed, 3000).Render()
+		}
+		fmt.Println("==============================================================")
+		fmt.Print(text)
+		fmt.Printf("  [%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: nothing selected (use -list)\n")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,56 @@
+// Command iwdump renders a packet capture written by iwscan -pcap as
+// tcpdump-style text, with HTTP request lines and TLS record types
+// annotated — handy for following an IW inference packet by packet.
+//
+//	iwscan -sample 0.0005 -pcap scan.pcap -out /dev/null
+//	iwdump scan.pcap | head -40
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"iwscan/internal/trace"
+	"iwscan/internal/wire"
+)
+
+func main() {
+	host := flag.String("host", "", "only show packets to or from this address")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: iwdump [-host a.b.c.d] <capture.pcap>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iwdump: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	pkts, err := trace.ReadPcap(bufio.NewReader(f))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iwdump: %v\n", err)
+		os.Exit(1)
+	}
+	var filter wire.Addr
+	if *host != "" {
+		filter, err = wire.ParseAddr(*host)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iwdump: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for _, p := range pkts {
+		if *host != "" {
+			ip, _, err := wire.DecodeIPv4(p.Data)
+			if err != nil || (ip.Src != filter && ip.Dst != filter) {
+				continue
+			}
+		}
+		fmt.Fprintln(w, trace.FormatPacket(p))
+	}
+}

@@ -1,0 +1,86 @@
+// Command iwreport turns iwscan CSV output into the paper's analyses:
+// the dataset overview (Table 1), the IW distribution (Figure 3), the
+// few-data lower bounds (Table 2), per-AS DBSCAN clusters (Figure 5) and
+// byte-limit statistics (§4.2).
+//
+// Examples:
+//
+//	iwscan -strategy http -sample 0.05 -out http.csv
+//	iwreport http.csv
+//	iwreport -clusters -min-hosts 50 http.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"iwscan/internal/analysis"
+)
+
+func main() {
+	var (
+		clusters = flag.Bool("clusters", false, "also run per-AS DBSCAN clustering")
+		minHosts = flag.Int("min-hosts", 30, "minimum successful hosts per AS for clustering")
+		eps      = flag.Float64("eps", 0.25, "DBSCAN neighbourhood radius")
+		sample   = flag.Float64("subsample", 0, "additionally report a random subsample of this fraction")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: iwreport [flags] <scan.csv>")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iwreport: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	records, err := analysis.ReadCSV(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iwreport: %v\n", err)
+		os.Exit(1)
+	}
+
+	o := analysis.Table1(records)
+	fmt.Printf("records: %d, reachable: %d\n", len(records), o.Reachable)
+	fmt.Printf("success %.1f%%  few-data %.1f%%  error %.1f%%\n",
+		100*o.Success, 100*o.FewData, 100*o.Error)
+	fmt.Printf("IW distribution (successful hosts):\n  %s\n",
+		analysis.FormatDistribution(analysis.IWDistribution(records)))
+
+	t2 := analysis.Table2(records)
+	fmt.Printf("few-data lower bounds: NoData %.1f%%", 100*t2.NoData)
+	for i := 1; i <= 10; i++ {
+		fmt.Printf("  IW%d %.1f%%", i, 100*t2.Bound[i])
+	}
+	fmt.Printf("  >IW10 %.1f%%\n", 100*t2.Over10)
+
+	bl := analysis.ByteLimit(records)
+	if bl.Successful > 0 {
+		fmt.Printf("byte-limited IWs: %d of %d dual-MSS hosts (%.2f%%), 4kB group %d, MTU-fill %d\n",
+			bl.ByteLimited, bl.Successful, 100*bl.Fraction(), bl.FourKB, bl.MTUFill)
+	}
+
+	if *sample > 0 && *sample < 1 {
+		sub := analysis.Subsample(records, *sample, 1)
+		fmt.Printf("%.0f%% subsample (%d records): %s\n", 100**sample, len(sub),
+			analysis.FormatDistribution(analysis.IWDistribution(sub)))
+		fmt.Printf("max deviation from full distribution: %.2fpp\n",
+			100*analysis.MaxDeviation(records, sub, 0.001))
+	}
+
+	if *clusters {
+		feats := analysis.ASFeatures(records, *minHosts)
+		labels := analysis.DBSCAN(feats, *eps, 2)
+		fmt.Printf("AS clustering (%d ASes with >= %d hosts):\n", len(feats), *minHosts)
+		for _, c := range analysis.Clusters(feats, labels) {
+			fmt.Printf("  cluster %d: %d ASes, %d hosts, dominant %s\n",
+				c.Label, len(c.ASes), c.Hosts, analysis.DominantIWOfCluster(c))
+			for _, f := range c.ASes {
+				fmt.Printf("    %-16s AS%-6d %6d hosts  IW1/2/4/10/other = %.2f/%.2f/%.2f/%.2f/%.2f\n",
+					f.Name, f.ASN, f.Hosts, f.Vec[0], f.Vec[1], f.Vec[2], f.Vec[3], f.Vec[4])
+			}
+		}
+	}
+}

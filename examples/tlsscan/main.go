@@ -1,0 +1,86 @@
+// TLS scan walkthrough: certificate chains as free probe payload (§3.3).
+//
+// The server's first flight (ServerHello, Certificate, ServerHelloDone)
+// is sent before any client secret is needed, and the chain dominates
+// its size — so a ClientHello is enough to make most hosts transmit a
+// full initial window. The demo probes hosts with different chain
+// lengths, an OCSP-stapling host, an SNI-requiring frontend and a host
+// without cipher overlap, and prints what each case yields.
+//
+//	go run ./examples/tlsscan
+package main
+
+import (
+	"fmt"
+
+	"iwscan/internal/core"
+	"iwscan/internal/netsim"
+	"iwscan/internal/stats"
+	"iwscan/internal/tcpstack"
+	"iwscan/internal/tlssim"
+	"iwscan/internal/wire"
+)
+
+func main() {
+	net := netsim.New(3)
+	net.SetPath(netsim.PathParams{Delay: 10 * netsim.Millisecond})
+
+	type demo struct {
+		name string
+		addr wire.Addr
+		iw   int
+		cfg  tlssim.ServerConfig
+	}
+	demos := []demo{
+		{"long chain (5 kB), IW 10", wire.MustParseAddr("198.51.100.1"), 10,
+			tlssim.ServerConfig{Behavior: tlssim.BehaviorServeChain, ChainLen: 5000, Seed: 1}},
+		{"long chain (5 kB), IW 25", wire.MustParseAddr("198.51.100.2"), 25,
+			tlssim.ServerConfig{Behavior: tlssim.BehaviorServeChain, ChainLen: 5000, Seed: 2}},
+		{"short chain (300 B), IW 10", wire.MustParseAddr("198.51.100.3"), 10,
+			tlssim.ServerConfig{Behavior: tlssim.BehaviorServeChain, ChainLen: 300, Seed: 3}},
+		{"short chain + OCSP staple", wire.MustParseAddr("198.51.100.4"), 10,
+			tlssim.ServerConfig{Behavior: tlssim.BehaviorServeChain, ChainLen: 300, OCSPStaple: true, OCSPLen: 2500, Seed: 4}},
+		{"requires SNI", wire.MustParseAddr("198.51.100.5"), 10,
+			tlssim.ServerConfig{Behavior: tlssim.BehaviorRequireSNI, ChainLen: 5000, Seed: 5}},
+		{"no cipher overlap (alert)", wire.MustParseAddr("198.51.100.6"), 10,
+			tlssim.ServerConfig{Behavior: tlssim.BehaviorNoCipherOverlap}},
+	}
+
+	for _, d := range demos {
+		host := tcpstack.NewHost(net, d.addr, tcpstack.Config{
+			IW:  tcpstack.IWPolicy{Kind: tcpstack.IWSegments, Segments: d.iw},
+			MSS: tcpstack.MSSPolicy{Floor: 64},
+		})
+		host.Listen(443, tlssim.NewServer(d.cfg))
+	}
+
+	scanner := core.NewScanner(net, wire.MustParseAddr("192.0.2.1"), core.Config{Seed: 9})
+
+	fmt.Println("TLS-based IW inference (ClientHello with the 40-suite list + OCSP status_request):")
+	for _, d := range demos {
+		d := d
+		scanner.ProbeTarget(d.addr, core.TargetConfig{Strategy: core.StrategyTLS, MSSList: []int{64}},
+			func(tr *core.TargetResult) {
+				fmt.Printf("  %-30s -> %s\n", d.name, core.DebugTargetLine(tr))
+			})
+	}
+	net.RunUntilIdle()
+
+	// How much of the Internet can TLS probing measure? Figure 2's
+	// arithmetic with the censys-calibrated chain distribution:
+	var dist tlssim.ChainLenDist
+	rng := stats.NewRNG(1)
+	const n = 200000
+	okIW10, okIW34 := 0, 0
+	for i := 0; i < n; i++ {
+		c := dist.SampleHash(rng.Uint64())
+		if c >= 10*64 {
+			okIW10++
+		}
+		if c >= 34*64 {
+			okIW34++
+		}
+	}
+	fmt.Printf("\nchain-length model (Figure 2): %.1f%% of hosts supply >= 640 B (IW 10 at MSS 64),\n", 100*float64(okIW10)/n)
+	fmt.Printf("%.1f%% supply >= 2176 B — still measurable even at IW 34\n", 100*float64(okIW34)/n)
+}

@@ -1,0 +1,28 @@
+// Validation testbed (§3.5): estimator vs ground truth, and the effect
+// of packet loss.
+//
+// Hosts with known IW configurations (including Windows' MSS fallback
+// and a byte-configured IW) are probed in a controlled network; the
+// estimates must equal the configured values whenever enough data is
+// available. A loss sweep then shows the paper's asymmetry: loss can
+// make a probe fail or underestimate (tail loss), but never
+// overestimate — and the 3-probe maximum rule recovers most runs.
+//
+//	go run ./examples/validation
+package main
+
+import (
+	"fmt"
+
+	"iwscan/internal/experiments"
+)
+
+func main() {
+	r := experiments.Validation(1234)
+	fmt.Print(r.Render())
+	if r.AllCorrect() {
+		fmt.Println("\nall ground-truth cases validated: the estimator is exact when data suffices")
+	} else {
+		fmt.Println("\nVALIDATION FAILED — see the table above")
+	}
+}

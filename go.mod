@@ -1,0 +1,3 @@
+module iwscan
+
+go 1.22

@@ -1,0 +1,262 @@
+// Package analysis turns raw per-target scan results into the paper's
+// tables and figures: the dataset overview (Table 1), the few-data
+// lower-bound table (Table 2), IW distributions and their random
+// subsamples (Figure 3), per-AS clustering with DBSCAN (Figure 5), and
+// per-service classification by IP range and reverse DNS (Table 3).
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"iwscan/internal/core"
+	"iwscan/internal/stats"
+	"iwscan/internal/wire"
+)
+
+// Record is one scanned target's result, enriched with the metadata the
+// analyses key on.
+type Record struct {
+	Addr        wire.Addr
+	Port        uint16
+	Outcome     core.Outcome
+	IW          int  // segments, valid for success
+	LowerBound  int  // segments, valid for few-data
+	NoData      bool // few-data subset that sent nothing at all
+	ByteLimited bool
+	IWBytes     int
+	Segments64  int // IW segments measured at MSS 64 (0 if n/a)
+	Segments128 int // IW segments measured at MSS 128 (0 if n/a)
+	MaxSeg      int
+
+	ASN    int
+	ASName string
+	RDNS   string
+}
+
+// FromTarget converts a core result into a record (metadata fields are
+// filled by the caller).
+func FromTarget(tr *core.TargetResult) Record {
+	r := Record{
+		Addr:        tr.Addr,
+		Port:        tr.Port,
+		Outcome:     tr.Outcome,
+		IW:          tr.IW,
+		LowerBound:  tr.LowerBound,
+		NoData:      tr.Outcome == core.OutcomeNoData,
+		ByteLimited: tr.ByteLimited,
+		IWBytes:     tr.IWBytes,
+	}
+	for _, m := range tr.PerMSS {
+		if m.Outcome != core.OutcomeSuccess {
+			continue
+		}
+		switch m.MSS {
+		case 64:
+			r.Segments64 = m.Segments
+		case 128:
+			r.Segments128 = m.Segments
+		}
+		if m.MaxSeg > r.MaxSeg {
+			r.MaxSeg = m.MaxSeg
+		}
+	}
+	return r
+}
+
+// Overview is one row of Table 1.
+type Overview struct {
+	Reachable int
+	Success   float64 // fraction of reachable
+	FewData   float64 // fraction of reachable (includes no-data)
+	Error     float64
+}
+
+// Table1 computes the scan dataset overview. Unreachable targets do not
+// count as reachable; "few data" includes hosts that sent nothing.
+func Table1(records []Record) Overview {
+	var o Overview
+	var succ, few, errs int
+	for i := range records {
+		switch records[i].Outcome {
+		case core.OutcomeSuccess:
+			succ++
+		case core.OutcomeFewData, core.OutcomeNoData:
+			few++
+		case core.OutcomeError:
+			errs++
+		default:
+			continue // unreachable
+		}
+		o.Reachable++
+	}
+	if o.Reachable > 0 {
+		o.Success = float64(succ) / float64(o.Reachable)
+		o.FewData = float64(few) / float64(o.Reachable)
+		o.Error = float64(errs) / float64(o.Reachable)
+	}
+	return o
+}
+
+// IWDistribution returns the distribution of IW values among successful
+// estimations, as fractions of successful IPs (Figure 3's y-axis).
+func IWDistribution(records []Record) map[int]float64 {
+	h := stats.NewHistogram()
+	for i := range records {
+		if records[i].Outcome == core.OutcomeSuccess {
+			h.Add(records[i].IW)
+		}
+	}
+	return h.FractionMap()
+}
+
+// DominantIWs returns the IW values used by at least minFrac of the
+// successful hosts, ascending (Figure 3 plots IWs above 0.1%).
+func DominantIWs(records []Record, minFrac float64) []int {
+	dist := IWDistribution(records)
+	var out []int
+	for iw, f := range dist {
+		if f >= minFrac {
+			out = append(out, iw)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Table2Row is the lower-bound distribution for few-data hosts: NoData
+// plus bounds 1..10 (fractions of the few-data population).
+type Table2Row struct {
+	NoData float64
+	Bound  [11]float64 // index 1..10; index 0 unused
+	Over10 float64
+}
+
+// Table2 computes the few-data lower-bound distribution.
+func Table2(records []Record) Table2Row {
+	var row Table2Row
+	total := 0
+	for i := range records {
+		r := &records[i]
+		if r.Outcome != core.OutcomeFewData && r.Outcome != core.OutcomeNoData {
+			continue
+		}
+		total++
+	}
+	if total == 0 {
+		return row
+	}
+	for i := range records {
+		r := &records[i]
+		switch r.Outcome {
+		case core.OutcomeNoData:
+			row.NoData += 1
+		case core.OutcomeFewData:
+			b := r.LowerBound
+			switch {
+			case b <= 0:
+				row.NoData += 1
+			case b <= 10:
+				row.Bound[b] += 1
+			default:
+				row.Over10 += 1
+			}
+		}
+	}
+	row.NoData /= float64(total)
+	row.Over10 /= float64(total)
+	for i := 1; i <= 10; i++ {
+		row.Bound[i] /= float64(total)
+	}
+	return row
+}
+
+// AgreementStats compares the HTTP and TLS estimates of dual-service
+// hosts (§4.1: 6.2M of 7M dual hosts agree).
+type AgreementStats struct {
+	Dual     int
+	Agreeing int
+}
+
+// Agreement joins two record sets by address and counts hosts whose
+// successful estimates agree.
+func Agreement(http, tls []Record) AgreementStats {
+	byAddr := make(map[wire.Addr]int, len(http))
+	for i := range http {
+		if http[i].Outcome == core.OutcomeSuccess {
+			byAddr[http[i].Addr] = http[i].IW
+		}
+	}
+	var out AgreementStats
+	for i := range tls {
+		if tls[i].Outcome != core.OutcomeSuccess {
+			continue
+		}
+		if iw, ok := byAddr[tls[i].Addr]; ok {
+			out.Dual++
+			if iw == tls[i].IW {
+				out.Agreeing++
+			}
+		}
+	}
+	return out
+}
+
+// ByteLimitStats summarize §4.2: hosts that configure the IW in bytes.
+type ByteLimitStats struct {
+	Successful  int // hosts with successful estimates at both MSS values
+	ByteLimited int
+	FourKB      int // 4096-byte group (64 segments at MSS 64)
+	MTUFill     int // ~1536-byte group (24 segments at MSS 64)
+	Other       int
+}
+
+// Fraction returns the byte-limited share of measurable hosts.
+func (b ByteLimitStats) Fraction() float64 {
+	if b.Successful == 0 {
+		return 0
+	}
+	return float64(b.ByteLimited) / float64(b.Successful)
+}
+
+// ByteLimit computes the byte-limited IW statistics.
+func ByteLimit(records []Record) ByteLimitStats {
+	var out ByteLimitStats
+	for i := range records {
+		r := &records[i]
+		if r.Segments64 == 0 || r.Segments128 == 0 {
+			continue
+		}
+		out.Successful++
+		if !r.ByteLimited {
+			continue
+		}
+		out.ByteLimited++
+		switch r.IWBytes {
+		case 4096:
+			out.FourKB++
+		case 1536:
+			out.MTUFill++
+		default:
+			out.Other++
+		}
+	}
+	return out
+}
+
+// FormatDistribution renders an IW distribution sorted by IW value.
+func FormatDistribution(dist map[int]float64) string {
+	iws := make([]int, 0, len(dist))
+	for iw := range dist {
+		iws = append(iws, iw)
+	}
+	sort.Ints(iws)
+	s := ""
+	for _, iw := range iws {
+		if s != "" {
+			s += "  "
+		}
+		s += fmt.Sprintf("IW%d:%5.2f%%", iw, 100*dist[iw])
+	}
+	return s
+}

@@ -1,0 +1,382 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"iwscan/internal/core"
+	"iwscan/internal/wire"
+)
+
+func rec(addr uint32, outcome core.Outcome, iw int) Record {
+	return Record{Addr: wire.Addr(addr), Outcome: outcome, IW: iw}
+}
+
+func TestTable1Fractions(t *testing.T) {
+	records := []Record{
+		rec(1, core.OutcomeSuccess, 10),
+		rec(2, core.OutcomeSuccess, 2),
+		rec(3, core.OutcomeFewData, 0),
+		rec(4, core.OutcomeNoData, 0),
+		rec(5, core.OutcomeError, 0),
+		rec(6, core.OutcomeUnreachable, 0),
+	}
+	o := Table1(records)
+	if o.Reachable != 5 {
+		t.Fatalf("reachable = %d", o.Reachable)
+	}
+	if o.Success != 0.4 || o.FewData != 0.4 || o.Error != 0.2 {
+		t.Fatalf("fractions = %+v", o)
+	}
+}
+
+func TestTable1Empty(t *testing.T) {
+	o := Table1(nil)
+	if o.Reachable != 0 || o.Success != 0 {
+		t.Fatalf("empty overview = %+v", o)
+	}
+}
+
+func TestIWDistributionOnlySuccess(t *testing.T) {
+	records := []Record{
+		rec(1, core.OutcomeSuccess, 10),
+		rec(2, core.OutcomeSuccess, 10),
+		rec(3, core.OutcomeSuccess, 2),
+		rec(4, core.OutcomeFewData, 7), // ignored
+	}
+	d := IWDistribution(records)
+	if math.Abs(d[10]-2.0/3) > 1e-9 || math.Abs(d[2]-1.0/3) > 1e-9 {
+		t.Fatalf("distribution = %v", d)
+	}
+	if _, ok := d[7]; ok {
+		t.Fatal("few-data record leaked into distribution")
+	}
+}
+
+func TestDominantIWs(t *testing.T) {
+	var records []Record
+	for i := 0; i < 999; i++ {
+		records = append(records, rec(uint32(i), core.OutcomeSuccess, 10))
+	}
+	records = append(records, rec(9999, core.OutcomeSuccess, 48))
+	dom := DominantIWs(records, 0.001)
+	if len(dom) != 2 || dom[0] != 10 || dom[1] != 48 {
+		t.Fatalf("dominant = %v", dom)
+	}
+	dom = DominantIWs(records, 0.01)
+	if len(dom) != 1 || dom[0] != 10 {
+		t.Fatalf("dominant at 1%% = %v", dom)
+	}
+}
+
+func TestTable2Classification(t *testing.T) {
+	records := []Record{
+		{Addr: 1, Outcome: core.OutcomeFewData, LowerBound: 7},
+		{Addr: 2, Outcome: core.OutcomeFewData, LowerBound: 7},
+		{Addr: 3, Outcome: core.OutcomeFewData, LowerBound: 1},
+		{Addr: 4, Outcome: core.OutcomeNoData},
+		{Addr: 5, Outcome: core.OutcomeFewData, LowerBound: 24},
+		{Addr: 6, Outcome: core.OutcomeSuccess, IW: 10}, // ignored
+	}
+	row := Table2(records)
+	if row.NoData != 0.2 {
+		t.Fatalf("nodata = %v", row.NoData)
+	}
+	if row.Bound[7] != 0.4 || row.Bound[1] != 0.2 {
+		t.Fatalf("bounds = %v", row.Bound)
+	}
+	if row.Over10 != 0.2 {
+		t.Fatalf("over10 = %v", row.Over10)
+	}
+}
+
+func TestTable2Empty(t *testing.T) {
+	row := Table2([]Record{rec(1, core.OutcomeSuccess, 10)})
+	if row.NoData != 0 || row.Bound[7] != 0 {
+		t.Fatal("empty few-data set should give zeros")
+	}
+}
+
+func TestSubsampleDeterministicAndSized(t *testing.T) {
+	var records []Record
+	for i := 0; i < 10000; i++ {
+		records = append(records, rec(uint32(i), core.OutcomeSuccess, 10))
+	}
+	a := Subsample(records, 0.1, 42)
+	b := Subsample(records, 0.1, 42)
+	if len(a) != len(b) {
+		t.Fatal("subsample not deterministic")
+	}
+	if len(a) < 900 || len(a) > 1100 {
+		t.Fatalf("10%% of 10000 = %d", len(a))
+	}
+	if len(Subsample(records, 1.0, 1)) != len(records) {
+		t.Fatal("full fraction should return everything")
+	}
+}
+
+func TestSubsampleReplicates(t *testing.T) {
+	var records []Record
+	for i := 0; i < 5000; i++ {
+		iw := 10
+		if i%5 == 0 {
+			iw = 2
+		}
+		records = append(records, rec(uint32(i), core.OutcomeSuccess, iw))
+	}
+	stats := SubsampleReplicates(records, 0.1, 20, 7, 0.01)
+	if len(stats) != 2 {
+		t.Fatalf("replicate stats for %d IWs, want 2", len(stats))
+	}
+	for _, st := range stats {
+		if st.Q01 > st.Mean || st.Mean > st.Q99 {
+			t.Fatalf("quantile ordering broken: %+v", st)
+		}
+		if math.Abs(st.Mean-st.FullFrac) > 0.03 {
+			t.Fatalf("replicate mean %v far from full %v", st.Mean, st.FullFrac)
+		}
+	}
+}
+
+func TestMaxDeviation(t *testing.T) {
+	full := []Record{rec(1, core.OutcomeSuccess, 10), rec(2, core.OutcomeSuccess, 2)}
+	same := []Record{rec(3, core.OutcomeSuccess, 10), rec(4, core.OutcomeSuccess, 2)}
+	if d := MaxDeviation(full, same, 0.001); d != 0 {
+		t.Fatalf("identical distributions deviate %v", d)
+	}
+	skew := []Record{rec(5, core.OutcomeSuccess, 10)}
+	if d := MaxDeviation(full, skew, 0.001); math.Abs(d-0.5) > 1e-9 {
+		t.Fatalf("deviation = %v, want 0.5", d)
+	}
+}
+
+func TestASFeaturesAndDBSCAN(t *testing.T) {
+	var records []Record
+	addr := uint32(0)
+	add := func(asn int, name string, iw, n int) {
+		for i := 0; i < n; i++ {
+			addr++
+			r := rec(addr, core.OutcomeSuccess, iw)
+			r.ASN = asn
+			r.ASName = name
+			records = append(records, r)
+		}
+	}
+	// Three IW10-dominant ASes, two IW2-dominant, one tiny (filtered).
+	add(1, "content-a", 10, 100)
+	add(2, "content-b", 10, 95)
+	add(2, "content-b", 2, 5)
+	add(3, "content-c", 10, 90)
+	add(3, "content-c", 4, 10)
+	add(4, "isp-a", 2, 100)
+	add(5, "isp-b", 2, 90)
+	add(5, "isp-b", 1, 10)
+	add(6, "tiny", 1, 3)
+
+	feats := ASFeatures(records, 30)
+	if len(feats) != 5 {
+		t.Fatalf("features for %d ASes, want 5 (tiny filtered)", len(feats))
+	}
+	labels := DBSCAN(feats, 0.3, 2)
+	clusters := Clusters(feats, labels)
+	if len(clusters) != 2 {
+		t.Fatalf("clusters = %d, want 2", len(clusters))
+	}
+	if DominantIWOfCluster(clusters[0]) != "IW10" {
+		t.Fatalf("largest cluster dominant = %s", DominantIWOfCluster(clusters[0]))
+	}
+	if DominantIWOfCluster(clusters[1]) != "IW2" {
+		t.Fatalf("second cluster dominant = %s", DominantIWOfCluster(clusters[1]))
+	}
+}
+
+func TestDBSCANNoise(t *testing.T) {
+	feats := []ASFeature{
+		{ASN: 1, Vec: [5]float64{1, 0, 0, 0, 0}},
+		{ASN: 2, Vec: [5]float64{0, 0, 0, 1, 0}},
+		{ASN: 3, Vec: [5]float64{0, 0, 1, 0, 0}},
+	}
+	labels := DBSCAN(feats, 0.1, 2)
+	for i, l := range labels {
+		if l != ClusterNoise {
+			t.Fatalf("feature %d labelled %d, want noise", i, l)
+		}
+	}
+	if len(Clusters(feats, labels)) != 0 {
+		t.Fatal("noise formed clusters")
+	}
+}
+
+func TestDBSCANAllOneCluster(t *testing.T) {
+	var feats []ASFeature
+	for i := 0; i < 10; i++ {
+		feats = append(feats, ASFeature{ASN: i + 1, Hosts: 10, Vec: [5]float64{0, 0, 0, 0.9 + float64(i)*0.01, 0}})
+	}
+	labels := DBSCAN(feats, 0.2, 3)
+	for _, l := range labels {
+		if l != 0 {
+			t.Fatalf("labels = %v, want all cluster 0", labels)
+		}
+	}
+}
+
+// Property: DBSCAN labels are a partition — every point is noise or in
+// exactly one cluster, and cluster labels are contiguous from 0.
+func TestDBSCANLabelProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) > 40 {
+			raw = raw[:40]
+		}
+		feats := make([]ASFeature, len(raw))
+		for i, v := range raw {
+			feats[i].Vec[int(v)%5] = 1 // corners of the simplex
+			feats[i].Hosts = 1
+		}
+		labels := DBSCAN(feats, 0.3, 2)
+		if len(labels) != len(feats) {
+			return false
+		}
+		maxLabel := -1
+		for _, l := range labels {
+			if l < ClusterNoise {
+				return false
+			}
+			if l > maxLabel {
+				maxLabel = l
+			}
+		}
+		seen := make([]bool, maxLabel+1)
+		for _, l := range labels {
+			if l >= 0 {
+				seen[l] = true
+			}
+		}
+		for _, s := range seen {
+			if !s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServiceClassifierRanges(t *testing.T) {
+	sc := NewServiceClassifier()
+	sc.AddRange("EC2", wire.MustParsePrefix("24.0.0.0/20"))
+	r := Record{Addr: wire.MustParseAddr("24.0.1.2")}
+	if got := sc.Classify(&r); got != "EC2" {
+		t.Fatalf("classified as %q", got)
+	}
+	r = Record{Addr: wire.MustParseAddr("25.0.0.1")}
+	if got := sc.Classify(&r); got != "" {
+		t.Fatalf("classified as %q, want unclassified", got)
+	}
+}
+
+func TestServiceClassifierAccess(t *testing.T) {
+	sc := NewServiceClassifier()
+	sc.AddISPDomain("myisp.example")
+	r := Record{Addr: wire.MustParseAddr("10.1.2.3"), RDNS: "10-1-2-3.static.myisp.example"}
+	if got := sc.Classify(&r); got != "Access NW" {
+		t.Fatalf("ISP-domain record classified as %q", got)
+	}
+	// Keyword match without domain list.
+	r = Record{Addr: wire.MustParseAddr("10.1.2.4"), RDNS: "10-1-2-4.dialin.other.example"}
+	if got := sc.Classify(&r); got != "Access NW" {
+		t.Fatalf("keyword record classified as %q", got)
+	}
+	// IP-encoded but a server name: not access.
+	r = Record{Addr: wire.MustParseAddr("10.1.2.5"), RDNS: "10-1-2-5.server.host.example"}
+	if got := sc.Classify(&r); got != "" {
+		t.Fatalf("server record classified as %q", got)
+	}
+	// Access keyword but no IP encoding: not access.
+	r = Record{Addr: wire.MustParseAddr("10.1.2.6"), RDNS: "gw.dialin.other.example"}
+	if got := sc.Classify(&r); got != "" {
+		t.Fatalf("non-IP record classified as %q", got)
+	}
+}
+
+func TestIPEncodedDetection(t *testing.T) {
+	a := wire.MustParseAddr("192.0.2.7")
+	if !ipEncodedInRDNS(a, "192-0-2-7.dyn.example") {
+		t.Fatal("dashed encoding missed")
+	}
+	if !ipEncodedInRDNS(a, "host.192.0.2.7.example") {
+		t.Fatal("dotted encoding missed")
+	}
+	if ipEncodedInRDNS(a, "srv1.example") {
+		t.Fatal("false positive")
+	}
+	if ipEncodedInRDNS(a, "") {
+		t.Fatal("empty rDNS matched")
+	}
+}
+
+func TestTable3PerService(t *testing.T) {
+	sc := NewServiceClassifier()
+	sc.AddRange("CDN", wire.MustParsePrefix("24.0.0.0/24"))
+	records := []Record{
+		{Addr: wire.MustParseAddr("24.0.0.1"), Outcome: core.OutcomeSuccess, IW: 10},
+		{Addr: wire.MustParseAddr("24.0.0.2"), Outcome: core.OutcomeSuccess, IW: 10},
+		{Addr: wire.MustParseAddr("24.0.0.3"), Outcome: core.OutcomeSuccess, IW: 4},
+		{Addr: wire.MustParseAddr("24.0.0.4"), Outcome: core.OutcomeFewData}, // ignored
+		{Addr: wire.MustParseAddr("9.9.9.9"), Outcome: core.OutcomeSuccess, IW: 1},
+	}
+	rows := sc.Table3(records)
+	if len(rows) != 1 || rows[0].Service != "CDN" || rows[0].Hosts != 3 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if math.Abs(rows[0].IW[10]-2.0/3) > 1e-9 {
+		t.Fatalf("IW10 share = %v", rows[0].IW[10])
+	}
+}
+
+func TestByteLimitStats(t *testing.T) {
+	records := []Record{
+		{Addr: 1, Segments64: 10, Segments128: 10},
+		{Addr: 2, Segments64: 64, Segments128: 32, ByteLimited: true, IWBytes: 4096},
+		{Addr: 3, Segments64: 24, Segments128: 12, ByteLimited: true, IWBytes: 1536},
+		{Addr: 4, Segments64: 10}, // not measurable at both
+	}
+	st := ByteLimit(records)
+	if st.Successful != 3 || st.ByteLimited != 2 || st.FourKB != 1 || st.MTUFill != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if math.Abs(st.Fraction()-2.0/3) > 1e-9 {
+		t.Fatalf("fraction = %v", st.Fraction())
+	}
+}
+
+func TestFromTarget(t *testing.T) {
+	tr := &core.TargetResult{
+		Addr:        wire.Addr(9),
+		Port:        80,
+		Outcome:     core.OutcomeSuccess,
+		IW:          10,
+		ByteLimited: true,
+		IWBytes:     4096,
+		PerMSS: []core.MSSResult{
+			{MSS: 64, Outcome: core.OutcomeSuccess, Segments: 64, MaxSeg: 64},
+			{MSS: 128, Outcome: core.OutcomeSuccess, Segments: 32, MaxSeg: 128},
+		},
+	}
+	r := FromTarget(tr)
+	if r.Segments64 != 64 || r.Segments128 != 32 || !r.ByteLimited || r.MaxSeg != 128 {
+		t.Fatalf("record = %+v", r)
+	}
+	if r.NoData {
+		t.Fatal("NoData set for success")
+	}
+}
+
+func TestFormatDistribution(t *testing.T) {
+	s := FormatDistribution(map[int]float64{10: 0.5, 2: 0.25})
+	if s == "" {
+		t.Fatal("empty rendering")
+	}
+}

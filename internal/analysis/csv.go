@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"iwscan/internal/core"
+	"iwscan/internal/wire"
+)
+
+// csvHeader is the column layout of scan-result CSV files.
+var csvHeader = []string{
+	"addr", "port", "outcome", "iw", "lower_bound", "byte_limited",
+	"iw_bytes", "segments_mss64", "segments_mss128", "max_seg",
+	"asn", "as_name", "rdns",
+}
+
+// WriteCSV writes records as CSV with a header row.
+func WriteCSV(w io.Writer, records []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for i := range records {
+		r := &records[i]
+		row := []string{
+			r.Addr.String(),
+			strconv.Itoa(int(r.Port)),
+			r.Outcome.String(),
+			strconv.Itoa(r.IW),
+			strconv.Itoa(r.LowerBound),
+			strconv.FormatBool(r.ByteLimited),
+			strconv.Itoa(r.IWBytes),
+			strconv.Itoa(r.Segments64),
+			strconv.Itoa(r.Segments128),
+			strconv.Itoa(r.MaxSeg),
+			strconv.Itoa(r.ASN),
+			r.ASName,
+			r.RDNS,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// outcomeFromString inverts Outcome.String.
+func outcomeFromString(s string) (core.Outcome, error) {
+	for _, o := range []core.Outcome{
+		core.OutcomeSuccess, core.OutcomeFewData, core.OutcomeNoData,
+		core.OutcomeError, core.OutcomeUnreachable,
+	} {
+		if o.String() == s {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("analysis: unknown outcome %q", s)
+}
+
+// ReadCSV parses records previously written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	if len(rows[0]) != len(csvHeader) || rows[0][0] != "addr" {
+		return nil, fmt.Errorf("analysis: unexpected CSV header %v", rows[0])
+	}
+	records := make([]Record, 0, len(rows)-1)
+	for _, row := range rows[1:] {
+		addr, err := wire.ParseAddr(row[0])
+		if err != nil {
+			return nil, err
+		}
+		outcome, err := outcomeFromString(row[2])
+		if err != nil {
+			return nil, err
+		}
+		atoi := func(s string) int {
+			v, _ := strconv.Atoi(s)
+			return v
+		}
+		rec := Record{
+			Addr:        addr,
+			Port:        uint16(atoi(row[1])),
+			Outcome:     outcome,
+			IW:          atoi(row[3]),
+			LowerBound:  atoi(row[4]),
+			ByteLimited: row[5] == "true",
+			IWBytes:     atoi(row[6]),
+			Segments64:  atoi(row[7]),
+			Segments128: atoi(row[8]),
+			MaxSeg:      atoi(row[9]),
+			ASN:         atoi(row[10]),
+			ASName:      row[11],
+			RDNS:        row[12],
+			NoData:      outcome == core.OutcomeNoData,
+		}
+		records = append(records, rec)
+	}
+	return records, nil
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"iwscan/internal/core"
+	"iwscan/internal/wire"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	records := []Record{
+		{
+			Addr: wire.MustParseAddr("24.0.1.2"), Port: 80,
+			Outcome: core.OutcomeSuccess, IW: 10,
+			Segments64: 10, Segments128: 10, MaxSeg: 64,
+			ASN: 16509, ASName: "AmazonEC2", RDNS: "srv1.ec2.example",
+		},
+		{
+			Addr: wire.MustParseAddr("22.0.0.9"), Port: 80,
+			Outcome: core.OutcomeFewData, LowerBound: 7,
+			ASN: 7922, ASName: "Comcast", RDNS: "22-0-0-9.dyn.comcast-net.example",
+		},
+		{
+			Addr: wire.MustParseAddr("22.1.0.3"), Port: 443,
+			Outcome: core.OutcomeSuccess, IW: 64, ByteLimited: true, IWBytes: 4096,
+			Segments64: 64, Segments128: 32, MaxSeg: 128,
+		},
+		{Addr: wire.MustParseAddr("21.0.0.1"), Outcome: core.OutcomeNoData},
+		{Addr: wire.MustParseAddr("21.0.0.2"), Outcome: core.OutcomeError},
+		{Addr: wire.MustParseAddr("21.0.0.3"), Outcome: core.OutcomeUnreachable},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(records) {
+		t.Fatalf("got %d records, want %d", len(got), len(records))
+	}
+	for i := range records {
+		want := records[i]
+		want.NoData = want.Outcome == core.OutcomeNoData
+		if got[i] != want {
+			t.Fatalf("record %d:\n got  %+v\n want %+v", i, got[i], want)
+		}
+	}
+}
+
+func TestCSVRejectsBadHeader(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("foo,bar\n1,2\n")); err == nil {
+		t.Fatal("bad header accepted")
+	}
+}
+
+func TestCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty round trip: %v, %d records", err, len(got))
+	}
+	// Entirely empty input is fine too.
+	got, err = ReadCSV(strings.NewReader(""))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("nil input: %v", err)
+	}
+}
+
+func TestCSVRejectsUnknownOutcome(t *testing.T) {
+	var buf bytes.Buffer
+	WriteCSV(&buf, []Record{{Addr: 1, Outcome: core.OutcomeSuccess}})
+	broken := strings.Replace(buf.String(), "success", "bogus", 1)
+	if _, err := ReadCSV(strings.NewReader(broken)); err == nil {
+		t.Fatal("unknown outcome accepted")
+	}
+}
+
+// Property: WriteCSV/ReadCSV round-trips arbitrary records (modulo the
+// derived NoData flag).
+func TestCSVRoundTripProperty(t *testing.T) {
+	f := func(addr uint32, port uint16, outcome uint8, iw, bound uint8, bl bool) bool {
+		r := Record{
+			Addr:        wire.Addr(addr),
+			Port:        port,
+			Outcome:     core.Outcome(outcome % 5),
+			IW:          int(iw),
+			LowerBound:  int(bound),
+			ByteLimited: bl,
+			ASName:      "name-with,comma",
+			RDNS:        "a\"quoted\".example",
+		}
+		r.NoData = r.Outcome == core.OutcomeNoData
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, []Record{r}); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		return got[0] == r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,186 @@
+package analysis
+
+import (
+	"math"
+	"sort"
+
+	"iwscan/internal/core"
+)
+
+// ASFeature is one AS's IW-mix feature vector: the fractions of its
+// successfully probed hosts at IW 1, 2, 4, 10 and "other" — the feature
+// space §4.3 clusters with DBSCAN.
+type ASFeature struct {
+	ASN   int
+	Name  string
+	Hosts int        // successful hosts in this AS
+	Vec   [5]float64 // fractions: IW1, IW2, IW4, IW10, other
+}
+
+// ASFeatures builds per-AS feature vectors from records, keeping ASes
+// with at least minHosts successful estimations.
+func ASFeatures(records []Record, minHosts int) []ASFeature {
+	type acc struct {
+		name   string
+		counts [5]int
+		total  int
+	}
+	byASN := make(map[int]*acc)
+	for i := range records {
+		r := &records[i]
+		if r.Outcome != core.OutcomeSuccess || r.ASN == 0 {
+			continue
+		}
+		a := byASN[r.ASN]
+		if a == nil {
+			a = &acc{name: r.ASName}
+			byASN[r.ASN] = a
+		}
+		idx := 4
+		switch r.IW {
+		case 1:
+			idx = 0
+		case 2:
+			idx = 1
+		case 4:
+			idx = 2
+		case 10:
+			idx = 3
+		}
+		a.counts[idx]++
+		a.total++
+	}
+	var out []ASFeature
+	for asn, a := range byASN {
+		if a.total < minHosts {
+			continue
+		}
+		f := ASFeature{ASN: asn, Name: a.name, Hosts: a.total}
+		for i := range f.Vec {
+			f.Vec[i] = float64(a.counts[i]) / float64(a.total)
+		}
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ASN < out[j].ASN })
+	return out
+}
+
+// euclid computes the Euclidean distance between feature vectors.
+func euclid(a, b [5]float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// DBSCAN cluster labels.
+const (
+	ClusterNoise = -1
+)
+
+// DBSCAN clusters the feature vectors with the classic density-based
+// algorithm (Ester et al.): eps neighbourhood radius, minPts core-point
+// threshold. It returns one label per input (ClusterNoise for noise);
+// labels are 0..k-1 in order of cluster discovery.
+func DBSCAN(feats []ASFeature, eps float64, minPts int) []int {
+	const unvisited = -2
+	labels := make([]int, len(feats))
+	for i := range labels {
+		labels[i] = unvisited
+	}
+	neighbors := func(i int) []int {
+		var out []int
+		for j := range feats {
+			if euclid(feats[i].Vec, feats[j].Vec) <= eps {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+	cluster := 0
+	for i := range feats {
+		if labels[i] != unvisited {
+			continue
+		}
+		n := neighbors(i)
+		if len(n) < minPts {
+			labels[i] = ClusterNoise
+			continue
+		}
+		labels[i] = cluster
+		// Expand the cluster with a work queue.
+		queue := append([]int(nil), n...)
+		for qi := 0; qi < len(queue); qi++ {
+			j := queue[qi]
+			if labels[j] == ClusterNoise {
+				labels[j] = cluster // border point
+			}
+			if labels[j] != unvisited {
+				continue
+			}
+			labels[j] = cluster
+			nj := neighbors(j)
+			if len(nj) >= minPts {
+				queue = append(queue, nj...)
+			}
+		}
+		cluster++
+	}
+	return labels
+}
+
+// Cluster summarizes one DBSCAN cluster for reporting (Figure 5's
+// left-hand side: large clusters of ASes with similar IW mixes).
+type Cluster struct {
+	Label    int
+	ASes     []ASFeature
+	Hosts    int        // total successful hosts across members
+	Centroid [5]float64 // host-weighted mean IW mix
+}
+
+// Clusters groups features by DBSCAN label, dropping noise, ordered by
+// total hosts descending.
+func Clusters(feats []ASFeature, labels []int) []Cluster {
+	byLabel := make(map[int]*Cluster)
+	for i, l := range labels {
+		if l == ClusterNoise {
+			continue
+		}
+		c := byLabel[l]
+		if c == nil {
+			c = &Cluster{Label: l}
+			byLabel[l] = c
+		}
+		c.ASes = append(c.ASes, feats[i])
+		c.Hosts += feats[i].Hosts
+		for k := range c.Centroid {
+			c.Centroid[k] += feats[i].Vec[k] * float64(feats[i].Hosts)
+		}
+	}
+	var out []Cluster
+	for _, c := range byLabel {
+		if c.Hosts > 0 {
+			for k := range c.Centroid {
+				c.Centroid[k] /= float64(c.Hosts)
+			}
+		}
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Hosts > out[j].Hosts })
+	return out
+}
+
+// DominantIWOfCluster returns which of IW 1/2/4/10/other dominates a
+// cluster's centroid.
+func DominantIWOfCluster(c Cluster) string {
+	names := [5]string{"IW1", "IW2", "IW4", "IW10", "other"}
+	best := 0
+	for i := 1; i < 5; i++ {
+		if c.Centroid[i] > c.Centroid[best] {
+			best = i
+		}
+	}
+	return names[best]
+}

@@ -1,0 +1,95 @@
+package analysis
+
+import (
+	"sort"
+
+	"iwscan/internal/core"
+	"iwscan/internal/stats"
+)
+
+// Subsample returns a uniform random subset of fraction f of the
+// records, deterministic for a given seed (§4.1: a 1% random sample
+// reproduces the full distribution).
+func Subsample(records []Record, f float64, seed uint64) []Record {
+	if f >= 1 {
+		return records
+	}
+	rng := stats.NewRNG(seed)
+	out := make([]Record, 0, int(float64(len(records))*f)+1)
+	for i := range records {
+		if rng.Float64() < f {
+			out = append(out, records[i])
+		}
+	}
+	return out
+}
+
+// ReplicateStats summarizes per-IW fractions across repeated subsamples:
+// the mean and the spread quantile the paper plots for the thirty 1%
+// samples (mean and 99% quantile, which is "small and hardly visible").
+type ReplicateStats struct {
+	IW       int
+	Mean     float64
+	Q99      float64 // 99th percentile of the fraction across replicates
+	Q01      float64
+	FullFrac float64 // fraction in the full data set, for comparison
+}
+
+// SubsampleReplicates draws n independent subsamples of fraction f and
+// reports per-IW fraction statistics for every IW present in the full
+// distribution at minFrac or more.
+func SubsampleReplicates(records []Record, f float64, n int, seed uint64, minFrac float64) []ReplicateStats {
+	full := IWDistribution(records)
+	iws := DominantIWs(records, minFrac)
+	perIW := make(map[int][]float64, len(iws))
+	for rep := 0; rep < n; rep++ {
+		sub := Subsample(records, f, seed+uint64(rep)*7919)
+		dist := IWDistribution(sub)
+		for _, iw := range iws {
+			perIW[iw] = append(perIW[iw], dist[iw])
+		}
+	}
+	out := make([]ReplicateStats, 0, len(iws))
+	for _, iw := range iws {
+		samples := perIW[iw]
+		out = append(out, ReplicateStats{
+			IW:       iw,
+			Mean:     stats.Mean(samples),
+			Q99:      stats.Quantile(samples, 0.99),
+			Q01:      stats.Quantile(samples, 0.01),
+			FullFrac: full[iw],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].IW < out[j].IW })
+	return out
+}
+
+// MaxDeviation returns the largest absolute difference between a
+// subsample's IW distribution and the full one, over the dominant IWs —
+// the stability metric behind "scanning 1% is enough".
+func MaxDeviation(full, sub []Record, minFrac float64) float64 {
+	fd := IWDistribution(full)
+	sd := IWDistribution(sub)
+	maxDev := 0.0
+	for _, iw := range DominantIWs(full, minFrac) {
+		d := fd[iw] - sd[iw]
+		if d < 0 {
+			d = -d
+		}
+		if d > maxDev {
+			maxDev = d
+		}
+	}
+	return maxDev
+}
+
+// SuccessCount returns the number of successful estimations.
+func SuccessCount(records []Record) int {
+	n := 0
+	for i := range records {
+		if records[i].Outcome == core.OutcomeSuccess {
+			n++
+		}
+	}
+	return n
+}

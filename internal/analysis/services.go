@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"iwscan/internal/core"
+	"iwscan/internal/wire"
+)
+
+// ServiceClassifier assigns scan records to named services the way §4.3
+// does: content networks by published IP ranges, access networks by
+// reverse-DNS heuristics (IP encoded in the record plus an ISP domain or
+// an access keyword).
+type ServiceClassifier struct {
+	ranges     []serviceRange
+	ispDomains []string
+	keywords   []string
+}
+
+type serviceRange struct {
+	name     string
+	prefixes []wire.Prefix
+}
+
+// NewServiceClassifier returns a classifier with the paper's access
+// keywords preloaded.
+func NewServiceClassifier() *ServiceClassifier {
+	return &ServiceClassifier{
+		keywords: []string{"customer", "dialin", "dyn", "dsl", "pool", "cable"},
+	}
+}
+
+// AddRange registers a service's IP ranges (e.g. published AWS ranges).
+func (sc *ServiceClassifier) AddRange(name string, prefixes ...wire.Prefix) {
+	sc.ranges = append(sc.ranges, serviceRange{name: name, prefixes: prefixes})
+}
+
+// AddISPDomain registers a reverse-DNS suffix of a known access ISP.
+func (sc *ServiceClassifier) AddISPDomain(domain string) {
+	sc.ispDomains = append(sc.ispDomains, strings.ToLower(domain))
+}
+
+// ipEncodedInRDNS reports whether the record's dotted quad (or its
+// dash-separated form) appears in the reverse DNS name — the §4.3 signal
+// that a record names an access customer.
+func ipEncodedInRDNS(addr wire.Addr, rdns string) bool {
+	if rdns == "" {
+		return false
+	}
+	a, b, c, d := byte(addr>>24), byte(addr>>16), byte(addr>>8), byte(addr)
+	dashed := fmt.Sprintf("%d-%d-%d-%d", a, b, c, d)
+	dotted := fmt.Sprintf("%d.%d.%d.%d", a, b, c, d)
+	return strings.Contains(rdns, dashed) || strings.Contains(rdns, dotted)
+}
+
+// Classify returns the service name for a record, or "" when the record
+// matches nothing.
+func (sc *ServiceClassifier) Classify(r *Record) string {
+	for _, sr := range sc.ranges {
+		for _, p := range sr.prefixes {
+			if p.Contains(r.Addr) {
+				return sr.name
+			}
+		}
+	}
+	// Access network: IP encoded in the PTR plus ISP-domain or keyword.
+	if ipEncodedInRDNS(r.Addr, r.RDNS) {
+		lower := strings.ToLower(r.RDNS)
+		for _, d := range sc.ispDomains {
+			if strings.HasSuffix(lower, d) {
+				return "Access NW"
+			}
+		}
+		for _, kw := range sc.keywords {
+			if strings.Contains(lower, kw) {
+				return "Access NW"
+			}
+		}
+	}
+	return ""
+}
+
+// ServiceRow is one row of Table 3: a service's IW mix over its
+// successfully probed hosts.
+type ServiceRow struct {
+	Service string
+	Hosts   int
+	IW      map[int]float64 // fraction per IW value
+}
+
+// Table3 classifies records and computes per-service IW distributions.
+func (sc *ServiceClassifier) Table3(records []Record) []ServiceRow {
+	type acc struct {
+		counts map[int]int
+		total  int
+	}
+	byService := make(map[string]*acc)
+	for i := range records {
+		r := &records[i]
+		if r.Outcome != core.OutcomeSuccess {
+			continue
+		}
+		name := sc.Classify(r)
+		if name == "" {
+			continue
+		}
+		a := byService[name]
+		if a == nil {
+			a = &acc{counts: make(map[int]int)}
+			byService[name] = a
+		}
+		a.counts[r.IW]++
+		a.total++
+	}
+	var out []ServiceRow
+	for name, a := range byService {
+		row := ServiceRow{Service: name, Hosts: a.total, IW: make(map[int]float64)}
+		for iw, c := range a.counts {
+			row.IW[iw] = float64(c) / float64(a.total)
+		}
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Service < out[j].Service })
+	return out
+}
+
+// RDNSCoverage reports the §4.3 classification inputs: the fraction of
+// records with an IP-encoding PTR, and the fraction classified as
+// access.
+type RDNSCoverage struct {
+	Total     int
+	IPEncoded float64
+	Access    float64
+}
+
+// Coverage computes the rDNS statistics over all records.
+func (sc *ServiceClassifier) Coverage(records []Record) RDNSCoverage {
+	var out RDNSCoverage
+	if len(records) == 0 {
+		return out
+	}
+	enc, acc := 0, 0
+	for i := range records {
+		r := &records[i]
+		if ipEncodedInRDNS(r.Addr, r.RDNS) {
+			enc++
+			if sc.Classify(r) == "Access NW" {
+				acc++
+			}
+		}
+	}
+	out.Total = len(records)
+	out.IPEncoded = float64(enc) / float64(len(records))
+	out.Access = float64(acc) / float64(len(records))
+	return out
+}

@@ -1,0 +1,569 @@
+package core
+
+import (
+	"testing"
+
+	"iwscan/internal/httpsim"
+	"iwscan/internal/netsim"
+	"iwscan/internal/tcpstack"
+	"iwscan/internal/tlssim"
+	"iwscan/internal/wire"
+)
+
+var (
+	scanAddr = wire.MustParseAddr("192.0.2.1")
+	hostAddr = wire.MustParseAddr("198.51.100.10")
+)
+
+// env bundles a network, a scanner and one target host.
+type env struct {
+	net  *netsim.Network
+	scan *Scanner
+	host *tcpstack.Host
+}
+
+func newEnv(t *testing.T, stack tcpstack.Config) *env {
+	t.Helper()
+	n := netsim.New(11)
+	n.SetPath(netsim.PathParams{Delay: 10 * netsim.Millisecond})
+	e := &env{net: n}
+	e.scan = NewScanner(n, scanAddr, Config{Seed: 42})
+	e.host = tcpstack.NewHost(n, hostAddr, stack)
+	return e
+}
+
+func linuxIW(iw int) tcpstack.Config {
+	return tcpstack.Config{
+		IW:  tcpstack.IWPolicy{Kind: tcpstack.IWSegments, Segments: iw},
+		MSS: tcpstack.MSSPolicy{Floor: 64},
+	}
+}
+
+// probe runs a full ProbeTarget and returns the result.
+func (e *env) probe(t *testing.T, tc TargetConfig) *TargetResult {
+	t.Helper()
+	var got *TargetResult
+	e.scan.ProbeTarget(hostAddr, tc, func(tr *TargetResult) { got = tr })
+	e.net.RunUntilIdle()
+	if got == nil {
+		t.Fatal("probe never completed")
+	}
+	return got
+}
+
+func TestHTTPInferSuccessAcrossIWs(t *testing.T) {
+	for _, iw := range []int{1, 2, 3, 4, 10, 16, 48} {
+		e := newEnv(t, linuxIW(iw))
+		e.host.Listen(80, httpsim.NewServer(httpsim.ServerConfig{Root: httpsim.BehaviorPage, PageLen: 8000}))
+		tr := e.probe(t, TargetConfig{Strategy: StrategyHTTP})
+		if tr.Outcome != OutcomeSuccess {
+			t.Fatalf("IW %d: outcome = %s", iw, tr.Outcome)
+		}
+		if tr.IW != iw {
+			t.Fatalf("IW %d: estimated %d", iw, tr.IW)
+		}
+		if tr.ByteLimited {
+			t.Fatalf("IW %d: wrongly flagged byte-limited", iw)
+		}
+	}
+}
+
+func TestHTTPFewDataSmallPage(t *testing.T) {
+	// 450 B page on an IW-10 host: 7 full segments of 64 B, then FIN.
+	// Body 450 + response head; pick PageLen so total is ~7.x segments.
+	e := newEnv(t, linuxIW(10))
+	e.host.Listen(80, httpsim.NewServer(httpsim.ServerConfig{Root: httpsim.BehaviorPage, PageLen: 400}))
+	tr := e.probe(t, TargetConfig{Strategy: StrategyHTTP})
+	if tr.Outcome != OutcomeFewData {
+		t.Fatalf("outcome = %s, want few-data", tr.Outcome)
+	}
+	if tr.LowerBound < 5 || tr.LowerBound >= 10 {
+		t.Fatalf("lower bound = %d, want in [5, 10)", tr.LowerBound)
+	}
+}
+
+func TestHTTPRedirectFollowed(t *testing.T) {
+	// GET / gives a short 301; the follow-up to the Location serves a
+	// page large enough to fill IW 10.
+	e := newEnv(t, linuxIW(10))
+	e.host.Listen(80, httpsim.NewServer(httpsim.ServerConfig{
+		Root:         httpsim.BehaviorRedirect,
+		RedirectHost: "www.example-host.org",
+		RedirectPath: "/home/index.html",
+		PageLen:      8000,
+	}))
+	tr := e.probe(t, TargetConfig{Strategy: StrategyHTTP})
+	if tr.Outcome != OutcomeSuccess {
+		t.Fatalf("outcome = %s, want success via redirect", tr.Outcome)
+	}
+	if tr.IW != 10 {
+		t.Fatalf("IW = %d, want 10", tr.IW)
+	}
+}
+
+func TestHTTPBloatEnlarges404(t *testing.T) {
+	// The host 404s everything but echoes the URI: GET / gives a small
+	// error page, the bloated URI fills the IW.
+	e := newEnv(t, linuxIW(10))
+	e.host.Listen(80, httpsim.NewServer(httpsim.ServerConfig{Root: httpsim.BehaviorNotFound, EchoURI: true}))
+	tr := e.probe(t, TargetConfig{Strategy: StrategyHTTP})
+	if tr.Outcome != OutcomeSuccess {
+		t.Fatalf("outcome = %s, want success via URI bloat", tr.Outcome)
+	}
+	if tr.IW != 10 {
+		t.Fatalf("IW = %d, want 10", tr.IW)
+	}
+}
+
+func TestHTTPAkamaiStyle404StaysFewData(t *testing.T) {
+	// No URI echo: bloat does not help; the probe stays few-data.
+	e := newEnv(t, linuxIW(10))
+	e.host.Listen(80, httpsim.NewServer(httpsim.ServerConfig{Root: httpsim.BehaviorNotFound, EchoURI: false, ErrPageLen: 120}))
+	tr := e.probe(t, TargetConfig{Strategy: StrategyHTTP})
+	if tr.Outcome != OutcomeFewData {
+		t.Fatalf("outcome = %s, want few-data", tr.Outcome)
+	}
+}
+
+func TestHTTPEmptyHostNoData(t *testing.T) {
+	e := newEnv(t, linuxIW(10))
+	e.host.Listen(80, httpsim.NewServer(httpsim.ServerConfig{Root: httpsim.BehaviorEmpty}))
+	tr := e.probe(t, TargetConfig{Strategy: StrategyHTTP})
+	if tr.Outcome != OutcomeNoData {
+		t.Fatalf("outcome = %s, want no-data", tr.Outcome)
+	}
+}
+
+func TestHTTPResetHostError(t *testing.T) {
+	e := newEnv(t, linuxIW(10))
+	e.host.Listen(80, httpsim.NewServer(httpsim.ServerConfig{Root: httpsim.BehaviorReset}))
+	tr := e.probe(t, TargetConfig{Strategy: StrategyHTTP})
+	if tr.Outcome != OutcomeError {
+		t.Fatalf("outcome = %s, want error", tr.Outcome)
+	}
+}
+
+func TestUnreachableHost(t *testing.T) {
+	e := newEnv(t, linuxIW(10))
+	var got *TargetResult
+	e.scan.ProbeTarget(wire.MustParseAddr("203.0.113.99"), TargetConfig{Strategy: StrategyHTTP}, func(tr *TargetResult) { got = tr })
+	e.net.RunUntilIdle()
+	if got == nil || got.Outcome != OutcomeUnreachable {
+		t.Fatalf("result = %+v, want unreachable", got)
+	}
+}
+
+func TestClosedPortUnreachable(t *testing.T) {
+	e := newEnv(t, linuxIW(10)) // host listens on nothing
+	tr := e.probe(t, TargetConfig{Strategy: StrategyHTTP})
+	if tr.Outcome != OutcomeUnreachable {
+		t.Fatalf("outcome = %s, want unreachable (RST)", tr.Outcome)
+	}
+}
+
+func TestWindowsMSSFallbackEstimate(t *testing.T) {
+	// Windows replaces MSS 64 with 536; the estimator must use the
+	// observed segment size and still report IW 10.
+	cfg := tcpstack.Config{
+		IW:  tcpstack.IWPolicy{Kind: tcpstack.IWSegments, Segments: 10},
+		MSS: tcpstack.MSSPolicy{Fallback: 536},
+	}
+	e := newEnv(t, cfg)
+	e.host.Listen(80, httpsim.NewServer(httpsim.ServerConfig{Root: httpsim.BehaviorPage, PageLen: 20000}))
+	tr := e.probe(t, TargetConfig{Strategy: StrategyHTTP})
+	if tr.Outcome != OutcomeSuccess {
+		t.Fatalf("outcome = %s", tr.Outcome)
+	}
+	if tr.IW != 10 {
+		t.Fatalf("IW = %d, want 10 despite MSS fallback", tr.IW)
+	}
+	if tr.ByteLimited {
+		t.Fatal("Windows host wrongly flagged byte-limited")
+	}
+	if tr.PerMSS[0].MaxSeg != 536 {
+		t.Fatalf("observed MaxSeg = %d, want 536", tr.PerMSS[0].MaxSeg)
+	}
+}
+
+func TestByteLimitedHost4k(t *testing.T) {
+	cfg := tcpstack.Config{
+		IW:  tcpstack.IWPolicy{Kind: tcpstack.IWBytes, Bytes: 4096},
+		MSS: tcpstack.MSSPolicy{Floor: 64},
+	}
+	e := newEnv(t, cfg)
+	e.host.Listen(80, httpsim.NewServer(httpsim.ServerConfig{Root: httpsim.BehaviorPage, PageLen: 20000}))
+	tr := e.probe(t, TargetConfig{Strategy: StrategyHTTP})
+	if tr.Outcome != OutcomeSuccess {
+		t.Fatalf("outcome = %s", tr.Outcome)
+	}
+	if tr.IW != 64 {
+		t.Fatalf("IW at MSS 64 = %d, want 64 segments", tr.IW)
+	}
+	if !tr.ByteLimited {
+		t.Fatal("4 kB host not flagged byte-limited")
+	}
+	if tr.IWBytes != 4096 {
+		t.Fatalf("IWBytes = %d, want 4096", tr.IWBytes)
+	}
+	if tr.PerMSS[1].Segments != 32 {
+		t.Fatalf("segments at MSS 128 = %d, want 32", tr.PerMSS[1].Segments)
+	}
+}
+
+func TestMTUFillHost(t *testing.T) {
+	cfg := tcpstack.Config{
+		IW:  tcpstack.IWPolicy{Kind: tcpstack.IWMTUFill, Bytes: 1536},
+		MSS: tcpstack.MSSPolicy{Floor: 64},
+	}
+	e := newEnv(t, cfg)
+	e.host.Listen(80, httpsim.NewServer(httpsim.ServerConfig{Root: httpsim.BehaviorPage, PageLen: 20000}))
+	tr := e.probe(t, TargetConfig{Strategy: StrategyHTTP})
+	if !tr.ByteLimited || tr.IW != 24 || tr.IWBytes != 1536 {
+		t.Fatalf("MTU-fill host: IW=%d bytes=%d byteLimited=%v", tr.IW, tr.IWBytes, tr.ByteLimited)
+	}
+}
+
+func TestTLSInferSuccessLargeChain(t *testing.T) {
+	for _, iw := range []int{1, 2, 4, 10, 25} {
+		e := newEnv(t, linuxIW(iw))
+		e.host.Listen(443, tlssim.NewServer(tlssim.ServerConfig{Behavior: tlssim.BehaviorServeChain, ChainLen: 5000, Seed: 9}))
+		tr := e.probe(t, TargetConfig{Strategy: StrategyTLS})
+		if tr.Outcome != OutcomeSuccess {
+			t.Fatalf("IW %d: outcome = %s", iw, tr.Outcome)
+		}
+		if tr.IW != iw {
+			t.Fatalf("IW %d: estimated %d", iw, tr.IW)
+		}
+	}
+}
+
+func TestTLSFewDataSmallChain(t *testing.T) {
+	// 300 B chain on an IW-10 host: the flight ends inside the IW and the
+	// server waits silently for the ClientKeyExchange.
+	e := newEnv(t, linuxIW(10))
+	e.host.Listen(443, tlssim.NewServer(tlssim.ServerConfig{Behavior: tlssim.BehaviorServeChain, ChainLen: 300, Seed: 9}))
+	tr := e.probe(t, TargetConfig{Strategy: StrategyTLS})
+	if tr.Outcome != OutcomeFewData {
+		t.Fatalf("outcome = %s, want few-data", tr.Outcome)
+	}
+	if tr.LowerBound < 5 || tr.LowerBound >= 10 {
+		t.Fatalf("lower bound = %d", tr.LowerBound)
+	}
+}
+
+func TestTLSRequireSNINoData(t *testing.T) {
+	e := newEnv(t, linuxIW(10))
+	e.host.Listen(443, tlssim.NewServer(tlssim.ServerConfig{Behavior: tlssim.BehaviorRequireSNI, ChainLen: 5000, Seed: 9}))
+	tr := e.probe(t, TargetConfig{Strategy: StrategyTLS})
+	if tr.Outcome != OutcomeNoData {
+		t.Fatalf("outcome = %s, want no-data (SNI required, none sent)", tr.Outcome)
+	}
+}
+
+func TestTLSWithSNISucceeds(t *testing.T) {
+	e := newEnv(t, linuxIW(10))
+	e.host.Listen(443, tlssim.NewServer(tlssim.ServerConfig{Behavior: tlssim.BehaviorRequireSNI, ChainLen: 5000, Seed: 9}))
+	tr := e.probe(t, TargetConfig{Strategy: StrategyTLS, SNI: "www.example.org"})
+	if tr.Outcome != OutcomeSuccess {
+		t.Fatalf("outcome = %s, want success with SNI", tr.Outcome)
+	}
+}
+
+func TestTLSNoCipherOverlapAlertBound(t *testing.T) {
+	e := newEnv(t, linuxIW(10))
+	e.host.Listen(443, tlssim.NewServer(tlssim.ServerConfig{Behavior: tlssim.BehaviorNoCipherOverlap}))
+	tr := e.probe(t, TargetConfig{Strategy: StrategyTLS})
+	if tr.Outcome != OutcomeFewData {
+		t.Fatalf("outcome = %s, want few-data", tr.Outcome)
+	}
+	if tr.LowerBound != 1 {
+		t.Fatalf("lower bound = %d, want 1 (a lone alert record)", tr.LowerBound)
+	}
+}
+
+func TestTLSOCSPAddsBytes(t *testing.T) {
+	// A chain too small on its own crosses the IW boundary with OCSP.
+	e := newEnv(t, linuxIW(10))
+	e.host.Listen(443, tlssim.NewServer(tlssim.ServerConfig{
+		Behavior: tlssim.BehaviorServeChain, ChainLen: 400, OCSPStaple: true, OCSPLen: 2000, Seed: 9,
+	}))
+	tr := e.probe(t, TargetConfig{Strategy: StrategyTLS})
+	if tr.Outcome != OutcomeSuccess {
+		t.Fatalf("outcome = %s, want success thanks to OCSP stapling", tr.Outcome)
+	}
+}
+
+func TestSYNScanOpenAndClosed(t *testing.T) {
+	e := newEnv(t, linuxIW(10))
+	e.host.Listen(80, httpsim.NewServer(httpsim.ServerConfig{Root: httpsim.BehaviorPage, PageLen: 100}))
+	tr := e.probe(t, TargetConfig{Strategy: StrategySYN, Port: 80})
+	if tr.Outcome != OutcomeSuccess {
+		t.Fatalf("open port: %s", tr.Outcome)
+	}
+	tr = e.probe(t, TargetConfig{Strategy: StrategySYN, Port: 8080})
+	if tr.Outcome != OutcomeUnreachable {
+		t.Fatalf("closed port: %s", tr.Outcome)
+	}
+}
+
+func TestSYNScanPacketBudget(t *testing.T) {
+	// A port scan exchanges exactly SYN + SYN-ACK + RST.
+	e := newEnv(t, linuxIW(10))
+	e.host.Listen(80, httpsim.NewServer(httpsim.ServerConfig{Root: httpsim.BehaviorPage, PageLen: 100}))
+	before := e.net.Stats().PacketsSent
+	e.probe(t, TargetConfig{Strategy: StrategySYN, Port: 80})
+	sent := e.net.Stats().PacketsSent - before
+	if sent != 3 {
+		t.Fatalf("port scan used %d packets, want 3", sent)
+	}
+}
+
+func TestReorderingTolerated(t *testing.T) {
+	e := newEnv(t, linuxIW(10))
+	e.net.SetPath(netsim.PathParams{Delay: 10 * netsim.Millisecond, Reorder: 0.3})
+	e.host.Listen(80, httpsim.NewServer(httpsim.ServerConfig{Root: httpsim.BehaviorPage, PageLen: 8000}))
+	tr := e.probe(t, TargetConfig{Strategy: StrategyHTTP})
+	if tr.Outcome != OutcomeSuccess || tr.IW != 10 {
+		t.Fatalf("under reordering: outcome=%s IW=%d", tr.Outcome, tr.IW)
+	}
+}
+
+func TestTailLossUnderestimatesSingleProbe(t *testing.T) {
+	// Drop the 10th data segment of the first burst once: that probe
+	// reports IW 9, but 2-of-3 voting with the maximum rule still lands
+	// on IW 10 (§3.5: tail loss can only underestimate; multiple scans
+	// per host limit the likelihood).
+	e := newEnv(t, linuxIW(10))
+	e.host.Listen(80, httpsim.NewServer(httpsim.ServerConfig{Root: httpsim.BehaviorPage, PageLen: 8000}))
+	dataSegs := 0
+	dropped := false
+	e.net.AddFilter(func(now netsim.Time, pkt []byte) netsim.Verdict {
+		ip, payload, err := wire.DecodeIPv4(pkt)
+		if err != nil || ip.Src != hostAddr || ip.Protocol != wire.ProtoTCP {
+			return netsim.VerdictPass
+		}
+		_, data, err := wire.DecodeTCP(ip.Src, ip.Dst, payload)
+		if err != nil || len(data) == 0 {
+			return netsim.VerdictPass
+		}
+		dataSegs++
+		if dataSegs == 10 && !dropped {
+			dropped = true
+			return netsim.VerdictDrop
+		}
+		return netsim.VerdictPass
+	})
+	tr := e.probe(t, TargetConfig{Strategy: StrategyHTTP})
+	if !dropped {
+		t.Fatal("filter never dropped the tail segment")
+	}
+	if tr.Outcome != OutcomeSuccess || tr.IW != 10 {
+		t.Fatalf("after tail loss: outcome=%s IW=%d, want success IW 10", tr.Outcome, tr.IW)
+	}
+}
+
+func TestMidLossGivesGapError(t *testing.T) {
+	// Drop a middle segment of every burst: the hole never fills, so each
+	// probe reports loss-gap and the target degrades to error.
+	e := newEnv(t, linuxIW(10))
+	e.host.Listen(80, httpsim.NewServer(httpsim.ServerConfig{Root: httpsim.BehaviorPage, PageLen: 8000}))
+	dataSegs := 0
+	e.net.AddFilter(func(now netsim.Time, pkt []byte) netsim.Verdict {
+		ip, payload, err := wire.DecodeIPv4(pkt)
+		if err != nil || ip.Src != hostAddr || ip.Protocol != wire.ProtoTCP {
+			return netsim.VerdictPass
+		}
+		_, data, err := wire.DecodeTCP(ip.Src, ip.Dst, payload)
+		if err != nil || len(data) == 0 {
+			return netsim.VerdictPass
+		}
+		dataSegs++
+		if dataSegs%10 == 5 { // drop the 5th segment of each burst
+			return netsim.VerdictDrop
+		}
+		return netsim.VerdictPass
+	})
+	tr := e.probe(t, TargetConfig{Strategy: StrategyHTTP})
+	if tr.Outcome == OutcomeSuccess && tr.IW == 10 {
+		t.Fatal("mid-loss probe should not produce a confident full estimate")
+	}
+}
+
+func TestScannerCounters(t *testing.T) {
+	e := newEnv(t, linuxIW(10))
+	e.host.Listen(80, httpsim.NewServer(httpsim.ServerConfig{Root: httpsim.BehaviorPage, PageLen: 8000}))
+	e.probe(t, TargetConfig{Strategy: StrategyHTTP})
+	st := e.scan.Stats()
+	if st.ProbesStarted < 6 {
+		t.Fatalf("probes started = %d, want >= 6 (3 per MSS)", st.ProbesStarted)
+	}
+	if st.Retransmits < 6 {
+		t.Fatalf("retransmissions detected = %d", st.Retransmits)
+	}
+	if st.VerifyReleases < 6 {
+		t.Fatalf("verify releases = %d", st.VerifyReleases)
+	}
+	if e.scan.ActiveConns() != 0 {
+		t.Fatalf("connections leaked: %d", e.scan.ActiveConns())
+	}
+}
+
+func TestProbeResultHelpers(t *testing.T) {
+	r := ProbeResult{Bytes: 450, MaxSeg: 64}
+	if r.IWSegments() != 8 {
+		t.Fatalf("IWSegments = %d, want ceil(450/64)=8", r.IWSegments())
+	}
+	if r.LowerBoundSegments() != 7 {
+		t.Fatalf("LowerBoundSegments = %d, want 7", r.LowerBoundSegments())
+	}
+	zero := ProbeResult{}
+	if zero.IWSegments() != 0 || zero.LowerBoundSegments() != 0 {
+		t.Fatal("zero result should yield zero segments")
+	}
+}
+
+func TestAggregateMSSMajority(t *testing.T) {
+	probes := []ProbeResult{
+		{Outcome: OutcomeSuccess, Bytes: 640, MaxSeg: 64},
+		{Outcome: OutcomeSuccess, Bytes: 640, MaxSeg: 64},
+		{Outcome: OutcomeSuccess, Bytes: 576, MaxSeg: 64}, // tail loss victim
+	}
+	res := aggregateMSS(64, probes)
+	if res.Outcome != OutcomeSuccess || res.Segments != 10 {
+		t.Fatalf("aggregate = %+v", res)
+	}
+}
+
+func TestAggregateMSSMajorityMustBeMax(t *testing.T) {
+	// Two probes agree on 9 but a third saw 10: the agreement is not the
+	// maximum, so the paper's rule rejects it.
+	probes := []ProbeResult{
+		{Outcome: OutcomeSuccess, Bytes: 576, MaxSeg: 64},
+		{Outcome: OutcomeSuccess, Bytes: 576, MaxSeg: 64},
+		{Outcome: OutcomeSuccess, Bytes: 640, MaxSeg: 64},
+	}
+	res := aggregateMSS(64, probes)
+	if res.Outcome == OutcomeSuccess {
+		t.Fatalf("agreement below maximum accepted: %+v", res)
+	}
+	if res.Outcome != OutcomeFewData || res.Segments != 10 {
+		t.Fatalf("expected few-data with bound 10, got %+v", res)
+	}
+}
+
+func TestAggregateMSSFewData(t *testing.T) {
+	probes := []ProbeResult{
+		{Outcome: OutcomeFewData, Bytes: 450, MaxSeg: 64, SawFIN: true},
+		{Outcome: OutcomeFewData, Bytes: 450, MaxSeg: 64, SawFIN: true},
+		{Outcome: OutcomeNoData},
+	}
+	res := aggregateMSS(64, probes)
+	if res.Outcome != OutcomeFewData || res.Segments != 7 {
+		t.Fatalf("aggregate = %+v", res)
+	}
+}
+
+func TestAggregateMSSAllNoData(t *testing.T) {
+	probes := []ProbeResult{{Outcome: OutcomeNoData}, {Outcome: OutcomeNoData}, {Outcome: OutcomeNoData}}
+	if res := aggregateMSS(64, probes); res.Outcome != OutcomeNoData {
+		t.Fatalf("aggregate = %+v", res)
+	}
+}
+
+func TestAggregateMSSErrors(t *testing.T) {
+	probes := []ProbeResult{{Outcome: OutcomeError}, {Outcome: OutcomeError}, {Outcome: OutcomeError}}
+	if res := aggregateMSS(64, probes); res.Outcome != OutcomeError {
+		t.Fatalf("aggregate = %+v", res)
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	var c coverage
+	if k := c.add(0, 64); k != addNew {
+		t.Fatalf("first add = %v", k)
+	}
+	if k := c.add(64, 128); k != addNew {
+		t.Fatalf("in-order add = %v", k)
+	}
+	if k := c.add(192, 256); k != addNew {
+		t.Fatalf("gap add = %v", k)
+	}
+	if !c.hasGap() {
+		t.Fatal("gap not detected")
+	}
+	if k := c.add(128, 192); k != addReorder {
+		t.Fatalf("gap fill = %v, want reorder", k)
+	}
+	if c.hasGap() {
+		t.Fatal("gap not closed")
+	}
+	if k := c.add(0, 64); k != addRetransmit {
+		t.Fatalf("repeat add = %v, want retransmit", k)
+	}
+	if c.total() != 256 || c.contiguous() != 256 || c.max() != 256 {
+		t.Fatalf("total/contiguous/max = %d/%d/%d", c.total(), c.contiguous(), c.max())
+	}
+}
+
+func TestCoveragePartialOverlapIsReorder(t *testing.T) {
+	var c coverage
+	c.add(0, 64)
+	if k := c.add(32, 96); k != addReorder {
+		t.Fatalf("partial overlap = %v, want reorder", k)
+	}
+	if c.total() != 96 {
+		t.Fatalf("total = %d", c.total())
+	}
+}
+
+func TestCoverageEmptySegment(t *testing.T) {
+	var c coverage
+	if k := c.add(10, 10); k != addRetransmit {
+		t.Fatalf("empty segment = %v", k)
+	}
+	if c.total() != 0 {
+		t.Fatal("empty segment changed coverage")
+	}
+}
+
+func TestBetterProbePreference(t *testing.T) {
+	succ := ProbeResult{Outcome: OutcomeSuccess, Bytes: 640}
+	few := ProbeResult{Outcome: OutcomeFewData, Bytes: 100}
+	fewBig := ProbeResult{Outcome: OutcomeFewData, Bytes: 300}
+	errp := ProbeResult{Outcome: OutcomeError}
+	if betterProbe(few, succ).Outcome != OutcomeSuccess {
+		t.Fatal("success not preferred")
+	}
+	if betterProbe(succ, few).Outcome != OutcomeSuccess {
+		t.Fatal("success not kept")
+	}
+	if betterProbe(few, fewBig).Bytes != 300 {
+		t.Fatal("larger bound not preferred")
+	}
+	if betterProbe(few, errp).Outcome != OutcomeFewData {
+		t.Fatal("few-data not preferred over error")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for o, want := range map[Outcome]string{
+		OutcomeSuccess: "success", OutcomeFewData: "few-data",
+		OutcomeNoData: "no-data", OutcomeError: "error",
+		OutcomeUnreachable: "unreachable", Outcome(99): "outcome(99)",
+	} {
+		if o.String() != want {
+			t.Fatalf("%d.String() = %q", int(o), o.String())
+		}
+	}
+}
+
+func TestDebugTargetLine(t *testing.T) {
+	tr := &TargetResult{Addr: hostAddr, Port: 80, Outcome: OutcomeSuccess, IW: 10}
+	if got := DebugTargetLine(tr); got == "" {
+		t.Fatal("empty debug line")
+	}
+	tr = &TargetResult{Addr: hostAddr, Port: 80, Outcome: OutcomeFewData, LowerBound: 7}
+	if got := DebugTargetLine(tr); got == "" {
+		t.Fatal("empty debug line")
+	}
+}

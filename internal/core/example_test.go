@@ -1,0 +1,36 @@
+package core_test
+
+import (
+	"fmt"
+
+	"iwscan/internal/core"
+	"iwscan/internal/httpsim"
+	"iwscan/internal/netsim"
+	"iwscan/internal/tcpstack"
+	"iwscan/internal/wire"
+)
+
+// ExampleScanner_ProbeTarget runs the complete Figure-1 inference
+// against one simulated IW-10 web server — the library's central entry
+// point.
+func ExampleScanner_ProbeTarget() {
+	net := netsim.New(42)
+	net.SetPath(netsim.PathParams{Delay: 10 * netsim.Millisecond})
+
+	serverAddr := wire.MustParseAddr("198.51.100.10")
+	host := tcpstack.NewHost(net, serverAddr, tcpstack.Config{
+		IW:  tcpstack.IWPolicy{Kind: tcpstack.IWSegments, Segments: 10},
+		MSS: tcpstack.MSSPolicy{Floor: 64},
+	})
+	host.Listen(80, httpsim.NewServer(httpsim.ServerConfig{
+		Root: httpsim.BehaviorPage, PageLen: 8192,
+	}))
+
+	scanner := core.NewScanner(net, wire.MustParseAddr("192.0.2.1"), core.Config{Seed: 1})
+	scanner.ProbeTarget(serverAddr, core.TargetConfig{Strategy: core.StrategyHTTP},
+		func(tr *core.TargetResult) {
+			fmt.Printf("outcome=%s iw=%d byte-limited=%v\n", tr.Outcome, tr.IW, tr.ByteLimited)
+		})
+	net.RunUntilIdle()
+	// Output: outcome=success iw=10 byte-limited=false
+}

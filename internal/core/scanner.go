@@ -1,0 +1,452 @@
+package core
+
+import (
+	"iwscan/internal/netsim"
+	"iwscan/internal/stats"
+	"iwscan/internal/wire"
+)
+
+// Config tunes the prober.
+type Config struct {
+	// SynTimeout bounds the wait for a SYN-ACK.
+	SynTimeout netsim.Time
+	// CollectTimeout bounds the wait for the response burst and the
+	// server's retransmission; it must exceed the server RTO.
+	CollectTimeout netsim.Time
+	// VerifyTimeout bounds the wait after the verification ACK.
+	VerifyTimeout netsim.Time
+	// Window is the large receive window announced in the SYN so only
+	// the IW, never flow control, limits the server (§3.1).
+	Window uint16
+	// HeadCap bounds how many response-prefix bytes are retained for
+	// redirect parsing.
+	HeadCap int
+	// Seed drives ISN generation and the TLS ClientHello randoms.
+	Seed uint64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.SynTimeout == 0 {
+		out.SynTimeout = 3 * netsim.Second
+	}
+	if out.CollectTimeout == 0 {
+		out.CollectTimeout = 5 * netsim.Second
+	}
+	if out.VerifyTimeout == 0 {
+		out.VerifyTimeout = 2 * netsim.Second
+	}
+	if out.Window == 0 {
+		out.Window = 65535
+	}
+	if out.HeadCap == 0 {
+		out.HeadCap = 2048
+	}
+	return out
+}
+
+// Counters aggregate scanner-side statistics.
+type Counters struct {
+	ProbesStarted  int64
+	PacketsSent    int64
+	PacketsRcvd    int64
+	Retransmits    int64 // retransmissions detected (the IW signal)
+	VerifyReleases int64 // verification ACKs that released more data
+}
+
+// Scanner is the probing endpoint: a netsim node that multiplexes many
+// concurrent connection probes over local ports, the way the ZMap probe
+// module keeps per-connection state (§3.4).
+type Scanner struct {
+	net   *netsim.Network
+	addr  wire.Addr
+	cfg   Config
+	rng   *stats.RNG
+	conns map[uint16]*connProbe
+	next  uint16
+	stats Counters
+	ipid  uint16
+}
+
+// NewScanner creates a scanner at addr and registers it with the
+// network.
+func NewScanner(n *netsim.Network, addr wire.Addr, cfg Config) *Scanner {
+	s := &Scanner{
+		net:   n,
+		addr:  addr,
+		cfg:   cfg.withDefaults(),
+		rng:   stats.NewRNG(cfg.Seed ^ 0x5ca99e5),
+		conns: make(map[uint16]*connProbe),
+		next:  10000,
+	}
+	n.Register(addr, s)
+	return s
+}
+
+// Addr returns the scanner's source address.
+func (s *Scanner) Addr() wire.Addr { return s.addr }
+
+// Stats returns a snapshot of the counters.
+func (s *Scanner) Stats() Counters { return s.stats }
+
+// ActiveConns returns the number of in-flight connection probes.
+func (s *Scanner) ActiveConns() int { return len(s.conns) }
+
+// HandlePacket implements netsim.Node: dispatch by destination port.
+func (s *Scanner) HandlePacket(pkt []byte) {
+	ip, payload, err := wire.DecodeIPv4(pkt)
+	if err != nil || ip.Dst != s.addr || ip.Protocol != wire.ProtoTCP {
+		return
+	}
+	tcp, data, err := wire.DecodeTCP(ip.Src, ip.Dst, payload)
+	if err != nil {
+		return
+	}
+	s.stats.PacketsRcvd++
+	c := s.conns[tcp.DstPort]
+	if c == nil || c.target != ip.Src || c.dstPort != tcp.SrcPort {
+		return
+	}
+	c.handleSegment(tcp, data)
+}
+
+// allocPort reserves a free local port.
+func (s *Scanner) allocPort() uint16 {
+	for {
+		p := s.next
+		s.next++
+		if s.next >= 60000 {
+			s.next = 10000
+		}
+		if _, busy := s.conns[p]; !busy {
+			return p
+		}
+	}
+}
+
+func (s *Scanner) send(dst wire.Addr, h *wire.TCPHeader, payload []byte) {
+	s.stats.PacketsSent++
+	s.ipid++
+	seg := wire.EncodeTCP(nil, s.addr, dst, h, payload)
+	pkt := wire.EncodeIPv4(nil, &wire.IPv4Header{
+		Protocol: wire.ProtoTCP,
+		Src:      s.addr,
+		Dst:      dst,
+		ID:       s.ipid,
+		Flags:    wire.IPFlagDF,
+	}, seg)
+	s.net.Send(pkt)
+}
+
+// probeSpec parameterizes one connection probe.
+type probeSpec struct {
+	target  wire.Addr
+	dstPort uint16
+	mss     int
+	payload []byte // the request sent with the handshake-completing ACK
+	// synOnly runs a plain ZMap-style port scan: SYN, then RST the
+	// SYN-ACK (§3.4's baseline for the efficiency comparison).
+	synOnly bool
+}
+
+// startProbe launches one connection probe; done is invoked exactly once.
+func (s *Scanner) startProbe(spec probeSpec, done func(ProbeResult)) {
+	s.stats.ProbesStarted++
+	c := &connProbe{
+		sc:        s,
+		target:    spec.target,
+		dstPort:   spec.dstPort,
+		localPort: s.allocPort(),
+		mss:       spec.mss,
+		payload:   spec.payload,
+		synOnly:   spec.synOnly,
+		isn:       s.rng.Uint32(),
+		done:      done,
+	}
+	s.conns[c.localPort] = c
+	c.start()
+}
+
+// connProbe is the per-connection inference state machine of Figure 1.
+type connProbe struct {
+	sc        *Scanner
+	target    wire.Addr
+	dstPort   uint16
+	localPort uint16
+	mss       int
+	payload   []byte
+	synOnly   bool
+
+	state probeState
+	isn   uint32
+	irs   uint32 // server's initial sequence number
+
+	cov     coverage
+	head    []byte
+	segs    int // distinct data segments received
+	maxSeg  int
+	sawFIN  bool
+	finOff  int // stream offset just past the FIN (response length)
+	reorder bool
+
+	timer *netsim.Timer
+	done  func(ProbeResult)
+}
+
+type probeState int
+
+const (
+	stateSynSent probeState = iota
+	stateCollecting
+	stateVerifying
+	stateDone
+)
+
+func (c *connProbe) start() {
+	h := wire.NewTCPHeader()
+	h.SrcPort = c.localPort
+	h.DstPort = c.dstPort
+	h.Seq = c.isn
+	h.Flags = wire.FlagSYN
+	h.Window = c.sc.cfg.Window
+	h.MSS = uint16(c.mss)
+	// No SACK-permitted: §3.1 disables selective acknowledgment to keep
+	// tail loss probes from skewing the estimate.
+	c.sc.send(c.target, h, nil)
+	c.arm(c.sc.cfg.SynTimeout, func() {
+		c.finish(ProbeResult{Outcome: OutcomeUnreachable, Err: "syn-timeout"}, false)
+	})
+}
+
+func (c *connProbe) arm(d netsim.Time, fn func()) {
+	c.timer.Cancel()
+	c.timer = c.sc.net.After(d, fn)
+}
+
+// finish reports the result and tears the connection down. When rst is
+// true a RST is sent to free state at the remote host.
+func (c *connProbe) finish(r ProbeResult, rst bool) {
+	if c.state == stateDone {
+		return
+	}
+	c.state = stateDone
+	c.timer.Cancel()
+	if rst {
+		h := wire.NewTCPHeader()
+		h.SrcPort = c.localPort
+		h.DstPort = c.dstPort
+		h.Seq = c.nextSeq()
+		h.Ack = c.irs + 1 + uint32(c.cov.max())
+		h.Flags = wire.FlagRST | wire.FlagACK
+		c.sc.send(c.target, h, nil)
+	}
+	delete(c.sc.conns, c.localPort)
+	c.done(r)
+}
+
+// nextSeq is the scanner's current send sequence number.
+func (c *connProbe) nextSeq() uint32 {
+	return c.isn + 1 + uint32(len(c.payload))
+}
+
+func (c *connProbe) handleSegment(tcp *wire.TCPHeader, data []byte) {
+	if c.state == stateDone {
+		return
+	}
+	if tcp.HasFlag(wire.FlagRST) {
+		switch c.state {
+		case stateSynSent:
+			c.finish(ProbeResult{Outcome: OutcomeUnreachable, Err: "refused"}, false)
+		default:
+			c.finish(c.result(OutcomeError, "reset"), false)
+		}
+		return
+	}
+	switch c.state {
+	case stateSynSent:
+		if !tcp.HasFlag(wire.FlagSYN|wire.FlagACK) || tcp.Ack != c.isn+1 {
+			return
+		}
+		c.irs = tcp.Seq
+		if c.synOnly {
+			// Port scan: the port is open; RST and report.
+			c.finish(ProbeResult{Outcome: OutcomeSuccess}, true)
+			return
+		}
+		// Complete the handshake and send the request in one segment.
+		h := wire.NewTCPHeader()
+		h.SrcPort = c.localPort
+		h.DstPort = c.dstPort
+		h.Seq = c.isn + 1
+		h.Ack = c.irs + 1
+		h.Flags = wire.FlagACK | wire.FlagPSH
+		h.Window = c.sc.cfg.Window
+		c.sc.send(c.target, h, c.payload)
+		c.state = stateCollecting
+		c.arm(c.sc.cfg.CollectTimeout, c.onCollectTimeout)
+	case stateCollecting:
+		c.collect(tcp, data)
+	case stateVerifying:
+		c.verify(tcp, data)
+	}
+}
+
+// collect processes response segments until the first retransmission.
+func (c *connProbe) collect(tcp *wire.TCPHeader, data []byte) {
+	if tcp.HasFlag(wire.FlagSYN) {
+		// A retransmitted SYN-ACK means our handshake ACK (which carries
+		// the request) was lost: send it again, or the server will never
+		// produce the response burst.
+		h := wire.NewTCPHeader()
+		h.SrcPort = c.localPort
+		h.DstPort = c.dstPort
+		h.Seq = c.isn + 1
+		h.Ack = c.irs + 1
+		h.Flags = wire.FlagACK | wire.FlagPSH
+		h.Window = c.sc.cfg.Window
+		c.sc.send(c.target, h, c.payload)
+		return
+	}
+	if len(data) > 0 {
+		off := int(tcp.Seq - (c.irs + 1))
+		if off < 0 {
+			return
+		}
+		switch c.cov.add(off, off+len(data)) {
+		case addRetransmit:
+			c.sc.stats.Retransmits++
+			c.onRetransmission()
+			return
+		case addReorder:
+			c.reorder = true
+			c.record(off, data)
+		case addNew:
+			c.record(off, data)
+		}
+		if len(data) > c.maxSeg {
+			c.maxSeg = len(data)
+		}
+		c.segs++
+	}
+	if tcp.HasFlag(wire.FlagFIN) {
+		c.sawFIN = true
+		// The FIN rides the highest-sequence segment, which reordering
+		// can deliver before earlier segments. Remember where the
+		// response ends and only conclude once coverage is contiguous
+		// up to that point (or the retransmission timeout resolves it).
+		off := int(tcp.Seq-(c.irs+1)) + len(data)
+		if off > c.finOff {
+			c.finOff = off
+		}
+	}
+	if c.sawFIN && !c.cov.hasGap() && c.cov.contiguous() >= c.finOff {
+		// The server finished its response inside the IW and every byte
+		// of it has arrived: a few-data verdict is complete now.
+		c.finishFewData()
+	}
+}
+
+// record copies payload into the head buffer for later HTTP parsing.
+func (c *connProbe) record(off int, data []byte) {
+	cap := c.sc.cfg.HeadCap
+	if off >= cap {
+		return
+	}
+	end := off + len(data)
+	if end > cap {
+		end = cap
+		data = data[:end-off]
+	}
+	if len(c.head) < end {
+		c.head = append(c.head, make([]byte, end-len(c.head))...)
+	}
+	copy(c.head[off:end], data)
+}
+
+// onRetransmission is the Figure-1 pivot: the burst is complete, so
+// acknowledge everything with a two-segment window and watch for more.
+func (c *connProbe) onRetransmission() {
+	if c.cov.hasGap() {
+		// A hole that never filled: loss corrupted the count.
+		c.finish(c.result(OutcomeError, "loss-gap"), true)
+		return
+	}
+	if c.sawFIN {
+		c.finishFewData()
+		return
+	}
+	if c.cov.total() == 0 {
+		c.finish(c.result(OutcomeNoData, ""), true)
+		return
+	}
+	// Verification ACK: acknowledge all data, window = two segments.
+	win := 2 * c.maxSeg
+	if win > 65535 {
+		win = 65535
+	}
+	h := wire.NewTCPHeader()
+	h.SrcPort = c.localPort
+	h.DstPort = c.dstPort
+	h.Seq = c.nextSeq()
+	h.Ack = c.irs + 1 + uint32(c.cov.contiguous())
+	h.Flags = wire.FlagACK
+	h.Window = uint16(win)
+	c.sc.send(c.target, h, nil)
+	c.state = stateVerifying
+	c.arm(c.sc.cfg.VerifyTimeout, func() {
+		// Silence: the host was out of data but keeps the connection
+		// open (typical for TLS mid-handshake).
+		c.finishFewData()
+	})
+}
+
+// verify watches for data past the acknowledged point.
+func (c *connProbe) verify(tcp *wire.TCPHeader, data []byte) {
+	if len(data) > 0 {
+		off := int(tcp.Seq - (c.irs + 1))
+		if off+len(data) > c.cov.max() {
+			// New data released by our ACK: the host was IW-limited.
+			c.sc.stats.VerifyReleases++
+			c.finish(c.result(OutcomeSuccess, ""), true)
+			return
+		}
+		// A straggling retransmission; keep waiting.
+		return
+	}
+	if tcp.HasFlag(wire.FlagFIN) {
+		c.finishFewData()
+	}
+}
+
+func (c *connProbe) onCollectTimeout() {
+	if c.cov.total() == 0 {
+		c.finish(c.result(OutcomeNoData, "silent"), true)
+		return
+	}
+	// Data arrived but no retransmission was observed (all of them were
+	// lost, or the host never retransmits): not trustworthy.
+	c.finish(c.result(OutcomeError, "no-retransmission"), true)
+}
+
+func (c *connProbe) finishFewData() {
+	if c.cov.total() == 0 {
+		c.finish(c.result(OutcomeNoData, ""), true)
+		return
+	}
+	c.finish(c.result(OutcomeFewData, ""), true)
+}
+
+// result assembles a ProbeResult from the connection state.
+func (c *connProbe) result(o Outcome, err string) ProbeResult {
+	return ProbeResult{
+		Outcome:  o,
+		Segments: c.segs,
+		Bytes:    c.cov.total(),
+		MaxSeg:   c.maxSeg,
+		SawFIN:   c.sawFIN,
+		Reorder:  c.reorder,
+		Gap:      c.cov.hasGap(),
+		Head:     c.head,
+		Err:      err,
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"testing"
+
+	"iwscan/internal/httpsim"
+	"iwscan/internal/netsim"
+	"iwscan/internal/tcpstack"
+	"iwscan/internal/tlssim"
+	"iwscan/internal/wire"
+)
+
+func TestNoRedirectFollowAblation(t *testing.T) {
+	e := newEnv(t, linuxIW(10))
+	e.host.Listen(80, httpsim.NewServer(httpsim.ServerConfig{
+		Root:         httpsim.BehaviorRedirect,
+		RedirectHost: "www.example.org",
+		RedirectPath: "/index.html",
+		PageLen:      8000,
+	}))
+	tr := e.probe(t, TargetConfig{Strategy: StrategyHTTP, NoRedirectFollow: true, NoBloat: true})
+	if tr.Outcome == OutcomeSuccess {
+		t.Fatal("redirect host measured despite disabled redirect following")
+	}
+}
+
+func TestNoBloatAblation(t *testing.T) {
+	e := newEnv(t, linuxIW(10))
+	e.host.Listen(80, httpsim.NewServer(httpsim.ServerConfig{Root: httpsim.BehaviorNotFound, EchoURI: true}))
+	tr := e.probe(t, TargetConfig{Strategy: StrategyHTTP, NoBloat: true})
+	if tr.Outcome == OutcomeSuccess {
+		t.Fatal("404-echo host measured despite disabled URI bloat")
+	}
+	// With bloat enabled it succeeds (covered in core_test, re-assert).
+	e2 := newEnv(t, linuxIW(10))
+	e2.host.Listen(80, httpsim.NewServer(httpsim.ServerConfig{Root: httpsim.BehaviorNotFound, EchoURI: true}))
+	tr = e2.probe(t, TargetConfig{Strategy: StrategyHTTP})
+	if tr.Outcome != OutcomeSuccess {
+		t.Fatalf("bloat-enabled probe failed: %s", tr.Outcome)
+	}
+}
+
+func TestStrategyHelpers(t *testing.T) {
+	if StrategyHTTP.String() != "http" || StrategyTLS.String() != "tls" || StrategySYN.String() != "syn" {
+		t.Fatal("strategy names wrong")
+	}
+	if StrategyHTTP.DefaultPort() != 80 || StrategyTLS.DefaultPort() != 443 || StrategySYN.DefaultPort() != 80 {
+		t.Fatal("default ports wrong")
+	}
+}
+
+func TestByteLimitNotFlaggedOnSingleMSS(t *testing.T) {
+	// Scanning with one MSS cannot establish byte-limiting.
+	e := newEnv(t, linuxIW(10))
+	e.host.Listen(80, httpsim.NewServer(httpsim.ServerConfig{Root: httpsim.BehaviorPage, PageLen: 8000}))
+	tr := e.probe(t, TargetConfig{Strategy: StrategyHTTP, MSSList: []int{64}})
+	if tr.ByteLimited {
+		t.Fatal("byte-limited flagged from a single-MSS scan")
+	}
+	if len(tr.PerMSS) != 1 {
+		t.Fatalf("PerMSS entries = %d", len(tr.PerMSS))
+	}
+}
+
+func TestUnreachableSkipsSecondMSS(t *testing.T) {
+	// A host that never answers: the second MSS round is skipped.
+	e := newEnv(t, linuxIW(10))
+	var got *TargetResult
+	e.scan.ProbeTarget(wire.MustParseAddr("203.0.113.70"), TargetConfig{Strategy: StrategyHTTP}, func(tr *TargetResult) { got = tr })
+	e.net.RunUntilIdle()
+	if got == nil || got.Outcome != OutcomeUnreachable {
+		t.Fatalf("result = %+v", got)
+	}
+	if len(got.PerMSS) != 1 {
+		t.Fatalf("unreachable host probed at %d MSS values, want 1", len(got.PerMSS))
+	}
+	// Exactly 3 SYNs (3 probes), no more.
+	if st := e.scan.Stats(); st.ProbesStarted != 3 {
+		t.Fatalf("probes started = %d, want 3", st.ProbesStarted)
+	}
+}
+
+func TestTLSProbeUsesPort443(t *testing.T) {
+	e := newEnv(t, linuxIW(10))
+	e.host.Listen(443, tlssim.NewServer(tlssim.ServerConfig{Behavior: tlssim.BehaviorServeChain, ChainLen: 4000, Seed: 1}))
+	tr := e.probe(t, TargetConfig{Strategy: StrategyTLS})
+	if tr.Port != 443 {
+		t.Fatalf("port = %d", tr.Port)
+	}
+	if tr.Outcome != OutcomeSuccess {
+		t.Fatalf("outcome = %s", tr.Outcome)
+	}
+}
+
+func TestCustomPort(t *testing.T) {
+	e := newEnv(t, linuxIW(4))
+	e.host.Listen(8080, httpsim.NewServer(httpsim.ServerConfig{Root: httpsim.BehaviorPage, PageLen: 8000}))
+	tr := e.probe(t, TargetConfig{Strategy: StrategyHTTP, Port: 8080})
+	if tr.Outcome != OutcomeSuccess || tr.IW != 4 {
+		t.Fatalf("custom port probe: %s IW=%d", tr.Outcome, tr.IW)
+	}
+}
+
+func TestConcurrentTargets(t *testing.T) {
+	// Many targets probed concurrently through one scanner must not
+	// cross-talk (port multiplexing).
+	n := netsim.New(33)
+	n.SetPath(netsim.PathParams{Delay: 10 * netsim.Millisecond})
+	sc := NewScanner(n, scanAddr, Config{Seed: 3})
+	results := make(map[wire.Addr]*TargetResult)
+	for i := 0; i < 20; i++ {
+		addr := wire.Addr(uint32(wire.MustParseAddr("198.51.100.0")) + uint32(i+1))
+		iw := 1 + i%10
+		host := newHostAt(n, addr, iw)
+		_ = host
+		sc.ProbeTarget(addr, TargetConfig{Strategy: StrategyHTTP, MSSList: []int{64}}, func(tr *TargetResult) {
+			results[addr] = tr
+		})
+	}
+	n.RunUntilIdle()
+	if len(results) != 20 {
+		t.Fatalf("completed %d of 20 probes", len(results))
+	}
+	for addr, tr := range results {
+		wantIW := 1 + int(uint32(addr)-uint32(wire.MustParseAddr("198.51.100.1")))%10
+		if tr.Outcome != OutcomeSuccess || tr.IW != wantIW {
+			t.Fatalf("%s: outcome=%s IW=%d want %d", addr, tr.Outcome, tr.IW, wantIW)
+		}
+	}
+	if sc.ActiveConns() != 0 {
+		t.Fatalf("leaked %d connections", sc.ActiveConns())
+	}
+}
+
+// newHostAt builds an IW-n HTTP host serving a large page.
+func newHostAt(n *netsim.Network, addr wire.Addr, iw int) *tcpstack.Host {
+	host := tcpstack.NewHost(n, addr, tcpstack.Config{
+		IW:  tcpstack.IWPolicy{Kind: tcpstack.IWSegments, Segments: iw},
+		MSS: tcpstack.MSSPolicy{Floor: 64},
+	})
+	host.Listen(80, httpsim.NewServer(httpsim.ServerConfig{Root: httpsim.BehaviorPage, PageLen: 8000}))
+	return host
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"iwscan/internal/analysis"
+	"iwscan/internal/core"
+	"iwscan/internal/inet"
+	"iwscan/internal/netsim"
+	"iwscan/internal/scanner"
+	"iwscan/internal/wire"
+)
+
+// AkamaiServicesResult reproduces the §4.3 observation that CDN edges
+// run per-service (even per-customer) IW configurations: probing a
+// curated list of Akamai-hosted site names — the targeted-scan mode the
+// paper sketches as future work — reveals several distinct IW values on
+// one provider's infrastructure, where the IP-only Internet-wide scan
+// sees mostly "few data".
+type AkamaiServicesResult struct {
+	Sites        int
+	BlindSuccess float64 // IP-only probing success on the same hosts
+	ArmedSuccess float64 // with curated hostnames
+	IWValues     map[int]int
+}
+
+// AkamaiServices probes n Akamai edge hosts twice: blind (IP only, like
+// the Internet-wide scan) and armed with valid hostnames.
+func AkamaiServices(u *inet.Universe, seed uint64, n int) *AkamaiServicesResult {
+	if n <= 0 {
+		n = 300
+	}
+	var akamai *inet.AS
+	for _, as := range u.ASes {
+		if as.Name == "Akamai" {
+			akamai = as
+		}
+	}
+	if akamai == nil {
+		return &AkamaiServicesResult{}
+	}
+	// Collect live HTTP edges via the scan permutation.
+	p := akamai.Prefixes[0]
+	cyc := scanner.NewCycle(p.Size(), seed)
+	var targets []wire.Addr
+	for len(targets) < n {
+		idx, ok := cyc.Next()
+		if !ok {
+			break
+		}
+		addr := p.Nth(idx)
+		if spec := u.HostAt(addr); spec != nil && spec.HTTPLive {
+			targets = append(targets, addr)
+		}
+	}
+
+	res := &AkamaiServicesResult{Sites: len(targets), IWValues: make(map[int]int)}
+	run := func(withName bool) []analysis.Record {
+		net := netsim.New(seed)
+		net.SetPath(netsim.PathParams{Delay: 10 * netsim.Millisecond})
+		net.SetFactory(u)
+		sc := core.NewScanner(net, ScannerAddr, core.Config{Seed: seed})
+		var records []analysis.Record
+		for i, addr := range targets {
+			tc := core.TargetConfig{Strategy: core.StrategyHTTP, MSSList: []int{64}}
+			if withName {
+				tc.SNI = fmt.Sprintf("customer-%d.akamai-site.example", i)
+			}
+			sc.ProbeTarget(addr, tc, func(tr *core.TargetResult) {
+				records = append(records, analysis.FromTarget(tr))
+			})
+		}
+		net.RunUntilIdle()
+		return records
+	}
+
+	blind := run(false)
+	armed := run(true)
+	res.BlindSuccess = analysis.Table1(blind).Success
+	res.ArmedSuccess = analysis.Table1(armed).Success
+	for i := range armed {
+		if armed[i].Outcome == core.OutcomeSuccess {
+			res.IWValues[armed[i].IW]++
+		}
+	}
+	return res
+}
+
+// Render formats the per-service customization finding.
+func (r *AkamaiServicesResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§4.3: Akamai per-service IW customization (%d edge hosts)\n", r.Sites)
+	fmt.Fprintf(&b, "  IP-only probing success: %.1f%% (error pages expose only the small-IW edges)\n", 100*r.BlindSuccess)
+	fmt.Fprintf(&b, "  hostname-armed success:  %.1f%% (the curated-URL mode the paper proposes)\n", 100*r.ArmedSuccess)
+	iws := make([]int, 0, len(r.IWValues))
+	for iw := range r.IWValues {
+		iws = append(iws, iw)
+	}
+	sort.Ints(iws)
+	fmt.Fprintf(&b, "  distinct per-service IW configurations found:")
+	for _, iw := range iws {
+		fmt.Fprintf(&b, " IW%d:%d", iw, r.IWValues[iw])
+	}
+	fmt.Fprintf(&b, "\n  (paper: manual probing of Akamai-hosted sites found e.g. IW 16 and IW 32)\n")
+	return b.String()
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"iwscan/internal/analysis"
+	"iwscan/internal/core"
+)
+
+// ByteLimitResult reproduces §4.2: hosts that define their IW as a byte
+// budget, detected by scanning with MSS 64 and MSS 128 and observing the
+// segment count halve.
+type ByteLimitResult struct {
+	Stats analysis.ByteLimitStats
+	// GoDaddy48HTTP is the IW-48 share among GoDaddy's successful HTTP
+	// hosts (the §4.3 static-configuration case, which is *not*
+	// byte-limited — IW 48 at both MSS values).
+	GoDaddy48HTTP float64
+	GoDaddy48TLS  float64
+}
+
+// ByteLimit evaluates byte-limited IW detection on the full scans.
+func (s *Suite) ByteLimit() *ByteLimitResult {
+	r := &ByteLimitResult{Stats: analysis.ByteLimit(s.HTTPScan().Records)}
+	r.GoDaddy48HTTP = iw48Share(s.HTTPScan().Records, "GoDaddy")
+	r.GoDaddy48TLS = iw48Share(s.TLSScan().Records, "GoDaddy")
+	return r
+}
+
+func iw48Share(records []analysis.Record, asName string) float64 {
+	total, at48 := 0, 0
+	for i := range records {
+		r := &records[i]
+		if r.ASName != asName || r.Outcome != core.OutcomeSuccess {
+			continue
+		}
+		total++
+		if r.IW == 48 {
+			at48++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(at48) / float64(total)
+}
+
+// Render formats the §4.2 findings.
+func (r *ByteLimitResult) Render() string {
+	var b strings.Builder
+	st := r.Stats
+	fmt.Fprintf(&b, "§4.2: IW defined by byte limit (paired MSS 64 / MSS 128 scans)\n")
+	fmt.Fprintf(&b, "  hosts measurable at both MSS values: %d\n", st.Successful)
+	fmt.Fprintf(&b, "  byte-limited (segments halve when MSS doubles): %d = %.2f%% (paper ~1%%)\n",
+		st.ByteLimited, 100*st.Fraction())
+	if st.ByteLimited > 0 {
+		fmt.Fprintf(&b, "    4 kB group (64 segs @ MSS 64 -> 32 @ 128): %d = %.0f%% of byte-limited (paper ~50%%)\n",
+			st.FourKB, 100*float64(st.FourKB)/float64(st.ByteLimited))
+		fmt.Fprintf(&b, "    MTU-fill group (24 -> 12 segs, 1536 B):    %d = %.0f%% of byte-limited\n",
+			st.MTUFill, 100*float64(st.MTUFill)/float64(st.ByteLimited))
+	}
+	fmt.Fprintf(&b, "  GoDaddy static IW48 (not MSS-dependent): HTTP %.1f%% (paper %.1f%%), TLS %.1f%% (paper %.1f%%)\n",
+		100*r.GoDaddy48HTTP, 100*PaperByteLimit.GoDaddyIW48,
+		100*r.GoDaddy48TLS, 100*PaperByteLimit.GoDaddyTLS48)
+	return b.String()
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"iwscan/internal/analysis"
+	"iwscan/internal/inet"
+)
+
+// Figure5Result reproduces the AS-level DBSCAN clustering of IW mixes.
+type Figure5Result struct {
+	HTTPFeatures []analysis.ASFeature
+	HTTPClusters []analysis.Cluster
+	TLSFeatures  []analysis.ASFeature
+	TLSClusters  []analysis.Cluster
+	// Representatives are the per-AS IW mixes the right-hand side of
+	// Figure 5 shows.
+	Representatives []analysis.ASFeature
+}
+
+// figure5Reps are the networks Figure 5 calls out.
+var figure5Reps = []string{
+	"AmazonEC2", "Comcast", "GoDaddy", "NatIntBackbone",
+	"Cloudflare", "VodafoneIT", "Akamai", "KoreaTel",
+}
+
+// Figure5 clusters ASes by their IW mix with DBSCAN (eps and minPts as
+// reasonable defaults for the 5-dim fraction space).
+func (s *Suite) Figure5() *Figure5Result {
+	httpFeats := analysis.ASFeatures(s.HTTPScan().Records, 30)
+	tlsFeats := analysis.ASFeatures(s.TLSScan().Records, 30)
+	httpLabels := analysis.DBSCAN(httpFeats, 0.25, 2)
+	tlsLabels := analysis.DBSCAN(tlsFeats, 0.25, 2)
+	r := &Figure5Result{
+		HTTPFeatures: httpFeats,
+		HTTPClusters: analysis.Clusters(httpFeats, httpLabels),
+		TLSFeatures:  tlsFeats,
+		TLSClusters:  analysis.Clusters(tlsFeats, tlsLabels),
+	}
+	for _, name := range figure5Reps {
+		for _, f := range httpFeats {
+			if f.Name == name {
+				r.Representatives = append(r.Representatives, f)
+			}
+		}
+	}
+	return r
+}
+
+// Render formats clusters and representative ASes.
+func (r *Figure5Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: DBSCAN clustering of ASes by IW mix (IW1/2/4/10/other)\n")
+	render := func(name string, clusters []analysis.Cluster) {
+		fmt.Fprintf(&b, "  %s clusters:\n", name)
+		for _, c := range clusters {
+			fmt.Fprintf(&b, "    cluster %d: %2d ASes, %6d hosts, dominant %-5s centroid [%.2f %.2f %.2f %.2f %.2f]\n",
+				c.Label, len(c.ASes), c.Hosts, analysis.DominantIWOfCluster(c),
+				c.Centroid[0], c.Centroid[1], c.Centroid[2], c.Centroid[3], c.Centroid[4])
+		}
+	}
+	render("HTTP", r.HTTPClusters)
+	render("TLS", r.TLSClusters)
+	fmt.Fprintf(&b, "  representative ASes (HTTP IW mix IW1/IW2/IW4/IW10/other):\n")
+	for _, f := range r.Representatives {
+		fmt.Fprintf(&b, "    %-15s AS%-6d %5d hosts [%.2f %.2f %.2f %.2f %.2f]\n",
+			f.Name, f.ASN, f.Hosts, f.Vec[0], f.Vec[1], f.Vec[2], f.Vec[3], f.Vec[4])
+	}
+	return b.String()
+}
+
+// Table3Result reproduces the per-service IW distribution.
+type Table3Result struct {
+	HTTP []analysis.ServiceRow
+	TLS  []analysis.ServiceRow
+	// Coverage reports the rDNS classification inputs (§4.3).
+	HTTPCoverage analysis.RDNSCoverage
+	TLSCoverage  analysis.RDNSCoverage
+}
+
+// Table3 classifies the full scans by published IP ranges (the cloud and
+// CDN networks) and by reverse-DNS heuristics (access networks).
+func (s *Suite) Table3() *Table3Result {
+	sc := analysis.NewServiceClassifier()
+	// Published provider ranges, as the paper uses (e.g. the AWS
+	// ip-ranges.json); in the model these are the AS prefixes.
+	for _, spec := range []struct{ name, as string }{
+		{"Akamai", "Akamai"}, {"EC2", "AmazonEC2"},
+		{"Cloudflare", "Cloudflare"}, {"Azure", "Azure"},
+	} {
+		for _, as := range s.Universe.ASes {
+			if as.Name == spec.as {
+				sc.AddRange(spec.name, as.Prefixes...)
+			}
+		}
+	}
+	// Access ISP domains for the rDNS match.
+	for _, as := range s.Universe.ASes {
+		if as.Class == inet.ClassAccess {
+			sc.AddISPDomain(as.Domain)
+		}
+	}
+	return &Table3Result{
+		HTTP:         sc.Table3(s.HTTPScan().Records),
+		TLS:          sc.Table3(s.TLSScan().Records),
+		HTTPCoverage: sc.Coverage(s.HTTPScan().Records),
+		TLSCoverage:  sc.Coverage(s.TLSScan().Records),
+	}
+}
+
+// Render formats Table 3.
+func (r *Table3Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: per-service IW distribution [%% of the service's successful hosts]\n")
+	fmt.Fprintf(&b, "  %-11s | %28s | %28s\n", "Service", "HTTP IW1/IW2/IW4/IW10", "TLS IW1/IW2/IW4/IW10")
+	byName := func(rows []analysis.ServiceRow, name string) *analysis.ServiceRow {
+		for i := range rows {
+			if rows[i].Service == name {
+				return &rows[i]
+			}
+		}
+		return nil
+	}
+	for _, svc := range []string{"Akamai", "EC2", "Cloudflare", "Azure", "Access NW"} {
+		h, t := byName(r.HTTP, svc), byName(r.TLS, svc)
+		cell := func(row *analysis.ServiceRow) string {
+			if row == nil {
+				return "          —"
+			}
+			return fmt.Sprintf("%5.1f %5.1f %5.1f %5.1f", 100*row.IW[1], 100*row.IW[2], 100*row.IW[4], 100*row.IW[10])
+		}
+		fmt.Fprintf(&b, "  %-11s | %28s | %28s\n", svc, cell(h), cell(t))
+	}
+	fmt.Fprintf(&b, "  rDNS coverage: HTTP %.1f%% IP-encoded (paper 38.6%%), %.1f%% access (paper 16%%)\n",
+		100*r.HTTPCoverage.IPEncoded, 100*r.HTTPCoverage.Access)
+	fmt.Fprintf(&b, "                 TLS  %.1f%% IP-encoded (paper 62.5%%), %.1f%% access (paper 18.1%%)\n",
+		100*r.TLSCoverage.IPEncoded, 100*r.TLSCoverage.Access)
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package experiments
+
+// Reference values reported in the paper (Rüth et al., IMC '17), used to
+// annotate every reproduced table and figure in EXPERIMENTS.md. The
+// reproduction targets the *shape* of each result — who dominates, by
+// roughly what factor, where crossovers fall — not exact percentages,
+// since the substrate is a calibrated simulation rather than the
+// August-2017 Internet.
+
+// PaperTable1 holds the Table 1 rows (fractions of reachable hosts).
+var PaperTable1 = struct {
+	HTTPSuccess, HTTPFewData, HTTPError float64
+	TLSSuccess, TLSFewData, TLSError    float64
+}{
+	HTTPSuccess: 0.508, HTTPFewData: 0.476, HTTPError: 0.016,
+	TLSSuccess: 0.856, TLSFewData: 0.133, TLSError: 0.011,
+}
+
+// PaperFigure3HTTP and PaperFigure3TLS are the dominant IW shares among
+// successful estimations (read off Figure 3).
+var (
+	PaperFigure3HTTP = map[int]float64{1: 0.105, 2: 0.19, 4: 0.135, 10: 0.54}
+	PaperFigure3TLS  = map[int]float64{1: 0.08, 2: 0.145, 4: 0.28, 10: 0.47}
+)
+
+// PaperTable2 holds the few-data lower-bound distribution (fractions of
+// few-data hosts).
+var PaperTable2 = struct {
+	HTTPNoData float64
+	HTTPBounds [11]float64
+	TLSNoData  float64
+	TLSBounds  [11]float64
+}{
+	HTTPNoData: 0.048,
+	HTTPBounds: [11]float64{0, 0.165, 0.071, 0.072, 0.029, 0.036, 0.020, 0.450, 0.027, 0.011, 0.009},
+	TLSNoData:  0.178,
+	TLSBounds:  [11]float64{0, 0.563, 0.056, 0.007, 0.019, 0.028, 0.024, 0.024, 0.034, 0.004, 0.008},
+}
+
+// PaperFigure2 holds the certificate-chain statistics behind Figure 2.
+var PaperFigure2 = struct {
+	MeanChain      float64
+	MinChain       int
+	MaxChain       int
+	CoverageIW10   float64 // P(chain >= 640 B), i.e. IW10 at MSS 64
+	CoverageIW34   float64 // P(chain >= 2176 B), i.e. IW34 at MSS 64
+	MSS1336Support float64 // footnote 1
+	MSS1436Support float64
+}{
+	MeanChain: 2186, MinChain: 36, MaxChain: 65000,
+	CoverageIW10: 0.86, CoverageIW34: 0.50,
+	MSS1336Support: 0.99, MSS1436Support: 0.80,
+}
+
+// PaperFigure4 holds the Alexa-scan headline numbers.
+var PaperFigure4 = struct {
+	HTTPSuccess, TLSSuccess float64
+	HTTPIW10, TLSIW10       float64
+}{
+	HTTPSuccess: 0.80, TLSSuccess: 0.85,
+	HTTPIW10: 0.85, TLSIW10: 0.80,
+}
+
+// PaperEfficiency holds the §3.4 scan-duration comparison: full IPv4 at
+// 150k packets/s.
+var PaperEfficiency = struct {
+	IWScanHours   float64
+	PortScanHours float64
+}{IWScanHours: 7.5, PortScanHours: 6.8}
+
+// PaperByteLimit summarizes §4.2: about 1% of hosts size their IW in
+// bytes; roughly half of those use 4 kB.
+var PaperByteLimit = struct {
+	Fraction     float64
+	FourKBShare  float64
+	GoDaddyIW48  float64 // share of GoDaddy HTTP hosts at IW 48
+	GoDaddyTLS48 float64
+}{Fraction: 0.01, FourKBShare: 0.5, GoDaddyIW48: 0.198, GoDaddyTLS48: 0.327}

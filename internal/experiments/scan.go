@@ -1,0 +1,151 @@
+// Package experiments drives the end-to-end reproductions of the
+// paper's tables and figures: it wires a simulated Internet (inet), the
+// scan engine (scanner) and the IW prober (core) together and feeds the
+// results to the analysis pipeline. Both the cmd/experiments binary and
+// the benchmark suite run these entry points.
+package experiments
+
+import (
+	"iwscan/internal/analysis"
+	"iwscan/internal/core"
+	"iwscan/internal/inet"
+	"iwscan/internal/netsim"
+	"iwscan/internal/scanner"
+	"iwscan/internal/wire"
+)
+
+// ScannerAddr is the scanner's source address, outside every modelled
+// AS (RFC 2544 benchmark space).
+var ScannerAddr = wire.MustParseAddr("198.18.0.1")
+
+// ScanConfig parameterizes one scan run.
+type ScanConfig struct {
+	Seed           uint64
+	Strategy       core.Strategy
+	SampleFraction float64 // fraction of the address space to probe (1 = all)
+	Rate           float64 // target launches per second of virtual time
+	MaxOutstanding int
+	Loss           float64 // per-packet network loss probability
+	MSSList        []int   // announced MSS sequence (default 64, 128)
+	Repeats        int     // probes per MSS (default 3)
+	// Ablation knobs (§3.2 fallbacks).
+	NoRedirectFollow bool
+	NoBloat          bool
+	// Trace, when set, is installed as a network filter (e.g. a
+	// trace.Recorder's Filter for packet capture).
+	Trace netsim.Filter
+	// Shard/Shards split the scan ZMap-style (0/0 = unsharded).
+	Shard, Shards uint64
+	// Blacklist excludes prefixes from probing.
+	Blacklist []wire.Prefix
+}
+
+func (c *ScanConfig) withDefaults() ScanConfig {
+	out := *c
+	if out.SampleFraction == 0 {
+		out.SampleFraction = 1
+	}
+	if out.Rate == 0 {
+		out.Rate = 10000
+	}
+	if out.MaxOutstanding == 0 {
+		out.MaxOutstanding = 20000
+	}
+	return out
+}
+
+// ScanResult is a completed scan with everything the analyses need.
+type ScanResult struct {
+	Records     []analysis.Record
+	Engine      scanner.Stats
+	Net         netsim.Counters
+	Scan        core.Counters
+	VirtualTime netsim.Time
+}
+
+// RunScan scans the universe's whole announced space with one strategy.
+func RunScan(u *inet.Universe, cfg ScanConfig) *ScanResult {
+	cfg = cfg.withDefaults()
+	n := netsim.New(cfg.Seed)
+	n.SetPath(netsim.PathParams{Delay: 10 * netsim.Millisecond, Jitter: 2 * netsim.Millisecond, Loss: cfg.Loss})
+	n.SetFactory(u)
+	if cfg.Trace != nil {
+		n.AddFilter(cfg.Trace)
+	}
+	sc := core.NewScanner(n, ScannerAddr, core.Config{Seed: cfg.Seed})
+
+	space := scanner.NewSpaceFromPrefixes(u.Prefixes())
+	space.AddBlacklist(cfg.Blacklist...)
+	res := &ScanResult{}
+	launch := func(addr wire.Addr, done func()) {
+		tc := core.TargetConfig{
+			Strategy: cfg.Strategy, MSSList: cfg.MSSList, Repeats: cfg.Repeats,
+			NoRedirectFollow: cfg.NoRedirectFollow, NoBloat: cfg.NoBloat,
+		}
+		sc.ProbeTarget(addr, tc, func(tr *core.TargetResult) {
+			res.Records = append(res.Records, enrich(u, tr))
+			done()
+		})
+	}
+	eng := scanner.NewEngine(n, space, scanner.Config{
+		Rate:           cfg.Rate,
+		MaxOutstanding: cfg.MaxOutstanding,
+		Seed:           cfg.Seed,
+		SampleFraction: cfg.SampleFraction,
+		Shard:          cfg.Shard,
+		Shards:         cfg.Shards,
+	}, launch)
+	eng.OnFinish(func(s scanner.Stats) { res.Engine = s })
+	eng.Start()
+	n.RunUntilIdle()
+	res.Net = n.Stats()
+	res.Scan = sc.Stats()
+	res.VirtualTime = res.Engine.Duration()
+	return res
+}
+
+// enrich attaches AS and rDNS metadata to a target result.
+func enrich(u *inet.Universe, tr *core.TargetResult) analysis.Record {
+	r := analysis.FromTarget(tr)
+	if as := u.ASOf(tr.Addr); as != nil {
+		r.ASN = as.ASN
+		r.ASName = as.Name
+	}
+	r.RDNS = u.ReverseDNS(tr.Addr)
+	return r
+}
+
+// RunPopularScan probes the universe's synthetic Alexa-style list with
+// hostnames available (Host header and SNI), as §4.1's popular-host scan
+// does.
+func RunPopularScan(u *inet.Universe, n int, strategy core.Strategy, seed uint64) *ScanResult {
+	net := netsim.New(seed)
+	net.SetPath(netsim.PathParams{Delay: 10 * netsim.Millisecond, Jitter: 2 * netsim.Millisecond})
+	net.SetFactory(u)
+	sc := core.NewScanner(net, ScannerAddr, core.Config{Seed: seed})
+
+	list := u.PopularList(n)
+	res := &ScanResult{}
+	addrs := make([]wire.Addr, len(list))
+	names := make(map[wire.Addr]string, len(list))
+	for i, ph := range list {
+		addrs[i] = ph.Addr
+		names[ph.Addr] = ph.Name
+	}
+	space := scanner.NewSpaceFromList(addrs)
+	launch := func(addr wire.Addr, done func()) {
+		tc := core.TargetConfig{Strategy: strategy, SNI: names[addr]}
+		sc.ProbeTarget(addr, tc, func(tr *core.TargetResult) {
+			res.Records = append(res.Records, enrich(u, tr))
+			done()
+		})
+	}
+	eng := scanner.NewEngine(net, space, scanner.Config{Rate: 10000, MaxOutstanding: 20000, Seed: seed}, launch)
+	eng.OnFinish(func(s scanner.Stats) { res.Engine = s })
+	eng.Start()
+	net.RunUntilIdle()
+	res.Net = net.Stats()
+	res.Scan = sc.Stats()
+	res.VirtualTime = res.Engine.Duration()
+	return res
+}

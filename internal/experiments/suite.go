@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"iwscan/internal/analysis"
+	"iwscan/internal/core"
+	"iwscan/internal/inet"
+)
+
+// Suite runs the paper's experiments against one universe, caching the
+// two expensive full scans (HTTP and TLS) that several tables and
+// figures share.
+type Suite struct {
+	Universe *inet.Universe
+	Seed     uint64
+	// Sample is the fraction of the universe's address space the "full"
+	// scans probe. 1.0 reproduces the complete scan; smaller values
+	// trade precision for speed (the experiments' own §4.1 result says
+	// small samples are representative).
+	Sample float64
+
+	httpScan *ScanResult
+	tlsScan  *ScanResult
+}
+
+// NewSuite builds a suite over the default Internet2017 universe.
+func NewSuite(seed uint64, sample float64) *Suite {
+	if sample <= 0 || sample > 1 {
+		sample = 1
+	}
+	return &Suite{Universe: inet.NewInternet2017(seed), Seed: seed, Sample: sample}
+}
+
+// HTTPScan returns the cached full HTTP scan, running it on first use.
+func (s *Suite) HTTPScan() *ScanResult {
+	if s.httpScan == nil {
+		s.httpScan = RunScan(s.Universe, ScanConfig{
+			Seed: s.Seed, Strategy: core.StrategyHTTP, SampleFraction: s.Sample,
+		})
+	}
+	return s.httpScan
+}
+
+// TLSScan returns the cached full TLS scan, running it on first use.
+func (s *Suite) TLSScan() *ScanResult {
+	if s.tlsScan == nil {
+		s.tlsScan = RunScan(s.Universe, ScanConfig{
+			Seed: s.Seed + 1, Strategy: core.StrategyTLS, SampleFraction: s.Sample,
+		})
+	}
+	return s.tlsScan
+}
+
+// --- Table 1 ---------------------------------------------------------------
+
+// Table1Result reproduces the scan dataset overview.
+type Table1Result struct {
+	HTTP, TLS analysis.Overview
+}
+
+// Table1 runs (or reuses) both full scans and computes the overview.
+func (s *Suite) Table1() *Table1Result {
+	return &Table1Result{
+		HTTP: analysis.Table1(s.HTTPScan().Records),
+		TLS:  analysis.Table1(s.TLSScan().Records),
+	}
+}
+
+// Render formats the result against the paper's Table 1.
+func (r *Table1Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: scan data set overview (fractions of reachable hosts)\n")
+	fmt.Fprintf(&b, "  %-6s %10s %9s %9s %7s\n", "Scan", "Reachable", "Success", "FewData", "Error")
+	fmt.Fprintf(&b, "  %-6s %10d %8.1f%% %8.1f%% %6.1f%%   (paper: %.1f%% / %.1f%% / %.1f%%)\n",
+		"HTTP", r.HTTP.Reachable, 100*r.HTTP.Success, 100*r.HTTP.FewData, 100*r.HTTP.Error,
+		100*PaperTable1.HTTPSuccess, 100*PaperTable1.HTTPFewData, 100*PaperTable1.HTTPError)
+	fmt.Fprintf(&b, "  %-6s %10d %8.1f%% %8.1f%% %6.1f%%   (paper: %.1f%% / %.1f%% / %.1f%%)\n",
+		"TLS", r.TLS.Reachable, 100*r.TLS.Success, 100*r.TLS.FewData, 100*r.TLS.Error,
+		100*PaperTable1.TLSSuccess, 100*PaperTable1.TLSFewData, 100*PaperTable1.TLSError)
+	return b.String()
+}
+
+// --- Table 2 ---------------------------------------------------------------
+
+// Table2Result reproduces the few-data lower-bound table.
+type Table2Result struct {
+	HTTP, TLS analysis.Table2Row
+}
+
+// Table2 computes the lower-bound distributions from the full scans.
+func (s *Suite) Table2() *Table2Result {
+	return &Table2Result{
+		HTTP: analysis.Table2(s.HTTPScan().Records),
+		TLS:  analysis.Table2(s.TLSScan().Records),
+	}
+}
+
+// Render formats the result against the paper's Table 2.
+func (r *Table2Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: lower IW bounds for few-data hosts (fractions of few-data hosts)\n")
+	row := func(name string, got analysis.Table2Row, paperNoData float64, paper [11]float64) {
+		fmt.Fprintf(&b, "  %-5s NoData %5.1f%% (paper %4.1f%%) |", name, 100*got.NoData, 100*paperNoData)
+		for i := 1; i <= 10; i++ {
+			fmt.Fprintf(&b, " IW%d %.1f%%/%.1f%%", i, 100*got.Bound[i], 100*paper[i])
+		}
+		fmt.Fprintf(&b, " (measured/paper)\n")
+	}
+	row("HTTP", r.HTTP, PaperTable2.HTTPNoData, PaperTable2.HTTPBounds)
+	row("TLS", r.TLS, PaperTable2.TLSNoData, PaperTable2.TLSBounds)
+	return b.String()
+}
+
+// --- Figure 3 --------------------------------------------------------------
+
+// Figure3Result reproduces the IW distribution with subsampling.
+type Figure3Result struct {
+	HTTPDist map[int]float64
+	TLSDist  map[int]float64
+	// Subsamples holds per-fraction distributions (fractions of the
+	// successful population probed).
+	HTTPSubsamples map[float64]map[int]float64
+	TLSSubsamples  map[float64]map[int]float64
+	// Replicates1pc are the 30-replicate statistics of the 1% sample.
+	HTTPReplicates []analysis.ReplicateStats
+	TLSReplicates  []analysis.ReplicateStats
+	// Agreement of dual-service hosts.
+	Agreement analysis.AgreementStats
+}
+
+// SubsampleFractions are the sample sizes Figure 3 shows.
+var SubsampleFractions = []float64{0.01, 0.10, 0.30, 0.50, 1.00}
+
+// Figure3 computes the IW distributions, the subsample stability result
+// ("scanning 1% is enough") and the HTTP/TLS agreement.
+func (s *Suite) Figure3() *Figure3Result {
+	http := s.HTTPScan().Records
+	tls := s.TLSScan().Records
+	r := &Figure3Result{
+		HTTPDist:       analysis.IWDistribution(http),
+		TLSDist:        analysis.IWDistribution(tls),
+		HTTPSubsamples: make(map[float64]map[int]float64),
+		TLSSubsamples:  make(map[float64]map[int]float64),
+		Agreement:      analysis.Agreement(http, tls),
+	}
+	for _, f := range SubsampleFractions {
+		r.HTTPSubsamples[f] = analysis.IWDistribution(analysis.Subsample(http, f, s.Seed+7))
+		r.TLSSubsamples[f] = analysis.IWDistribution(analysis.Subsample(tls, f, s.Seed+8))
+	}
+	r.HTTPReplicates = analysis.SubsampleReplicates(http, 0.01, 30, s.Seed+9, 0.001)
+	r.TLSReplicates = analysis.SubsampleReplicates(tls, 0.01, 30, s.Seed+10, 0.001)
+	return r
+}
+
+// Render formats the distributions and the stability statistics.
+func (r *Figure3Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 3: IW distribution among successful estimations (MSS 64)\n")
+	fmt.Fprintf(&b, "  HTTP: %s\n", analysis.FormatDistribution(filterDominant(r.HTTPDist, 0.001)))
+	fmt.Fprintf(&b, "   (paper: IW1 %.1f%%, IW2 %.1f%%, IW4 %.1f%%, IW10 %.1f%%)\n",
+		100*PaperFigure3HTTP[1], 100*PaperFigure3HTTP[2], 100*PaperFigure3HTTP[4], 100*PaperFigure3HTTP[10])
+	fmt.Fprintf(&b, "  TLS:  %s\n", analysis.FormatDistribution(filterDominant(r.TLSDist, 0.001)))
+	fmt.Fprintf(&b, "   (paper: IW1 %.1f%%, IW2 %.1f%%, IW4 %.1f%%, IW10 %.1f%%)\n",
+		100*PaperFigure3TLS[1], 100*PaperFigure3TLS[2], 100*PaperFigure3TLS[4], 100*PaperFigure3TLS[10])
+	fmt.Fprintf(&b, "  Dual-service agreement: %d of %d hosts (paper: 6.2M of 7M)\n",
+		r.Agreement.Agreeing, r.Agreement.Dual)
+	fmt.Fprintf(&b, "  Subsample stability (max |dev| from full distribution over dominant IWs):\n")
+	for _, f := range SubsampleFractions[:4] {
+		fmt.Fprintf(&b, "    %4.0f%% sample: HTTP dev %.2fpp, TLS dev %.2fpp\n", 100*f,
+			100*maxDevMap(r.HTTPDist, r.HTTPSubsamples[f]), 100*maxDevMap(r.TLSDist, r.TLSSubsamples[f]))
+	}
+	fmt.Fprintf(&b, "  1%% sample, 30 replicates (mean vs full, 1-99%% quantile band):\n")
+	for _, st := range r.HTTPReplicates {
+		if st.FullFrac < 0.05 {
+			continue
+		}
+		fmt.Fprintf(&b, "    HTTP IW%-3d full %5.2f%%  mean %5.2f%%  band [%5.2f%%, %5.2f%%]\n",
+			st.IW, 100*st.FullFrac, 100*st.Mean, 100*st.Q01, 100*st.Q99)
+	}
+	return b.String()
+}
+
+func filterDominant(dist map[int]float64, min float64) map[int]float64 {
+	out := make(map[int]float64)
+	for iw, f := range dist {
+		if f >= min {
+			out[iw] = f
+		}
+	}
+	return out
+}
+
+func maxDevMap(full, sub map[int]float64) float64 {
+	maxDev := 0.0
+	for iw, f := range full {
+		if f < 0.001 {
+			continue
+		}
+		d := f - sub[iw]
+		if d < 0 {
+			d = -d
+		}
+		if d > maxDev {
+			maxDev = d
+		}
+	}
+	return maxDev
+}
+
+// sortedIWs lists map keys ascending (shared helper).
+func sortedIWs(m map[int]float64) []int {
+	out := make([]int, 0, len(m))
+	for iw := range m {
+		out = append(out, iw)
+	}
+	sort.Ints(out)
+	return out
+}

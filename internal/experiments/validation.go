@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"iwscan/internal/core"
+	"iwscan/internal/httpsim"
+	"iwscan/internal/netsim"
+	"iwscan/internal/tcpstack"
+	"iwscan/internal/wire"
+)
+
+// ValidationCase is one controlled-testbed host of §3.5.
+type ValidationCase struct {
+	Name       string
+	Stack      string // "linux" or "windows"
+	IW         tcpstack.IWPolicy
+	PageLen    int
+	EnoughData bool
+	// Results
+	ExpectedIW  int
+	EstimatedIW int
+	Outcome     core.Outcome
+	Correct     bool
+}
+
+// ValidationResult reproduces §3.5's two experiments: ground-truth
+// comparison across OS stacks and file sizes, and a loss-injection sweep
+// showing only tail loss ever underestimates.
+type ValidationResult struct {
+	Cases []ValidationCase
+	Loss  []LossSweepPoint
+}
+
+// LossSweepPoint is one loss rate of the NetEM-style experiment.
+type LossSweepPoint struct {
+	LossRate      float64
+	Probes        int
+	Exact         int // per-probe estimates equal to ground truth
+	Underestimate int // tail-loss victims: below ground truth
+	Overestimate  int
+	Inconclusive  int // few-data / error / unreachable probes
+	// Aggregated: the 3-probe maximum rule's verdict.
+	AggregateExact int
+	AggregateRuns  int
+}
+
+// validationHostAddr is the testbed host address.
+var validationHostAddr = wire.MustParseAddr("203.0.113.50")
+
+// Validation runs the §3.5 testbed.
+func Validation(seed uint64) *ValidationResult {
+	r := &ValidationResult{}
+
+	linux := tcpstack.MSSPolicy{Floor: 64}
+	windows := tcpstack.MSSPolicy{Fallback: 536}
+	segs := func(n int) tcpstack.IWPolicy { return tcpstack.IWPolicy{Kind: tcpstack.IWSegments, Segments: n} }
+
+	cases := []ValidationCase{
+		{Name: "linux-iw1-big", Stack: "linux", IW: segs(1), PageLen: 8000, EnoughData: true},
+		{Name: "linux-iw2-big", Stack: "linux", IW: segs(2), PageLen: 8000, EnoughData: true},
+		{Name: "linux-iw4-big", Stack: "linux", IW: segs(4), PageLen: 8000, EnoughData: true},
+		{Name: "linux-iw10-big", Stack: "linux", IW: segs(10), PageLen: 8000, EnoughData: true},
+		{Name: "linux-iw16-big", Stack: "linux", IW: segs(16), PageLen: 8000, EnoughData: true},
+		{Name: "linux-iw10-small", Stack: "linux", IW: segs(10), PageLen: 300, EnoughData: false},
+		{Name: "linux-iw4-small", Stack: "linux", IW: segs(4), PageLen: 100, EnoughData: false},
+		{Name: "windows-iw10-big", Stack: "windows", IW: segs(10), PageLen: 20000, EnoughData: true},
+		{Name: "windows-iw4-big", Stack: "windows", IW: segs(4), PageLen: 20000, EnoughData: true},
+		{Name: "windows-iw10-small", Stack: "windows", IW: segs(10), PageLen: 2000, EnoughData: false},
+		{Name: "linux-4kbytes-big", Stack: "linux", IW: tcpstack.IWPolicy{Kind: tcpstack.IWBytes, Bytes: 4096}, PageLen: 20000, EnoughData: true},
+	}
+
+	for i := range cases {
+		c := &cases[i]
+		n := netsim.New(seed + uint64(i))
+		n.SetPath(netsim.PathParams{Delay: 10 * netsim.Millisecond})
+		mss := linux
+		if c.Stack == "windows" {
+			mss = windows
+		}
+		host := tcpstack.NewHost(n, validationHostAddr, tcpstack.Config{IW: c.IW, MSS: mss})
+		host.Listen(80, httpsim.NewServer(httpsim.ServerConfig{Root: httpsim.BehaviorPage, PageLen: c.PageLen, AnyPath: true}))
+		sc := core.NewScanner(n, ScannerAddr, core.Config{Seed: seed})
+		var got *core.TargetResult
+		sc.ProbeTarget(validationHostAddr, core.TargetConfig{Strategy: core.StrategyHTTP, MSSList: []int{64}}, func(tr *core.TargetResult) { got = tr })
+		n.RunUntilIdle()
+
+		eff := mss.Effective(64, 1460)
+		c.ExpectedIW = (c.IW.IW(eff) + eff - 1) / eff
+		c.Outcome = got.Outcome
+		c.EstimatedIW = got.IW
+		if c.EnoughData {
+			c.Correct = got.Outcome == core.OutcomeSuccess && got.IW == c.ExpectedIW
+		} else {
+			// Insufficient data must NOT produce a (wrong) estimate.
+			c.Correct = got.Outcome == core.OutcomeFewData && got.LowerBound <= c.ExpectedIW
+		}
+	}
+	r.Cases = cases
+
+	// Loss sweep on a known IW-10 Linux host serving plenty of data.
+	for _, loss := range []float64{0, 0.005, 0.01, 0.02, 0.05} {
+		pt := LossSweepPoint{LossRate: loss}
+		const runs = 120
+		for run := 0; run < runs; run++ {
+			n := netsim.New(seed ^ uint64(run)*2654435761 + uint64(loss*1e6))
+			n.SetPath(netsim.PathParams{Delay: 10 * netsim.Millisecond, Loss: loss})
+			host := tcpstack.NewHost(n, validationHostAddr, tcpstack.Config{IW: segs(10), MSS: linux})
+			host.Listen(80, httpsim.NewServer(httpsim.ServerConfig{Root: httpsim.BehaviorPage, PageLen: 8000, AnyPath: true}))
+			sc := core.NewScanner(n, ScannerAddr, core.Config{Seed: seed + uint64(run)})
+			var got *core.TargetResult
+			sc.ProbeTarget(validationHostAddr, core.TargetConfig{Strategy: core.StrategyHTTP, MSSList: []int{64}}, func(tr *core.TargetResult) { got = tr })
+			n.RunUntilIdle()
+
+			pt.AggregateRuns++
+			if got.Outcome == core.OutcomeSuccess && got.IW == 10 {
+				pt.AggregateExact++
+			}
+			for _, m := range got.PerMSS {
+				for _, p := range m.Probes {
+					pt.Probes++
+					switch {
+					case p.Outcome != core.OutcomeSuccess:
+						pt.Inconclusive++
+					case p.IWSegments() == 10:
+						pt.Exact++
+					case p.IWSegments() < 10:
+						pt.Underestimate++
+					default:
+						pt.Overestimate++
+					}
+				}
+			}
+		}
+		r.Loss = append(r.Loss, pt)
+	}
+	return r
+}
+
+// AllCorrect reports whether every ground-truth case validated.
+func (r *ValidationResult) AllCorrect() bool {
+	for i := range r.Cases {
+		if !r.Cases[i].Correct {
+			return false
+		}
+	}
+	return true
+}
+
+// Render formats the validation outcomes.
+func (r *ValidationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "§3.5 validation: estimator vs ground truth in a controlled testbed\n")
+	for i := range r.Cases {
+		c := &r.Cases[i]
+		verdict := "OK"
+		if !c.Correct {
+			verdict = "WRONG"
+		}
+		if c.EnoughData {
+			fmt.Fprintf(&b, "  %-20s expected IW %-3d estimated IW %-3d (%s) %s\n",
+				c.Name, c.ExpectedIW, c.EstimatedIW, c.Outcome, verdict)
+		} else {
+			fmt.Fprintf(&b, "  %-20s insufficient data -> %s (no estimate emitted) %s\n",
+				c.Name, c.Outcome, verdict)
+		}
+	}
+	fmt.Fprintf(&b, "  loss sweep on a Linux IW-10 host (per-probe outcomes; overestimates must be zero):\n")
+	for _, pt := range r.Loss {
+		fmt.Fprintf(&b, "    loss %4.1f%%: exact %3d  under %3d  over %3d  inconclusive %3d  | 3-probe max rule exact: %d/%d\n",
+			100*pt.LossRate, pt.Exact, pt.Underestimate, pt.Overestimate, pt.Inconclusive,
+			pt.AggregateExact, pt.AggregateRuns)
+	}
+	return b.String()
+}

@@ -1,0 +1,57 @@
+package httpsim
+
+import "testing"
+
+// FuzzParseRequest ensures the request parser never panics and only
+// accepts heads with a complete terminator.
+func FuzzParseRequest(f *testing.F) {
+	f.Add([]byte("GET / HTTP/1.1\r\nHost: x\r\n\r\n"))
+	f.Add([]byte("GET / HTTP/1.1\r\nHost"))
+	f.Add([]byte("\r\n\r\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := ParseRequest(data)
+		if err != nil {
+			return
+		}
+		if req == nil {
+			return // incomplete
+		}
+		if req.Method == "" || req.Path == "" {
+			t.Fatal("accepted request with empty method or path")
+		}
+	})
+}
+
+// FuzzParseResponseHead ensures the tolerant response parser never
+// panics on truncated or binary data.
+func FuzzParseResponseHead(f *testing.F) {
+	f.Add([]byte("HTTP/1.1 301 Moved Permanently\r\nLocation: http://x/y\r\n\r\n"))
+	f.Add([]byte("HTTP/1.1 200"))
+	f.Add([]byte("\x16\x03\x03"))
+	f.Add([]byte("HT"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h := ParseResponseHead(data)
+		if h == nil {
+			return
+		}
+		if h.StatusCode < 0 || h.StatusCode > 10000 {
+			t.Fatalf("absurd status code %d", h.StatusCode)
+		}
+	})
+}
+
+// FuzzParseURI ensures URI splitting never panics and always yields a
+// path that starts with '/'.
+func FuzzParseURI(f *testing.F) {
+	f.Add("http://example.org/a/b")
+	f.Add("https://example.org")
+	f.Add("/rel")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, uri string) {
+		_, path := ParseURI(uri)
+		if len(path) == 0 || path[0] != '/' {
+			t.Fatalf("path %q does not start with /", path)
+		}
+	})
+}

@@ -1,0 +1,178 @@
+// Package httpsim implements the HTTP/1.1 subset the IW scan exercises:
+// a request/response codec shared by the prober and the simulated
+// servers, and a tcpstack.App reproducing the server behaviours §3.2 of
+// the paper builds on — 200 pages of configurable size, 301 redirects
+// whose Location header the scanner follows, 404 error pages that echo
+// the request URI (so URI bloat enlarges them), Akamai-style error pages
+// that do not, and servers that reset or stay silent.
+package httpsim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Request is a parsed HTTP request head. The scanner only ever sends
+// bodyless GETs, so no body handling is needed.
+type Request struct {
+	Method  string
+	Path    string
+	Proto   string
+	Headers map[string]string // canonical lower-case keys
+}
+
+// Header returns a header value by case-insensitive name.
+func (r *Request) Header(name string) string {
+	return r.Headers[strings.ToLower(name)]
+}
+
+// ParseRequest parses a complete request head from b. It returns nil
+// (and no error) when the head is not yet complete, so callers can feed
+// it a growing buffer.
+func ParseRequest(b []byte) (*Request, error) {
+	head, ok := splitHead(b)
+	if !ok {
+		return nil, nil
+	}
+	lines := strings.Split(head, "\r\n")
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) != 3 || parts[0] == "" || parts[1] == "" || parts[2] == "" {
+		return nil, fmt.Errorf("httpsim: malformed request line %q", lines[0])
+	}
+	req := &Request{
+		Method:  parts[0],
+		Path:    parts[1],
+		Proto:   parts[2],
+		Headers: make(map[string]string),
+	}
+	for _, l := range lines[1:] {
+		if l == "" {
+			continue
+		}
+		k, v, found := strings.Cut(l, ":")
+		if !found {
+			return nil, fmt.Errorf("httpsim: malformed header %q", l)
+		}
+		req.Headers[strings.ToLower(strings.TrimSpace(k))] = strings.TrimSpace(v)
+	}
+	return req, nil
+}
+
+// splitHead returns the request/response head (without the trailing
+// blank line) and whether the head is complete.
+func splitHead(b []byte) (string, bool) {
+	i := strings.Index(string(b), "\r\n\r\n")
+	if i < 0 {
+		return "", false
+	}
+	return string(b[:i]), true
+}
+
+// BuildRequest renders a GET request with the given path and headers.
+// Header order is deterministic (host, then the rest as given).
+func BuildRequest(path, host string, extra ...string) []byte {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "GET %s HTTP/1.1\r\n", path)
+	fmt.Fprintf(&sb, "Host: %s\r\n", host)
+	for i := 0; i+1 < len(extra); i += 2 {
+		fmt.Fprintf(&sb, "%s: %s\r\n", extra[i], extra[i+1])
+	}
+	sb.WriteString("\r\n")
+	return []byte(sb.String())
+}
+
+// ResponseHead is the parsed beginning of an HTTP response. The scanner
+// often sees only a prefix of the full response (it never ACKs past the
+// IW), so parsing is tolerant: Complete reports whether the blank line
+// terminating the head was seen, and Location may be extracted from a
+// partial head.
+type ResponseHead struct {
+	StatusCode int
+	Location   string
+	Connection string
+	ContentLen int // -1 when absent or not yet seen
+	Complete   bool
+}
+
+// ParseResponseHead extracts what it can from a possibly-truncated
+// response prefix. It returns nil if b does not start like an HTTP
+// response.
+func ParseResponseHead(b []byte) *ResponseHead {
+	s := string(b)
+	if !strings.HasPrefix(s, "HTTP/") {
+		if len(s) < 5 && strings.HasPrefix("HTTP/", s) {
+			// Too short to tell; treat as "not yet".
+			return &ResponseHead{ContentLen: -1}
+		}
+		return nil
+	}
+	h := &ResponseHead{ContentLen: -1}
+	head, complete := splitHead(b)
+	h.Complete = complete
+	if !complete {
+		head = s
+	}
+	lines := strings.Split(head, "\r\n")
+	// Status line: HTTP/1.1 301 Moved Permanently
+	parts := strings.SplitN(lines[0], " ", 3)
+	if len(parts) >= 2 {
+		if code, err := strconv.Atoi(parts[1]); err == nil {
+			h.StatusCode = code
+		}
+	}
+	for _, l := range lines[1:] {
+		k, v, found := strings.Cut(l, ":")
+		if !found {
+			continue
+		}
+		v = strings.TrimSpace(v)
+		switch strings.ToLower(strings.TrimSpace(k)) {
+		case "location":
+			h.Location = v
+		case "connection":
+			h.Connection = strings.ToLower(v)
+		case "content-length":
+			if n, err := strconv.Atoi(v); err == nil {
+				h.ContentLen = n
+			}
+		}
+	}
+	return h
+}
+
+// ParseURI splits an absolute http:// URI into host and path. Relative
+// URIs are returned with an empty host. The scanner uses this to follow
+// Location headers.
+func ParseURI(uri string) (host, path string) {
+	rest, ok := strings.CutPrefix(uri, "http://")
+	if !ok {
+		if rest2, ok2 := strings.CutPrefix(uri, "https://"); ok2 {
+			rest = rest2
+		} else {
+			// Relative.
+			if !strings.HasPrefix(uri, "/") {
+				uri = "/" + uri
+			}
+			return "", uri
+		}
+	}
+	host, path, found := strings.Cut(rest, "/")
+	if !found {
+		return host, "/"
+	}
+	return host, "/" + path
+}
+
+// BuildResponse renders a response with deterministic header order.
+func BuildResponse(code int, reason string, body []byte, headers ...string) []byte {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "HTTP/1.1 %d %s\r\n", code, reason)
+	for i := 0; i+1 < len(headers); i += 2 {
+		fmt.Fprintf(&sb, "%s: %s\r\n", headers[i], headers[i+1])
+	}
+	fmt.Fprintf(&sb, "Content-Length: %d\r\n", len(body))
+	sb.WriteString("Connection: close\r\n\r\n")
+	out := []byte(sb.String())
+	return append(out, body...)
+}

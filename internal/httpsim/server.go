@@ -1,0 +1,223 @@
+package httpsim
+
+import (
+	"fmt"
+	"strings"
+
+	"iwscan/internal/stats"
+	"iwscan/internal/tcpstack"
+)
+
+// RootBehavior selects how a host answers GET /.
+type RootBehavior int
+
+// HTTP server behaviours observed on the Internet (§3.2, §4.1).
+const (
+	// BehaviorPage serves a 200 with a page of PageLen bytes.
+	BehaviorPage RootBehavior = iota
+	// BehaviorRedirect answers GET / with a 301 whose Location points at
+	// RedirectHost+RedirectPath; a follow-up request for that path gets
+	// the real PageLen-byte page. This models virtualized servers.
+	BehaviorRedirect
+	// BehaviorNotFound answers every request with a 404 error page. With
+	// EchoURI set the page embeds the request URI, so the scanner's URI
+	// bloat enlarges it; without (the Akamai case) the page stays small.
+	BehaviorNotFound
+	// BehaviorEmpty accepts the request and closes without a response.
+	BehaviorEmpty
+	// BehaviorReset aborts the connection upon the request.
+	BehaviorReset
+	// BehaviorVHost serves the page only when the Host header names a
+	// virtual host (contains a letter, i.e. is not a bare IP); requests
+	// with an IP Host header get the 404 page. This models virtualized
+	// frontends like Akamai's, which an Internet-wide IP scan cannot
+	// coax content out of, but a hostname-armed scan (Alexa) can.
+	BehaviorVHost
+)
+
+// ServerConfig describes one HTTP host's behaviour.
+type ServerConfig struct {
+	Root         RootBehavior
+	PageLen      int    // body length of the main page
+	RedirectHost string // Location host for BehaviorRedirect
+	RedirectPath string // Location path for BehaviorRedirect
+	EchoURI      bool   // 404 pages include the request URI
+	ErrPageLen   int    // base body length of 404 pages (default 180)
+	// AnyPath makes BehaviorPage serve the same page for every request
+	// path, the way minimal embedded devices answer everything with
+	// their login page — so the scanner's URI bloat cannot enlarge the
+	// response.
+	AnyPath bool
+	Seed    uint64 // deterministic page content
+}
+
+// Server is a tcpstack.App serving the configured behaviour.
+type Server struct {
+	cfg ServerConfig
+}
+
+// NewServer returns an HTTP server app.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.ErrPageLen == 0 {
+		cfg.ErrPageLen = 180
+	}
+	if cfg.RedirectPath == "" {
+		cfg.RedirectPath = "/index.html"
+	}
+	return &Server{cfg: cfg}
+}
+
+// NewSession implements tcpstack.App.
+func (s *Server) NewSession(c *tcpstack.Conn) tcpstack.Session {
+	return &serverSession{srv: s, conn: c}
+}
+
+type serverSession struct {
+	srv  *Server
+	conn *tcpstack.Conn
+	buf  []byte
+	done bool
+}
+
+func (ss *serverSession) OnPeerClose() {}
+
+func (ss *serverSession) OnData(data []byte) {
+	if ss.done {
+		return
+	}
+	ss.buf = append(ss.buf, data...)
+	req, err := ParseRequest(ss.buf)
+	if err != nil {
+		ss.done = true
+		ss.conn.Write(BuildResponse(400, "Bad Request", []byte("bad request")))
+		ss.conn.Close()
+		return
+	}
+	if req == nil {
+		return // head not complete yet
+	}
+	ss.done = true
+	ss.respond(req)
+}
+
+func (ss *serverSession) respond(req *Request) {
+	cfg := ss.srv.cfg
+	close := strings.Contains(strings.ToLower(req.Header("Connection")), "close")
+
+	switch cfg.Root {
+	case BehaviorReset:
+		ss.conn.Abort()
+		return
+	case BehaviorEmpty:
+		ss.conn.Close()
+		return
+	case BehaviorRedirect:
+		if req.Path == "/" {
+			loc := fmt.Sprintf("http://%s%s", cfg.RedirectHost, cfg.RedirectPath)
+			body := []byte(fmt.Sprintf("<html><head><title>301 Moved Permanently</title></head>\n<body><a href=%q>moved here</a></body></html>\n", loc))
+			ss.write(BuildResponse(301, "Moved Permanently", body, "Location", loc), close)
+			return
+		}
+		if req.Path == cfg.RedirectPath {
+			ss.write(BuildResponse(200, "OK", Page(cfg.Seed, cfg.PageLen)), close)
+			return
+		}
+		ss.notFound(req, close)
+	case BehaviorNotFound:
+		ss.notFound(req, close)
+	case BehaviorVHost:
+		if hasLetter(req.Header("Host")) {
+			ss.write(BuildResponse(200, "OK", Page(cfg.Seed, cfg.PageLen)), close)
+			return
+		}
+		ss.notFound(req, close)
+	default: // BehaviorPage
+		if req.Path == "/" || cfg.AnyPath {
+			ss.write(BuildResponse(200, "OK", Page(cfg.Seed, cfg.PageLen)), close)
+			return
+		}
+		ss.notFound(req, close)
+	}
+}
+
+func (ss *serverSession) notFound(req *Request, close bool) {
+	cfg := ss.srv.cfg
+	var body []byte
+	if cfg.EchoURI {
+		body = []byte(fmt.Sprintf(
+			"<html><head><title>404 Not Found</title></head>\n<body><h1>Not Found</h1>\n<p>The requested URL %s was not found on this server.</p>\n%s</body></html>\n",
+			req.Path, filler(cfg.Seed, cfg.ErrPageLen)))
+	} else {
+		body = []byte(fmt.Sprintf(
+			"<html><head><title>404 Not Found</title></head>\n<body><h1>Not Found</h1>\n%s</body></html>\n",
+			filler(cfg.Seed, cfg.ErrPageLen)))
+	}
+	ss.write(BuildResponse(404, "Not Found", body), close)
+}
+
+func (ss *serverSession) write(resp []byte, close bool) {
+	ss.conn.Write(resp)
+	if close {
+		ss.conn.Close()
+	}
+	// Without Connection: close the server keeps the connection open
+	// (keep-alive); the scanner tears it down with a RST.
+}
+
+// hasLetter reports whether s contains an ASCII letter (i.e. looks like
+// a hostname rather than a bare IP, ignoring port suffixes).
+func hasLetter(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+			return true
+		}
+	}
+	return false
+}
+
+// Page generates a deterministic HTML-ish page body of exactly n bytes.
+func Page(seed uint64, n int) []byte {
+	const header = "<html><head><title>index</title></head><body>\n"
+	const footer = "</body></html>\n"
+	if n <= len(header)+len(footer) {
+		b := []byte(header + footer)
+		return b[:n]
+	}
+	body := make([]byte, 0, n)
+	body = append(body, header...)
+	body = append(body, filler(seed, n-len(header)-len(footer))...)
+	return append(body, footer...)
+}
+
+// filler produces n bytes of deterministic readable text.
+func filler(seed uint64, n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	words := []string{"lorem", "ipsum", "dolor", "sit", "amet", "consectetur",
+		"adipiscing", "elit", "sed", "do", "eiusmod", "tempor", "incididunt"}
+	rng := stats.NewRNG(seed)
+	b := make([]byte, 0, n+12)
+	for len(b) < n {
+		b = append(b, words[rng.Intn(len(words))]...)
+		b = append(b, ' ')
+	}
+	return b[:n]
+}
+
+// BloatedPath builds the long scan URI of §3.2: a path that fills the
+// scanner's MTU, identifying the research scan, so URI-echoing error
+// pages grow past the IW.
+func BloatedPath(n int) string {
+	const prefix = "/research-scan-measuring-tcp-initial-window-see-scan-info-page-for-opt-out"
+	if n <= len(prefix) {
+		return prefix[:n]
+	}
+	var sb strings.Builder
+	sb.WriteString(prefix)
+	for sb.Len() < n {
+		sb.WriteString("-tcp-iw-measurement")
+	}
+	return sb.String()[:n]
+}

@@ -1,0 +1,57 @@
+package inet
+
+import "iwscan/internal/wire"
+
+// NewInternet2005 models the web-server population of Medina, Allman &
+// Floyd's 2005 study ("Measuring the Evolution of Transport Protocols
+// in the Internet"), the measurement the paper compares its census
+// against (§2, §4.1): a pre-IW10 Internet where RFC 3390's 2-4 segments
+// were the modern setting, IW 1 was still widespread, and IW 10 did not
+// exist. Scanning this universe next to Internet2017 reproduces the
+// paper's observation that IW 4 and IW 10 saw the highest relative
+// growth between the two studies.
+func NewInternet2005(seed uint64) *Universe {
+	u := &Universe{Seed: seed}
+	pfx := func(s string) []wire.Prefix { return []wire.Prefix{wire.MustParsePrefix(s)} }
+
+	// 2005-era IW mixes: IW 2 dominates (the 1997 standard plus early
+	// RFC 3390 adopters at 3-4), IW 1 is common on old stacks, IW 10 is
+	// absent and anything above 4 is exotic.
+	web2005IW := dist(map[int]float64{
+		1: 32, 2: 48, 3: 8, 4: 10.5, 6: 0.5, 8: 0.5, 16: 0.5,
+	})
+	legacy2005IW := dist(map[int]float64{1: 55, 2: 38, 3: 4, 4: 3})
+
+	tls2005Profile := dist(map[int]float64{
+		// TLS deployment was thin and creaky in 2005.
+		TLSChain: 55, TLSNeedSNI: 1, TLSBadCiphers: 40, TLSReset: 4,
+	})
+
+	u.ASes = []*AS{
+		{
+			Name: "Web2005-1", ASN: 64600, Class: ClassContent, Domain: "webfarm-05a.example",
+			RDNS: RDNSStatic, Prefixes: pfx("30.0.0.0/17"),
+			HTTPDensity: 0.30, TLSDensity: 0.05, BothFrac: 0.03,
+			HTTPIW: web2005IW, DualSameIW: true, UseCondHTTP: true,
+			Stack:      dist(map[int]float64{StackLinux: 70, StackWindows: 25, StackEmbedded: 5}),
+			TLSProfile: tls2005Profile,
+		},
+		{
+			Name: "Web2005-2", ASN: 64601, Class: ClassContent, Domain: "webfarm-05b.example",
+			RDNS: RDNSNone, Prefixes: pfx("30.0.128.0/17"),
+			HTTPDensity: 0.25, TLSDensity: 0.04, BothFrac: 0.02,
+			HTTPIW: web2005IW, DualSameIW: true, UseCondHTTP: true,
+			Stack:      dist(map[int]float64{StackLinux: 70, StackWindows: 25, StackEmbedded: 5}),
+			TLSProfile: tls2005Profile,
+		},
+		{
+			Name: "Legacy2005", ASN: 64602, Class: ClassLegacy, Domain: "oldnet-05.example",
+			RDNS: RDNSNone, Prefixes: pfx("30.1.0.0/17"),
+			HTTPDensity: 0.15, TLSDensity: 0.02, BothFrac: 0.01,
+			HTTPIW: legacy2005IW, DualSameIW: true, UseCondHTTP: true,
+			Stack:      dist(map[int]float64{StackLinux: 55, StackWindows: 35, StackEmbedded: 10}),
+			TLSProfile: tls2005Profile,
+		},
+	}
+	return u
+}

@@ -1,0 +1,238 @@
+package inet
+
+import "iwscan/internal/wire"
+
+// NewInternet2017 builds the default universe: a scaled-down model of
+// the August-2017 Internet the paper scanned, calibrated so that full
+// scans reproduce the shapes of Tables 1-3 and Figures 3-5. Address
+// ranges are arbitrary (the model is self-contained); AS names follow
+// the networks the paper highlights in Figure 5 and Table 3.
+func NewInternet2017(seed uint64) *Universe {
+	u := &Universe{Seed: seed}
+
+	pfx := func(s string) []wire.Prefix { return []wire.Prefix{wire.MustParsePrefix(s)} }
+
+	// --- Shared profile mixes -------------------------------------------------
+
+	// Generic, legacy, ISP, university and access ASes draw their HTTP
+	// response behaviour from the IW-conditioned profiles (UseCondHTTP);
+	// only content infrastructure keeps bespoke mixes below.
+	genericTLSProfile := dist(map[int]float64{
+		TLSChain: 72.4, TLSChainOCSP: 20, TLSNeedSNI: 1.0, TLSBadCiphers: 5.6, TLSReset: 1,
+	})
+
+	legacyTLSProfile := dist(map[int]float64{
+		TLSChain: 72, TLSChainOCSP: 2, TLSNeedSNI: 3, TLSBadCiphers: 20, TLSReset: 3,
+	})
+
+	accessTLSProfile := dist(map[int]float64{
+		TLSChain: 76, TLSChainOCSP: 4, TLSNeedSNI: 4, TLSBadCiphers: 14, TLSReset: 2,
+	})
+
+	// Content/cloud farms: real sites with real pages.
+	cloudHTTPProfile := dist(map[int]float64{
+		HTTPLarge: 42, HTTPMedium: 12, HTTPXL: 5, HTTPRedirect: 18,
+		HTTPErrEcho: 6, HTTPSmall7: 6, HTTPVHost: 7, HTTPEmpty: 2.5, HTTPReset: 1.5,
+	})
+	cloudTLSProfile := dist(map[int]float64{
+		TLSChain: 85.5, TLSChainOCSP: 10, TLSNeedSNI: 2.5, TLSBadCiphers: 1.5, TLSReset: 0.5,
+	})
+
+	// --- IW mixes --------------------------------------------------------------
+
+	genericHTTPIW := dist(map[int]float64{
+		1: 5.4, 2: 11, 3: 0.6, 4: 3.6, 5: 0.35, 6: 0.3, 9: 0.3,
+		10: 77.5, 11: 0.25, 20: 0.3, 25: 0.15, 30: 0.25, 64: 0.2,
+		IWLabelBytes4k: 0.55, IWLabelMTUFill: 0.3,
+	})
+	genericTLSIW := dist(map[int]float64{
+		1: 6.3, 2: 14, 3: 0.4, 4: 22.5, 5: 0.4, 6: 0.4, 9: 0.25,
+		10: 54, 11: 0.25, 20: 0.25, 25: 1.0, 30: 0.25,
+		IWLabelBytes4k: 0.35, IWLabelMTUFill: 0.25,
+	})
+	accessHTTPIW := dist(map[int]float64{
+		1: 4, 2: 48, 4: 19, 5: 0.5, 6: 1, 10: 25,
+		IWLabelBytes4k: 1, IWLabelMTUFill: 1.5,
+	})
+	accessTLSIW := dist(map[int]float64{
+		1: 4.5, 2: 17, 4: 68, 10: 9, IWLabelBytes4k: 1, IWLabelMTUFill: 0.5,
+	})
+
+	// --- The AS table ----------------------------------------------------------
+
+	u.ASes = []*AS{
+		{
+			Name: "GenericWeb-1", ASN: 64500, Class: ClassContent, Domain: "webfarm-one.example",
+			RDNS: RDNSStatic, Prefixes: pfx("20.0.0.0/17"),
+			HTTPDensity: 0.45, TLSDensity: 0.34, BothFrac: 0.11,
+			HTTPIW: genericHTTPIW, TLSIW: genericTLSIW, DualSameIW: true,
+			Stack: stackMixed, UseCondHTTP: true, TLSProfile: genericTLSProfile,
+		},
+		{
+			Name: "GenericWeb-2", ASN: 64501, Class: ClassContent, Domain: "webfarm-two.example",
+			RDNS: RDNSStatic, Prefixes: pfx("20.0.128.0/17"),
+			HTTPDensity: 0.45, TLSDensity: 0.34, BothFrac: 0.11,
+			HTTPIW: genericHTTPIW, TLSIW: genericTLSIW, DualSameIW: true,
+			Stack: stackMixed, UseCondHTTP: true, TLSProfile: genericTLSProfile,
+		},
+		{
+			Name: "GenericWeb-3", ASN: 64502, Class: ClassContent, Domain: "webfarm-three.example",
+			RDNS: RDNSNone, Prefixes: pfx("20.1.0.0/17"),
+			HTTPDensity: 0.35, TLSDensity: 0.28, BothFrac: 0.08,
+			HTTPIW: genericHTTPIW, TLSIW: genericTLSIW, DualSameIW: true,
+			Stack: stackMixed, UseCondHTTP: true, TLSProfile: genericTLSProfile,
+		},
+		{
+			Name: "HosterBig", ASN: 64521, Class: ClassContent, Domain: "bighost.example",
+			RDNS: RDNSStatic, Prefixes: pfx("25.0.0.0/20"),
+			HTTPDensity: 0.45, TLSDensity: 0.40, BothFrac: 0.20,
+			HTTPIW:     dist(map[int]float64{2: 2, 4: 3, 10: 93, 25: 1, 48: 0.5, 64: 0.5}),
+			DualSameIW: true,
+			Stack:      stackServer, HTTPProfile: cloudHTTPProfile, TLSProfile: cloudTLSProfile,
+		},
+		{
+			Name: "LegacyNet", ASN: 64510, Class: ClassLegacy, Domain: "oldnet.example",
+			RDNS: RDNSNone, Prefixes: pfx("21.0.0.0/19"),
+			HTTPDensity: 0.18, TLSDensity: 0.08, BothFrac: 0.02,
+			HTTPIW:     dist(map[int]float64{1: 45, 2: 35, 3: 5, 4: 10, 10: 5}),
+			DualSameIW: true,
+			Stack:      stackMixed, UseCondHTTP: true, TLSProfile: legacyTLSProfile,
+		},
+		{
+			Name: "NatIntBackbone", ASN: 64511, Class: ClassISP, Domain: "nat-backbone.example",
+			RDNS: RDNSAccessIP, Prefixes: pfx("21.1.0.0/19"),
+			HTTPDensity: 0.15, TLSDensity: 0.06, BothFrac: 0.02,
+			HTTPIW:     dist(map[int]float64{1: 55, 2: 25, 3: 6, 4: 8, 10: 6}),
+			DualSameIW: true,
+			Stack:      stackMixed, UseCondHTTP: true, TLSProfile: legacyTLSProfile,
+		},
+		{
+			Name: "KoreaTel", ASN: 4766, Class: ClassISP, Domain: "koreatel.example",
+			RDNS: RDNSAccessIP, Prefixes: pfx("21.2.0.0/19"),
+			HTTPDensity: 0.15, TLSDensity: 0.08, BothFrac: 0.02,
+			HTTPIW:     dist(map[int]float64{1: 30, 2: 40, 4: 15, 10: 15}),
+			DualSameIW: true,
+			Stack:      stackMixed, UseCondHTTP: true, TLSProfile: legacyTLSProfile,
+		},
+		{
+			Name: "VodafoneIT", ASN: 30722, Class: ClassISP, Domain: "vodafone-it.example",
+			RDNS: RDNSAccessIP, Prefixes: pfx("21.3.0.0/19"),
+			HTTPDensity: 0.15, TLSDensity: 0.08, BothFrac: 0.02,
+			HTTPIW:     dist(map[int]float64{1: 5, 2: 55, 4: 20, 10: 20}),
+			DualSameIW: true,
+			Stack:      stackMixed, UseCondHTTP: true, TLSProfile: legacyTLSProfile,
+		},
+		{
+			Name: "Comcast", ASN: 7922, Class: ClassAccess, Domain: "comcast-net.example",
+			RDNS: RDNSAccessIP, Prefixes: pfx("22.0.0.0/17"),
+			HTTPDensity: 0.05, TLSDensity: 0.03, BothFrac: 0.01,
+			HTTPIW: accessHTTPIW, TLSIW: accessTLSIW, DualSameIW: false,
+			Stack: stackCPE, UseCondHTTP: true, TLSProfile: accessTLSProfile,
+		},
+		{
+			Name: "Telmex", ASN: 8151, Class: ClassAccess, Domain: "telmex-mx.example",
+			RDNS: RDNSAccessIP, Prefixes: pfx("22.1.0.0/18"),
+			HTTPDensity: 0.08, TLSDensity: 0.04, BothFrac: 0.01,
+			// The Technicolor-modem population: a strong 4 kB byte-limited
+			// IW group (§4.2).
+			HTTPIW: dist(map[int]float64{
+				1: 3, 2: 40, 4: 18, 10: 16, IWLabelBytes4k: 20, IWLabelMTUFill: 3,
+			}),
+			TLSIW:      accessTLSIW,
+			DualSameIW: false,
+			Stack:      stackCPE, UseCondHTTP: true, TLSProfile: accessTLSProfile,
+		},
+		{
+			Name: "AccessEU", ASN: 64515, Class: ClassAccess, Domain: "dsl-provider.example",
+			RDNS: RDNSAccessIP, Prefixes: pfx("23.0.0.0/18"),
+			HTTPDensity: 0.07, TLSDensity: 0.04, BothFrac: 0.01,
+			HTTPIW: accessHTTPIW, TLSIW: accessTLSIW, DualSameIW: false,
+			Stack: stackCPE, UseCondHTTP: true, TLSProfile: accessTLSProfile,
+		},
+		{
+			Name: "UniNet", ASN: 64516, Class: ClassUniversity, Domain: "uni-net.example",
+			RDNS: RDNSStatic, Prefixes: pfx("23.1.0.0/19"),
+			HTTPDensity: 0.10, TLSDensity: 0.06, BothFrac: 0.02,
+			HTTPIW:     dist(map[int]float64{1: 2, 2: 70, 4: 10, 10: 18}),
+			DualSameIW: true,
+			Stack:      stackMixed, UseCondHTTP: true, TLSProfile: genericTLSProfile,
+		},
+		{
+			Name: "AmazonEC2", ASN: 16509, Class: ClassCloud, Domain: "ec2.example",
+			RDNS: RDNSStatic, Prefixes: pfx("24.0.0.0/20"),
+			HTTPDensity: 0.35, TLSDensity: 0.30, BothFrac: 0.22,
+			// Table 3: EC2 HTTP 94.7% IW10 / 3.4% IW4 / 1.8% IW2.
+			HTTPIW:     dist(map[int]float64{2: 1.8, 4: 3.4, 10: 94.7, 64: 0.1}),
+			DualSameIW: true,
+			Stack:      stackLinux, HTTPProfile: cloudHTTPProfile, TLSProfile: cloudTLSProfile,
+		},
+		{
+			Name: "Cloudflare", ASN: 13335, Class: ClassCDN, Domain: "cloudflare-cdn.example",
+			RDNS: RDNSNone, Prefixes: pfx("24.1.0.0/20"),
+			HTTPDensity: 0.65, TLSDensity: 0.65, BothFrac: 0.60,
+			// Table 3: 100% IW10 on both services.
+			HTTPIW:     dist(map[int]float64{10: 100}),
+			DualSameIW: true,
+			Stack:      stackLinux,
+			HTTPProfile: dist(map[int]float64{
+				HTTPVHost: 55, HTTPLarge: 22, HTTPRedirect: 12, HTTPErrPlain: 9, HTTPReset: 2,
+			}),
+			TLSProfile: cloudTLSProfile,
+		},
+		{
+			Name: "Akamai", ASN: 20940, Class: ClassCDN, Domain: "akamai-edge.example",
+			RDNS: RDNSStatic, Prefixes: pfx("24.2.0.0/19"),
+			HTTPDensity: 0.55, TLSDensity: 0.55, BothFrac: 0.50,
+			// Per-service IW customization (§4.3): HTTP edges run IW 4
+			// with per-customer 16/32 overrides; TLS is uniformly IW 4
+			// (Table 3).
+			HTTPIW:     dist(map[int]float64{4: 70, 10: 10, 16: 12, 32: 8}),
+			TLSIW:      dist(map[int]float64{4: 100}),
+			DualSameIW: false,
+			Stack:      stackLinux,
+			// Akamai's default error page does not echo the URI (§4), so
+			// IP-based HTTP probing mostly yields few data.
+			HTTPProfile: dist(map[int]float64{
+				HTTPVHost: 78, HTTPErrPlain: 14, HTTPRedirect: 3, HTTPLarge: 3, HTTPReset: 2,
+			}),
+			TLSProfile: dist(map[int]float64{
+				TLSChain: 78, TLSChainOCSP: 8, TLSNeedSNI: 12, TLSBadCiphers: 1, TLSReset: 1,
+			}),
+		},
+		{
+			Name: "Azure", ASN: 8075, Class: ClassCloud, Domain: "azure-cloud.example",
+			RDNS: RDNSStatic, Prefixes: pfx("24.3.0.0/20"),
+			HTTPDensity: 0.30, TLSDensity: 0.25, BothFrac: 0.15,
+			// Table 3: HTTP 54.9% IW4 / 37.1% IW10; TLS 73.3% IW4 / 21.9% IW10.
+			HTTPIW:      dist(map[int]float64{2: 7.8, 4: 54.9, 10: 37.1, 1: 0.2}),
+			TLSIW:       dist(map[int]float64{1: 0.1, 2: 4.1, 4: 73.3, 10: 21.9, 20: 0.6}),
+			DualSameIW:  false,
+			Stack:       dist(map[int]float64{StackLinux: 65, StackWindows: 35}),
+			HTTPProfile: cloudHTTPProfile, TLSProfile: cloudTLSProfile,
+		},
+		{
+			Name: "GoDaddy", ASN: 26496, Class: ClassContent, Domain: "godaddy-host.example",
+			RDNS: RDNSStatic, Prefixes: pfx("24.4.0.0/20"),
+			HTTPDensity: 0.40, TLSDensity: 0.35, BothFrac: 0.30,
+			// §4.3: 19.8% of GoDaddy HTTP hosts (32.7% TLS) use a static
+			// IW 48 irrespective of the announced MSS.
+			HTTPIW:     dist(map[int]float64{2: 2.2, 4: 3, 10: 75, 48: 19.8}),
+			TLSIW:      dist(map[int]float64{2: 2.3, 4: 3, 10: 62, 48: 32.7}),
+			DualSameIW: false,
+			// GoDaddy bundles long CA chains, so even IW-48 hosts expose
+			// their full window to the TLS probe.
+			MinChain: 4200,
+			Stack:    stackServer, HTTPProfile: cloudHTTPProfile, TLSProfile: cloudTLSProfile,
+		},
+		{
+			Name: "CDNOther", ASN: 64520, Class: ClassCDN, Domain: "othercdn.example",
+			RDNS: RDNSStatic, Prefixes: pfx("24.5.0.0/20"),
+			HTTPDensity: 0.40, TLSDensity: 0.45, BothFrac: 0.30,
+			HTTPIW:     dist(map[int]float64{10: 83, 14: 2, 20: 5, 25: 5, 30: 5}),
+			TLSIW:      dist(map[int]float64{10: 69, 20: 5, 25: 18, 30: 5, 14: 3}),
+			DualSameIW: false,
+			Stack:      stackLinux, HTTPProfile: cloudHTTPProfile, TLSProfile: cloudTLSProfile,
+		},
+	}
+	return u
+}

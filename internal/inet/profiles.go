@@ -1,0 +1,251 @@
+// Package inet models the scanned Internet: a population of IPv4 hosts
+// grouped into autonomous systems whose transport and application
+// behaviours are calibrated against the paper's findings (Tables 1-3,
+// Figures 3-5). Hosts are never materialized up front — every attribute
+// of a host is a deterministic function of its address and the universe
+// seed, so a 1M-address universe costs no memory until packets arrive,
+// and re-probing an address always meets the same host.
+package inet
+
+import (
+	"iwscan/internal/stats"
+	"iwscan/internal/wire"
+)
+
+// ServiceClass labels the kind of network an AS is (used by clustering
+// and per-service analyses).
+type ServiceClass int
+
+// Network classes.
+const (
+	ClassContent ServiceClass = iota // hosters, content providers
+	ClassCloud                       // IaaS (EC2, Azure)
+	ClassCDN                         // CDNs (Akamai, Cloudflare)
+	ClassISP                         // transit / national ISPs
+	ClassAccess                      // residential access networks
+	ClassUniversity
+	ClassLegacy
+)
+
+// String renders the class.
+func (c ServiceClass) String() string {
+	switch c {
+	case ClassContent:
+		return "content"
+	case ClassCloud:
+		return "cloud"
+	case ClassCDN:
+		return "cdn"
+	case ClassISP:
+		return "isp"
+	case ClassAccess:
+		return "access"
+	case ClassUniversity:
+		return "university"
+	default:
+		return "legacy"
+	}
+}
+
+// IW labels used in per-AS categorical distributions. Values 1..999 mean
+// "IW of that many segments"; the two special labels encode byte-based
+// configurations (§4.2).
+const (
+	IWLabelBytes4k = 9001 // IW = 4096 bytes regardless of MSS
+	IWLabelMTUFill = 9002 // IW fills one 1536-byte MTU
+)
+
+// HTTPTiny is a response whose total wire size (headers included) fits
+// one 64-byte segment — the only response an IW-1 host can deliver
+// without proving IW >= 2.
+const HTTPTiny = 99
+
+// HTTP profile labels. Labels 101..109 are small responses whose total
+// wire size (headers + body) falls in [64*k, 64*(k+1)) — the buckets
+// that produce Table 2's lower bounds at MSS 64.
+const (
+	HTTPSmall1 = 101 + iota // [64, 128)
+	HTTPSmall2              // [128, 192)
+	HTTPSmall3              // ...
+	HTTPSmall4
+	HTTPSmall5
+	HTTPSmall6
+	HTTPSmall7 // [448, 512): the default-error-page spike
+	HTTPSmall8
+	HTTPSmall9
+)
+
+// Larger HTTP profiles.
+const (
+	HTTPMedium   = 120 // 1.5-4 KB page
+	HTTPLarge    = 121 // 4-16 KB page
+	HTTPXL       = 122 // 16-64 KB page
+	HTTPRedirect = 200 // 301 to a virtual host path, which serves a large page
+	HTTPErrEcho  = 300 // 404 everywhere, echoing the URI (bloatable)
+	HTTPErrPlain = 301 // 404 everywhere, fixed small page (Akamai-style)
+	HTTPVHost    = 302 // serves a large page only for a hostname Host header
+	HTTPEmpty    = 400 // accepts the request, closes without data
+	HTTPReset    = 500 // resets the connection upon the request
+)
+
+// TLS profile labels.
+const (
+	TLSChain      = 600 // first flight with a censys-distributed chain
+	TLSChainOCSP  = 601 // same plus OCSP stapling
+	TLSNeedSNI    = 610 // closes without data when no SNI is present
+	TLSBadCiphers = 611 // fatal handshake_failure alert
+	TLSReset      = 612 // resets upon the ClientHello
+)
+
+// Stack labels.
+const (
+	StackLinux    = 1 // MSS floor 64 (rejects lower announcements)
+	StackWindows  = 2 // MSS fallback to 536
+	StackEmbedded = 3 // small local MSS, floor 64
+)
+
+// AS describes one autonomous system of the modelled Internet.
+type AS struct {
+	Name   string
+	ASN    int
+	Class  ServiceClass
+	Domain string // rDNS suffix
+	RDNS   RDNSStyle
+
+	Prefixes []wire.Prefix
+
+	// Per-address liveness. BothFrac is the probability that a live
+	// address offers both services (bounded by the two densities).
+	HTTPDensity, TLSDensity, BothFrac float64
+
+	HTTPIW *stats.Categorical
+	// TLSIW, when nil, reuses the host's HTTP IW draw (most hosts run
+	// one stack for both services). When set, it applies to TLS-only
+	// hosts; it also applies to dual-service hosts when DualSameIW is
+	// false — those are the hosts whose HTTP and TLS estimates differ
+	// (858k IPs in the paper).
+	TLSIW *stats.Categorical
+	// DualSameIW, when true (the common case), makes dual-service hosts
+	// use one IW configuration for both ports.
+	DualSameIW bool
+
+	// MinChain raises the certificate-chain length floor for the AS
+	// (hosting providers that bundle long CA chains, like GoDaddy).
+	MinChain int
+
+	Stack *stats.Categorical
+	// HTTPProfile is the AS's own response-behaviour mix. When
+	// UseCondHTTP is set it is ignored and the IW-conditioned global
+	// profiles apply instead (with the legacy variants for ISP and
+	// legacy ASes).
+	HTTPProfile *stats.Categorical
+	UseCondHTTP bool
+	TLSProfile  *stats.Categorical
+}
+
+// RDNSStyle selects how reverse DNS names are synthesized for an AS.
+type RDNSStyle int
+
+// Reverse-DNS styles, mirroring the classification inputs of §4.3: access
+// networks encode the customer IP in the record, server networks use
+// static names, and some networks have none.
+const (
+	RDNSNone RDNSStyle = iota
+	RDNSStatic
+	RDNSAccessIP
+)
+
+// dist builds a categorical distribution from a weight table.
+func dist(weights map[int]float64) *stats.Categorical {
+	return stats.NewCategorical(weights)
+}
+
+// Common stack mixes.
+var (
+	stackServer = dist(map[int]float64{StackLinux: 95, StackWindows: 5})
+	stackMixed  = dist(map[int]float64{StackLinux: 90, StackWindows: 5, StackEmbedded: 5})
+	stackCPE    = dist(map[int]float64{StackLinux: 55, StackEmbedded: 45}) // consumer gear
+	stackLinux  = dist(map[int]float64{StackLinux: 100})
+)
+
+// smallChainIW is the IW mix of legacy small-chain TLS endpoints.
+var smallChainIW = dist(map[int]float64{1: 48, 2: 38, 4: 10, 10: 4})
+
+// IW-conditioned HTTP response profiles. Stack age correlates with
+// content: pre-IW10 stacks disproportionately sit on devices with
+// minimal pages, while IW-10 boxes carry the default-error-page spike
+// at ~470 B that yields Table 2's dominant bound of 7. These joint
+// weights are what calibrate Table 1's success/few-data split, Figure
+// 3's success-conditioned mix, and Table 2's bound distribution
+// simultaneously.
+var (
+	condIW1 = dist(map[int]float64{
+		HTTPTiny: 7, HTTPSmall1: 8, HTTPSmall2: 5, HTTPSmall3: 4,
+		HTTPSmall7: 25, HTTPMedium: 17, HTTPLarge: 14,
+		HTTPRedirect: 8, HTTPErrEcho: 5, HTTPEmpty: 1.5, HTTPReset: 1.5,
+	})
+	condIW2 = dist(map[int]float64{
+		HTTPSmall1: 11, HTTPTiny: 2, HTTPSmall3: 5, HTTPSmall4: 4,
+		HTTPSmall7: 19, HTTPMedium: 15, HTTPLarge: 14,
+		HTTPRedirect: 8, HTTPErrEcho: 6, HTTPEmpty: 1.5, HTTPReset: 1.5,
+	})
+	condIW34 = dist(map[int]float64{
+		HTTPSmall1: 10, HTTPSmall2: 8, HTTPSmall3: 5.5, HTTPSmall5: 4, HTTPSmall6: 2,
+		HTTPSmall7: 16, HTTPMedium: 16, HTTPLarge: 18,
+		HTTPRedirect: 9, HTTPErrEcho: 8, HTTPEmpty: 1.5, HTTPReset: 2,
+	})
+	condIW10 = dist(map[int]float64{
+		HTTPSmall7: 39, HTTPLarge: 12.5, HTTPMedium: 7, HTTPXL: 1.2,
+		HTTPRedirect: 11, HTTPErrEcho: 9.5,
+		HTTPSmall1: 3.5, HTTPSmall2: 5.5, HTTPSmall3: 6.5, HTTPSmall4: 2.2,
+		HTTPSmall5: 3.2, HTTPSmall6: 0.9, HTTPSmall8: 2.2, HTTPSmall9: 1.0,
+		HTTPErrPlain: 1.2, HTTPEmpty: 1.7, HTTPReset: 1.7,
+	})
+	condIWBig = dist(map[int]float64{
+		HTTPLarge: 28, HTTPXL: 10, HTTPMedium: 12, HTTPRedirect: 14,
+		HTTPSmall7: 14, HTTPErrEcho: 8, HTTPSmall1: 3, HTTPSmall4: 2,
+		HTTPSmall8: 3, HTTPErrPlain: 2, HTTPEmpty: 2, HTTPReset: 2,
+	})
+
+	// Legacy variants (old ISP and legacy space): even less content.
+	legacyCondIW1 = dist(map[int]float64{
+		HTTPTiny: 25, HTTPSmall1: 12, HTTPSmall2: 6, HTTPSmall3: 5,
+		HTTPSmall7: 18, HTTPMedium: 12, HTTPLarge: 8,
+		HTTPRedirect: 5, HTTPErrEcho: 5, HTTPEmpty: 2.5, HTTPReset: 1.5,
+	})
+	legacyCondIW2 = dist(map[int]float64{
+		HTTPSmall1: 26, HTTPTiny: 4, HTTPSmall3: 5, HTTPSmall4: 4,
+		HTTPSmall7: 14, HTTPMedium: 12, HTTPLarge: 8,
+		HTTPRedirect: 5, HTTPErrEcho: 6, HTTPEmpty: 2.5, HTTPReset: 1.5,
+	})
+	legacyCondIW34 = dist(map[int]float64{
+		HTTPSmall1: 16, HTTPSmall2: 14, HTTPSmall3: 9, HTTPSmall5: 3,
+		HTTPSmall7: 14, HTTPMedium: 12, HTTPLarge: 12,
+		HTTPRedirect: 7, HTTPErrEcho: 9, HTTPEmpty: 2, HTTPReset: 2,
+	})
+)
+
+// condProfileFor selects the response-profile mix for an IW label.
+func condProfileFor(iwLabel int, legacy bool) *stats.Categorical {
+	switch {
+	case iwLabel == 1:
+		if legacy {
+			return legacyCondIW1
+		}
+		return condIW1
+	case iwLabel == 2:
+		if legacy {
+			return legacyCondIW2
+		}
+		return condIW2
+	case iwLabel <= 4:
+		if legacy {
+			return legacyCondIW34
+		}
+		return condIW34
+	case iwLabel <= 11:
+		return condIW10
+	default: // 14+, byte-limited, MTU-fill
+		return condIWBig
+	}
+}

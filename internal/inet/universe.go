@@ -1,0 +1,298 @@
+package inet
+
+import (
+	"fmt"
+
+	"iwscan/internal/httpsim"
+	"iwscan/internal/netsim"
+	"iwscan/internal/stats"
+	"iwscan/internal/tcpstack"
+	"iwscan/internal/tlssim"
+	"iwscan/internal/wire"
+)
+
+// Universe is a deterministic population of IPv4 hosts. It implements
+// netsim.HostFactory, materializing hosts lazily when the first packet
+// arrives and reaping them (via the tcpstack idle callback) once their
+// last connection closes.
+type Universe struct {
+	Seed uint64
+	ASes []*AS
+}
+
+// hash salts for per-host attribute derivation. Each attribute uses its
+// own salt so attributes are independent.
+const (
+	saltRole = iota + 0x1001
+	saltHTTPIW
+	saltTLSIW
+	saltStack
+	saltHTTPProfile
+	saltTLSProfile
+	saltSize
+	saltChain
+	saltErrPage
+	saltOCSP
+)
+
+func (u *Universe) hash(salt uint64, addr wire.Addr) uint64 {
+	return stats.HashIP64(u.Seed*0x9e37+salt, uint32(addr))
+}
+
+func (u *Universe) hashFloat(salt uint64, addr wire.Addr) float64 {
+	return float64(u.hash(salt, addr)>>11) / (1 << 53)
+}
+
+// ASOf returns the AS owning addr, or nil.
+func (u *Universe) ASOf(addr wire.Addr) *AS {
+	for _, as := range u.ASes {
+		for _, p := range as.Prefixes {
+			if p.Contains(addr) {
+				return as
+			}
+		}
+	}
+	return nil
+}
+
+// Prefixes returns all announced prefixes (the scannable space).
+func (u *Universe) Prefixes() []wire.Prefix {
+	var out []wire.Prefix
+	for _, as := range u.ASes {
+		out = append(out, as.Prefixes...)
+	}
+	return out
+}
+
+// HostSpec is the fully derived configuration of one host, including the
+// ground truth the validation experiments compare estimates against.
+type HostSpec struct {
+	Addr     wire.Addr
+	AS       *AS
+	HTTPLive bool
+	TLSLive  bool
+
+	Stack   tcpstack.Config // stack config without IW (per-port policies below)
+	HTTPIW  tcpstack.IWPolicy
+	TLSIW   tcpstack.IWPolicy
+	HTTPCfg httpsim.ServerConfig
+	TLSCfg  tlssim.ServerConfig
+
+	HTTPProfile int
+	TLSProfile  int
+}
+
+// ExpectedIWSegments returns the ground-truth IW in segments that a scan
+// announcing announcedMSS should estimate on the given port.
+func (h *HostSpec) ExpectedIWSegments(port uint16, announcedMSS int) int {
+	eff := h.Stack.MSS.Effective(announcedMSS, h.Stack.LocalMSS)
+	pol := h.HTTPIW
+	if port == 443 {
+		pol = h.TLSIW
+	}
+	iw := pol.IW(eff)
+	return (iw + eff - 1) / eff
+}
+
+// HostAt derives the host at addr, or nil when the address is dark.
+func (u *Universe) HostAt(addr wire.Addr) *HostSpec {
+	as := u.ASOf(addr)
+	if as == nil {
+		return nil
+	}
+	// Role: carve [0,1) into [both][http-only][tls-only][dark].
+	r := u.hashFloat(saltRole, addr)
+	both := r < as.BothFrac
+	httpLive := both || (r >= as.BothFrac && r < as.HTTPDensity)
+	tlsLive := both || (r >= as.HTTPDensity && r < as.HTTPDensity+as.TLSDensity-as.BothFrac)
+	if !httpLive && !tlsLive {
+		return nil
+	}
+	h := &HostSpec{Addr: addr, AS: as, HTTPLive: httpLive, TLSLive: tlsLive}
+
+	// TCP stack.
+	switch as.Stack.SampleHash(u.hash(saltStack, addr)) {
+	case StackWindows:
+		h.Stack = tcpstack.Config{MSS: tcpstack.MSSPolicy{Fallback: 536}, LocalMSS: 1460}
+	case StackEmbedded:
+		h.Stack = tcpstack.Config{MSS: tcpstack.MSSPolicy{Floor: 64}, LocalMSS: 1400}
+	default:
+		h.Stack = tcpstack.Config{MSS: tcpstack.MSSPolicy{Floor: 64}, LocalMSS: 1460}
+	}
+
+	// IW policies. Dual-service hosts reuse the HTTP draw unless the AS
+	// runs distinct configurations per service.
+	httpLabel := as.HTTPIW.SampleHash(u.hash(saltHTTPIW, addr))
+	tlsLabel := httpLabel
+	if as.TLSIW != nil && (!as.DualSameIW || !both) {
+		tlsLabel = as.TLSIW.SampleHash(u.hash(saltTLSIW, addr))
+	}
+	// Correlation: TLS endpoints with tiny certificate chains are
+	// predominantly legacy embedded devices (appliance UIs, old
+	// middleboxes) running pre-IW10 stacks. Without this, the 14% of
+	// hosts below 640 B of certificates (Figure 2) would mostly pair
+	// with IW 10 and inflate the few-data share far beyond Table 1.
+	// Dual hosts pinned to one configuration (DualSameIW) keep it; the
+	// correlation only reshapes hosts whose TLS stack is independent.
+	if tlsLive && !(both && as.DualSameIW) && as.Class != ClassCDN && as.Class != ClassCloud {
+		chain := tlssim.ChainLenDist{}.SampleHash(u.hash(saltChain, addr))
+		if chain < 1000 && tlsLabel >= 10 && u.hashFloat(saltTLSIW+100, addr) < 0.92 {
+			tlsLabel = smallChainIW.SampleHash(u.hash(saltTLSIW+101, addr))
+		}
+	}
+	h.HTTPIW = iwPolicy(httpLabel)
+	h.TLSIW = iwPolicy(tlsLabel)
+
+	if httpLive {
+		if as.UseCondHTTP {
+			legacy := as.Class == ClassLegacy || as.Class == ClassISP
+			h.HTTPProfile = condProfileFor(httpLabel, legacy).SampleHash(u.hash(saltHTTPProfile, addr))
+		} else {
+			h.HTTPProfile = as.HTTPProfile.SampleHash(u.hash(saltHTTPProfile, addr))
+		}
+		h.HTTPCfg = u.httpConfig(addr, h.HTTPProfile)
+	}
+	if tlsLive {
+		h.TLSProfile = as.TLSProfile.SampleHash(u.hash(saltTLSProfile, addr))
+		h.TLSCfg = u.tlsConfig(addr, h.TLSProfile)
+	}
+	return h
+}
+
+// iwPolicy converts an IW label into a tcpstack policy.
+func iwPolicy(label int) tcpstack.IWPolicy {
+	switch label {
+	case IWLabelBytes4k:
+		return tcpstack.IWPolicy{Kind: tcpstack.IWBytes, Bytes: 4096}
+	case IWLabelMTUFill:
+		return tcpstack.IWPolicy{Kind: tcpstack.IWMTUFill, Bytes: 1536}
+	default:
+		return tcpstack.IWPolicy{Kind: tcpstack.IWSegments, Segments: label}
+	}
+}
+
+// respHeaderLen approximates the HTTP response head our servers emit, so
+// size buckets can target total wire bytes.
+const respHeaderLen = 60
+
+// httpConfig builds the HTTP server behaviour for a profile label.
+func (u *Universe) httpConfig(addr wire.Addr, label int) httpsim.ServerConfig {
+	seed := u.hash(saltSize, addr)
+	sizeIn := func(lo, hi int) int {
+		return lo + int(seed%uint64(hi-lo))
+	}
+	cfg := httpsim.ServerConfig{Seed: seed}
+	switch {
+	case label == HTTPTiny:
+		cfg.Root = httpsim.BehaviorPage
+		cfg.AnyPath = true
+		cfg.PageLen = int(seed % 7) // total stays within one 64 B segment
+	case label >= HTTPSmall1 && label <= HTTPSmall9:
+		k := label - HTTPSmall1 + 1
+		total := sizeIn(64*k, 64*(k+1))
+		cfg.Root = httpsim.BehaviorPage
+		// Minimal devices answer every path with the same small page, so
+		// the URI-bloat fallback cannot enlarge their responses.
+		cfg.AnyPath = true
+		cfg.PageLen = max(0, total-respHeaderLen)
+	case label == HTTPMedium:
+		cfg.Root = httpsim.BehaviorPage
+		cfg.PageLen = sizeIn(1500, 4000)
+	case label == HTTPLarge:
+		cfg.Root = httpsim.BehaviorPage
+		cfg.PageLen = sizeIn(4000, 16000)
+	case label == HTTPXL:
+		cfg.Root = httpsim.BehaviorPage
+		cfg.PageLen = sizeIn(16000, 64000)
+	case label == HTTPRedirect:
+		cfg.Root = httpsim.BehaviorRedirect
+		cfg.RedirectHost = fmt.Sprintf("www.h%d.%s", uint32(addr)&0xffff, u.ASOf(addr).Domain)
+		cfg.RedirectPath = "/site/index.html"
+		cfg.PageLen = sizeIn(2000, 16000)
+	case label == HTTPErrEcho:
+		cfg.Root = httpsim.BehaviorNotFound
+		cfg.EchoURI = true
+		cfg.ErrPageLen = 120 + int(u.hash(saltErrPage, addr)%120)
+	case label == HTTPErrPlain:
+		cfg.Root = httpsim.BehaviorNotFound
+		cfg.ErrPageLen = 305 + int(u.hash(saltErrPage, addr)%55)
+	case label == HTTPVHost:
+		cfg.Root = httpsim.BehaviorVHost
+		cfg.PageLen = sizeIn(4000, 16000)
+		cfg.ErrPageLen = 308 + int(u.hash(saltErrPage, addr)%50)
+	case label == HTTPEmpty:
+		cfg.Root = httpsim.BehaviorEmpty
+	default: // HTTPReset
+		cfg.Root = httpsim.BehaviorReset
+	}
+	return cfg
+}
+
+// tlsConfig builds the TLS server behaviour for a profile label.
+func (u *Universe) tlsConfig(addr wire.Addr, label int) tlssim.ServerConfig {
+	cfg := tlssim.ServerConfig{Seed: u.hash(saltChain, addr)}
+	switch label {
+	case TLSNeedSNI:
+		cfg.Behavior = tlssim.BehaviorRequireSNI
+	case TLSBadCiphers:
+		cfg.Behavior = tlssim.BehaviorNoCipherOverlap
+	case TLSReset:
+		cfg.Behavior = tlssim.BehaviorReset
+	default:
+		cfg.Behavior = tlssim.BehaviorServeChain
+		cfg.OCSPStaple = label == TLSChainOCSP
+		cfg.OCSPLen = 800 + int(u.hash(saltOCSP, addr)%1400)
+	}
+	cfg.ChainLen = tlssim.ChainLenDist{}.SampleHash(u.hash(saltChain, addr))
+	if as := u.ASOf(addr); as != nil && cfg.ChainLen < as.MinChain {
+		cfg.ChainLen = as.MinChain + int(u.hash(saltChain+7, addr)%2000)
+	}
+	return cfg
+}
+
+// CreateHost implements netsim.HostFactory.
+func (u *Universe) CreateHost(n *netsim.Network, addr wire.Addr) netsim.Node {
+	spec := u.HostAt(addr)
+	if spec == nil {
+		return nil
+	}
+	return u.materialize(n, spec)
+}
+
+// materialize builds the live tcpstack host for a spec.
+func (u *Universe) materialize(n *netsim.Network, spec *HostSpec) *tcpstack.Host {
+	host := tcpstack.NewHost(n, spec.Addr, spec.Stack)
+	if spec.HTTPLive {
+		host.ListenIW(80, httpsim.NewServer(spec.HTTPCfg), spec.HTTPIW)
+	}
+	if spec.TLSLive {
+		host.ListenIW(443, tlssim.NewServer(spec.TLSCfg), spec.TLSIW)
+	}
+	host.SetIdleFunc(func(h *tcpstack.Host) { n.Unregister(spec.Addr) })
+	return host
+}
+
+// CountHosts walks the whole universe and reports live host counts; it
+// is O(address space) and meant for tests and reports.
+func (u *Universe) CountHosts() (http, tls, both int) {
+	for _, as := range u.ASes {
+		for _, p := range as.Prefixes {
+			for i := uint64(0); i < p.Size(); i++ {
+				spec := u.HostAt(p.Nth(i))
+				if spec == nil {
+					continue
+				}
+				if spec.HTTPLive {
+					http++
+				}
+				if spec.TLSLive {
+					tls++
+				}
+				if spec.HTTPLive && spec.TLSLive {
+					both++
+				}
+			}
+		}
+	}
+	return
+}

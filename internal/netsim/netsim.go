@@ -1,0 +1,421 @@
+// Package netsim implements a deterministic discrete-event packet
+// network. It carries binary IPv4 datagrams between nodes (the scanner
+// and simulated hosts), applying per-path delay, jitter, loss,
+// reordering, duplication and MTU limits, much like a chain of NetEM
+// qdiscs would on a physical testbed.
+//
+// The simulation is single-threaded and driven by a virtual clock, which
+// makes Internet-scale scans reproducible and fast: a "7.5 hour" scan
+// runs in seconds of real time.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"iwscan/internal/stats"
+	"iwscan/internal/wire"
+)
+
+// Time is virtual time in nanoseconds since the start of the simulation.
+type Time int64
+
+// Common durations in virtual time.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+	Hour             = 3600 * Second
+)
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String renders the time in seconds with millisecond precision.
+func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Seconds()) }
+
+// Node consumes raw IPv4 packets addressed to it.
+type Node interface {
+	// HandlePacket is called when a packet is delivered to the node.
+	// pkt is a complete IPv4 datagram; the callee must not retain it.
+	HandlePacket(pkt []byte)
+}
+
+// HostFactory lazily instantiates nodes for destination addresses that
+// have no registered node yet. Returning nil means the address is
+// unroutable and the packet is silently dropped (as on the real
+// Internet, where most of the IPv4 space does not answer).
+type HostFactory interface {
+	CreateHost(n *Network, addr wire.Addr) Node
+}
+
+// PathParams describe the network path between two addresses.
+type PathParams struct {
+	Delay     Time    // one-way propagation delay
+	Jitter    Time    // uniform jitter in [0, Jitter)
+	Loss      float64 // independent per-packet loss probability
+	Duplicate float64 // per-packet duplication probability
+	Reorder   float64 // probability a packet jumps the queue (delivered with Delay/4)
+	MTU       int     // maximum IP packet size; 0 = unlimited
+
+	// Rate models a bottleneck link in bits per second (0 = infinite).
+	// Packets serialize one after another; a burst larger than the queue
+	// overflows and tail-drops — the failure mode that motivates keeping
+	// initial windows small on low-capacity links.
+	Rate int64
+	// QueueBytes bounds the bottleneck queue (default 32 kB when Rate is
+	// set).
+	QueueBytes int
+}
+
+// Verdict is the result of a packet filter.
+type Verdict int
+
+// Filter verdicts.
+const (
+	VerdictPass Verdict = iota
+	VerdictDrop
+)
+
+// Filter inspects packets before path impairments are applied. Tests use
+// filters to inject deterministic loss (e.g., tail loss of a specific
+// segment).
+type Filter func(now Time, pkt []byte) Verdict
+
+// Counters aggregate network-level statistics.
+type Counters struct {
+	PacketsSent      int64
+	PacketsDelivered int64
+	PacketsLost      int64
+	PacketsFiltered  int64
+	PacketsNoRoute   int64
+	PacketsMTUDrop   int64
+	PacketsQueueDrop int64 // tail drops at bottleneck links
+	BytesSent        int64
+	BytesDelivered   int64
+}
+
+// Network is the simulated packet network.
+type Network struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	nodes   map[wire.Addr]Node
+	factory HostFactory
+	path    func(src, dst wire.Addr) PathParams
+	filters []Filter
+	links   map[linkKey]*linkState
+	rng     *stats.RNG
+	stats   Counters
+}
+
+// linkKey identifies a directed bottleneck link.
+type linkKey struct {
+	src, dst wire.Addr
+}
+
+// linkState tracks a bottleneck link's virtual queue: busyUntil is the
+// instant the link finishes transmitting everything accepted so far.
+type linkState struct {
+	busyUntil Time
+}
+
+// New creates a network with the given RNG seed. The default path has a
+// 10 ms one-way delay and no impairments.
+func New(seed uint64) *Network {
+	n := &Network{
+		nodes: make(map[wire.Addr]Node),
+		links: make(map[linkKey]*linkState),
+		rng:   stats.NewRNG(seed),
+	}
+	def := PathParams{Delay: 10 * Millisecond}
+	n.path = func(src, dst wire.Addr) PathParams { return def }
+	return n
+}
+
+// Now returns the current virtual time.
+func (n *Network) Now() Time { return n.now }
+
+// Stats returns a snapshot of the network counters.
+func (n *Network) Stats() Counters { return n.stats }
+
+// RNG exposes the network's deterministic RNG so co-located components
+// (hosts instantiated by a factory) can derive randomness from it.
+func (n *Network) RNG() *stats.RNG { return n.rng }
+
+// SetPathFunc installs fn as the source of per-path parameters.
+func (n *Network) SetPathFunc(fn func(src, dst wire.Addr) PathParams) {
+	n.path = fn
+}
+
+// SetPath installs fixed path parameters for all pairs.
+func (n *Network) SetPath(p PathParams) {
+	n.path = func(src, dst wire.Addr) PathParams { return p }
+}
+
+// SetFactory installs the lazy host factory.
+func (n *Network) SetFactory(f HostFactory) { n.factory = f }
+
+// AddFilter appends a packet filter. Filters run in order; the first
+// VerdictDrop wins.
+func (n *Network) AddFilter(f Filter) { n.filters = append(n.filters, f) }
+
+// ClearFilters removes all filters.
+func (n *Network) ClearFilters() { n.filters = nil }
+
+// Register binds addr to node, replacing any previous binding.
+func (n *Network) Register(addr wire.Addr, node Node) { n.nodes[addr] = node }
+
+// Unregister removes the node bound to addr, if any. Future packets to
+// addr go back through the host factory.
+func (n *Network) Unregister(addr wire.Addr) { delete(n.nodes, addr) }
+
+// NodeCount returns the number of currently registered nodes.
+func (n *Network) NodeCount() int { return len(n.nodes) }
+
+// Timer is a cancellable scheduled callback. Cancelling removes the
+// timer from the event heap immediately, so heavily re-armed timers
+// (idle tracking, retransmission) do not accumulate dead entries.
+type Timer struct {
+	fn  func()
+	net *Network
+	ev  *event // nil once fired or cancelled
+}
+
+// Cancel prevents the timer from firing. Cancelling an already-fired or
+// already-cancelled timer is a no-op.
+func (t *Timer) Cancel() {
+	if t == nil || t.ev == nil {
+		return
+	}
+	heap.Remove(&t.net.queue, t.ev.idx)
+	t.ev = nil
+}
+
+// At schedules fn to run at absolute virtual time t (clamped to now).
+func (n *Network) At(t Time, fn func()) *Timer {
+	if t < n.now {
+		t = n.now
+	}
+	timer := &Timer{fn: fn, net: n}
+	timer.ev = n.push(event{at: t, timer: timer})
+	return timer
+}
+
+// After schedules fn to run d after the current time.
+func (n *Network) After(d Time, fn func()) *Timer {
+	return n.At(n.now+d, fn)
+}
+
+// Send injects an IPv4 packet into the network. Path impairments are
+// applied based on the packet's source and destination addresses.
+func (n *Network) Send(pkt []byte) {
+	hdr, _, err := wire.DecodeIPv4(pkt)
+	if err != nil {
+		// Malformed packets vanish, as a router would drop them.
+		n.stats.PacketsLost++
+		return
+	}
+	n.stats.PacketsSent++
+	n.stats.BytesSent += int64(len(pkt))
+
+	for _, f := range n.filters {
+		if f(n.now, pkt) == VerdictDrop {
+			n.stats.PacketsFiltered++
+			return
+		}
+	}
+
+	p := n.path(hdr.Src, hdr.Dst)
+	if p.MTU > 0 && len(pkt) > p.MTU {
+		n.stats.PacketsMTUDrop++
+		if hdr.Flags&wire.IPFlagDF != 0 {
+			n.sendFragNeeded(hdr, pkt, p.MTU)
+		}
+		// Without DF a real router would fragment; our endpoints never
+		// exceed the MTU except when probing, so dropping is fine.
+		return
+	}
+
+	if n.rng.Bool(p.Loss) {
+		n.stats.PacketsLost++
+		return
+	}
+
+	// Bottleneck link: serialize through the virtual queue; a backlog
+	// beyond the queue capacity tail-drops the packet.
+	extra := Time(0)
+	if p.Rate > 0 {
+		key := linkKey{src: hdr.Src, dst: hdr.Dst}
+		l := n.links[key]
+		if l == nil {
+			l = &linkState{}
+			n.links[key] = l
+		}
+		if l.busyUntil < n.now {
+			l.busyUntil = n.now
+		}
+		qcap := p.QueueBytes
+		if qcap == 0 {
+			qcap = 32 * 1024
+		}
+		backlogBytes := int64(l.busyUntil-n.now) * p.Rate / (8 * int64(Second))
+		if backlogBytes > int64(qcap) {
+			n.stats.PacketsQueueDrop++
+			return
+		}
+		txTime := Time(int64(len(pkt)) * 8 * int64(Second) / p.Rate)
+		l.busyUntil += txTime
+		extra = l.busyUntil - n.now
+	}
+
+	n.scheduleDelivery(pkt, p, extra)
+	if n.rng.Bool(p.Duplicate) {
+		dup := append([]byte(nil), pkt...)
+		n.scheduleDelivery(dup, p, extra)
+	}
+}
+
+// sendFragNeeded emits the RFC 1191 ICMP "fragmentation needed" message
+// for an oversized DF packet.
+func (n *Network) sendFragNeeded(orig *wire.IPv4Header, pkt []byte, mtu int) {
+	// Body: original IP header + first 8 bytes of payload.
+	bodyLen := wire.IPv4HeaderLen + 8
+	if bodyLen > len(pkt) {
+		bodyLen = len(pkt)
+	}
+	icmp := wire.EncodeICMP(nil, &wire.ICMPHeader{
+		Type:       wire.ICMPDestUnreach,
+		Code:       wire.ICMPCodeFragNeeded,
+		NextHopMTU: uint16(mtu),
+		Body:       append([]byte(nil), pkt[:bodyLen]...),
+	})
+	reply := wire.EncodeIPv4(nil, &wire.IPv4Header{
+		Protocol: wire.ProtoICMP,
+		Src:      orig.Dst, // nominally the router; the destination stands in
+		Dst:      orig.Src,
+	}, icmp)
+	// The ICMP reply traverses the reverse path without MTU issues.
+	p := n.path(orig.Dst, orig.Src)
+	p.MTU = 0
+	n.scheduleDelivery(reply, p, 0)
+}
+
+// scheduleDelivery queues the packet for delivery after propagation
+// delay plus any serialization time already accrued at a bottleneck.
+func (n *Network) scheduleDelivery(pkt []byte, p PathParams, serialization Time) {
+	delay := p.Delay + serialization
+	if p.Jitter > 0 {
+		delay += Time(n.rng.Int63() % int64(p.Jitter))
+	}
+	if p.Reorder > 0 && n.rng.Bool(p.Reorder) {
+		delay = p.Delay / 4
+	}
+	n.push(event{at: n.now + delay, pkt: pkt})
+}
+
+// Run processes events until the queue is empty or the virtual clock
+// would pass deadline. It returns the number of events processed.
+func (n *Network) Run(deadline Time) int {
+	processed := 0
+	for len(n.queue) > 0 {
+		ev := n.queue[0]
+		if ev.at > deadline {
+			break
+		}
+		heap.Pop(&n.queue)
+		n.now = ev.at
+		n.dispatch(ev)
+		processed++
+	}
+	if n.now < deadline {
+		n.now = deadline
+	}
+	return processed
+}
+
+// RunUntilIdle processes events until none remain. It returns the number
+// of events processed.
+func (n *Network) RunUntilIdle() int {
+	processed := 0
+	for len(n.queue) > 0 {
+		ev := heap.Pop(&n.queue).(*event)
+		n.now = ev.at
+		n.dispatch(ev)
+		processed++
+	}
+	return processed
+}
+
+func (n *Network) dispatch(ev *event) {
+	if ev.timer != nil {
+		ev.timer.ev = nil
+		ev.timer.fn()
+		return
+	}
+	hdr, _, err := wire.DecodeIPv4(ev.pkt)
+	if err != nil {
+		n.stats.PacketsLost++
+		return
+	}
+	node := n.nodes[hdr.Dst]
+	if node == nil && n.factory != nil {
+		node = n.factory.CreateHost(n, hdr.Dst)
+		if node != nil {
+			n.nodes[hdr.Dst] = node
+		}
+	}
+	if node == nil {
+		n.stats.PacketsNoRoute++
+		return
+	}
+	n.stats.PacketsDelivered++
+	n.stats.BytesDelivered += int64(len(ev.pkt))
+	node.HandlePacket(ev.pkt)
+}
+
+// event is either a packet delivery (pkt != nil) or a timer firing.
+type event struct {
+	at    Time
+	seq   uint64 // insertion order, for deterministic tie-breaking
+	idx   int    // heap index, maintained by eventHeap.Swap
+	pkt   []byte
+	timer *Timer
+}
+
+func (n *Network) push(ev event) *event {
+	ev.seq = n.seq
+	n.seq++
+	e := &ev
+	heap.Push(&n.queue, e)
+	return e
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x interface{}) {
+	e := x.(*event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

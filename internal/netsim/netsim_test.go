@@ -1,0 +1,505 @@
+package netsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"iwscan/internal/wire"
+)
+
+// captureNode records delivered packets with their delivery time.
+type captureNode struct {
+	n    *Network
+	pkts [][]byte
+	at   []Time
+}
+
+func (c *captureNode) HandlePacket(pkt []byte) {
+	c.pkts = append(c.pkts, append([]byte(nil), pkt...))
+	c.at = append(c.at, c.n.Now())
+}
+
+func mkPkt(src, dst wire.Addr, payload []byte, df bool) []byte {
+	h := &wire.IPv4Header{Protocol: wire.ProtoTCP, Src: src, Dst: dst}
+	if df {
+		h.Flags = wire.IPFlagDF
+	}
+	return wire.EncodeIPv4(nil, h, payload)
+}
+
+func TestDeliveryWithDelay(t *testing.T) {
+	n := New(1)
+	dst := wire.MustParseAddr("10.0.0.2")
+	c := &captureNode{n: n}
+	n.Register(dst, c)
+	n.SetPath(PathParams{Delay: 5 * Millisecond})
+	n.Send(mkPkt(wire.MustParseAddr("10.0.0.1"), dst, []byte("x"), false))
+	n.RunUntilIdle()
+	if len(c.pkts) != 1 {
+		t.Fatalf("delivered %d packets, want 1", len(c.pkts))
+	}
+	if c.at[0] != 5*Millisecond {
+		t.Fatalf("delivered at %v, want 5ms", c.at[0])
+	}
+}
+
+func TestUnroutableDropped(t *testing.T) {
+	n := New(1)
+	n.Send(mkPkt(1, 2, nil, false))
+	n.RunUntilIdle()
+	if n.Stats().PacketsNoRoute != 1 {
+		t.Fatalf("no-route count = %d", n.Stats().PacketsNoRoute)
+	}
+}
+
+func TestMalformedPacketDropped(t *testing.T) {
+	n := New(1)
+	n.Send([]byte{1, 2, 3})
+	if n.Stats().PacketsLost != 1 {
+		t.Fatal("malformed packet not counted as lost")
+	}
+}
+
+type factoryFunc func(n *Network, addr wire.Addr) Node
+
+func (f factoryFunc) CreateHost(n *Network, addr wire.Addr) Node { return f(n, addr) }
+
+func TestLazyHostFactory(t *testing.T) {
+	n := New(1)
+	created := 0
+	var cap *captureNode
+	n.SetFactory(factoryFunc(func(net *Network, addr wire.Addr) Node {
+		created++
+		cap = &captureNode{n: net}
+		return cap
+	}))
+	dst := wire.MustParseAddr("10.9.9.9")
+	n.Send(mkPkt(1, dst, []byte("a"), false))
+	n.Send(mkPkt(1, dst, []byte("b"), false))
+	n.RunUntilIdle()
+	if created != 1 {
+		t.Fatalf("factory invoked %d times, want 1 (node cached)", created)
+	}
+	if len(cap.pkts) != 2 {
+		t.Fatalf("delivered %d, want 2", len(cap.pkts))
+	}
+}
+
+func TestFactoryNilMeansUnroutable(t *testing.T) {
+	n := New(1)
+	n.SetFactory(factoryFunc(func(net *Network, addr wire.Addr) Node { return nil }))
+	n.Send(mkPkt(1, 2, nil, false))
+	n.RunUntilIdle()
+	if n.Stats().PacketsNoRoute != 1 {
+		t.Fatal("nil factory result should be unroutable")
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	n := New(1)
+	dst := wire.Addr(42)
+	c := &captureNode{n: n}
+	n.Register(dst, c)
+	n.Unregister(dst)
+	n.Send(mkPkt(1, dst, nil, false))
+	n.RunUntilIdle()
+	if len(c.pkts) != 0 {
+		t.Fatal("packet delivered to unregistered node")
+	}
+	if n.NodeCount() != 0 {
+		t.Fatalf("node count = %d", n.NodeCount())
+	}
+}
+
+func TestLossAll(t *testing.T) {
+	n := New(1)
+	dst := wire.Addr(7)
+	c := &captureNode{n: n}
+	n.Register(dst, c)
+	n.SetPath(PathParams{Delay: Millisecond, Loss: 1})
+	for i := 0; i < 10; i++ {
+		n.Send(mkPkt(1, dst, nil, false))
+	}
+	n.RunUntilIdle()
+	if len(c.pkts) != 0 {
+		t.Fatal("packets delivered despite 100% loss")
+	}
+	if n.Stats().PacketsLost != 10 {
+		t.Fatalf("lost = %d", n.Stats().PacketsLost)
+	}
+}
+
+func TestLossRate(t *testing.T) {
+	n := New(99)
+	dst := wire.Addr(7)
+	c := &captureNode{n: n}
+	n.Register(dst, c)
+	n.SetPath(PathParams{Delay: Millisecond, Loss: 0.3})
+	const total = 10000
+	for i := 0; i < total; i++ {
+		n.Send(mkPkt(1, dst, nil, false))
+	}
+	n.RunUntilIdle()
+	got := float64(len(c.pkts)) / total
+	if got < 0.67 || got > 0.73 {
+		t.Fatalf("delivery rate = %v, want ~0.7", got)
+	}
+}
+
+func TestDuplication(t *testing.T) {
+	n := New(3)
+	dst := wire.Addr(7)
+	c := &captureNode{n: n}
+	n.Register(dst, c)
+	n.SetPath(PathParams{Delay: Millisecond, Duplicate: 1})
+	n.Send(mkPkt(1, dst, nil, false))
+	n.RunUntilIdle()
+	if len(c.pkts) != 2 {
+		t.Fatalf("delivered %d, want 2 (duplicated)", len(c.pkts))
+	}
+}
+
+func TestReorderJumpsQueue(t *testing.T) {
+	n := New(5)
+	dst := wire.Addr(7)
+	c := &captureNode{n: n}
+	n.Register(dst, c)
+	// First packet: normal delay. Second: guaranteed reorder (delay/4).
+	first := true
+	n.SetPathFunc(func(src, d wire.Addr) PathParams {
+		p := PathParams{Delay: 8 * Millisecond}
+		if !first {
+			p.Reorder = 1
+		}
+		first = false
+		return p
+	})
+	n.Send(mkPkt(1, dst, []byte("first"), false))
+	n.Send(mkPkt(1, dst, []byte("second"), false))
+	n.RunUntilIdle()
+	if len(c.pkts) != 2 {
+		t.Fatalf("delivered %d", len(c.pkts))
+	}
+	_, p0, _ := wire.DecodeIPv4(c.pkts[0])
+	if string(p0) != "second" {
+		t.Fatalf("expected reordered packet first, got %q", p0)
+	}
+}
+
+func TestTimerOrderAndCancel(t *testing.T) {
+	n := New(1)
+	var order []int
+	n.After(3*Millisecond, func() { order = append(order, 3) })
+	n.After(1*Millisecond, func() { order = append(order, 1) })
+	tm := n.After(2*Millisecond, func() { order = append(order, 2) })
+	tm.Cancel()
+	n.RunUntilIdle()
+	if len(order) != 2 || order[0] != 1 || order[1] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestTimerSameInstantFIFO(t *testing.T) {
+	n := New(1)
+	var order []int
+	n.After(Millisecond, func() { order = append(order, 1) })
+	n.After(Millisecond, func() { order = append(order, 2) })
+	n.After(Millisecond, func() { order = append(order, 3) })
+	n.RunUntilIdle()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestRunRespectsDeadline(t *testing.T) {
+	n := New(1)
+	fired := 0
+	n.After(Second, func() { fired++ })
+	n.After(3*Second, func() { fired++ })
+	n.Run(2 * Second)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if n.Now() != 2*Second {
+		t.Fatalf("now = %v, want 2s", n.Now())
+	}
+	n.RunUntilIdle()
+	if fired != 2 {
+		t.Fatalf("fired = %d, want 2", fired)
+	}
+}
+
+func TestNestedTimers(t *testing.T) {
+	n := New(1)
+	var times []Time
+	n.After(Millisecond, func() {
+		times = append(times, n.Now())
+		n.After(Millisecond, func() {
+			times = append(times, n.Now())
+		})
+	})
+	n.RunUntilIdle()
+	if len(times) != 2 || times[0] != Millisecond || times[1] != 2*Millisecond {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestFilterDrops(t *testing.T) {
+	n := New(1)
+	dst := wire.Addr(7)
+	c := &captureNode{n: n}
+	n.Register(dst, c)
+	n.SetPath(PathParams{Delay: Millisecond})
+	count := 0
+	n.AddFilter(func(now Time, pkt []byte) Verdict {
+		count++
+		if count == 2 {
+			return VerdictDrop
+		}
+		return VerdictPass
+	})
+	for i := 0; i < 3; i++ {
+		n.Send(mkPkt(1, dst, nil, false))
+	}
+	n.RunUntilIdle()
+	if len(c.pkts) != 2 {
+		t.Fatalf("delivered %d, want 2", len(c.pkts))
+	}
+	if n.Stats().PacketsFiltered != 1 {
+		t.Fatalf("filtered = %d", n.Stats().PacketsFiltered)
+	}
+}
+
+func TestMTUDropWithICMP(t *testing.T) {
+	n := New(1)
+	src := wire.MustParseAddr("10.0.0.1")
+	dst := wire.MustParseAddr("10.0.0.2")
+	sender := &captureNode{n: n}
+	n.Register(src, sender)
+	n.SetPath(PathParams{Delay: Millisecond, MTU: 100})
+	big := mkPkt(src, dst, make([]byte, 200), true) // DF set
+	n.Send(big)
+	n.RunUntilIdle()
+	if n.Stats().PacketsMTUDrop != 1 {
+		t.Fatalf("MTU drops = %d", n.Stats().PacketsMTUDrop)
+	}
+	if len(sender.pkts) != 1 {
+		t.Fatalf("expected 1 ICMP reply, got %d", len(sender.pkts))
+	}
+	hdr, payload, err := wire.DecodeIPv4(sender.pkts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Protocol != wire.ProtoICMP {
+		t.Fatalf("proto = %d", hdr.Protocol)
+	}
+	icmp, err := wire.DecodeICMP(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if icmp.Type != wire.ICMPDestUnreach || icmp.Code != wire.ICMPCodeFragNeeded {
+		t.Fatalf("icmp type/code = %d/%d", icmp.Type, icmp.Code)
+	}
+	if icmp.NextHopMTU != 100 {
+		t.Fatalf("next-hop MTU = %d", icmp.NextHopMTU)
+	}
+}
+
+func TestMTUDropNoDFNoICMP(t *testing.T) {
+	n := New(1)
+	src := wire.Addr(1)
+	sender := &captureNode{n: n}
+	n.Register(src, sender)
+	n.SetPath(PathParams{Delay: Millisecond, MTU: 50})
+	n.Send(mkPkt(src, 2, make([]byte, 100), false))
+	n.RunUntilIdle()
+	if len(sender.pkts) != 0 {
+		t.Fatal("ICMP sent for non-DF packet")
+	}
+}
+
+func TestCountersBytes(t *testing.T) {
+	n := New(1)
+	dst := wire.Addr(9)
+	n.Register(dst, &captureNode{n: n})
+	pkt := mkPkt(1, dst, []byte("hello"), false)
+	n.Send(pkt)
+	n.RunUntilIdle()
+	st := n.Stats()
+	if st.BytesSent != int64(len(pkt)) || st.BytesDelivered != int64(len(pkt)) {
+		t.Fatalf("bytes sent/delivered = %d/%d, want %d", st.BytesSent, st.BytesDelivered, len(pkt))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		n := New(1234)
+		dst := wire.Addr(7)
+		c := &captureNode{n: n}
+		n.Register(dst, c)
+		n.SetPath(PathParams{Delay: 3 * Millisecond, Jitter: 2 * Millisecond, Loss: 0.2, Reorder: 0.1})
+		for i := 0; i < 100; i++ {
+			n.Send(mkPkt(1, dst, []byte{byte(i)}, false))
+		}
+		n.RunUntilIdle()
+		return c.at
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs differ in count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if got := (1500 * Millisecond).String(); got != "1.500s" {
+		t.Fatalf("String = %q", got)
+	}
+	if (2 * Second).Seconds() != 2 {
+		t.Fatal("Seconds wrong")
+	}
+}
+
+func TestAtClampsToNow(t *testing.T) {
+	n := New(1)
+	n.After(Second, func() {
+		fired := false
+		n.At(0, func() { fired = true }) // in the past: runs "now"
+		if n.Run(n.Now()) == 0 || !fired {
+			t.Error("past timer did not fire immediately")
+		}
+	})
+	n.RunUntilIdle()
+}
+
+func TestBottleneckSerialization(t *testing.T) {
+	// A 8 kbit/s link takes 1 s per 1000-byte packet: three packets sent
+	// at once arrive one second apart.
+	n := New(1)
+	dst := wire.Addr(7)
+	c := &captureNode{n: n}
+	n.Register(dst, c)
+	n.SetPath(PathParams{Delay: 0, Rate: 8000, QueueBytes: 1 << 20})
+	for i := 0; i < 3; i++ {
+		n.Send(mkPkt(1, dst, make([]byte, 1000-wire.IPv4HeaderLen), false))
+	}
+	n.RunUntilIdle()
+	if len(c.pkts) != 3 {
+		t.Fatalf("delivered %d", len(c.pkts))
+	}
+	for i, want := range []Time{Second, 2 * Second, 3 * Second} {
+		if c.at[i] != want {
+			t.Fatalf("packet %d at %v, want %v", i, c.at[i], want)
+		}
+	}
+}
+
+func TestBottleneckQueueOverflow(t *testing.T) {
+	// Queue of 3000 bytes on a slow link: a burst of ten 1000-byte
+	// packets keeps roughly the first four (one in flight + three
+	// queued) and tail-drops the rest.
+	n := New(1)
+	dst := wire.Addr(7)
+	c := &captureNode{n: n}
+	n.Register(dst, c)
+	n.SetPath(PathParams{Delay: Millisecond, Rate: 8000, QueueBytes: 3000})
+	for i := 0; i < 10; i++ {
+		n.Send(mkPkt(1, dst, make([]byte, 1000-wire.IPv4HeaderLen), false))
+	}
+	n.RunUntilIdle()
+	if got := len(c.pkts); got < 3 || got > 5 {
+		t.Fatalf("delivered %d packets, want ~4", got)
+	}
+	if drops := n.Stats().PacketsQueueDrop; drops < 5 {
+		t.Fatalf("queue drops = %d", drops)
+	}
+}
+
+func TestBottleneckDrainsOverTime(t *testing.T) {
+	// After the queue drains, later packets pass again.
+	n := New(1)
+	dst := wire.Addr(7)
+	c := &captureNode{n: n}
+	n.Register(dst, c)
+	n.SetPath(PathParams{Delay: Millisecond, Rate: 8000, QueueBytes: 1000})
+	n.Send(mkPkt(1, dst, make([]byte, 976), false))
+	n.Run(5 * Second) // link idle again
+	n.Send(mkPkt(1, dst, make([]byte, 976), false))
+	n.RunUntilIdle()
+	if len(c.pkts) != 2 {
+		t.Fatalf("delivered %d packets, want 2", len(c.pkts))
+	}
+	if n.Stats().PacketsQueueDrop != 0 {
+		t.Fatalf("unexpected drops: %d", n.Stats().PacketsQueueDrop)
+	}
+}
+
+func TestBottleneckPerDirection(t *testing.T) {
+	// The bottleneck is directional: the reverse path is unaffected.
+	n := New(1)
+	a, b := wire.Addr(1), wire.Addr(2)
+	ca := &captureNode{n: n}
+	cb := &captureNode{n: n}
+	n.Register(a, ca)
+	n.Register(b, cb)
+	n.SetPathFunc(func(src, dst wire.Addr) PathParams {
+		p := PathParams{Delay: Millisecond}
+		if src == a { // only a->b constrained
+			p.Rate = 8000
+		}
+		return p
+	})
+	n.Send(mkPkt(a, b, make([]byte, 976), false))
+	n.Send(mkPkt(b, a, make([]byte, 976), false))
+	n.RunUntilIdle()
+	if len(cb.pkts) != 1 || len(ca.pkts) != 1 {
+		t.Fatalf("deliveries %d/%d", len(cb.pkts), len(ca.pkts))
+	}
+	if ca.at[0] >= cb.at[0] {
+		t.Fatal("reverse path should be much faster than the constrained one")
+	}
+}
+
+// Property: regardless of how sends and timers interleave, deliveries
+// observe non-decreasing virtual time (the heap never goes backwards).
+func TestEventTimeMonotoneProperty(t *testing.T) {
+	f := func(delays []uint16, seed uint64) bool {
+		n := New(seed)
+		dst := wire.Addr(9)
+		var last Time = -1
+		ok := true
+		n.Register(dst, nodeFunc(func([]byte) {
+			if n.Now() < last {
+				ok = false
+			}
+			last = n.Now()
+		}))
+		if len(delays) > 60 {
+			delays = delays[:60]
+		}
+		for _, d := range delays {
+			p := PathParams{Delay: Time(d%2000) * Microsecond, Jitter: Time(d%7) * Microsecond}
+			n.SetPath(p)
+			n.Send(mkPkt(1, dst, []byte{byte(d)}, false))
+			n.After(Time(d%500)*Microsecond, func() {
+				if n.Now() < last {
+					ok = false
+				}
+				last = n.Now()
+			})
+		}
+		n.RunUntilIdle()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type nodeFunc func(pkt []byte)
+
+func (f nodeFunc) HandlePacket(pkt []byte) { f(pkt) }

@@ -1,0 +1,68 @@
+package scanner
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"iwscan/internal/wire"
+)
+
+// ParseBlacklist reads a ZMap-style blacklist: one CIDR prefix (or bare
+// address, treated as a /32) per line, with '#' comments and blank lines
+// ignored.
+func ParseBlacklist(r io.Reader) ([]wire.Prefix, error) {
+	var out []wire.Prefix
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if !strings.ContainsRune(line, '/') {
+			line += "/32"
+		}
+		p, err := wire.ParsePrefix(line)
+		if err != nil {
+			return nil, fmt.Errorf("scanner: blacklist line %d: %w", lineNo, err)
+		}
+		out = append(out, p)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DefaultBlacklist covers the ranges an Internet scan must never probe:
+// RFC 1918 private space, loopback, link-local, multicast and the
+// reserved class E block — the baseline of ZMap's shipped blacklist.
+func DefaultBlacklist() []wire.Prefix {
+	var out []wire.Prefix
+	for _, s := range []string{
+		"0.0.0.0/8",       // "this" network
+		"10.0.0.0/8",      // RFC 1918
+		"100.64.0.0/10",   // CGN
+		"127.0.0.0/8",     // loopback
+		"169.254.0.0/16",  // link local
+		"172.16.0.0/12",   // RFC 1918
+		"192.0.0.0/24",    // IETF protocol assignments
+		"192.0.2.0/24",    // TEST-NET-1
+		"192.168.0.0/16",  // RFC 1918
+		"198.18.0.0/15",   // benchmarking
+		"198.51.100.0/24", // TEST-NET-2
+		"203.0.113.0/24",  // TEST-NET-3
+		"224.0.0.0/4",     // multicast
+		"240.0.0.0/4",     // reserved
+	} {
+		out = append(out, wire.MustParsePrefix(s))
+	}
+	return out
+}

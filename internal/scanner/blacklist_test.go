@@ -1,0 +1,67 @@
+package scanner
+
+import (
+	"strings"
+	"testing"
+
+	"iwscan/internal/wire"
+)
+
+func TestParseBlacklist(t *testing.T) {
+	input := `
+# research network opt-outs
+10.20.0.0/16
+192.0.2.7        # a single host
+  172.16.0.0/12
+
+# trailing comment line
+`
+	got, err := ParseBlacklist(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []wire.Prefix{
+		wire.MustParsePrefix("10.20.0.0/16"),
+		wire.MustParsePrefix("192.0.2.7/32"),
+		wire.MustParsePrefix("172.16.0.0/12"),
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d prefixes, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("prefix %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseBlacklistErrors(t *testing.T) {
+	for _, bad := range []string{"not-a-prefix\n", "10.0.0.0/33\n", "300.1.1.1\n"} {
+		if _, err := ParseBlacklist(strings.NewReader(bad)); err == nil {
+			t.Fatalf("accepted %q", bad)
+		}
+	}
+}
+
+func TestParseBlacklistEmpty(t *testing.T) {
+	got, err := ParseBlacklist(strings.NewReader("# only comments\n\n"))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestDefaultBlacklistCoversPrivateSpace(t *testing.T) {
+	bl := DefaultBlacklist()
+	space := NewSpaceFromPrefixes([]wire.Prefix{wire.MustParsePrefix("0.0.0.0/0")})
+	space.AddBlacklist(bl...)
+	for _, s := range []string{"10.1.2.3", "127.0.0.1", "192.168.1.1", "224.0.0.1", "169.254.9.9", "255.255.255.255"} {
+		if !space.Blacklisted(wire.MustParseAddr(s)) {
+			t.Errorf("%s not blacklisted", s)
+		}
+	}
+	for _, s := range []string{"8.8.8.8", "20.0.0.1", "143.89.0.1"} {
+		if space.Blacklisted(wire.MustParseAddr(s)) {
+			t.Errorf("%s wrongly blacklisted", s)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package scanner
+
+import (
+	"iwscan/internal/netsim"
+	"iwscan/internal/wire"
+)
+
+// LaunchFunc starts one probe against addr and must eventually invoke
+// done exactly once. The engine uses done for concurrency accounting;
+// probe results flow to the caller through its own closure.
+type LaunchFunc func(addr wire.Addr, done func())
+
+// Config tunes the engine.
+type Config struct {
+	// Rate is the probe launch rate in probes per second of virtual
+	// time. The paper scans at 150k packets/s; with ~10 packets per IW
+	// probe that corresponds to roughly 15k probes/s.
+	Rate float64
+	// MaxOutstanding bounds concurrently active probes (ZMap's state
+	// table size for our stateful module). Default 10000.
+	MaxOutstanding int
+	// Seed determines the permutation (scan order) and sampling.
+	Seed uint64
+	// SampleFraction probes only a deterministic random subset of the
+	// space (1.0 = everything).
+	SampleFraction float64
+	// Shard/Shards split the scan ZMap-style across instances. Shards=0
+	// means no sharding (equivalent to 1 shard).
+	Shard, Shards uint64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Rate == 0 {
+		out.Rate = 10000
+	}
+	if out.MaxOutstanding == 0 {
+		out.MaxOutstanding = 10000
+	}
+	if out.SampleFraction == 0 {
+		out.SampleFraction = 1
+	}
+	if out.Shards == 0 {
+		out.Shards = 1
+	}
+	return out
+}
+
+// Stats summarize an engine run.
+type Stats struct {
+	Launched    int64
+	Completed   int64
+	Skipped     int64 // blacklisted or outside the sample
+	StartedAt   netsim.Time
+	FinishedAt  netsim.Time
+	MaxInFlight int
+}
+
+// Duration returns the virtual-time span of the scan.
+func (s Stats) Duration() netsim.Time { return s.FinishedAt - s.StartedAt }
+
+// Engine drives probes over a target space at a fixed rate with bounded
+// concurrency, in virtual time.
+type Engine struct {
+	net      *netsim.Network
+	space    *TargetSpace
+	cfg      Config
+	launch   LaunchFunc
+	iter     *Shard
+	sampler  *Sampler
+	interval netsim.Time
+
+	outstanding int
+	exhausted   bool
+	tickArmed   bool
+	nextSend    netsim.Time
+	stats       Stats
+	onDone      func(Stats)
+}
+
+// NewEngine builds an engine over space. Call Start to begin; the caller
+// is responsible for running the network.
+func NewEngine(n *netsim.Network, space *TargetSpace, cfg Config, launch LaunchFunc) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		net:      n,
+		space:    space,
+		cfg:      cfg,
+		launch:   launch,
+		iter:     NewShard(space.Size(), cfg.Seed, cfg.Shard%cfg.Shards, cfg.Shards),
+		sampler:  NewSampler(cfg.Seed, cfg.SampleFraction),
+		interval: netsim.Time(float64(netsim.Second) / cfg.Rate),
+	}
+	if e.interval <= 0 {
+		e.interval = 1
+	}
+	return e
+}
+
+// OnFinish registers a callback invoked once when the scan completes
+// (iterator exhausted and all probes done).
+func (e *Engine) OnFinish(fn func(Stats)) { e.onDone = fn }
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Start begins launching probes.
+func (e *Engine) Start() {
+	e.stats.StartedAt = e.net.Now()
+	e.nextSend = e.net.Now()
+	e.pump()
+}
+
+// pump launches probes until the rate limiter or the concurrency bound
+// stops it, then schedules itself again.
+func (e *Engine) pump() {
+	for !e.exhausted && e.outstanding < e.cfg.MaxOutstanding && e.nextSend <= e.net.Now() {
+		idx, ok := e.nextIndex()
+		if !ok {
+			e.exhausted = true
+			break
+		}
+		addr := e.space.At(idx)
+		e.nextSend += e.interval
+		e.outstanding++
+		e.stats.Launched++
+		if e.outstanding > e.stats.MaxInFlight {
+			e.stats.MaxInFlight = e.outstanding
+		}
+		e.launch(addr, e.probeDone)
+	}
+	e.maybeFinish()
+	if e.exhausted || e.tickArmed || e.outstanding >= e.cfg.MaxOutstanding {
+		return
+	}
+	e.tickArmed = true
+	e.net.At(e.nextSend, func() {
+		e.tickArmed = false
+		e.pump()
+	})
+}
+
+// nextIndex advances the iterator past blacklisted and unsampled
+// entries.
+func (e *Engine) nextIndex() (uint64, bool) {
+	for {
+		idx, ok := e.iter.Next()
+		if !ok {
+			return 0, false
+		}
+		if !e.sampler.Keep(idx) || e.space.Blacklisted(e.space.At(idx)) {
+			e.stats.Skipped++
+			continue
+		}
+		return idx, true
+	}
+}
+
+func (e *Engine) probeDone() {
+	e.outstanding--
+	e.stats.Completed++
+	e.maybeFinish()
+	if !e.exhausted {
+		e.pump()
+	}
+}
+
+func (e *Engine) maybeFinish() {
+	if e.exhausted && e.outstanding == 0 && e.onDone != nil {
+		e.stats.FinishedAt = e.net.Now()
+		fn := e.onDone
+		e.onDone = nil
+		fn(e.stats)
+	}
+}

@@ -1,0 +1,93 @@
+package scanner
+
+// Cycle iterates a pseudo-random permutation of [0, n) exactly once,
+// using ZMap's construction: walk the multiplicative group of integers
+// modulo the smallest prime p >= n+1 by repeatedly multiplying with a
+// primitive root, skipping group elements that fall outside the target
+// range. Every index is visited exactly once, in an order that looks
+// random, with O(1) memory — which is what lets ZMap scan the IPv4
+// space without keeping per-address state.
+type Cycle struct {
+	n     uint64 // permutation size
+	p     uint64 // prime modulus, p >= n+1
+	g     uint64 // primitive root mod p
+	start uint64 // first element
+	cur   uint64
+	done  bool
+	first bool
+}
+
+// NewCycle builds a permutation of [0, n) seeded by seed. Different
+// seeds give different generators and starting points, i.e. different
+// scan orders. n must be at least 1.
+func NewCycle(n uint64, seed uint64) *Cycle {
+	if n == 0 {
+		panic("scanner: empty cycle")
+	}
+	// Group elements are [1, p-1]; we map element e to index e-1 and skip
+	// elements with e-1 >= n. p >= n+1 guarantees every index is covered.
+	p := NextPrime(n + 1)
+	g := PrimitiveRoot(p, seed)
+	// A second derived value picks the start element.
+	start := seed*0x9e3779b97f4a7c15%(p-1) + 1
+	return &Cycle{n: n, p: p, g: g, start: start, cur: start, first: true}
+}
+
+// N returns the permutation size.
+func (c *Cycle) N() uint64 { return c.n }
+
+// Next returns the next index of the permutation, or ok=false when all
+// n indices have been produced.
+func (c *Cycle) Next() (idx uint64, ok bool) {
+	if c.done {
+		return 0, false
+	}
+	for {
+		if c.first {
+			c.first = false
+		} else {
+			c.cur = mulMod(c.cur, c.g, c.p)
+			if c.cur == c.start {
+				c.done = true
+				return 0, false
+			}
+		}
+		if c.cur-1 < c.n {
+			return c.cur - 1, true
+		}
+	}
+}
+
+// Shard restricts iteration to every shards-th produced index, starting
+// at offset shard (0-based), the way ZMap distributes one scan across
+// machines: each shard walks the same cycle but keeps a disjoint subset.
+type Shard struct {
+	cycle  *Cycle
+	shard  uint64
+	shards uint64
+	pos    uint64
+}
+
+// NewShard wraps cycle to produce shard shard of shards. All shards of
+// the same (n, seed) cycle partition [0, n) exactly.
+func NewShard(n, seed, shard, shards uint64) *Shard {
+	if shards == 0 || shard >= shards {
+		panic("scanner: invalid shard spec")
+	}
+	return &Shard{cycle: NewCycle(n, seed), shard: shard, shards: shards}
+}
+
+// Next returns the next index belonging to this shard.
+func (s *Shard) Next() (uint64, bool) {
+	for {
+		idx, ok := s.cycle.Next()
+		if !ok {
+			return 0, false
+		}
+		keep := s.pos%s.shards == s.shard
+		s.pos++
+		if keep {
+			return idx, true
+		}
+	}
+}

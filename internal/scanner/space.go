@@ -1,0 +1,107 @@
+package scanner
+
+import (
+	"iwscan/internal/stats"
+	"iwscan/internal/wire"
+)
+
+// TargetSpace is the set of addresses a scan iterates: either a set of
+// prefixes (an Internet scan) or an explicit list (an Alexa-style scan),
+// minus a blacklist (unroutable and opted-out ranges, as the paper's
+// scan setup excludes).
+type TargetSpace struct {
+	prefixes  []wire.Prefix
+	cumsize   []uint64 // cumulative sizes of prefixes
+	list      []wire.Addr
+	blacklist []wire.Prefix
+	total     uint64
+}
+
+// NewSpaceFromPrefixes builds a target space covering all addresses of
+// the given prefixes.
+func NewSpaceFromPrefixes(prefixes []wire.Prefix) *TargetSpace {
+	t := &TargetSpace{prefixes: prefixes}
+	var sum uint64
+	for _, p := range prefixes {
+		sum += p.Size()
+		t.cumsize = append(t.cumsize, sum)
+	}
+	t.total = sum
+	return t
+}
+
+// NewSpaceFromList builds a target space over an explicit address list.
+func NewSpaceFromList(addrs []wire.Addr) *TargetSpace {
+	return &TargetSpace{list: addrs, total: uint64(len(addrs))}
+}
+
+// AddBlacklist excludes the given prefixes from the scan. Blacklisted
+// addresses still consume an index (the permutation covers them) but
+// Blacklisted reports true and the engine skips them, matching how ZMap
+// handles its blacklist.
+func (t *TargetSpace) AddBlacklist(prefixes ...wire.Prefix) {
+	t.blacklist = append(t.blacklist, prefixes...)
+}
+
+// Size returns the number of indices in the space.
+func (t *TargetSpace) Size() uint64 { return t.total }
+
+// At maps a linear index to its address. idx must be < Size.
+func (t *TargetSpace) At(idx uint64) wire.Addr {
+	if t.list != nil {
+		return t.list[idx]
+	}
+	// Binary search over the cumulative sizes.
+	lo, hi := 0, len(t.cumsize)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if idx < t.cumsize[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	base := uint64(0)
+	if lo > 0 {
+		base = t.cumsize[lo-1]
+	}
+	return t.prefixes[lo].Nth(idx - base)
+}
+
+// Blacklisted reports whether a is excluded from scanning.
+func (t *TargetSpace) Blacklisted(a wire.Addr) bool {
+	for _, p := range t.blacklist {
+		if p.Contains(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// Sampler deterministically keeps a fraction of indices, so a "1% scan"
+// selects a uniform random subset that is stable for a given seed
+// (§4.1: scanning a 1% sample of the address space suffices).
+type Sampler struct {
+	key       uint64
+	threshold uint64
+}
+
+// NewSampler keeps approximately fraction of all indices. fraction >= 1
+// keeps everything.
+func NewSampler(seed uint64, fraction float64) *Sampler {
+	if fraction >= 1 {
+		return &Sampler{key: seed, threshold: ^uint64(0)}
+	}
+	if fraction < 0 {
+		fraction = 0
+	}
+	return &Sampler{key: seed, threshold: uint64(fraction * float64(1<<63) * 2)}
+}
+
+// Keep reports whether index idx is part of the sample.
+func (s *Sampler) Keep(idx uint64) bool {
+	if s.threshold == ^uint64(0) {
+		return true
+	}
+	return stats.HashIP64(s.key, uint32(idx)^uint32(idx>>32)) < s.threshold
+}

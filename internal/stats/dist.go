@@ -1,0 +1,240 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Categorical draws from a fixed discrete distribution over int labels.
+// It is built once and then sampled with an RNG; sampling is O(log n).
+type Categorical struct {
+	labels []int
+	cum    []float64 // cumulative weights, cum[len-1] == total
+}
+
+// NewCategorical builds a categorical distribution from label->weight.
+// Weights need not sum to one; they are normalized internally.
+// It panics if no weight is positive.
+func NewCategorical(weights map[int]float64) *Categorical {
+	labels := make([]int, 0, len(weights))
+	for l, w := range weights {
+		if w > 0 {
+			labels = append(labels, l)
+		}
+	}
+	if len(labels) == 0 {
+		panic("stats: categorical distribution with no positive weights")
+	}
+	sort.Ints(labels)
+	c := &Categorical{labels: labels, cum: make([]float64, len(labels))}
+	total := 0.0
+	for i, l := range labels {
+		total += weights[l]
+		c.cum[i] = total
+	}
+	return c
+}
+
+// Sample draws one label.
+func (c *Categorical) Sample(r *RNG) int {
+	u := r.Float64() * c.cum[len(c.cum)-1]
+	i := sort.SearchFloat64s(c.cum, u)
+	if i >= len(c.labels) {
+		i = len(c.labels) - 1
+	}
+	return c.labels[i]
+}
+
+// SampleHash draws one label deterministically from 64 hash bits, so the
+// same (key, ip) pair always yields the same label.
+func (c *Categorical) SampleHash(h uint64) int {
+	u := float64(h>>11) / (1 << 53) * c.cum[len(c.cum)-1]
+	i := sort.SearchFloat64s(c.cum, u)
+	if i >= len(c.labels) {
+		i = len(c.labels) - 1
+	}
+	return c.labels[i]
+}
+
+// Labels returns the labels with positive weight, ascending.
+func (c *Categorical) Labels() []int { return c.labels }
+
+// Histogram counts observations of integer-valued samples.
+type Histogram struct {
+	counts map[int]int64
+	total  int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]int64)}
+}
+
+// Add records one observation of v.
+func (h *Histogram) Add(v int) { h.AddN(v, 1) }
+
+// AddN records n observations of v.
+func (h *Histogram) AddN(v int, n int64) {
+	h.counts[v] += n
+	h.total += n
+}
+
+// Count returns the number of observations of v.
+func (h *Histogram) Count(v int) int64 { return h.counts[v] }
+
+// Total returns the total number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Fraction returns the fraction of observations equal to v, in [0,1].
+// It returns 0 for an empty histogram.
+func (h *Histogram) Fraction(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[v]) / float64(h.total)
+}
+
+// Values returns all values with at least one observation, ascending.
+func (h *Histogram) Values() []int {
+	vs := make([]int, 0, len(h.counts))
+	for v := range h.counts {
+		vs = append(vs, v)
+	}
+	sort.Ints(vs)
+	return vs
+}
+
+// FractionMap returns value -> fraction for every observed value.
+func (h *Histogram) FractionMap() map[int]float64 {
+	m := make(map[int]float64, len(h.counts))
+	for v := range h.counts {
+		m[v] = h.Fraction(v)
+	}
+	return m
+}
+
+// Merge adds all observations of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	for v, n := range other.counts {
+		h.counts[v] += n
+		h.total += n
+	}
+}
+
+// String renders the histogram as "v:frac%" pairs, ascending by value.
+func (h *Histogram) String() string {
+	s := ""
+	for _, v := range h.Values() {
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("%d:%.1f%%", v, 100*h.Fraction(v))
+	}
+	return s
+}
+
+// CCDF computes the complementary cumulative distribution function of a
+// sample: CCDF(x) = fraction of samples strictly greater than... The
+// paper plots P(X >= x); we use the inclusive convention P(X >= x).
+type CCDF struct {
+	sorted []float64
+}
+
+// NewCCDF builds a CCDF over the given samples. The slice is copied.
+func NewCCDF(samples []float64) *CCDF {
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	return &CCDF{sorted: s}
+}
+
+// At returns P(X >= x). It returns 0 for an empty sample.
+func (c *CCDF) At(x float64) float64 {
+	n := len(c.sorted)
+	if n == 0 {
+		return 0
+	}
+	// Index of first element >= x.
+	i := sort.SearchFloat64s(c.sorted, x)
+	return float64(n-i) / float64(n)
+}
+
+// N returns the sample count.
+func (c *CCDF) N() int { return len(c.sorted) }
+
+// Min returns the smallest sample, or 0 when empty.
+func (c *CCDF) Min() float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	return c.sorted[0]
+}
+
+// Max returns the largest sample, or 0 when empty.
+func (c *CCDF) Max() float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	return c.sorted[len(c.sorted)-1]
+}
+
+// Mean returns the sample mean, or 0 when empty.
+func (c *CCDF) Mean() float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range c.sorted {
+		sum += v
+	}
+	return sum / float64(len(c.sorted))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using the nearest-rank
+// method. It returns 0 for an empty sample.
+func Quantile(samples []float64, q float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	rank := int(math.Ceil(q*float64(len(s)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return s[rank]
+}
+
+// Mean returns the arithmetic mean of samples, or 0 when empty.
+func Mean(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range samples {
+		sum += v
+	}
+	return sum / float64(len(samples))
+}
+
+// StdDev returns the population standard deviation, or 0 when empty.
+func StdDev(samples []float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	m := Mean(samples)
+	sum := 0.0
+	for _, v := range samples {
+		d := v - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(samples)))
+}

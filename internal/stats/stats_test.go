@@ -1,0 +1,332 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	a := NewRNG(7)
+	c1 := a.Split()
+	c2 := a.Split()
+	if c1.Uint64() == c2.Uint64() {
+		t.Fatal("split children produced identical first values")
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRNGFloat64Uniformity(t *testing.T) {
+	r := NewRNG(99)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean of uniforms = %v, want ~0.5", mean)
+	}
+}
+
+func TestRNGIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(17)
+		if v < 0 || v >= 17 {
+			t.Fatalf("Intn(17) = %d out of range", v)
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGBoolEdges(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+}
+
+func TestRNGNormFloat64Moments(t *testing.T) {
+	r := NewRNG(11)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(123)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation element %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestHashIP64Deterministic(t *testing.T) {
+	if HashIP64(1, 0x01020304) != HashIP64(1, 0x01020304) {
+		t.Fatal("HashIP64 not deterministic")
+	}
+	if HashIP64(1, 0x01020304) == HashIP64(2, 0x01020304) {
+		t.Fatal("HashIP64 ignores key")
+	}
+	if HashIP64(1, 0x01020304) == HashIP64(1, 0x01020305) {
+		t.Fatal("HashIP64 ignores ip")
+	}
+}
+
+func TestCategoricalProportions(t *testing.T) {
+	c := NewCategorical(map[int]float64{1: 1, 2: 2, 10: 7})
+	r := NewRNG(9)
+	counts := map[int]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[c.Sample(r)]++
+	}
+	if f := float64(counts[10]) / n; math.Abs(f-0.7) > 0.01 {
+		t.Fatalf("label 10 sampled at %v, want ~0.7", f)
+	}
+	if f := float64(counts[1]) / n; math.Abs(f-0.1) > 0.01 {
+		t.Fatalf("label 1 sampled at %v, want ~0.1", f)
+	}
+}
+
+func TestCategoricalSampleHashDeterministic(t *testing.T) {
+	c := NewCategorical(map[int]float64{1: 1, 2: 1})
+	if c.SampleHash(12345) != c.SampleHash(12345) {
+		t.Fatal("SampleHash not deterministic")
+	}
+}
+
+func TestCategoricalDropsZeroWeights(t *testing.T) {
+	c := NewCategorical(map[int]float64{1: 1, 2: 0, 3: -5})
+	for _, l := range c.Labels() {
+		if l != 1 {
+			t.Fatalf("label %d should have been dropped", l)
+		}
+	}
+}
+
+func TestCategoricalPanicsWithoutWeight(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty distribution")
+		}
+	}()
+	NewCategorical(map[int]float64{1: 0})
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	h.Add(1)
+	h.Add(1)
+	h.AddN(10, 2)
+	if h.Total() != 4 {
+		t.Fatalf("total = %d, want 4", h.Total())
+	}
+	if h.Fraction(1) != 0.5 {
+		t.Fatalf("fraction(1) = %v, want 0.5", h.Fraction(1))
+	}
+	vs := h.Values()
+	if len(vs) != 2 || vs[0] != 1 || vs[1] != 10 {
+		t.Fatalf("values = %v", vs)
+	}
+}
+
+func TestHistogramEmptyFraction(t *testing.T) {
+	h := NewHistogram()
+	if h.Fraction(5) != 0 {
+		t.Fatal("empty histogram fraction should be 0")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram()
+	b := NewHistogram()
+	a.Add(1)
+	b.Add(1)
+	b.Add(2)
+	a.Merge(b)
+	if a.Total() != 3 || a.Count(1) != 2 || a.Count(2) != 1 {
+		t.Fatalf("merge wrong: %v", a.FractionMap())
+	}
+}
+
+func TestCCDFBasics(t *testing.T) {
+	c := NewCCDF([]float64{1, 2, 3, 4})
+	if got := c.At(0); got != 1 {
+		t.Fatalf("At(0) = %v, want 1", got)
+	}
+	if got := c.At(3); got != 0.5 {
+		t.Fatalf("At(3) = %v, want 0.5 (P[X>=3])", got)
+	}
+	if got := c.At(5); got != 0 {
+		t.Fatalf("At(5) = %v, want 0", got)
+	}
+	if c.Min() != 1 || c.Max() != 4 || c.Mean() != 2.5 {
+		t.Fatalf("min/max/mean = %v/%v/%v", c.Min(), c.Max(), c.Mean())
+	}
+}
+
+func TestCCDFEmpty(t *testing.T) {
+	c := NewCCDF(nil)
+	if c.At(1) != 0 || c.N() != 0 || c.Min() != 0 || c.Max() != 0 || c.Mean() != 0 {
+		t.Fatal("empty CCDF should return zeros")
+	}
+}
+
+func TestCCDFMonotone(t *testing.T) {
+	// Property: CCDF is non-increasing in x.
+	f := func(raw []float64, probes []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		c := NewCCDF(raw)
+		prev := 1.1
+		probes = append(probes, raw...)
+		// Evaluate in ascending probe order.
+		for _, x := range probes {
+			_ = x
+		}
+		xs := append([]float64{}, probes...)
+		for i := 0; i < len(xs); i++ {
+			for j := i + 1; j < len(xs); j++ {
+				if xs[j] < xs[i] {
+					xs[i], xs[j] = xs[j], xs[i]
+				}
+			}
+		}
+		for _, x := range xs {
+			v := c.At(x)
+			if v > prev+1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if q := Quantile(s, 0.5); q != 5 {
+		t.Fatalf("median = %v, want 5", q)
+	}
+	if q := Quantile(s, 0); q != 1 {
+		t.Fatalf("q0 = %v, want 1", q)
+	}
+	if q := Quantile(s, 1); q != 10 {
+		t.Fatalf("q1 = %v, want 10", q)
+	}
+	if q := Quantile(s, 0.99); q != 10 {
+		t.Fatalf("q99 = %v, want 10", q)
+	}
+	if q := Quantile(nil, 0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	s := []float64{3, 1, 2}
+	Quantile(s, 0.5)
+	if s[0] != 3 || s[1] != 1 || s[2] != 2 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	s := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(s); m != 5 {
+		t.Fatalf("mean = %v, want 5", m)
+	}
+	if sd := StdDev(s); math.Abs(sd-2) > 1e-12 {
+		t.Fatalf("stddev = %v, want 2", sd)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty mean/stddev should be 0")
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := NewRNG(77)
+	for i := 0; i < 1000; i++ {
+		if v := r.LogNormal(5, 1); v <= 0 {
+			t.Fatalf("lognormal produced non-positive %v", v)
+		}
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRNG(13)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	if m := sum / n; math.Abs(m-1) > 0.02 {
+		t.Fatalf("exp mean = %v, want ~1", m)
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	r := NewRNG(21)
+	s := []int{1, 2, 3, 4, 5}
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	if sum != 15 {
+		t.Fatalf("shuffle lost elements: %v", s)
+	}
+}

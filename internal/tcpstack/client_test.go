@@ -1,0 +1,166 @@
+package tcpstack
+
+import (
+	"testing"
+
+	"iwscan/internal/netsim"
+	"iwscan/internal/wire"
+)
+
+// fetch runs a client download from a server with the given IW and page
+// size, returning bytes received, graceful completion, and the virtual
+// completion time.
+func fetch(t *testing.T, iw, pageLen int, cfg ClientConfig, delay netsim.Time) (int64, bool, netsim.Time) {
+	t.Helper()
+	n := netsim.New(9)
+	n.SetPath(netsim.PathParams{Delay: delay})
+	host := NewHost(n, serverAddr, Config{
+		IW:  IWPolicy{Kind: IWSegments, Segments: iw},
+		MSS: MSSPolicy{Floor: 64},
+	})
+	host.Listen(80, &echoApp{response: make([]byte, pageLen), close: true})
+	cl := NewClient(n, clientAddr, cfg)
+	var done bool
+	var complete bool
+	var finished netsim.Time
+	conn := cl.Connect(serverAddr, 80, []byte("GET / HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n"), ClientEvents{
+		OnClose: func(c *ClientConn, ok bool) {
+			done, complete, finished = true, ok, n.Now()
+		},
+	})
+	n.RunUntilIdle()
+	if !done {
+		t.Fatal("download never completed")
+	}
+	return conn.BytesReceived(), complete, finished
+}
+
+func TestClientDownloadsFullResponse(t *testing.T) {
+	got, complete, _ := fetch(t, 10, 50000, ClientConfig{}, 10*netsim.Millisecond)
+	if got != 50000 {
+		t.Fatalf("received %d bytes, want 50000", got)
+	}
+	if !complete {
+		t.Fatal("download not graceful")
+	}
+}
+
+func TestClientDelayedACK(t *testing.T) {
+	got, complete, _ := fetch(t, 10, 30000, ClientConfig{DelayedACK: true}, 10*netsim.Millisecond)
+	if got != 30000 || !complete {
+		t.Fatalf("delayed-ACK download broken: %d bytes, complete=%v", got, complete)
+	}
+}
+
+// TestFlowCompletionTimeVsIW is the paper's motivation: for a response
+// larger than the IW, each doubling of the congestion window costs one
+// RTT, so a larger IW completes the flow in fewer round trips.
+func TestFlowCompletionTimeVsIW(t *testing.T) {
+	const rtt = 50 * netsim.Millisecond // one-way 25 ms
+	page := 16 * 1460                   // ~23 kB page at full MSS... server MSS clamps
+	var prev netsim.Time
+	for i, iw := range []int{1, 2, 4, 10, 20} {
+		_, complete, fct := fetch(t, iw, page, ClientConfig{MSS: 1460}, rtt/2)
+		if !complete {
+			t.Fatalf("IW %d: incomplete", iw)
+		}
+		if i > 0 && fct > prev {
+			t.Fatalf("IW %d finished later (%v) than the smaller IW (%v)", iw, fct, prev)
+		}
+		prev = fct
+	}
+	// IW1 needs ~5 doublings for 16 segments; IW10 needs ~1. At least
+	// two RTTs of difference must show.
+	_, _, slow := fetch(t, 1, page, ClientConfig{MSS: 1460}, rtt/2)
+	_, _, fast := fetch(t, 10, page, ClientConfig{MSS: 1460}, rtt/2)
+	if slow-fast < 2*rtt {
+		t.Fatalf("IW1 (%v) vs IW10 (%v): expected >= 2 RTT gap", slow, fast)
+	}
+}
+
+func TestClientHandshakeTimeout(t *testing.T) {
+	n := netsim.New(1)
+	n.SetPath(netsim.PathParams{Delay: netsim.Millisecond})
+	cl := NewClient(n, clientAddr, ClientConfig{SynTimeout: 100 * netsim.Millisecond, SynRetries: 1})
+	closed := false
+	complete := true
+	cl.Connect(wire.MustParseAddr("203.0.113.9"), 80, []byte("x"), ClientEvents{
+		OnClose: func(c *ClientConn, ok bool) { closed, complete = true, ok },
+	})
+	n.RunUntilIdle()
+	if !closed || complete {
+		t.Fatalf("closed=%v complete=%v, want failed close", closed, complete)
+	}
+}
+
+func TestClientSYNRetry(t *testing.T) {
+	// Drop the first SYN: the retry connects anyway.
+	n := netsim.New(1)
+	n.SetPath(netsim.PathParams{Delay: netsim.Millisecond})
+	host := NewHost(n, serverAddr, Config{IW: IWPolicy{Kind: IWSegments, Segments: 10}, MSS: MSSPolicy{Floor: 64}})
+	host.Listen(80, &echoApp{response: []byte("hi"), close: true})
+	first := true
+	n.AddFilter(func(now netsim.Time, pkt []byte) netsim.Verdict {
+		ip, payload, err := wire.DecodeIPv4(pkt)
+		if err != nil || ip.Src != clientAddr {
+			return netsim.VerdictPass
+		}
+		tcp, _, err := wire.DecodeTCP(ip.Src, ip.Dst, payload)
+		if err == nil && tcp.HasFlag(wire.FlagSYN) && first {
+			first = false
+			return netsim.VerdictDrop
+		}
+		return netsim.VerdictPass
+	})
+	cl := NewClient(n, clientAddr, ClientConfig{SynTimeout: 200 * netsim.Millisecond})
+	var got int64
+	complete := false
+	conn := cl.Connect(serverAddr, 80, []byte("req"), ClientEvents{
+		OnClose: func(c *ClientConn, ok bool) { complete = ok },
+	})
+	n.RunUntilIdle()
+	got = conn.BytesReceived()
+	if !complete || got != 2 {
+		t.Fatalf("retrying client got %d bytes, complete=%v", got, complete)
+	}
+}
+
+func TestClientOutOfOrderReACKs(t *testing.T) {
+	// Under reordering, the client still assembles the full response
+	// (duplicate ACKs make the server retransmit nothing here since all
+	// segments eventually arrive; out-of-order ones are dropped by the
+	// client and recovered by the server's RTO).
+	n := netsim.New(5)
+	n.SetPath(netsim.PathParams{Delay: 10 * netsim.Millisecond, Reorder: 0.2})
+	host := NewHost(n, serverAddr, Config{IW: IWPolicy{Kind: IWSegments, Segments: 4}, MSS: MSSPolicy{Floor: 64}, RTO: 300 * netsim.Millisecond})
+	host.Listen(80, &echoApp{response: make([]byte, 8000), close: true})
+	cl := NewClient(n, clientAddr, ClientConfig{})
+	var done bool
+	conn := cl.Connect(serverAddr, 80, []byte("GET / HTTP/1.1\r\nConnection: close\r\n\r\n"), ClientEvents{
+		OnClose: func(c *ClientConn, ok bool) { done = ok },
+	})
+	n.RunUntilIdle()
+	if !done || conn.BytesReceived() != 8000 {
+		t.Fatalf("reordered download: %d bytes, done=%v", conn.BytesReceived(), done)
+	}
+}
+
+func TestClientAbort(t *testing.T) {
+	n := netsim.New(1)
+	n.SetPath(netsim.PathParams{Delay: netsim.Millisecond})
+	host := NewHost(n, serverAddr, Config{IW: IWPolicy{Kind: IWSegments, Segments: 2}, MSS: MSSPolicy{Floor: 64}})
+	host.Listen(80, &echoApp{response: make([]byte, 100000)})
+	cl := NewClient(n, clientAddr, ClientConfig{})
+	conn := cl.Connect(serverAddr, 80, []byte("req"), ClientEvents{
+		OnData: func(c *ClientConn, data []byte) {
+			if c.BytesReceived() > 1000 {
+				c.Abort()
+			}
+		},
+	})
+	n.RunUntilIdle()
+	_ = conn
+	if host.ConnCount() != 0 {
+		t.Fatal("server connection not reset by client abort")
+	}
+}

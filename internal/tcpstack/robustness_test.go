@@ -1,0 +1,124 @@
+package tcpstack
+
+import (
+	"testing"
+	"testing/quick"
+
+	"iwscan/internal/netsim"
+	"iwscan/internal/stats"
+	"iwscan/internal/wire"
+)
+
+// TestHostSurvivesGarbagePackets feeds random bytes to the host: nothing
+// may panic, and no connection state may leak.
+func TestHostSurvivesGarbagePackets(t *testing.T) {
+	n := netsim.New(1)
+	h := NewHost(n, serverAddr, Config{})
+	h.Listen(80, &echoApp{response: []byte("x")})
+	rng := stats.NewRNG(99)
+	for i := 0; i < 5000; i++ {
+		size := rng.Intn(120)
+		pkt := make([]byte, size)
+		for j := range pkt {
+			pkt[j] = byte(rng.Uint64())
+		}
+		h.HandlePacket(pkt)
+	}
+	if h.ConnCount() != 0 {
+		t.Fatalf("garbage created %d connections", h.ConnCount())
+	}
+}
+
+// TestHostSurvivesRandomValidSegments sends well-formed but semantically
+// random TCP segments (random flags, seqs, ports): no panics, and any
+// connections created must be reapable.
+func TestHostSurvivesRandomValidSegments(t *testing.T) {
+	n := netsim.New(2)
+	n.SetPath(netsim.PathParams{Delay: netsim.Millisecond})
+	h := NewHost(n, serverAddr, Config{IdleTime: netsim.Second})
+	h.Listen(80, &echoApp{response: []byte("hello")})
+	rng := stats.NewRNG(7)
+	for i := 0; i < 3000; i++ {
+		hdr := wire.NewTCPHeader()
+		hdr.SrcPort = uint16(rng.Uint32())
+		hdr.DstPort = 80
+		if rng.Bool(0.3) {
+			hdr.DstPort = uint16(rng.Uint32()) // mostly closed ports too
+		}
+		hdr.Seq = rng.Uint32()
+		hdr.Ack = rng.Uint32()
+		hdr.Flags = byte(rng.Uint64())
+		hdr.Window = uint16(rng.Uint32())
+		if rng.Bool(0.3) {
+			hdr.MSS = uint16(rng.Intn(1500))
+		}
+		var payload []byte
+		if rng.Bool(0.4) {
+			payload = make([]byte, rng.Intn(200))
+		}
+		seg := wire.EncodeTCP(nil, clientAddr, serverAddr, hdr, payload)
+		pkt := wire.EncodeIPv4(nil, &wire.IPv4Header{Protocol: wire.ProtoTCP, Src: clientAddr, Dst: serverAddr}, seg)
+		h.HandlePacket(pkt)
+		if i%100 == 99 {
+			n.Run(n.Now() + 100*netsim.Millisecond)
+		}
+	}
+	// Everything must eventually be reaped by idle/retransmission limits.
+	n.RunUntilIdle()
+	if h.ConnCount() != 0 {
+		t.Fatalf("%d connections leaked after random traffic", h.ConnCount())
+	}
+}
+
+// TestSequenceNumberWraparound runs a full exchange whose client ISN and
+// data cross the 2^32 boundary.
+func TestSequenceNumberWraparound(t *testing.T) {
+	app := &echoApp{response: make([]byte, 64*10)}
+	n, _, c := setup(t, Config{IW: IWPolicy{Kind: IWSegments, Segments: 4}}, app)
+	c.isn = 0xfffffffd // SYN consumes one; request data spans the wrap
+	iss := handshake(t, n, c, 64, 65535, []byte("GET / HTTP/1.1\r\n\r\n"))
+	n.Run(n.Now() + 500*netsim.Millisecond)
+	segs := c.dataSegs()
+	if len(segs) != 4 {
+		t.Fatalf("got %d data segments across ISN wraparound, want 4", len(segs))
+	}
+	// ACK everything (server-side sequence space) and finish cleanly.
+	c.sendSeg(c.isn+1+18, iss+1+256, wire.FlagACK, 65535, nil)
+	n.Run(n.Now() + 200*netsim.Millisecond)
+	if got := len(c.dataSegs()); got <= 4 {
+		t.Fatalf("no progress after wraparound ACK: %d segments", got)
+	}
+}
+
+// Property: the effective-MSS policy is monotone and respects its bounds
+// for arbitrary inputs.
+func TestMSSPolicyProperty(t *testing.T) {
+	f := func(announced uint16, floor, fallback uint8, local uint16) bool {
+		p := MSSPolicy{Floor: int(floor), Fallback: int(fallback)}
+		localMSS := int(local)%1500 + 1
+		eff := p.Effective(int(announced), localMSS)
+		if eff <= 0 || eff > localMSS {
+			return false
+		}
+		if p.Fallback > 0 && int(announced) > 0 && int(announced) < p.Fallback &&
+			eff != min(p.Fallback, localMSS) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: IWPolicy.IW is positive for any sane configuration.
+func TestIWPolicyProperty(t *testing.T) {
+	f := func(kind uint8, segs, bytes uint16, mss uint16) bool {
+		p := IWPolicy{Kind: IWKind(kind % 3), Segments: int(segs) % 100, Bytes: int(bytes)}
+		eff := int(mss)%1500 + 1
+		return p.IW(eff) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,246 @@
+package tlssim
+
+import (
+	"iwscan/internal/stats"
+	"iwscan/internal/tcpstack"
+)
+
+// ServerBehavior selects how a TLS host answers a ClientHello.
+type ServerBehavior int
+
+// TLS server behaviours observed on the Internet (§3.3, §4 of the paper).
+const (
+	// BehaviorServeChain sends the full first flight: ServerHello,
+	// Certificate (chain of ChainLen bytes), optional CertificateStatus,
+	// ServerHelloDone. The connection then waits for the client.
+	BehaviorServeChain ServerBehavior = iota
+	// BehaviorRequireSNI answers a hello without a server_name extension
+	// with a fatal unrecognized_name alert and closes — these hosts show
+	// up as "few data" with no payload at all (NoData in Table 2).
+	BehaviorRequireSNI
+	// BehaviorNoCipherOverlap rejects the offered suites with a fatal
+	// handshake_failure alert and closes — a single tiny record, giving
+	// the IW1 lower bound that dominates the TLS "few data" hosts.
+	BehaviorNoCipherOverlap
+	// BehaviorReset aborts the connection with a RST upon the hello
+	// (counted as an estimation error).
+	BehaviorReset
+)
+
+// ServerConfig describes one TLS host's answer behaviour.
+type ServerConfig struct {
+	Behavior ServerBehavior
+	// ChainLen is the certificate chain length in bytes (the DER bytes,
+	// excluding the per-cert length prefixes) for BehaviorServeChain.
+	ChainLen int
+	// OCSPStaple appends a CertificateStatus message of OCSPLen bytes
+	// when the client requested stapling.
+	OCSPStaple bool
+	OCSPLen    int
+	// Seed makes certificate bytes deterministic per host.
+	Seed uint64
+}
+
+// Server is a tcpstack.App that speaks the server side of the TLS
+// handshake's first flight.
+type Server struct {
+	cfg ServerConfig
+}
+
+// NewServer returns a TLS server app with the given behaviour.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.OCSPLen == 0 {
+		cfg.OCSPLen = 1500
+	}
+	return &Server{cfg: cfg}
+}
+
+// NewSession implements tcpstack.App.
+func (s *Server) NewSession(c *tcpstack.Conn) tcpstack.Session {
+	return &serverSession{srv: s, conn: c}
+}
+
+type serverSession struct {
+	srv  *Server
+	conn *tcpstack.Conn
+	buf  []byte
+	done bool
+}
+
+func (ss *serverSession) OnPeerClose() {}
+
+func (ss *serverSession) OnData(data []byte) {
+	if ss.done {
+		return
+	}
+	ss.buf = append(ss.buf, data...)
+	rec, n, err := DecodeRecord(ss.buf)
+	if err == ErrTruncated {
+		return // wait for more bytes
+	}
+	if err != nil || rec.Type != RecordHandshake {
+		ss.fatal(AlertInternalError)
+		return
+	}
+	hs, _, err := DecodeHandshake(rec.Payload)
+	if err != nil || hs.Type != HandshakeClientHello {
+		ss.fatal(AlertInternalError)
+		return
+	}
+	ch, err := DecodeClientHello(hs.Body)
+	if err != nil {
+		ss.fatal(AlertInternalError)
+		return
+	}
+	ss.buf = ss.buf[n:]
+	ss.done = true
+	ss.respond(ch)
+}
+
+func (ss *serverSession) fatal(desc byte) {
+	ss.done = true
+	ss.conn.Write(EncodeAlertRecord(nil, Alert{Level: AlertLevelFatal, Desc: desc}))
+	ss.conn.Close()
+}
+
+func (ss *serverSession) respond(ch *ClientHello) {
+	cfg := ss.srv.cfg
+	switch cfg.Behavior {
+	case BehaviorReset:
+		ss.conn.Abort()
+		return
+	case BehaviorRequireSNI:
+		if _, ok := ch.Extension(ExtServerName); !ok {
+			// Close without sending anything — the NoData case. Real
+			// SNI-only frontends drop or time the connection out; we
+			// send a bare FIN.
+			ss.conn.Close()
+			return
+		}
+	case BehaviorNoCipherOverlap:
+		ss.fatal(AlertHandshakeFailure)
+		return
+	}
+
+	// Pick the first offered suite we nominally support.
+	suite := uint16(0x002f)
+	if len(ch.CipherSuites) > 0 {
+		suite = ch.CipherSuites[0]
+	}
+
+	rng := stats.NewRNG(cfg.Seed)
+	sh := &ServerHello{Version: VersionTLS12, CipherSuite: suite}
+	for i := range sh.Random {
+		sh.Random[i] = byte(rng.Uint64())
+	}
+
+	flight := EncodeHandshake(nil, Handshake{Type: HandshakeServerHello, Body: EncodeServerHello(sh)})
+	chain := GenerateChain(rng, cfg.ChainLen)
+	flight = EncodeHandshake(flight, Handshake{Type: HandshakeCertificate, Body: EncodeCertificateChain(chain)})
+	if cfg.OCSPStaple && ch.HasExtension(ExtStatusRequest) {
+		status := make([]byte, cfg.OCSPLen)
+		for i := range status {
+			status[i] = byte(rng.Uint64())
+		}
+		flight = EncodeHandshake(flight, Handshake{Type: HandshakeCertificateStatus, Body: status})
+	}
+	flight = EncodeHandshake(flight, Handshake{Type: HandshakeServerHelloDone, Body: nil})
+
+	// Fragment the flight across records of at most MaxRecordLen.
+	var out []byte
+	for off := 0; off < len(flight); off += MaxRecordLen {
+		end := off + MaxRecordLen
+		if end > len(flight) {
+			end = len(flight)
+		}
+		out = EncodeRecord(out, Record{Type: RecordHandshake, Version: VersionTLS12, Payload: flight[off:end]})
+	}
+	ss.conn.Write(out)
+	// The server now waits for ClientKeyExchange; it does not close, so
+	// an IW-limited host keeps data queued and never FINs early.
+}
+
+// GenerateChain produces a deterministic pseudo-DER certificate chain
+// whose total DER length is totalLen bytes, split across 1-3
+// certificates the way real chains are (leaf larger than intermediates).
+func GenerateChain(rng *stats.RNG, totalLen int) [][]byte {
+	if totalLen <= 0 {
+		totalLen = 36
+	}
+	var lens []int
+	switch {
+	case totalLen < 700:
+		lens = []int{totalLen}
+	case totalLen < 2200:
+		leaf := totalLen * 60 / 100
+		lens = []int{leaf, totalLen - leaf}
+	default:
+		leaf := totalLen * 45 / 100
+		inter := totalLen * 35 / 100
+		lens = []int{leaf, inter, totalLen - leaf - inter}
+	}
+	chain := make([][]byte, 0, len(lens))
+	for _, n := range lens {
+		chain = append(chain, generateCert(rng, n))
+	}
+	return chain
+}
+
+// generateCert emits n bytes that start like a DER SEQUENCE, so traffic
+// looks plausible in a packet capture.
+func generateCert(rng *stats.RNG, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Uint64())
+	}
+	if n >= 4 {
+		b[0] = 0x30 // SEQUENCE
+		b[1] = 0x82 // long form, 2 length bytes
+		inner := n - 4
+		b[2] = byte(inner >> 8)
+		b[3] = byte(inner)
+	}
+	return b
+}
+
+// ChainLenDist models the censys.io certificate-chain length
+// distribution of Figure 2: mean 2186 B, minimum 36 B, maximum 65 kB,
+// with >= 86% of hosts above 640 B (10 segments at MSS 64) and about
+// half above ~2176 B (IW 34 at MSS 64).
+type ChainLenDist struct{}
+
+// Figure-2 calibration constants.
+const (
+	chainMin      = 36
+	chainMax      = 65000
+	chainP1       = 0.14 // mass below 640 B
+	chainP2       = 0.36 // mass in [640, 2176)
+	chainTailMean = 1100 // exponential tail mean above 2176 B
+)
+
+// SampleHash draws a chain length from 64 bits of per-host hash, so a
+// host's chain is a stable attribute of its address.
+func (ChainLenDist) SampleHash(h uint64) int {
+	r := stats.NewRNG(h)
+	u := r.Float64()
+	switch {
+	case u < chainP1:
+		// Uniform on [36, 640): small self-signed or truncated chains.
+		return chainMin + r.Intn(640-chainMin)
+	case u < chainP1+chainP2:
+		// Uniform on [640, 2176): single leaf + small intermediate.
+		return 640 + r.Intn(2176-640)
+	default:
+		// Shifted exponential above 2176, truncated at 65 kB, with a
+		// sliver of extreme chains (mis-issued bundles with dozens of
+		// certificates) reaching the paper's observed 65 kB maximum.
+		if r.Float64() < 0.0015 {
+			return 10000 + r.Intn(chainMax-10000+1)
+		}
+		v := 2176 + int(r.ExpFloat64()*chainTailMean)
+		if v > chainMax {
+			v = chainMax
+		}
+		return v
+	}
+}

@@ -1,0 +1,250 @@
+// Package trace captures packets from the simulated network for
+// inspection: as libpcap files (readable by tcpdump/Wireshark, link
+// type RAW so each record is a bare IPv4 datagram) and as tcpdump-style
+// text lines. A Recorder plugs into netsim as a packet filter that
+// records and passes everything.
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+
+	"iwscan/internal/netsim"
+	"iwscan/internal/tlssim"
+	"iwscan/internal/wire"
+)
+
+// Captured is one recorded packet.
+type Captured struct {
+	At   netsim.Time
+	Data []byte
+}
+
+// Recorder collects packets matching an optional address filter.
+type Recorder struct {
+	match func(src, dst wire.Addr) bool
+	pkts  []Captured
+	max   int
+}
+
+// NewRecorder records every packet. Use Limit and FilterHost to narrow.
+func NewRecorder() *Recorder {
+	return &Recorder{max: 1 << 20}
+}
+
+// Limit caps the number of recorded packets (default ~1M).
+func (r *Recorder) Limit(n int) *Recorder {
+	r.max = n
+	return r
+}
+
+// FilterHost records only packets to or from addr.
+func (r *Recorder) FilterHost(addr wire.Addr) *Recorder {
+	r.match = func(src, dst wire.Addr) bool { return src == addr || dst == addr }
+	return r
+}
+
+// FilterPair records only packets between a and b.
+func (r *Recorder) FilterPair(a, b wire.Addr) *Recorder {
+	r.match = func(src, dst wire.Addr) bool {
+		return (src == a && dst == b) || (src == b && dst == a)
+	}
+	return r
+}
+
+// Filter returns the netsim filter that feeds this recorder; install it
+// with Network.AddFilter. It never drops packets.
+func (r *Recorder) Filter() netsim.Filter {
+	return func(now netsim.Time, pkt []byte) netsim.Verdict {
+		if len(r.pkts) >= r.max {
+			return netsim.VerdictPass
+		}
+		if r.match != nil {
+			ip, _, err := wire.DecodeIPv4(pkt)
+			if err != nil || !r.match(ip.Src, ip.Dst) {
+				return netsim.VerdictPass
+			}
+		}
+		r.pkts = append(r.pkts, Captured{At: now, Data: append([]byte(nil), pkt...)})
+		return netsim.VerdictPass
+	}
+}
+
+// Packets returns the captured packets in capture order.
+func (r *Recorder) Packets() []Captured { return r.pkts }
+
+// pcap constants (https://wiki.wireshark.org/Development/LibpcapFileFormat).
+const (
+	pcapMagic        = 0xa1b2c3d4
+	pcapVersionMajor = 2
+	pcapVersionMinor = 4
+	pcapLinkRaw      = 101 // LINKTYPE_RAW: packets begin with the IPv4 header
+	pcapSnapLen      = 65535
+)
+
+// WritePcap writes the capture as a classic little-endian pcap file.
+func (r *Recorder) WritePcap(w io.Writer) error {
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], pcapMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], pcapVersionMajor)
+	binary.LittleEndian.PutUint16(hdr[6:8], pcapVersionMinor)
+	// thiszone and sigfigs stay zero.
+	binary.LittleEndian.PutUint32(hdr[16:20], pcapSnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], pcapLinkRaw)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, p := range r.pkts {
+		var rec [16]byte
+		sec := uint32(p.At / netsim.Second)
+		usec := uint32((p.At % netsim.Second) / netsim.Microsecond)
+		binary.LittleEndian.PutUint32(rec[0:4], sec)
+		binary.LittleEndian.PutUint32(rec[4:8], usec)
+		binary.LittleEndian.PutUint32(rec[8:12], uint32(len(p.Data)))
+		binary.LittleEndian.PutUint32(rec[12:16], uint32(len(p.Data)))
+		if _, err := w.Write(rec[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(p.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadPcap parses a pcap file previously written by WritePcap (classic
+// little-endian format, raw link type).
+func ReadPcap(rd io.Reader) ([]Captured, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(rd, hdr[:]); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != pcapMagic {
+		return nil, fmt.Errorf("trace: bad pcap magic")
+	}
+	var out []Captured
+	for {
+		var rec [16]byte
+		if _, err := io.ReadFull(rd, rec[:]); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, err
+		}
+		n := binary.LittleEndian.Uint32(rec[8:12])
+		if n > pcapSnapLen {
+			return nil, fmt.Errorf("trace: oversized record (%d bytes)", n)
+		}
+		data := make([]byte, n)
+		if _, err := io.ReadFull(rd, data); err != nil {
+			return nil, err
+		}
+		at := netsim.Time(binary.LittleEndian.Uint32(rec[0:4]))*netsim.Second +
+			netsim.Time(binary.LittleEndian.Uint32(rec[4:8]))*netsim.Microsecond
+		out = append(out, Captured{At: at, Data: data})
+	}
+}
+
+// FormatPacket renders one packet as a tcpdump-style line.
+func FormatPacket(p Captured) string {
+	ip, payload, err := wire.DecodeIPv4(p.Data)
+	if err != nil {
+		return fmt.Sprintf("%v malformed packet (%d bytes)", p.At, len(p.Data))
+	}
+	switch ip.Protocol {
+	case wire.ProtoTCP:
+		tcp, data, err := wire.DecodeTCP(ip.Src, ip.Dst, payload)
+		if err != nil {
+			return fmt.Sprintf("%v IP %s > %s: bad TCP segment", p.At, ip.Src, ip.Dst)
+		}
+		return fmt.Sprintf("%v IP %s.%d > %s.%d: Flags [%s], seq %d, ack %d, win %d%s, length %d%s",
+			p.At, ip.Src, tcp.SrcPort, ip.Dst, tcp.DstPort,
+			tcpFlags(tcp.Flags), tcp.Seq, tcp.Ack, tcp.Window,
+			tcpOpts(tcp), len(data), payloadNote(tcp, data))
+	case wire.ProtoICMP:
+		icmp, err := wire.DecodeICMP(payload)
+		if err != nil {
+			return fmt.Sprintf("%v IP %s > %s: bad ICMP message", p.At, ip.Src, ip.Dst)
+		}
+		return fmt.Sprintf("%v IP %s > %s: ICMP type %d code %d, length %d",
+			p.At, ip.Src, ip.Dst, icmp.Type, icmp.Code, len(payload))
+	default:
+		return fmt.Sprintf("%v IP %s > %s: proto %d, length %d",
+			p.At, ip.Src, ip.Dst, ip.Protocol, len(payload))
+	}
+}
+
+// Dump renders the whole capture, one line per packet.
+func (r *Recorder) Dump(w io.Writer) error {
+	for _, p := range r.pkts {
+		if _, err := fmt.Fprintln(w, FormatPacket(p)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func tcpFlags(f byte) string {
+	var sb strings.Builder
+	for _, fl := range []struct {
+		bit  byte
+		name string
+	}{
+		{wire.FlagSYN, "S"}, {wire.FlagFIN, "F"}, {wire.FlagRST, "R"},
+		{wire.FlagPSH, "P"}, {wire.FlagACK, "."}, {wire.FlagURG, "U"},
+	} {
+		if f&fl.bit != 0 {
+			sb.WriteString(fl.name)
+		}
+	}
+	if sb.Len() == 0 {
+		return "none"
+	}
+	return sb.String()
+}
+
+func tcpOpts(h *wire.TCPHeader) string {
+	var parts []string
+	if h.MSS != 0 {
+		parts = append(parts, fmt.Sprintf("mss %d", h.MSS))
+	}
+	if h.WindowScale >= 0 {
+		parts = append(parts, fmt.Sprintf("wscale %d", h.WindowScale))
+	}
+	if h.SACKPermitted {
+		parts = append(parts, "sackOK")
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return ", options [" + strings.Join(parts, ",") + "]"
+}
+
+// payloadNote annotates well-known application payloads: the first line
+// of an HTTP message or the type of a TLS record.
+func payloadNote(h *wire.TCPHeader, data []byte) string {
+	if len(data) == 0 {
+		return ""
+	}
+	s := string(data)
+	if strings.HasPrefix(s, "GET ") || strings.HasPrefix(s, "HTTP/") {
+		line, _, _ := strings.Cut(s, "\r\n")
+		if len(line) > 60 {
+			line = line[:57] + "..."
+		}
+		return fmt.Sprintf(": %q", line)
+	}
+	if rec, _, err := tlssim.DecodeRecord(data); err == nil {
+		switch rec.Type {
+		case tlssim.RecordHandshake:
+			if len(rec.Payload) > 0 {
+				return fmt.Sprintf(": TLS handshake (msg type %d)", rec.Payload[0])
+			}
+			return ": TLS handshake"
+		case tlssim.RecordAlert:
+			return ": TLS alert"
+		}
+	}
+	return ""
+}

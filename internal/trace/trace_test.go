@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"iwscan/internal/core"
+	"iwscan/internal/httpsim"
+	"iwscan/internal/netsim"
+	"iwscan/internal/tcpstack"
+	"iwscan/internal/tlssim"
+	"iwscan/internal/wire"
+)
+
+var (
+	cliAddr = wire.MustParseAddr("192.0.2.1")
+	srvAddr = wire.MustParseAddr("198.51.100.10")
+)
+
+// captureProbe records one complete HTTP probe exchange.
+func captureProbe(t *testing.T, rec *Recorder) {
+	t.Helper()
+	n := netsim.New(5)
+	n.SetPath(netsim.PathParams{Delay: 10 * netsim.Millisecond})
+	n.AddFilter(rec.Filter())
+	host := tcpstack.NewHost(n, srvAddr, tcpstack.Config{
+		IW:  tcpstack.IWPolicy{Kind: tcpstack.IWSegments, Segments: 4},
+		MSS: tcpstack.MSSPolicy{Floor: 64},
+	})
+	host.Listen(80, httpsim.NewServer(httpsim.ServerConfig{Root: httpsim.BehaviorPage, PageLen: 4000}))
+	sc := core.NewScanner(n, cliAddr, core.Config{Seed: 2})
+	sc.ProbeTarget(srvAddr, core.TargetConfig{Strategy: core.StrategyHTTP, MSSList: []int{64}}, func(*core.TargetResult) {})
+	n.RunUntilIdle()
+}
+
+func TestRecorderCapturesExchange(t *testing.T) {
+	rec := NewRecorder()
+	captureProbe(t, rec)
+	pkts := rec.Packets()
+	if len(pkts) < 10 {
+		t.Fatalf("captured %d packets, want a full probe exchange", len(pkts))
+	}
+	// First packet is the SYN with MSS 64.
+	ip, payload, err := wire.DecodeIPv4(pkts[0].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp, _, err := wire.DecodeTCP(ip.Src, ip.Dst, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tcp.HasFlag(wire.FlagSYN) || tcp.MSS != 64 {
+		t.Fatalf("first packet not the MSS-64 SYN: %+v", tcp)
+	}
+	// Timestamps are non-decreasing.
+	for i := 1; i < len(pkts); i++ {
+		if pkts[i].At < pkts[i-1].At {
+			t.Fatal("capture order broken")
+		}
+	}
+}
+
+func TestRecorderFilterHost(t *testing.T) {
+	rec := NewRecorder().FilterHost(wire.MustParseAddr("203.0.113.99"))
+	captureProbe(t, rec)
+	if len(rec.Packets()) != 0 {
+		t.Fatal("filter let through packets for another host")
+	}
+	rec2 := NewRecorder().FilterPair(cliAddr, srvAddr)
+	captureProbe(t, rec2)
+	if len(rec2.Packets()) == 0 {
+		t.Fatal("pair filter captured nothing")
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	rec := NewRecorder().Limit(3)
+	captureProbe(t, rec)
+	if len(rec.Packets()) != 3 {
+		t.Fatalf("limit ignored: %d packets", len(rec.Packets()))
+	}
+}
+
+func TestPcapRoundTrip(t *testing.T) {
+	rec := NewRecorder()
+	captureProbe(t, rec)
+	var buf bytes.Buffer
+	if err := rec.WritePcap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := rec.Packets()
+	if len(got) != len(want) {
+		t.Fatalf("round trip lost packets: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i].Data, want[i].Data) {
+			t.Fatalf("packet %d data mismatch", i)
+		}
+		// Timestamps round to microseconds.
+		d := got[i].At - want[i].At
+		if d < -netsim.Microsecond || d > netsim.Microsecond {
+			t.Fatalf("packet %d timestamp off by %v", i, d)
+		}
+	}
+}
+
+func TestPcapHeaderFields(t *testing.T) {
+	rec := NewRecorder()
+	var buf bytes.Buffer
+	if err := rec.WritePcap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	if len(b) != 24 {
+		t.Fatalf("empty capture header length %d", len(b))
+	}
+	if b[0] != 0xd4 || b[1] != 0xc3 || b[2] != 0xb2 || b[3] != 0xa1 {
+		t.Fatal("pcap magic wrong")
+	}
+	if b[20] != 101 {
+		t.Fatalf("link type %d, want 101 (RAW)", b[20])
+	}
+}
+
+func TestReadPcapRejectsGarbage(t *testing.T) {
+	if _, err := ReadPcap(strings.NewReader("not a pcap file, definitely")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestFormatPacketTCP(t *testing.T) {
+	h := wire.NewTCPHeader()
+	h.SrcPort = 12345
+	h.DstPort = 80
+	h.Seq = 100
+	h.Flags = wire.FlagSYN
+	h.MSS = 64
+	h.Window = 65535
+	seg := wire.EncodeTCP(nil, cliAddr, srvAddr, h, nil)
+	pkt := wire.EncodeIPv4(nil, &wire.IPv4Header{Protocol: wire.ProtoTCP, Src: cliAddr, Dst: srvAddr}, seg)
+	line := FormatPacket(Captured{At: netsim.Second, Data: pkt})
+	for _, want := range []string{"192.0.2.1.12345", "198.51.100.10.80", "Flags [S]", "mss 64"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestFormatPacketHTTPAnnotation(t *testing.T) {
+	h := wire.NewTCPHeader()
+	h.Flags = wire.FlagACK | wire.FlagPSH
+	req := httpsim.BuildRequest("/", "example.org", "Connection", "close")
+	seg := wire.EncodeTCP(nil, cliAddr, srvAddr, h, req)
+	pkt := wire.EncodeIPv4(nil, &wire.IPv4Header{Protocol: wire.ProtoTCP, Src: cliAddr, Dst: srvAddr}, seg)
+	line := FormatPacket(Captured{Data: pkt})
+	if !strings.Contains(line, `"GET / HTTP/1.1"`) {
+		t.Fatalf("HTTP annotation missing: %q", line)
+	}
+}
+
+func TestFormatPacketTLSAnnotation(t *testing.T) {
+	h := wire.NewTCPHeader()
+	h.Flags = wire.FlagACK
+	hello := tlssim.EncodeRecord(nil, tlssim.Record{Type: tlssim.RecordHandshake, Version: tlssim.VersionTLS12, Payload: []byte{tlssim.HandshakeClientHello, 0, 0, 0}})
+	seg := wire.EncodeTCP(nil, cliAddr, srvAddr, h, hello)
+	pkt := wire.EncodeIPv4(nil, &wire.IPv4Header{Protocol: wire.ProtoTCP, Src: cliAddr, Dst: srvAddr}, seg)
+	line := FormatPacket(Captured{Data: pkt})
+	if !strings.Contains(line, "TLS handshake") {
+		t.Fatalf("TLS annotation missing: %q", line)
+	}
+}
+
+func TestFormatPacketICMP(t *testing.T) {
+	msg := wire.EncodeICMP(nil, &wire.ICMPHeader{Type: wire.ICMPEchoRequest, ID: 1, Seq: 2})
+	pkt := wire.EncodeIPv4(nil, &wire.IPv4Header{Protocol: wire.ProtoICMP, Src: cliAddr, Dst: srvAddr}, msg)
+	line := FormatPacket(Captured{Data: pkt})
+	if !strings.Contains(line, "ICMP type 8") {
+		t.Fatalf("ICMP line: %q", line)
+	}
+}
+
+func TestFormatPacketMalformed(t *testing.T) {
+	line := FormatPacket(Captured{Data: []byte{1, 2, 3}})
+	if !strings.Contains(line, "malformed") {
+		t.Fatalf("line: %q", line)
+	}
+}
+
+func TestDumpWholeCapture(t *testing.T) {
+	rec := NewRecorder()
+	captureProbe(t, rec)
+	var buf bytes.Buffer
+	if err := rec.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(rec.Packets()) {
+		t.Fatalf("%d lines for %d packets", len(lines), len(rec.Packets()))
+	}
+	// The dump must show the whole story: SYN, the request, data,
+	// a retransmission (same seq appears twice) and the final RST.
+	text := buf.String()
+	for _, want := range []string{"Flags [S]", "GET /", "Flags [R"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("dump missing %q:\n%s", want, text)
+		}
+	}
+}

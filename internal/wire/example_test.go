@@ -1,0 +1,44 @@
+package wire_test
+
+import (
+	"fmt"
+
+	"iwscan/internal/wire"
+)
+
+// ExampleEncodeTCP shows building and parsing the scanner's SYN: the
+// 64-byte MSS announcement at the heart of the methodology.
+func ExampleEncodeTCP() {
+	src := wire.MustParseAddr("192.0.2.1")
+	dst := wire.MustParseAddr("198.51.100.7")
+
+	syn := wire.NewTCPHeader()
+	syn.SrcPort = 40000
+	syn.DstPort = 80
+	syn.Seq = 1000
+	syn.Flags = wire.FlagSYN
+	syn.Window = 65535
+	syn.MSS = 64
+
+	seg := wire.EncodeTCP(nil, src, dst, syn, nil)
+	parsed, _, err := wire.DecodeTCP(src, dst, seg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("SYN to port %d announcing MSS %d, window %d\n",
+		parsed.DstPort, parsed.MSS, parsed.Window)
+	// Output: SYN to port 80 announcing MSS 64, window 65535
+}
+
+// ExamplePrefix_Contains shows CIDR arithmetic used by the blacklist
+// and the AS lookup.
+func ExamplePrefix_Contains() {
+	p := wire.MustParsePrefix("10.20.0.0/16")
+	fmt.Println(p.Contains(wire.MustParseAddr("10.20.7.9")))
+	fmt.Println(p.Contains(wire.MustParseAddr("10.21.0.1")))
+	fmt.Println(p.Size())
+	// Output:
+	// true
+	// false
+	// 65536
+}

@@ -1,0 +1,98 @@
+package wire
+
+import "testing"
+
+// FuzzDecodeIPv4 ensures the IPv4 decoder never panics and that every
+// accepted packet re-encodes consistently.
+func FuzzDecodeIPv4(f *testing.F) {
+	f.Add(EncodeIPv4(nil, &IPv4Header{Protocol: ProtoTCP, Src: 1, Dst: 2}, []byte("payload")))
+	f.Add([]byte{})
+	f.Add([]byte{0x45, 0, 0, 20})
+	f.Add(make([]byte, 20))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, payload, err := DecodeIPv4(data)
+		if err != nil {
+			return
+		}
+		// Accepted packets must satisfy their own invariants.
+		if int(h.TotalLen) > len(data) {
+			t.Fatalf("TotalLen %d exceeds packet %d", h.TotalLen, len(data))
+		}
+		if len(payload) > len(data) {
+			t.Fatal("payload longer than packet")
+		}
+		// Re-encoding the parsed header with the same payload must
+		// decode back to identical fields.
+		re := EncodeIPv4(nil, h, payload)
+		h2, _, err := DecodeIPv4(re)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if h2.Src != h.Src || h2.Dst != h.Dst || h2.Protocol != h.Protocol {
+			t.Fatal("re-encode round trip changed header")
+		}
+	})
+}
+
+// FuzzDecodeTCP ensures the TCP decoder never panics on arbitrary
+// segments, including option soup.
+func FuzzDecodeTCP(f *testing.F) {
+	h := NewTCPHeader()
+	h.SrcPort = 80
+	h.DstPort = 12345
+	h.Flags = FlagSYN | FlagACK
+	h.MSS = 64
+	h.WindowScale = 7
+	h.SACKPermitted = true
+	f.Add(EncodeTCP(nil, 1, 2, h, []byte("data")))
+	f.Add([]byte{})
+	f.Add(make([]byte, TCPHeaderLen))
+	f.Fuzz(func(t *testing.T, seg []byte) {
+		hdr, payload, err := DecodeTCP(1, 2, seg)
+		if err != nil {
+			return
+		}
+		if len(payload) > len(seg) {
+			t.Fatal("payload longer than segment")
+		}
+		_ = hdr.HasFlag(FlagSYN)
+	})
+}
+
+// FuzzDecodeICMP ensures the ICMP decoder never panics.
+func FuzzDecodeICMP(f *testing.F) {
+	f.Add(EncodeICMP(nil, &ICMPHeader{Type: ICMPEchoRequest, ID: 1, Seq: 2, Body: []byte("ping")}))
+	f.Add(EncodeICMP(nil, &ICMPHeader{Type: ICMPDestUnreach, Code: ICMPCodeFragNeeded, NextHopMTU: 1400}))
+	f.Add([]byte{8, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, msg []byte) {
+		h, err := DecodeICMP(msg)
+		if err != nil {
+			return
+		}
+		if len(h.Body) > len(msg) {
+			t.Fatal("body longer than message")
+		}
+	})
+}
+
+// FuzzParseAddrPrefix ensures the textual parsers never panic and agree
+// with their formatters.
+func FuzzParseAddrPrefix(f *testing.F) {
+	f.Add("192.0.2.1")
+	f.Add("10.0.0.0/8")
+	f.Add("999.1.1.1")
+	f.Add("1.2.3.4/33")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		if a, err := ParseAddr(s); err == nil {
+			if _, err := ParseAddr(a.String()); err != nil {
+				t.Fatalf("formatted address %q does not re-parse", a)
+			}
+		}
+		if p, err := ParsePrefix(s); err == nil {
+			if _, err := ParsePrefix(p.String()); err != nil {
+				t.Fatalf("formatted prefix %q does not re-parse", p)
+			}
+		}
+	})
+}

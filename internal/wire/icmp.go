@@ -1,0 +1,72 @@
+package wire
+
+import "encoding/binary"
+
+// ICMP message types (RFC 792) used by the path-MTU discovery module.
+const (
+	ICMPEchoReply      = 0
+	ICMPDestUnreach    = 3
+	ICMPEchoRequest    = 8
+	ICMPTimeExceeded   = 11
+	ICMPCodeFragNeeded = 4 // code under DestUnreach: fragmentation needed and DF set
+)
+
+// ICMPHeader is a decoded ICMP message. For "fragmentation needed"
+// messages (RFC 1191), NextHopMTU carries the constraining MTU and Body
+// holds the embedded original datagram (IP header + 8 bytes).
+type ICMPHeader struct {
+	Type       byte
+	Code       byte
+	ID         uint16 // echo request/reply identifier
+	Seq        uint16 // echo request/reply sequence number
+	NextHopMTU uint16 // RFC 1191 next-hop MTU for frag-needed
+	Body       []byte
+}
+
+// ICMPHeaderLen is the fixed ICMP header length.
+const ICMPHeaderLen = 8
+
+// EncodeICMP appends the encoded ICMP message to dst, computing the
+// checksum over the whole message.
+func EncodeICMP(dst []byte, h *ICMPHeader) []byte {
+	start := len(dst)
+	dst = append(dst, make([]byte, ICMPHeaderLen)...)
+	b := dst[start:]
+	b[0] = h.Type
+	b[1] = h.Code
+	switch h.Type {
+	case ICMPEchoRequest, ICMPEchoReply:
+		binary.BigEndian.PutUint16(b[4:6], h.ID)
+		binary.BigEndian.PutUint16(b[6:8], h.Seq)
+	case ICMPDestUnreach:
+		binary.BigEndian.PutUint16(b[6:8], h.NextHopMTU)
+	}
+	dst = append(dst, h.Body...)
+	msg := dst[start:]
+	cs := Checksum(msg)
+	binary.BigEndian.PutUint16(msg[2:4], cs)
+	return dst
+}
+
+// DecodeICMP parses an ICMP message, validating its checksum.
+func DecodeICMP(msg []byte) (*ICMPHeader, error) {
+	if len(msg) < ICMPHeaderLen {
+		return nil, ErrTruncated
+	}
+	if Checksum(msg) != 0 {
+		return nil, ErrBadChecksum
+	}
+	h := &ICMPHeader{
+		Type: msg[0],
+		Code: msg[1],
+		Body: msg[ICMPHeaderLen:],
+	}
+	switch h.Type {
+	case ICMPEchoRequest, ICMPEchoReply:
+		h.ID = binary.BigEndian.Uint16(msg[4:6])
+		h.Seq = binary.BigEndian.Uint16(msg[6:8])
+	case ICMPDestUnreach:
+		h.NextHopMTU = binary.BigEndian.Uint16(msg[6:8])
+	}
+	return h, nil
+}

@@ -1,0 +1,221 @@
+package wire
+
+import (
+	"encoding/binary"
+)
+
+// TCP flag bits (RFC 793 plus ECN bits of RFC 3168).
+const (
+	FlagFIN = 0x01
+	FlagSYN = 0x02
+	FlagRST = 0x04
+	FlagPSH = 0x08
+	FlagACK = 0x10
+	FlagURG = 0x20
+	FlagECE = 0x40
+	FlagCWR = 0x80
+)
+
+// TCP option kinds we understand.
+const (
+	OptEnd           = 0
+	OptNOP           = 1
+	OptMSS           = 2
+	OptWindowScale   = 3
+	OptSACKPermitted = 4
+	OptTimestamps    = 8
+)
+
+// TCPHeader is a decoded TCP header plus the options the scanner cares
+// about. Sequence and ACK numbers are absolute 32-bit values.
+type TCPHeader struct {
+	SrcPort uint16
+	DstPort uint16
+	Seq     uint32
+	Ack     uint32
+	Flags   byte
+	Window  uint16
+	Urgent  uint16
+
+	// Options. A zero value means "absent" except where noted.
+	MSS           uint16 // 0 = no MSS option
+	WindowScale   int    // -1 = absent, otherwise shift count
+	SACKPermitted bool
+	HasTimestamps bool
+	TSVal, TSEcr  uint32
+}
+
+// NewTCPHeader returns a header with option fields initialized to their
+// "absent" values.
+func NewTCPHeader() *TCPHeader { return &TCPHeader{WindowScale: -1} }
+
+// HasFlag reports whether all bits in mask are set.
+func (h *TCPHeader) HasFlag(mask byte) bool { return h.Flags&mask == mask }
+
+// optionsLen returns the encoded length of the options block (padded to
+// a multiple of 4).
+func (h *TCPHeader) optionsLen() int {
+	n := 0
+	if h.MSS != 0 {
+		n += 4
+	}
+	if h.WindowScale >= 0 {
+		n += 3
+	}
+	if h.SACKPermitted {
+		n += 2
+	}
+	if h.HasTimestamps {
+		n += 10
+	}
+	return (n + 3) &^ 3
+}
+
+// TCPHeaderLen is the fixed part of the TCP header.
+const TCPHeaderLen = 20
+
+// EncodeTCP appends the TCP segment (header, options, payload) to dst,
+// computing the checksum over the IPv4 pseudo-header for src/dst.
+func EncodeTCP(dst []byte, src, dstAddr Addr, h *TCPHeader, payload []byte) []byte {
+	optLen := h.optionsLen()
+	hdrLen := TCPHeaderLen + optLen
+	start := len(dst)
+	dst = append(dst, make([]byte, hdrLen)...)
+	b := dst[start:]
+	binary.BigEndian.PutUint16(b[0:2], h.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], h.DstPort)
+	binary.BigEndian.PutUint32(b[4:8], h.Seq)
+	binary.BigEndian.PutUint32(b[8:12], h.Ack)
+	b[12] = byte(hdrLen/4) << 4
+	b[13] = h.Flags
+	binary.BigEndian.PutUint16(b[14:16], h.Window)
+	// checksum at [16:18] computed below
+	binary.BigEndian.PutUint16(b[18:20], h.Urgent)
+
+	o := b[TCPHeaderLen:]
+	i := 0
+	if h.MSS != 0 {
+		o[i] = OptMSS
+		o[i+1] = 4
+		binary.BigEndian.PutUint16(o[i+2:i+4], h.MSS)
+		i += 4
+	}
+	if h.WindowScale >= 0 {
+		o[i] = OptWindowScale
+		o[i+1] = 3
+		o[i+2] = byte(h.WindowScale)
+		i += 3
+	}
+	if h.SACKPermitted {
+		o[i] = OptSACKPermitted
+		o[i+1] = 2
+		i += 2
+	}
+	if h.HasTimestamps {
+		o[i] = OptTimestamps
+		o[i+1] = 10
+		binary.BigEndian.PutUint32(o[i+2:i+6], h.TSVal)
+		binary.BigEndian.PutUint32(o[i+6:i+10], h.TSEcr)
+		i += 10
+	}
+	for i < optLen {
+		o[i] = OptNOP
+		i++
+	}
+
+	dst = append(dst, payload...)
+	seg := dst[start:]
+	cs := tcpChecksum(src, dstAddr, seg)
+	binary.BigEndian.PutUint16(seg[16:18], cs)
+	return dst
+}
+
+// tcpChecksum computes the TCP checksum over the pseudo-header and the
+// segment (with the checksum field zeroed by the caller).
+func tcpChecksum(src, dst Addr, seg []byte) uint16 {
+	var pseudo [12]byte
+	binary.BigEndian.PutUint32(pseudo[0:4], uint32(src))
+	binary.BigEndian.PutUint32(pseudo[4:8], uint32(dst))
+	pseudo[9] = ProtoTCP
+	binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(seg)))
+	sum := checksumAccumulate(0, pseudo[:])
+	sum = checksumAccumulate(sum, seg)
+	return checksumFinish(sum)
+}
+
+// DecodeTCP parses a TCP segment, validating its checksum against the
+// given pseudo-header addresses. It returns the header and payload
+// (aliasing seg).
+func DecodeTCP(src, dst Addr, seg []byte) (*TCPHeader, []byte, error) {
+	if len(seg) < TCPHeaderLen {
+		return nil, nil, ErrTruncated
+	}
+	dataOff := int(seg[12]>>4) * 4
+	if dataOff < TCPHeaderLen || dataOff > len(seg) {
+		return nil, nil, ErrTruncated
+	}
+	if tcpChecksum(src, dst, seg) != 0 {
+		return nil, nil, ErrBadChecksum
+	}
+	h := NewTCPHeader()
+	h.SrcPort = binary.BigEndian.Uint16(seg[0:2])
+	h.DstPort = binary.BigEndian.Uint16(seg[2:4])
+	h.Seq = binary.BigEndian.Uint32(seg[4:8])
+	h.Ack = binary.BigEndian.Uint32(seg[8:12])
+	h.Flags = seg[13]
+	h.Window = binary.BigEndian.Uint16(seg[14:16])
+	h.Urgent = binary.BigEndian.Uint16(seg[18:20])
+
+	o := seg[TCPHeaderLen:dataOff]
+	for i := 0; i < len(o); {
+		kind := o[i]
+		switch kind {
+		case OptEnd:
+			i = len(o)
+			continue
+		case OptNOP:
+			i++
+			continue
+		}
+		if i+1 >= len(o) {
+			return nil, nil, ErrTruncated
+		}
+		olen := int(o[i+1])
+		if olen < 2 || i+olen > len(o) {
+			return nil, nil, ErrTruncated
+		}
+		switch kind {
+		case OptMSS:
+			if olen == 4 {
+				h.MSS = binary.BigEndian.Uint16(o[i+2 : i+4])
+			}
+		case OptWindowScale:
+			if olen == 3 {
+				h.WindowScale = int(o[i+2])
+			}
+		case OptSACKPermitted:
+			h.SACKPermitted = true
+		case OptTimestamps:
+			if olen == 10 {
+				h.HasTimestamps = true
+				h.TSVal = binary.BigEndian.Uint32(o[i+2 : i+6])
+				h.TSEcr = binary.BigEndian.Uint32(o[i+6 : i+10])
+			}
+		}
+		i += olen
+	}
+	return h, seg[dataOff:], nil
+}
+
+// SeqLT reports whether a < b in 32-bit sequence-number arithmetic
+// (RFC 793 modular comparison).
+func SeqLT(a, b uint32) bool { return int32(a-b) < 0 }
+
+// SeqLEQ reports whether a <= b in sequence space.
+func SeqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
+
+// SeqGT reports whether a > b in sequence space.
+func SeqGT(a, b uint32) bool { return int32(a-b) > 0 }
+
+// SeqGEQ reports whether a >= b in sequence space.
+func SeqGEQ(a, b uint32) bool { return int32(a-b) >= 0 }
