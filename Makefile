@@ -1,0 +1,31 @@
+# Developer workflow for the iwscan reproduction. `make check` is the
+# pre-commit gate (see README.md): formatting, vet, full build, full
+# test suite, and a race-detector pass over the packages with
+# concurrency (the metrics registry is shared across -parallel shards).
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+check: fmt vet build test race
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/metrics/... ./internal/core/...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

@@ -13,12 +13,15 @@
 //	iwscan -strategy http -alexa 10000 -out alexa.csv
 //	iwscan -strategy syn -sample 0.01          # plain port scan
 //	iwscan -sample 0.0005 -pcap scan.pcap      # capture the packets too
+//	iwscan -sample 0.001 -status-interval 1s   # live ZMap-style progress
+//	iwscan -sample 0.01 -metrics-out m.json    # dump the telemetry snapshot
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"iwscan/internal/analysis"
 	"iwscan/internal/core"
@@ -30,6 +33,8 @@ import (
 
 func main() {
 	var (
+		statusIv = flag.Duration("status-interval", 0, "print ZMap-style progress to stderr at this wall-clock interval (0 = off)")
+		metOut   = flag.String("metrics-out", "", "write the final metrics-registry snapshot to this file (JSON; *.prom for Prometheus text)")
 		strategy = flag.String("strategy", "http", "probe strategy: http, tls or syn")
 		sample   = flag.Float64("sample", 0.01, "fraction of the address space to probe (0..1]")
 		rate     = flag.Float64("rate", 10000, "probe launch rate per second of virtual time")
@@ -77,6 +82,10 @@ func main() {
 			Loss:           *loss,
 			Shard:          *shard,
 			Shards:         *shards,
+			StatusInterval: *statusIv,
+		}
+		if *statusIv > 0 {
+			cfg.StatusOut = os.Stderr
 		}
 		if *blfile != "" {
 			bf, err := os.Open(*blfile)
@@ -114,6 +123,29 @@ func main() {
 		f.Close()
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "wrote %d packets to %s\n", len(rec.Packets()), *pcap)
+		}
+	}
+
+	if *metOut != "" {
+		f, err := os.Create(*metOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iwscan: %v\n", err)
+			os.Exit(1)
+		}
+		if strings.HasSuffix(*metOut, ".prom") {
+			err = res.Metrics.WritePrometheus(f)
+		} else {
+			err = res.Metrics.WriteJSON(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iwscan: writing metrics: %v\n", err)
+			os.Exit(1)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "wrote metrics snapshot to %s\n", *metOut)
 		}
 	}
 

@@ -11,6 +11,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"iwscan/internal/core"
 	"iwscan/internal/httpsim"
@@ -59,4 +60,14 @@ func main() {
 	st := scanner.Stats()
 	fmt.Printf("\nscanner sent %d packets, detected %d retransmissions, %d verification releases\n",
 		st.PacketsSent, st.Retransmits, st.VerifyReleases)
+
+	// Every component aggregated into the network's metrics registry as
+	// it ran; the snapshot is the scan's full telemetry — probe outcome
+	// taxa, RTT and phase-duration histograms, packet counters. The same
+	// data backs iwscan's -status-interval progress lines and its
+	// -metrics-out JSON/Prometheus dumps.
+	fmt.Println("\nfinal metrics registry snapshot:")
+	if err := net.Metrics().Snapshot().WriteSummary(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "writing snapshot:", err)
+	}
 }

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"testing"
+
+	"iwscan/internal/httpsim"
+	"iwscan/internal/netsim"
+)
+
+// TestProbeLifecycleMetrics: a successful HTTP probe must populate the
+// RTT histogram, the phase-duration histograms along the Figure-1 path
+// (SYN sent → SYN-ACK → retransmit seen → verify release), the
+// lifetime histogram, and the success outcome counter.
+func TestProbeLifecycleMetrics(t *testing.T) {
+	e := newEnv(t, linuxIW(10))
+	e.host.Listen(80, httpsim.NewServer(httpsim.ServerConfig{Root: httpsim.BehaviorPage, PageLen: 8000}))
+	tr := e.probe(t, TargetConfig{Strategy: StrategyHTTP, MSSList: []int{64}, Repeats: 1})
+	if tr.Outcome != OutcomeSuccess {
+		t.Fatalf("outcome = %s", tr.Outcome)
+	}
+
+	reg := e.net.Metrics()
+	rtt := reg.Histogram("core.rtt_ns").Value()
+	if rtt.Count == 0 {
+		t.Fatal("RTT histogram empty")
+	}
+	// One-way delay is 10 ms, so every RTT is exactly 20 ms of virtual
+	// time.
+	if want := int64(20 * netsim.Millisecond); rtt.Min != want || rtt.Max != want {
+		t.Fatalf("RTT min/max = %d/%d, want %d", rtt.Min, rtt.Max, want)
+	}
+
+	for _, name := range []string{
+		"core.probe.phase.syn_sent_to_syn_ack_ns",
+		"core.probe.phase.syn_ack_to_retransmit_seen_ns",
+		"core.probe.phase.retransmit_seen_to_burst_collected_ns",
+		"core.probe.phase.burst_collected_to_verify_release_ns",
+		"core.probe.lifetime_ns",
+	} {
+		if v := reg.Histogram(name).Value(); v.Count == 0 {
+			t.Fatalf("phase histogram %s empty", name)
+		}
+	}
+	if got := reg.Counter("core.probe.outcome.success").Value(); got == 0 {
+		t.Fatal("success outcome counter empty")
+	}
+	// Registry counters mirror the struct counters exactly.
+	st := e.scan.Stats()
+	if v := reg.Counter("core.probes_started").Value(); v != st.ProbesStarted {
+		t.Fatalf("probes_started counter %d != struct %d", v, st.ProbesStarted)
+	}
+	if v := reg.Counter("core.synacks").Value(); v != st.SynAcks || st.SynAcks == 0 {
+		t.Fatalf("synacks counter %d != struct %d", v, st.SynAcks)
+	}
+	if v := reg.Counter("core.retransmits").Value(); v != st.Retransmits {
+		t.Fatalf("retransmits counter %d != struct %d", v, st.Retransmits)
+	}
+}
+
+// TestProbeLifecycleOutcomeTaxa: failure classes land in distinct
+// outcome counters with their refinement suffix.
+func TestProbeLifecycleOutcomeTaxa(t *testing.T) {
+	// No listener on the target network at all: SYN times out.
+	n := netsim.New(7)
+	n.SetPath(netsim.PathParams{Delay: 10 * netsim.Millisecond})
+	sc := NewScanner(n, scanAddr, Config{Seed: 1})
+	var got *TargetResult
+	sc.ProbeTarget(hostAddr, TargetConfig{Strategy: StrategyHTTP, MSSList: []int{64}, Repeats: 1},
+		func(tr *TargetResult) { got = tr })
+	n.RunUntilIdle()
+	if got == nil || got.Outcome != OutcomeUnreachable {
+		t.Fatalf("result = %+v", got)
+	}
+	if v := n.Metrics().Counter("core.probe.outcome.unreachable:syn-timeout").Value(); v == 0 {
+		t.Fatal("syn-timeout taxon not counted")
+	}
+
+	// A host with a closed port: RST refuses the handshake.
+	e := newEnv(t, linuxIW(10))
+	_ = e.probe(t, TargetConfig{Strategy: StrategyHTTP, Port: 81, MSSList: []int{64}, Repeats: 1})
+	if v := e.net.Metrics().Counter("core.probe.outcome.unreachable:refused").Value(); v == 0 {
+		t.Fatal("refused taxon not counted")
+	}
+}
+
+// TestProbeTraceRetention: with SetKeep enabled the tracer retains full
+// per-probe event sequences in order.
+func TestProbeTraceRetention(t *testing.T) {
+	e := newEnv(t, linuxIW(4))
+	e.scan.Tracer().SetKeep(16)
+	e.host.Listen(80, httpsim.NewServer(httpsim.ServerConfig{Root: httpsim.BehaviorPage, PageLen: 8000}))
+	tr := e.probe(t, TargetConfig{Strategy: StrategyHTTP, MSSList: []int{64}, Repeats: 1})
+	if tr.Outcome != OutcomeSuccess {
+		t.Fatalf("outcome = %s", tr.Outcome)
+	}
+	traces := e.scan.Tracer().Completed()
+	if len(traces) == 0 {
+		t.Fatal("no traces retained")
+	}
+	first := traces[0]
+	if first.Label != hostAddr.String() || first.Outcome != "success" {
+		t.Fatalf("trace = %+v", first)
+	}
+	wantOrder := []string{"syn_sent", "syn_ack", "retransmit_seen", "burst_collected", "verify_release"}
+	if len(first.Events) != len(wantOrder) {
+		t.Fatalf("events = %+v", first.Events)
+	}
+	for i, ev := range first.Events {
+		if ev.Phase != wantOrder[i] {
+			t.Fatalf("event %d = %s, want %s (all: %+v)", i, ev.Phase, wantOrder[i], first.Events)
+		}
+		if i > 0 && ev.At < first.Events[i-1].At {
+			t.Fatal("event timestamps not monotonic")
+		}
+	}
+	if e.scan.Tracer().Active() != 0 {
+		t.Fatalf("%d traces leaked active", e.scan.Tracer().Active())
+	}
+}
+
+// TestDuplicationCounted: path duplication shows up in the new netsim
+// counter instead of silently inflating PacketsDelivered.
+func TestDuplicationCounted(t *testing.T) {
+	e := newEnv(t, linuxIW(10))
+	e.net.SetPath(netsim.PathParams{Delay: 10 * netsim.Millisecond, Duplicate: 1})
+	e.host.Listen(80, httpsim.NewServer(httpsim.ServerConfig{Root: httpsim.BehaviorPage, PageLen: 8000}))
+	_ = e.probe(t, TargetConfig{Strategy: StrategyHTTP, MSSList: []int{64}, Repeats: 1})
+	st := e.net.Stats()
+	if st.PacketsDuplicated == 0 {
+		t.Fatal("duplicates not counted")
+	}
+	if st.PacketsDelivered != st.PacketsSent+st.PacketsDuplicated {
+		t.Fatalf("delivered %d != sent %d + duplicated %d",
+			st.PacketsDelivered, st.PacketsSent, st.PacketsDuplicated)
+	}
+	if v := e.net.Metrics().Counter("netsim.packets_duplicated").Value(); v != st.PacketsDuplicated {
+		t.Fatalf("registry duplicated %d != struct %d", v, st.PacketsDuplicated)
+	}
+}

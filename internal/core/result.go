@@ -75,6 +75,18 @@ type ProbeResult struct {
 	Err      string
 }
 
+// Taxon returns the probe's terminal outcome taxon for telemetry: the
+// outcome class, refined by the failure detail when one was recorded —
+// e.g. "success", "error:loss-gap", "unreachable:syn-timeout". The
+// taxa name the registry counters core.probe.outcome.<taxon>, so the
+// failure classes §3.4 argues about are countable per scan.
+func (r *ProbeResult) Taxon() string {
+	if r.Err == "" {
+		return r.Outcome.String()
+	}
+	return r.Outcome.String() + ":" + r.Err
+}
+
 // IWSegments converts the byte count into segments of the observed
 // maximum segment size, rounding up for a partial trailing segment.
 // This is the paper's estimate: announced MSS 64, but "monitor the

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"iwscan/internal/metrics"
 	"iwscan/internal/netsim"
 	"iwscan/internal/stats"
 	"iwscan/internal/wire"
@@ -48,40 +49,73 @@ func (c *Config) withDefaults() Config {
 // Counters aggregate scanner-side statistics.
 type Counters struct {
 	ProbesStarted  int64
+	SynAcks        int64 // handshakes that completed (the hit count)
 	PacketsSent    int64
 	PacketsRcvd    int64
 	Retransmits    int64 // retransmissions detected (the IW signal)
 	VerifyReleases int64 // verification ACKs that released more data
 }
 
+// coreMetrics caches the registry handles used on the per-segment hot
+// path.
+type coreMetrics struct {
+	probesStarted  *metrics.Counter
+	synAcks        *metrics.Counter
+	packetsSent    *metrics.Counter
+	packetsRcvd    *metrics.Counter
+	retransmits    *metrics.Counter
+	verifyReleases *metrics.Counter
+	rtt            *metrics.Histogram // SYN → SYN-ACK, virtual ns
+}
+
+func newCoreMetrics(reg *metrics.Registry) coreMetrics {
+	return coreMetrics{
+		probesStarted:  reg.Counter("core.probes_started"),
+		synAcks:        reg.Counter("core.synacks"),
+		packetsSent:    reg.Counter("core.packets_sent"),
+		packetsRcvd:    reg.Counter("core.packets_rcvd"),
+		retransmits:    reg.Counter("core.retransmits"),
+		verifyReleases: reg.Counter("core.verify_releases"),
+		rtt:            reg.Histogram("core.rtt_ns"),
+	}
+}
+
 // Scanner is the probing endpoint: a netsim node that multiplexes many
 // concurrent connection probes over local ports, the way the ZMap probe
 // module keeps per-connection state (§3.4).
 type Scanner struct {
-	net   *netsim.Network
-	addr  wire.Addr
-	cfg   Config
-	rng   *stats.RNG
-	conns map[uint16]*connProbe
-	next  uint16
-	stats Counters
-	ipid  uint16
+	net    *netsim.Network
+	addr   wire.Addr
+	cfg    Config
+	rng    *stats.RNG
+	conns  map[uint16]*connProbe
+	next   uint16
+	stats  Counters
+	ipid   uint16
+	cm     coreMetrics
+	tracer *metrics.Tracer
 }
 
 // NewScanner creates a scanner at addr and registers it with the
 // network.
 func NewScanner(n *netsim.Network, addr wire.Addr, cfg Config) *Scanner {
 	s := &Scanner{
-		net:   n,
-		addr:  addr,
-		cfg:   cfg.withDefaults(),
-		rng:   stats.NewRNG(cfg.Seed ^ 0x5ca99e5),
-		conns: make(map[uint16]*connProbe),
-		next:  10000,
+		net:    n,
+		addr:   addr,
+		cfg:    cfg.withDefaults(),
+		rng:    stats.NewRNG(cfg.Seed ^ 0x5ca99e5),
+		conns:  make(map[uint16]*connProbe),
+		next:   10000,
+		cm:     newCoreMetrics(n.Metrics()),
+		tracer: metrics.NewTracer(n.Metrics(), "core.probe"),
 	}
 	n.Register(addr, s)
 	return s
 }
+
+// Tracer exposes the probe-lifecycle tracer (enable trace retention
+// with SetKeep for per-probe debugging; aggregation is always on).
+func (s *Scanner) Tracer() *metrics.Tracer { return s.tracer }
 
 // Addr returns the scanner's source address.
 func (s *Scanner) Addr() wire.Addr { return s.addr }
@@ -103,6 +137,7 @@ func (s *Scanner) HandlePacket(pkt []byte) {
 		return
 	}
 	s.stats.PacketsRcvd++
+	s.cm.packetsRcvd.Inc()
 	c := s.conns[tcp.DstPort]
 	if c == nil || c.target != ip.Src || c.dstPort != tcp.SrcPort {
 		return
@@ -126,6 +161,7 @@ func (s *Scanner) allocPort() uint16 {
 
 func (s *Scanner) send(dst wire.Addr, h *wire.TCPHeader, payload []byte) {
 	s.stats.PacketsSent++
+	s.cm.packetsSent.Inc()
 	s.ipid++
 	seg := wire.EncodeTCP(nil, s.addr, dst, h, payload)
 	pkt := wire.EncodeIPv4(nil, &wire.IPv4Header{
@@ -152,6 +188,7 @@ type probeSpec struct {
 // startProbe launches one connection probe; done is invoked exactly once.
 func (s *Scanner) startProbe(spec probeSpec, done func(ProbeResult)) {
 	s.stats.ProbesStarted++
+	s.cm.probesStarted.Inc()
 	c := &connProbe{
 		sc:        s,
 		target:    spec.target,
@@ -189,6 +226,9 @@ type connProbe struct {
 	finOff  int // stream offset just past the FIN (response length)
 	reorder bool
 
+	traceID uint64      // lifecycle trace handle
+	synAt   netsim.Time // when the SYN left, for the RTT histogram
+
 	timer *netsim.Timer
 	done  func(ProbeResult)
 }
@@ -203,6 +243,8 @@ const (
 )
 
 func (c *connProbe) start() {
+	c.synAt = c.sc.net.Now()
+	c.traceID = c.sc.tracer.Begin(c.target.String(), "syn_sent", int64(c.synAt))
 	h := wire.NewTCPHeader()
 	h.SrcPort = c.localPort
 	h.DstPort = c.dstPort
@@ -223,6 +265,12 @@ func (c *connProbe) arm(d netsim.Time, fn func()) {
 	c.timer = c.sc.net.After(d, fn)
 }
 
+// trace records a lifecycle phase transition at the current virtual
+// time.
+func (c *connProbe) trace(phase string) {
+	c.sc.tracer.Phase(c.traceID, phase, int64(c.sc.net.Now()))
+}
+
 // finish reports the result and tears the connection down. When rst is
 // true a RST is sent to free state at the remote host.
 func (c *connProbe) finish(r ProbeResult, rst bool) {
@@ -231,6 +279,7 @@ func (c *connProbe) finish(r ProbeResult, rst bool) {
 	}
 	c.state = stateDone
 	c.timer.Cancel()
+	c.sc.tracer.End(c.traceID, r.Taxon(), int64(c.sc.net.Now()))
 	if rst {
 		h := wire.NewTCPHeader()
 		h.SrcPort = c.localPort
@@ -268,6 +317,10 @@ func (c *connProbe) handleSegment(tcp *wire.TCPHeader, data []byte) {
 			return
 		}
 		c.irs = tcp.Seq
+		c.sc.stats.SynAcks++
+		c.sc.cm.synAcks.Inc()
+		c.sc.cm.rtt.Observe(int64(c.sc.net.Now() - c.synAt))
+		c.trace("syn_ack")
 		if c.synOnly {
 			// Port scan: the port is open; RST and report.
 			c.finish(ProbeResult{Outcome: OutcomeSuccess}, true)
@@ -315,6 +368,8 @@ func (c *connProbe) collect(tcp *wire.TCPHeader, data []byte) {
 		switch c.cov.add(off, off+len(data)) {
 		case addRetransmit:
 			c.sc.stats.Retransmits++
+			c.sc.cm.retransmits.Inc()
+			c.trace("retransmit_seen")
 			c.onRetransmission()
 			return
 		case addReorder:
@@ -342,6 +397,7 @@ func (c *connProbe) collect(tcp *wire.TCPHeader, data []byte) {
 	if c.sawFIN && !c.cov.hasGap() && c.cov.contiguous() >= c.finOff {
 		// The server finished its response inside the IW and every byte
 		// of it has arrived: a few-data verdict is complete now.
+		c.trace("burst_collected")
 		c.finishFewData()
 	}
 }
@@ -371,6 +427,7 @@ func (c *connProbe) onRetransmission() {
 		c.finish(c.result(OutcomeError, "loss-gap"), true)
 		return
 	}
+	c.trace("burst_collected")
 	if c.sawFIN {
 		c.finishFewData()
 		return
@@ -407,6 +464,8 @@ func (c *connProbe) verify(tcp *wire.TCPHeader, data []byte) {
 		if off+len(data) > c.cov.max() {
 			// New data released by our ACK: the host was IW-limited.
 			c.sc.stats.VerifyReleases++
+			c.sc.cm.verifyReleases.Inc()
+			c.trace("verify_release")
 			c.finish(c.result(OutcomeSuccess, ""), true)
 			return
 		}

@@ -444,6 +444,42 @@ func TestParallelScanEqualsSharded(t *testing.T) {
 	}
 }
 
+// TestParallelMetricsMergeEqualsUnsharded: the merged per-shard
+// registry snapshots must reproduce the unsharded run's counter totals
+// and histogram observation counts exactly — probe behavior is
+// per-target deterministic, so partitioning the permutation cannot
+// change what is counted, only when.
+func TestParallelMetricsMergeEqualsUnsharded(t *testing.T) {
+	u := inet.NewInternet2017(55)
+	cfg := ScanConfig{Seed: 9, Strategy: core.StrategyHTTP, SampleFraction: 0.004, MSSList: []int{64}, Repeats: 1}
+	par := RunScanParallel(u, cfg, 4)
+	single := RunScan(u, cfg)
+
+	for _, name := range []string{
+		"engine.launched", "engine.completed", "engine.skipped",
+		"core.probes_started", "core.synacks", "core.retransmits", "core.verify_releases",
+		"netsim.packets_sent", "netsim.packets_delivered", "netsim.bytes_sent",
+	} {
+		if got, want := par.Metrics.Counters[name], single.Metrics.Counters[name]; got != want {
+			t.Errorf("counter %s: merged %d, unsharded %d", name, got, want)
+		}
+	}
+	// Outcome taxa merge too: every counter present in one snapshot must
+	// total the same in the other.
+	for name, want := range single.Metrics.Counters {
+		if got := par.Metrics.Counters[name]; got != want {
+			t.Errorf("counter %s: merged %d, unsharded %d", name, got, want)
+		}
+	}
+	// Histogram observation counts match even though the observed values
+	// (jitter-dependent timings) may differ between runs.
+	for _, name := range []string{"core.rtt_ns", "core.probe.lifetime_ns", "engine.probe_duration_ns"} {
+		if got, want := par.Metrics.Histograms[name].Count, single.Metrics.Histograms[name].Count; got != want {
+			t.Errorf("histogram %s: merged count %d, unsharded %d", name, got, want)
+		}
+	}
+}
+
 func TestParallelScanSingleShardFallback(t *testing.T) {
 	u := inet.NewInternet2017(55)
 	cfg := ScanConfig{Seed: 9, Strategy: core.StrategyHTTP, SampleFraction: 0.002, MSSList: []int{64}, Repeats: 1}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 
@@ -26,6 +27,16 @@ func RunScanParallel(u *inet.Universe, cfg ScanConfig, shards int) *ScanResult {
 			c := cfg
 			c.Shard = uint64(shard)
 			c.Shards = uint64(shards)
+			if c.StatusOut != nil && c.StatusInterval > 0 {
+				// All shards progress in lockstep through the same space,
+				// so one reporting shard (tagged) tells the whole story
+				// without interleaving N writers on one stream.
+				if shard == 0 {
+					c.StatusLabel = fmt.Sprintf("[shard 0/%d] ", shards)
+				} else {
+					c.StatusOut = nil
+				}
+			}
 			results[shard] = RunScan(u, c)
 		}(i)
 	}
@@ -39,14 +50,21 @@ func RunScanParallel(u *inet.Universe, cfg ScanConfig, shards int) *ScanResult {
 		merged.Engine.Skipped += r.Engine.Skipped
 		merged.Net.PacketsSent += r.Net.PacketsSent
 		merged.Net.PacketsDelivered += r.Net.PacketsDelivered
+		merged.Net.PacketsDuplicated += r.Net.PacketsDuplicated
 		merged.Net.PacketsLost += r.Net.PacketsLost
+		merged.Net.PacketsFiltered += r.Net.PacketsFiltered
+		merged.Net.PacketsNoRoute += r.Net.PacketsNoRoute
+		merged.Net.PacketsMTUDrop += r.Net.PacketsMTUDrop
 		merged.Net.PacketsQueueDrop += r.Net.PacketsQueueDrop
 		merged.Net.BytesSent += r.Net.BytesSent
+		merged.Net.BytesDelivered += r.Net.BytesDelivered
 		merged.Scan.ProbesStarted += r.Scan.ProbesStarted
+		merged.Scan.SynAcks += r.Scan.SynAcks
 		merged.Scan.PacketsSent += r.Scan.PacketsSent
 		merged.Scan.PacketsRcvd += r.Scan.PacketsRcvd
 		merged.Scan.Retransmits += r.Scan.Retransmits
 		merged.Scan.VerifyReleases += r.Scan.VerifyReleases
+		merged.Metrics.Merge(r.Metrics)
 		if r.VirtualTime > merged.VirtualTime {
 			merged.VirtualTime = r.VirtualTime // shards run concurrently
 		}

@@ -6,9 +6,13 @@
 package experiments
 
 import (
+	"io"
+	"time"
+
 	"iwscan/internal/analysis"
 	"iwscan/internal/core"
 	"iwscan/internal/inet"
+	"iwscan/internal/metrics"
 	"iwscan/internal/netsim"
 	"iwscan/internal/scanner"
 	"iwscan/internal/wire"
@@ -38,6 +42,13 @@ type ScanConfig struct {
 	Shard, Shards uint64
 	// Blacklist excludes prefixes from probing.
 	Blacklist []wire.Prefix
+	// StatusInterval, when positive together with StatusOut, prints a
+	// ZMap-style one-line progress report to StatusOut every interval of
+	// wall time while the scan runs.
+	StatusInterval time.Duration
+	StatusOut      io.Writer
+	// StatusLabel prefixes each progress line (e.g. a shard tag).
+	StatusLabel string
 }
 
 func (c *ScanConfig) withDefaults() ScanConfig {
@@ -61,6 +72,10 @@ type ScanResult struct {
 	Net         netsim.Counters
 	Scan        core.Counters
 	VirtualTime netsim.Time
+	// Metrics is the final registry snapshot covering every layer of the
+	// run (netsim, core, engine); for parallel runs it is the exact
+	// merge of the per-shard snapshots.
+	Metrics metrics.Snapshot
 }
 
 // RunScan scans the universe's whole announced space with one strategy.
@@ -95,12 +110,22 @@ func RunScan(u *inet.Universe, cfg ScanConfig) *ScanResult {
 		Shard:          cfg.Shard,
 		Shards:         cfg.Shards,
 	}, launch)
-	eng.OnFinish(func(s scanner.Stats) { res.Engine = s })
+	var reporter *statusReporter
+	eng.OnFinish(func(s scanner.Stats) {
+		res.Engine = s
+		if reporter != nil {
+			reporter.stop()
+		}
+	})
+	if cfg.StatusInterval > 0 && cfg.StatusOut != nil {
+		reporter = startStatusReporter(cfg.StatusOut, n, eng, cfg.StatusLabel, cfg.StatusInterval)
+	}
 	eng.Start()
 	n.RunUntilIdle()
 	res.Net = n.Stats()
 	res.Scan = sc.Stats()
 	res.VirtualTime = res.Engine.Duration()
+	res.Metrics = n.Metrics().Snapshot()
 	return res
 }
 
@@ -147,5 +172,6 @@ func RunPopularScan(u *inet.Universe, n int, strategy core.Strategy, seed uint64
 	res.Net = net.Stats()
 	res.Scan = sc.Stats()
 	res.VirtualTime = res.Engine.Duration()
+	res.Metrics = net.Metrics().Snapshot()
 	return res
 }

@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// histBuckets is the fixed bucket count: bucket i holds values whose
+// bit length is i, i.e. bucket 0 holds 0 (and clamped negatives),
+// bucket i>0 holds [2^(i-1), 2^i). 64 buckets cover every int64.
+const histBuckets = 64
+
+// Histogram is a log-bucketed (powers-of-two) histogram of int64
+// values, typically virtual-time durations in nanoseconds. Factor-of-two
+// resolution is the right trade for scan telemetry: RTTs and phase
+// durations span seven orders of magnitude and only their shape
+// matters, so fixed buckets beat tracking exact values at 150k
+// packets/s.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     int64
+	min     int64
+	max     int64
+	buckets [histBuckets]int64
+}
+
+// Observe records one value. Negative values clamp to zero (they can
+// only arise from virtual-clock misuse and must not corrupt bucketing).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bits.Len64(uint64(v))]++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Bucket is one non-empty histogram bucket: Count values were observed
+// in the range ending at Bound (inclusive upper edge).
+type Bucket struct {
+	Bound int64 `json:"bound"`
+	Count int64 `json:"count"`
+}
+
+// HistogramValue is the snapshot of one histogram: only non-empty
+// buckets, in ascending bound order.
+type HistogramValue struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Min     int64    `json:"min"`
+	Max     int64    `json:"max"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// bucketBound returns the inclusive upper edge of bucket i.
+func bucketBound(i int) int64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 63 {
+		return int64(^uint64(0) >> 1) // MaxInt64
+	}
+	return int64(1)<<i - 1
+}
+
+// Value snapshots the histogram.
+func (h *Histogram) Value() HistogramValue {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	v := HistogramValue{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max}
+	for i, c := range h.buckets {
+		if c > 0 {
+			v.Buckets = append(v.Buckets, Bucket{Bound: bucketBound(i), Count: c})
+		}
+	}
+	return v
+}
+
+// Merge folds o into v; counts and sums add exactly.
+func (v *HistogramValue) Merge(o HistogramValue) {
+	if o.Count == 0 {
+		return
+	}
+	if v.Count == 0 || o.Min < v.Min {
+		v.Min = o.Min
+	}
+	if o.Max > v.Max {
+		v.Max = o.Max
+	}
+	v.Count += o.Count
+	v.Sum += o.Sum
+	merged := make(map[int64]int64, len(v.Buckets)+len(o.Buckets))
+	for _, b := range v.Buckets {
+		merged[b.Bound] += b.Count
+	}
+	for _, b := range o.Buckets {
+		merged[b.Bound] += b.Count
+	}
+	v.Buckets = v.Buckets[:0]
+	for bound, count := range merged {
+		v.Buckets = append(v.Buckets, Bucket{Bound: bound, Count: count})
+	}
+	sortBuckets(v.Buckets)
+}
+
+func sortBuckets(bs []Bucket) {
+	// Insertion sort: bucket lists are short (≤64) and mostly ordered.
+	for i := 1; i < len(bs); i++ {
+		for j := i; j > 0 && bs[j].Bound < bs[j-1].Bound; j-- {
+			bs[j], bs[j-1] = bs[j-1], bs[j]
+		}
+	}
+}
+
+// Mean returns the average observed value (0 when empty).
+func (v HistogramValue) Mean() float64 {
+	if v.Count == 0 {
+		return 0
+	}
+	return float64(v.Sum) / float64(v.Count)
+}
+
+// Quantile returns an upper estimate of the q-quantile (0 ≤ q ≤ 1): the
+// bound of the bucket containing that rank, clamped to the observed
+// min/max. Factor-of-two accuracy, which is what log bucketing buys.
+func (v HistogramValue) Quantile(q float64) int64 {
+	if v.Count == 0 {
+		return 0
+	}
+	rank := int64(q*float64(v.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	cum := int64(0)
+	for _, b := range v.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			est := b.Bound
+			if est < v.Min {
+				est = v.Min
+			}
+			if est > v.Max {
+				est = v.Max
+			}
+			return est
+		}
+	}
+	return v.Max
+}

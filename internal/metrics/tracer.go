@@ -1,0 +1,138 @@
+package metrics
+
+import "sync"
+
+// PhaseEvent is one lifecycle transition: the probe entered Phase at
+// virtual time At (nanoseconds).
+type PhaseEvent struct {
+	Phase string `json:"phase"`
+	At    int64  `json:"at"`
+}
+
+// ProbeTrace is the full lifecycle record of one probe: its phase
+// transitions in order and the terminal outcome taxon (e.g. "success",
+// "error:loss-gap", "unreachable:syn-timeout").
+type ProbeTrace struct {
+	ID      uint64       `json:"id"`
+	Label   string       `json:"label"`
+	Events  []PhaseEvent `json:"events"`
+	Outcome string       `json:"outcome"`
+	EndedAt int64        `json:"ended_at"`
+}
+
+// Duration returns the probe's lifetime in nanoseconds.
+func (t *ProbeTrace) Duration() int64 {
+	if len(t.Events) == 0 {
+		return 0
+	}
+	return t.EndedAt - t.Events[0].At
+}
+
+// Tracer records per-probe phase transitions with virtual timestamps
+// and aggregates them into the registry:
+//
+//	<prefix>.phase.<from>_to_<to>_ns  histogram of each transition
+//	<prefix>.lifetime_ns              histogram of begin→end durations
+//	<prefix>.outcome.<taxon>          counter per terminal outcome
+//
+// Aggregation is always on; full traces are retained only when SetKeep
+// enables a ring buffer (for debugging and the pcap-style dump tools),
+// so tracing millions of probes stays O(1) in memory by default.
+type Tracer struct {
+	reg    *Registry
+	prefix string
+
+	mu     sync.Mutex
+	nextID uint64
+	active map[uint64]*ProbeTrace
+	keep   int
+	ring   []ProbeTrace
+}
+
+// NewTracer creates a tracer that aggregates into reg under the given
+// name prefix (e.g. "core.probe").
+func NewTracer(reg *Registry, prefix string) *Tracer {
+	return &Tracer{
+		reg:    reg,
+		prefix: prefix,
+		active: make(map[uint64]*ProbeTrace),
+	}
+}
+
+// SetKeep retains the last n completed traces (0 disables retention).
+func (t *Tracer) SetKeep(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.keep = n
+	if n == 0 {
+		t.ring = nil
+	}
+}
+
+// Begin starts a trace in the given initial phase and returns its ID.
+func (t *Tracer) Begin(label, phase string, at int64) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	id := t.nextID
+	t.active[id] = &ProbeTrace{
+		ID:     id,
+		Label:  label,
+		Events: []PhaseEvent{{Phase: phase, At: at}},
+	}
+	return id
+}
+
+// Phase records a transition into phase at virtual time at. Unknown IDs
+// (already ended) are ignored so callers need no teardown ordering.
+func (t *Tracer) Phase(id uint64, phase string, at int64) {
+	t.mu.Lock()
+	tr := t.active[id]
+	if tr == nil {
+		t.mu.Unlock()
+		return
+	}
+	last := tr.Events[len(tr.Events)-1]
+	tr.Events = append(tr.Events, PhaseEvent{Phase: phase, At: at})
+	t.mu.Unlock()
+	t.reg.Histogram(t.prefix + ".phase." + last.Phase + "_to_" + phase + "_ns").Observe(at - last.At)
+}
+
+// End terminates the trace with the given outcome taxon.
+func (t *Tracer) End(id uint64, outcome string, at int64) {
+	t.mu.Lock()
+	tr := t.active[id]
+	if tr == nil {
+		t.mu.Unlock()
+		return
+	}
+	delete(t.active, id)
+	tr.Outcome = outcome
+	tr.EndedAt = at
+	if t.keep > 0 {
+		if len(t.ring) >= t.keep {
+			copy(t.ring, t.ring[1:])
+			t.ring = t.ring[:len(t.ring)-1]
+		}
+		t.ring = append(t.ring, *tr)
+	}
+	t.mu.Unlock()
+	t.reg.Counter(t.prefix + ".outcome." + outcome).Inc()
+	t.reg.Histogram(t.prefix + ".lifetime_ns").Observe(tr.Duration())
+}
+
+// Active returns the number of traces begun but not yet ended.
+func (t *Tracer) Active() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.active)
+}
+
+// Completed returns the retained completed traces, oldest first.
+func (t *Tracer) Completed() []ProbeTrace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]ProbeTrace, len(t.ring))
+	copy(out, t.ring)
+	return out
+}

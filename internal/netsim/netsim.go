@@ -13,6 +13,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"iwscan/internal/metrics"
 	"iwscan/internal/stats"
 	"iwscan/internal/wire"
 )
@@ -85,15 +86,48 @@ type Filter func(now Time, pkt []byte) Verdict
 
 // Counters aggregate network-level statistics.
 type Counters struct {
-	PacketsSent      int64
-	PacketsDelivered int64
-	PacketsLost      int64
-	PacketsFiltered  int64
-	PacketsNoRoute   int64
-	PacketsMTUDrop   int64
-	PacketsQueueDrop int64 // tail drops at bottleneck links
-	BytesSent        int64
-	BytesDelivered   int64
+	PacketsSent       int64
+	PacketsDelivered  int64
+	PacketsDuplicated int64 // extra copies injected by path duplication
+	PacketsLost       int64
+	PacketsFiltered   int64
+	PacketsNoRoute    int64
+	PacketsMTUDrop    int64
+	PacketsQueueDrop  int64 // tail drops at bottleneck links
+	BytesSent         int64
+	BytesDelivered    int64
+}
+
+// netMetrics caches the registry handles for the packet hot path so
+// Send/dispatch never pay a map lookup.
+type netMetrics struct {
+	packetsSent       *metrics.Counter
+	packetsDelivered  *metrics.Counter
+	packetsDuplicated *metrics.Counter
+	packetsLost       *metrics.Counter
+	packetsFiltered   *metrics.Counter
+	packetsNoRoute    *metrics.Counter
+	packetsMTUDrop    *metrics.Counter
+	packetsQueueDrop  *metrics.Counter
+	bytesSent         *metrics.Counter
+	bytesDelivered    *metrics.Counter
+	pathDelay         *metrics.Histogram // actual per-delivery delay (propagation+jitter+serialization)
+}
+
+func newNetMetrics(reg *metrics.Registry) netMetrics {
+	return netMetrics{
+		packetsSent:       reg.Counter("netsim.packets_sent"),
+		packetsDelivered:  reg.Counter("netsim.packets_delivered"),
+		packetsDuplicated: reg.Counter("netsim.packets_duplicated"),
+		packetsLost:       reg.Counter("netsim.packets_lost"),
+		packetsFiltered:   reg.Counter("netsim.packets_filtered"),
+		packetsNoRoute:    reg.Counter("netsim.packets_noroute"),
+		packetsMTUDrop:    reg.Counter("netsim.packets_mtu_drop"),
+		packetsQueueDrop:  reg.Counter("netsim.packets_queue_drop"),
+		bytesSent:         reg.Counter("netsim.bytes_sent"),
+		bytesDelivered:    reg.Counter("netsim.bytes_delivered"),
+		pathDelay:         reg.Histogram("netsim.path_delay_ns"),
+	}
 }
 
 // Network is the simulated packet network.
@@ -108,6 +142,8 @@ type Network struct {
 	links   map[linkKey]*linkState
 	rng     *stats.RNG
 	stats   Counters
+	reg     *metrics.Registry
+	nm      netMetrics
 }
 
 // linkKey identifies a directed bottleneck link.
@@ -124,10 +160,13 @@ type linkState struct {
 // New creates a network with the given RNG seed. The default path has a
 // 10 ms one-way delay and no impairments.
 func New(seed uint64) *Network {
+	reg := metrics.NewRegistry()
 	n := &Network{
 		nodes: make(map[wire.Addr]Node),
 		links: make(map[linkKey]*linkState),
 		rng:   stats.NewRNG(seed),
+		reg:   reg,
+		nm:    newNetMetrics(reg),
 	}
 	def := PathParams{Delay: 10 * Millisecond}
 	n.path = func(src, dst wire.Addr) PathParams { return def }
@@ -139,6 +178,11 @@ func (n *Network) Now() Time { return n.now }
 
 // Stats returns a snapshot of the network counters.
 func (n *Network) Stats() Counters { return n.stats }
+
+// Metrics returns the network's metrics registry. Every component
+// attached to this network (scanner core, engine, hosts) aggregates
+// into the same registry, so one snapshot covers the whole simulation.
+func (n *Network) Metrics() *metrics.Registry { return n.reg }
 
 // RNG exposes the network's deterministic RNG so co-located components
 // (hosts instantiated by a factory) can derive randomness from it.
@@ -215,14 +259,18 @@ func (n *Network) Send(pkt []byte) {
 	if err != nil {
 		// Malformed packets vanish, as a router would drop them.
 		n.stats.PacketsLost++
+		n.nm.packetsLost.Inc()
 		return
 	}
 	n.stats.PacketsSent++
 	n.stats.BytesSent += int64(len(pkt))
+	n.nm.packetsSent.Inc()
+	n.nm.bytesSent.Add(int64(len(pkt)))
 
 	for _, f := range n.filters {
 		if f(n.now, pkt) == VerdictDrop {
 			n.stats.PacketsFiltered++
+			n.nm.packetsFiltered.Inc()
 			return
 		}
 	}
@@ -230,6 +278,7 @@ func (n *Network) Send(pkt []byte) {
 	p := n.path(hdr.Src, hdr.Dst)
 	if p.MTU > 0 && len(pkt) > p.MTU {
 		n.stats.PacketsMTUDrop++
+		n.nm.packetsMTUDrop.Inc()
 		if hdr.Flags&wire.IPFlagDF != 0 {
 			n.sendFragNeeded(hdr, pkt, p.MTU)
 		}
@@ -240,6 +289,7 @@ func (n *Network) Send(pkt []byte) {
 
 	if n.rng.Bool(p.Loss) {
 		n.stats.PacketsLost++
+		n.nm.packetsLost.Inc()
 		return
 	}
 
@@ -263,6 +313,7 @@ func (n *Network) Send(pkt []byte) {
 		backlogBytes := int64(l.busyUntil-n.now) * p.Rate / (8 * int64(Second))
 		if backlogBytes > int64(qcap) {
 			n.stats.PacketsQueueDrop++
+			n.nm.packetsQueueDrop.Inc()
 			return
 		}
 		txTime := Time(int64(len(pkt)) * 8 * int64(Second) / p.Rate)
@@ -272,6 +323,8 @@ func (n *Network) Send(pkt []byte) {
 
 	n.scheduleDelivery(pkt, p, extra)
 	if n.rng.Bool(p.Duplicate) {
+		n.stats.PacketsDuplicated++
+		n.nm.packetsDuplicated.Inc()
 		dup := append([]byte(nil), pkt...)
 		n.scheduleDelivery(dup, p, extra)
 	}
@@ -312,6 +365,7 @@ func (n *Network) scheduleDelivery(pkt []byte, p PathParams, serialization Time)
 	if p.Reorder > 0 && n.rng.Bool(p.Reorder) {
 		delay = p.Delay / 4
 	}
+	n.nm.pathDelay.Observe(int64(delay))
 	n.push(event{at: n.now + delay, pkt: pkt})
 }
 
@@ -357,6 +411,7 @@ func (n *Network) dispatch(ev *event) {
 	hdr, _, err := wire.DecodeIPv4(ev.pkt)
 	if err != nil {
 		n.stats.PacketsLost++
+		n.nm.packetsLost.Inc()
 		return
 	}
 	node := n.nodes[hdr.Dst]
@@ -368,10 +423,13 @@ func (n *Network) dispatch(ev *event) {
 	}
 	if node == nil {
 		n.stats.PacketsNoRoute++
+		n.nm.packetsNoRoute.Inc()
 		return
 	}
 	n.stats.PacketsDelivered++
 	n.stats.BytesDelivered += int64(len(ev.pkt))
+	n.nm.packetsDelivered.Inc()
+	n.nm.bytesDelivered.Add(int64(len(ev.pkt)))
 	node.HandlePacket(ev.pkt)
 }
 

@@ -1,6 +1,7 @@
 package scanner
 
 import (
+	"iwscan/internal/metrics"
 	"iwscan/internal/netsim"
 	"iwscan/internal/wire"
 )
@@ -76,6 +77,12 @@ type Engine struct {
 	nextSend    netsim.Time
 	stats       Stats
 	onDone      func(Stats)
+
+	mLaunched  *metrics.Counter
+	mCompleted *metrics.Counter
+	mSkipped   *metrics.Counter
+	mInFlight  *metrics.Gauge
+	mProbeDur  *metrics.Histogram // launch → done, virtual ns
 }
 
 // NewEngine builds an engine over space. Call Start to begin; the caller
@@ -90,11 +97,26 @@ func NewEngine(n *netsim.Network, space *TargetSpace, cfg Config, launch LaunchF
 		iter:     NewShard(space.Size(), cfg.Seed, cfg.Shard%cfg.Shards, cfg.Shards),
 		sampler:  NewSampler(cfg.Seed, cfg.SampleFraction),
 		interval: netsim.Time(float64(netsim.Second) / cfg.Rate),
+
+		mLaunched:  n.Metrics().Counter("engine.launched"),
+		mCompleted: n.Metrics().Counter("engine.completed"),
+		mSkipped:   n.Metrics().Counter("engine.skipped"),
+		mInFlight:  n.Metrics().Gauge("engine.in_flight"),
+		mProbeDur:  n.Metrics().Histogram("engine.probe_duration_ns"),
 	}
 	if e.interval <= 0 {
 		e.interval = 1
 	}
 	return e
+}
+
+// TargetEstimate returns the expected number of launches for this
+// engine: the shard's slice of the space scaled by the sample fraction.
+// It is an estimate (sampling is per-index pseudorandom), used for the
+// %-done figure in progress reports.
+func (e *Engine) TargetEstimate() int64 {
+	est := float64(e.space.Size()) / float64(e.cfg.Shards) * e.cfg.SampleFraction
+	return int64(est + 0.5)
 }
 
 // OnFinish registers a callback invoked once when the scan completes
@@ -124,10 +146,13 @@ func (e *Engine) pump() {
 		e.nextSend += e.interval
 		e.outstanding++
 		e.stats.Launched++
+		e.mLaunched.Inc()
+		e.mInFlight.Add(1)
 		if e.outstanding > e.stats.MaxInFlight {
 			e.stats.MaxInFlight = e.outstanding
 		}
-		e.launch(addr, e.probeDone)
+		launchedAt := e.net.Now()
+		e.launch(addr, func() { e.probeDone(launchedAt) })
 	}
 	e.maybeFinish()
 	if e.exhausted || e.tickArmed || e.outstanding >= e.cfg.MaxOutstanding {
@@ -150,15 +175,19 @@ func (e *Engine) nextIndex() (uint64, bool) {
 		}
 		if !e.sampler.Keep(idx) || e.space.Blacklisted(e.space.At(idx)) {
 			e.stats.Skipped++
+			e.mSkipped.Inc()
 			continue
 		}
 		return idx, true
 	}
 }
 
-func (e *Engine) probeDone() {
+func (e *Engine) probeDone(launchedAt netsim.Time) {
 	e.outstanding--
 	e.stats.Completed++
+	e.mCompleted.Inc()
+	e.mInFlight.Add(-1)
+	e.mProbeDur.Observe(int64(e.net.Now() - launchedAt))
 	e.maybeFinish()
 	if !e.exhausted {
 		e.pump()

@@ -382,6 +382,104 @@ func TestEngineSkipsBlacklistAndSample(t *testing.T) {
 	}
 }
 
+// TestStatsMaxInFlightUnderRateLimit: with probes far slower than the
+// launch rate, MaxInFlight must saturate exactly at MaxOutstanding and
+// never exceed it, and the completion accounting must balance.
+func TestStatsMaxInFlightUnderRateLimit(t *testing.T) {
+	n := netsim.New(1)
+	space := NewSpaceFromPrefixes([]wire.Prefix{wire.MustParsePrefix("10.0.0.0/24")})
+	launch := func(addr wire.Addr, done func()) {
+		n.After(netsim.Second, done)
+	}
+	e := NewEngine(n, space, Config{Rate: 1e6, MaxOutstanding: 16, Seed: 3}, launch)
+	e.Start()
+	n.RunUntilIdle()
+	st := e.Stats()
+	if st.MaxInFlight > 16 {
+		t.Fatalf("MaxInFlight %d exceeds MaxOutstanding 16", st.MaxInFlight)
+	}
+	if st.MaxInFlight != 16 {
+		t.Fatalf("MaxInFlight %d, want saturation at 16", st.MaxInFlight)
+	}
+	if st.Launched != 256 || st.Completed != 256 || st.Skipped != 0 {
+		t.Fatalf("launched/completed/skipped = %d/%d/%d", st.Launched, st.Completed, st.Skipped)
+	}
+	// The in-flight gauge mirrors the same bound and drains to zero.
+	g := n.Metrics().Gauge("engine.in_flight")
+	if g.Max() != 16 || g.Value() != 0 {
+		t.Fatalf("in-flight gauge %d (max %d), want 0 (max 16)", g.Value(), g.Max())
+	}
+}
+
+// TestStatsSkippedExactAccounting: Skipped must equal the number of
+// indices rejected by the sampler plus the sampled-but-blacklisted
+// ones, computed independently here from the same deterministic
+// sampler and space.
+func TestStatsSkippedExactAccounting(t *testing.T) {
+	const seed, frac = 11, 0.5
+	n := netsim.New(1)
+	space := NewSpaceFromPrefixes([]wire.Prefix{wire.MustParsePrefix("10.0.0.0/24")})
+	space.AddBlacklist(wire.MustParsePrefix("10.0.0.0/26"))
+	launch := func(addr wire.Addr, done func()) { done() }
+	e := NewEngine(n, space, Config{Rate: 1e6, Seed: seed, SampleFraction: frac}, launch)
+	e.Start()
+	n.RunUntilIdle()
+
+	sampler := NewSampler(seed, frac)
+	var wantSkipped, wantLaunched int64
+	for idx := uint64(0); idx < space.Size(); idx++ {
+		if !sampler.Keep(idx) || space.Blacklisted(space.At(idx)) {
+			wantSkipped++
+		} else {
+			wantLaunched++
+		}
+	}
+	st := e.Stats()
+	if st.Skipped != wantSkipped || st.Launched != wantLaunched {
+		t.Fatalf("skipped/launched = %d/%d, want %d/%d",
+			st.Skipped, st.Launched, wantSkipped, wantLaunched)
+	}
+	if st.Completed != st.Launched {
+		t.Fatalf("completed %d != launched %d", st.Completed, st.Launched)
+	}
+}
+
+// TestMergedShardStatsEqualUnsharded: summing per-shard engine stats
+// (and their metric registries) must reproduce the unsharded totals —
+// the property the -parallel merge relies on.
+func TestMergedShardStatsEqualUnsharded(t *testing.T) {
+	run := func(shard, shards uint64) (Stats, int64) {
+		n := netsim.New(1)
+		space := NewSpaceFromPrefixes([]wire.Prefix{wire.MustParsePrefix("10.0.0.0/23")})
+		space.AddBlacklist(wire.MustParsePrefix("10.0.0.192/26"))
+		launch := func(addr wire.Addr, done func()) { n.After(10*netsim.Millisecond, done) }
+		e := NewEngine(n, space, Config{Rate: 1e5, Seed: 21, SampleFraction: 0.7, Shard: shard, Shards: shards}, launch)
+		e.Start()
+		n.RunUntilIdle()
+		return e.Stats(), n.Metrics().Counter("engine.launched").Value()
+	}
+	single, singleLaunched := run(0, 1)
+
+	var merged Stats
+	var mergedLaunched int64
+	const shards = 3
+	for s := uint64(0); s < shards; s++ {
+		st, ml := run(s, shards)
+		merged.Launched += st.Launched
+		merged.Completed += st.Completed
+		merged.Skipped += st.Skipped
+		mergedLaunched += ml
+	}
+	if merged.Launched != single.Launched || merged.Completed != single.Completed || merged.Skipped != single.Skipped {
+		t.Fatalf("merged launched/completed/skipped = %d/%d/%d, unsharded %d/%d/%d",
+			merged.Launched, merged.Completed, merged.Skipped,
+			single.Launched, single.Completed, single.Skipped)
+	}
+	if mergedLaunched != singleLaunched {
+		t.Fatalf("registry launched merged %d != unsharded %d", mergedLaunched, singleLaunched)
+	}
+}
+
 func TestEngineSharding(t *testing.T) {
 	// Two shards of the same scan cover disjoint halves.
 	probe := func(shard uint64) map[wire.Addr]bool {

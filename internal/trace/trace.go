@@ -115,7 +115,12 @@ func (r *Recorder) WritePcap(w io.Writer) error {
 }
 
 // ReadPcap parses a pcap file previously written by WritePcap (classic
-// little-endian format, raw link type).
+// little-endian format, raw link type). The file header's version and
+// link type are validated — a capture from another tool with, say,
+// Ethernet framing would otherwise be misparsed as bare IPv4 — and
+// every record's included length must equal its original length: a
+// snap-length-truncated capture cannot round-trip and is rejected
+// rather than silently returning shortened packets.
 func ReadPcap(rd io.Reader) ([]Captured, error) {
 	var hdr [24]byte
 	if _, err := io.ReadFull(rd, hdr[:]); err != nil {
@@ -123,6 +128,19 @@ func ReadPcap(rd io.Reader) ([]Captured, error) {
 	}
 	if binary.LittleEndian.Uint32(hdr[0:4]) != pcapMagic {
 		return nil, fmt.Errorf("trace: bad pcap magic")
+	}
+	major := binary.LittleEndian.Uint16(hdr[4:6])
+	minor := binary.LittleEndian.Uint16(hdr[6:8])
+	if major != pcapVersionMajor || minor != pcapVersionMinor {
+		return nil, fmt.Errorf("trace: unsupported pcap version %d.%d (want %d.%d)",
+			major, minor, pcapVersionMajor, pcapVersionMinor)
+	}
+	if lt := binary.LittleEndian.Uint32(hdr[20:24]); lt != pcapLinkRaw {
+		return nil, fmt.Errorf("trace: unsupported link type %d (want %d, LINKTYPE_RAW)", lt, pcapLinkRaw)
+	}
+	snap := binary.LittleEndian.Uint32(hdr[16:20])
+	if snap == 0 || snap > pcapSnapLen {
+		snap = pcapSnapLen
 	}
 	var out []Captured
 	for {
@@ -132,11 +150,15 @@ func ReadPcap(rd io.Reader) ([]Captured, error) {
 		} else if err != nil {
 			return nil, err
 		}
-		n := binary.LittleEndian.Uint32(rec[8:12])
-		if n > pcapSnapLen {
-			return nil, fmt.Errorf("trace: oversized record (%d bytes)", n)
+		incl := binary.LittleEndian.Uint32(rec[8:12])
+		orig := binary.LittleEndian.Uint32(rec[12:16])
+		if incl > snap {
+			return nil, fmt.Errorf("trace: oversized record (%d bytes, snaplen %d)", incl, snap)
 		}
-		data := make([]byte, n)
+		if incl != orig {
+			return nil, fmt.Errorf("trace: snapped record (%d of %d bytes captured)", incl, orig)
+		}
+		data := make([]byte, incl)
 		if _, err := io.ReadFull(rd, data); err != nil {
 			return nil, err
 		}

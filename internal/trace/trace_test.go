@@ -133,6 +133,64 @@ func TestReadPcapRejectsGarbage(t *testing.T) {
 	}
 }
 
+// validPcap writes a one-record capture and hands back the raw bytes so
+// tests can corrupt individual header fields.
+func validPcap(t *testing.T) []byte {
+	t.Helper()
+	rec := NewRecorder()
+	captureProbe(t, rec)
+	var buf bytes.Buffer
+	if err := rec.WritePcap(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadPcapRejectsWrongVersion(t *testing.T) {
+	b := validPcap(t)
+	b[4] = 3 // version_major: 3.4 instead of 2.4
+	if _, err := ReadPcap(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("wrong version accepted (err=%v)", err)
+	}
+	b = validPcap(t)
+	b[6] = 2 // version_minor
+	if _, err := ReadPcap(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("wrong minor version accepted (err=%v)", err)
+	}
+}
+
+func TestReadPcapRejectsWrongLinkType(t *testing.T) {
+	b := validPcap(t)
+	b[20] = 1 // LINKTYPE_ETHERNET: records would not start with an IPv4 header
+	if _, err := ReadPcap(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), "link type") {
+		t.Fatalf("ethernet link type accepted (err=%v)", err)
+	}
+}
+
+func TestReadPcapRejectsSnappedRecord(t *testing.T) {
+	b := validPcap(t)
+	// First record header sits at offset 24; bump orig_len (bytes 12:16 of
+	// the record) so incl_len < orig_len, as a snap-length capture has.
+	orig := uint32(b[36]) | uint32(b[37])<<8 | uint32(b[38])<<16 | uint32(b[39])<<24
+	orig += 100
+	b[36], b[37], b[38], b[39] = byte(orig), byte(orig>>8), byte(orig>>16), byte(orig>>24)
+	if _, err := ReadPcap(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), "snapped") {
+		t.Fatalf("snapped record accepted (err=%v)", err)
+	}
+}
+
+func TestReadPcapRejectsOversizedRecord(t *testing.T) {
+	b := validPcap(t)
+	// Claim both lengths are beyond the snap length.
+	huge := uint32(70000)
+	for _, off := range []int{32, 36} {
+		b[off], b[off+1], b[off+2], b[off+3] = byte(huge), byte(huge>>8), byte(huge>>16), byte(huge>>24)
+	}
+	if _, err := ReadPcap(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), "oversized") {
+		t.Fatalf("oversized record accepted (err=%v)", err)
+	}
+}
+
 func TestFormatPacketTCP(t *testing.T) {
 	h := wire.NewTCPHeader()
 	h.SrcPort = 12345
