@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench bench-smoke
 
 check: fmt vet build test race
 
@@ -29,3 +29,9 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# bench-smoke runs every benchmark in the module exactly once — a fast
+# CI guard that the benchmark harnesses still build and run, without
+# measuring anything.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

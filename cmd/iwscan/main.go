@@ -1,20 +1,37 @@
 // Command iwscan runs a TCP initial-window scan against the simulated
-// Internet and writes per-target results as CSV.
+// Internet and streams per-target results to a pluggable output sink.
 //
 // It is the CLI face of the paper's methodology: a ZMap-style engine
 // drives HTTP- or TLS-based IW probes (announcing a 64-byte MSS and
 // withholding ACKs until the first retransmission) across the modelled
 // IPv4 population, or across a synthetic Alexa-style popular-host list.
+// Results stream through the output pipeline one record at a time — in
+// permutation order, with O(buffer) memory — and long scans can be
+// checkpointed and resumed without re-probing finished targets.
 //
 // Examples:
 //
 //	iwscan -strategy http -sample 0.01 -out http.csv
-//	iwscan -strategy tls -sample 0.05 -out tls.csv
+//	iwscan -strategy tls -sample 0.05 -format jsonl -out tls.jsonl
+//	iwscan -sample 0.05 -format bin -out scan.iwb   # compact binary output
 //	iwscan -strategy http -alexa 10000 -out alexa.csv
 //	iwscan -strategy syn -sample 0.01          # plain port scan
 //	iwscan -sample 0.0005 -pcap scan.pcap      # capture the packets too
 //	iwscan -sample 0.001 -status-interval 1s   # live ZMap-style progress
 //	iwscan -sample 0.01 -metrics-out m.json    # dump the telemetry snapshot
+//	iwscan -sample 0.01 -retries 2             # re-probe timed-out targets twice
+//
+// Checkpoint/resume (interruption-survivable scans):
+//
+//	iwscan -sample 0.5 -out big.csv -checkpoint big.ck        # checkpoint as it runs
+//	iwscan -sample 0.5 -out big.csv -checkpoint big.ck -time-limit 1h  # stop early...
+//	iwscan -sample 0.5 -out big.csv -resume big.ck            # ...and pick up where it left off
+//
+// A resumed scan appends to -out (the formats are append-safe) and
+// produces, together with the interrupted run's output, exactly the
+// record stream an uninterrupted scan would have written. The
+// checkpoint's fingerprint guards against resuming with a different
+// seed, strategy, sample fraction or blacklist.
 package main
 
 import (
@@ -22,14 +39,23 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"iwscan/internal/analysis"
+	"iwscan/internal/checkpoint"
 	"iwscan/internal/core"
 	"iwscan/internal/experiments"
 	"iwscan/internal/inet"
+	"iwscan/internal/netsim"
+	"iwscan/internal/output"
 	"iwscan/internal/scanner"
 	"iwscan/internal/trace"
 )
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "iwscan: "+format+"\n", args...)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -42,13 +68,19 @@ func main() {
 		useed    = flag.Uint64("universe-seed", 2017, "universe seed (host population)")
 		alexa    = flag.Int("alexa", 0, "scan the top-N popular-host list instead of the address space")
 		loss     = flag.Float64("loss", 0, "network packet-loss probability")
-		out      = flag.String("out", "", "CSV output path (default stdout)")
+		out      = flag.String("out", "", "output path (default stdout)")
+		format   = flag.String("format", "csv", "output format: csv, jsonl or bin (length-prefixed binary)")
 		pcap     = flag.String("pcap", "", "also write a packet capture of the scan (libpcap format)")
 		shard    = flag.Uint64("shard", 0, "this instance's shard number (0-based)")
 		shards   = flag.Uint64("shards", 0, "total shards the scan is split across (0 = unsharded)")
 		blfile   = flag.String("blacklist", "", "ZMap-style blacklist file (one CIDR per line)")
 		parallel = flag.Int("parallel", 1, "run the scan as N concurrent shards and merge the results")
-		quiet    = flag.Bool("q", false, "suppress the summary on stderr")
+		retries  = flag.Int("retries", 0, "re-launch unreachable probes up to N extra times before giving up")
+		ckPath   = flag.String("checkpoint", "", "periodically write resumable scan state to this file")
+		ckEvery  = flag.Duration("checkpoint-every", 10*time.Second, "virtual-time interval between checkpoints")
+		resume   = flag.String("resume", "", "resume an interrupted scan from this checkpoint file (appends to -out)")
+		tlimit   = flag.Duration("time-limit", 0, "stop the scan after this much virtual time, leaving a checkpoint (0 = run to completion)")
+		quiet    = flag.Bool("q", false, "suppress the summary on stderr (also skips record retention for it: O(buffer) memory)")
 	)
 	flag.Parse()
 
@@ -64,25 +96,84 @@ func main() {
 		fmt.Fprintf(os.Stderr, "iwscan: unknown strategy %q\n", *strategy)
 		os.Exit(2)
 	}
+	if *sample <= 0 || *sample > 1 {
+		fatalf("-sample %v out of range: want 0 < sample <= 1", *sample)
+	}
+
+	// Reject flag combinations that earlier versions resolved silently
+	// (dropping -parallel under -pcap, overwriting user shard specs).
+	userSharded := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "shard" || f.Name == "shards" {
+			userSharded = true
+		}
+	})
+	if *parallel > 1 {
+		if *pcap != "" {
+			fatalf("-parallel and -pcap are incompatible (each shard runs its own simulation; there is no single packet stream to capture); drop one")
+		}
+		if userSharded {
+			fatalf("-parallel assigns shard numbers itself and would overwrite -shard/-shards; use one mechanism or the other")
+		}
+		if *ckPath != "" || *resume != "" {
+			fatalf("-checkpoint/-resume track one engine per process; distribute with -shard/-shards across separate runs instead of -parallel")
+		}
+	}
+	if *alexa > 0 && (*ckPath != "" || *resume != "" || *tlimit > 0) {
+		fatalf("-checkpoint/-resume/-time-limit apply to address-space scans, not -alexa list scans")
+	}
 
 	u := inet.NewInternet2017(*useed)
 	var rec *trace.Recorder
 	if *pcap != "" {
 		rec = trace.NewRecorder()
 	}
+
+	// Output sink: records stream through it as the scan runs. An async
+	// stage decouples the simulation from file I/O; its bounded queue
+	// pushes back instead of growing.
+	outFile := os.Stdout
+	if *out != "" {
+		oflags := os.O_WRONLY | os.O_CREATE
+		if *resume != "" {
+			oflags |= os.O_APPEND
+		} else {
+			oflags |= os.O_TRUNC
+		}
+		f, err := os.OpenFile(*out, oflags, 0o644)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		outFile = f
+	}
+	fileSink, err := output.NewFileSink(outFile, *format, *resume != "")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	sink := output.NewAsyncSink(fileSink, 4096)
+
 	var res *experiments.ScanResult
 	if *alexa > 0 {
 		res = experiments.RunPopularScan(u, *alexa, strat, *seed)
+		if err := output.WriteAll(sink, res.Records); err != nil {
+			fatalf("writing records: %v", err)
+		}
 	} else {
 		cfg := experiments.ScanConfig{
-			Seed:           *seed,
-			Strategy:       strat,
-			SampleFraction: *sample,
-			Rate:           *rate,
-			Loss:           *loss,
-			Shard:          *shard,
-			Shards:         *shards,
-			StatusInterval: *statusIv,
+			Seed:               *seed,
+			Strategy:           strat,
+			SampleFraction:     *sample,
+			Rate:               *rate,
+			Loss:               *loss,
+			Shard:              *shard,
+			Shards:             *shards,
+			MaxRetries:         *retries,
+			StatusInterval:     *statusIv,
+			Sink:               sink,
+			KeepRecords:        !*quiet,
+			CheckpointPath:     *ckPath,
+			CheckpointInterval: netsim.Time(*ckEvery),
+			TimeLimit:          netsim.Time(*tlimit),
 		}
 		if *statusIv > 0 {
 			cfg.StatusOut = os.Stderr
@@ -90,37 +181,59 @@ func main() {
 		if *blfile != "" {
 			bf, err := os.Open(*blfile)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "iwscan: %v\n", err)
-				os.Exit(1)
+				fatalf("%v", err)
 			}
 			cfg.Blacklist, err = scanner.ParseBlacklist(bf)
 			bf.Close()
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "iwscan: %v\n", err)
-				os.Exit(1)
+				fatalf("%v", err)
+			}
+		}
+		if *resume != "" {
+			st, err := checkpoint.Load(*resume)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			cfg.Resume = st
+			if cfg.CheckpointPath == "" {
+				cfg.CheckpointPath = *resume // keep checkpointing the resumed run
 			}
 		}
 		if rec != nil {
 			cfg.Trace = rec.Filter()
 		}
-		if *parallel > 1 && rec == nil {
-			res = experiments.RunScanParallel(u, cfg, *parallel)
+		if *parallel > 1 {
+			res, err = experiments.RunScanParallelChecked(u, cfg, *parallel)
 		} else {
-			res = experiments.RunScan(u, cfg)
+			res, err = experiments.RunScanChecked(u, cfg)
+		}
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	// Drain the async queue and flush the file sink, then close the
+	// file, checking both: a full disk is often only reported here.
+	if err := sink.Close(); err != nil {
+		fatalf("writing records: %v", err)
+	}
+	if outFile != os.Stdout {
+		if err := outFile.Close(); err != nil {
+			fatalf("closing %s: %v", *out, err)
 		}
 	}
 
 	if rec != nil {
 		f, err := os.Create(*pcap)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "iwscan: %v\n", err)
-			os.Exit(1)
+			fatalf("%v", err)
 		}
 		if err := rec.WritePcap(f); err != nil {
-			fmt.Fprintf(os.Stderr, "iwscan: writing pcap: %v\n", err)
-			os.Exit(1)
+			fatalf("writing pcap: %v", err)
 		}
-		f.Close()
+		if err := f.Close(); err != nil {
+			fatalf("closing %s: %v", *pcap, err)
+		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "wrote %d packets to %s\n", len(rec.Packets()), *pcap)
 		}
@@ -129,8 +242,7 @@ func main() {
 	if *metOut != "" {
 		f, err := os.Create(*metOut)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "iwscan: %v\n", err)
-			os.Exit(1)
+			fatalf("%v", err)
 		}
 		if strings.HasSuffix(*metOut, ".prom") {
 			err = res.Metrics.WritePrometheus(f)
@@ -141,27 +253,21 @@ func main() {
 			err = cerr
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "iwscan: writing metrics: %v\n", err)
-			os.Exit(1)
+			fatalf("writing metrics: %v", err)
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "wrote metrics snapshot to %s\n", *metOut)
 		}
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "iwscan: %v\n", err)
-			os.Exit(1)
+	if res.Incomplete {
+		effCk := *ckPath
+		if effCk == "" {
+			effCk = *resume
 		}
-		defer f.Close()
-		w = f
-	}
-	if err := analysis.WriteCSV(w, res.Records); err != nil {
-		fmt.Fprintf(os.Stderr, "iwscan: writing CSV: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr,
+			"iwscan: scan stopped at time limit after %d probes; resume with -resume %s\n",
+			res.Engine.Launched, orDefault(effCk, "<checkpoint file>"))
 	}
 
 	if !*quiet {
@@ -169,6 +275,9 @@ func main() {
 		fmt.Fprintf(os.Stderr,
 			"scanned %d targets in %v virtual time (%d packets on the wire)\n",
 			res.Engine.Launched, res.VirtualTime, res.Net.PacketsSent)
+		if res.Engine.Retries > 0 {
+			fmt.Fprintf(os.Stderr, "re-launched %d timed-out probes\n", res.Engine.Retries)
+		}
 		fmt.Fprintf(os.Stderr,
 			"reachable %d: success %.1f%%, few-data %.1f%%, error %.1f%%\n",
 			o.Reachable, 100*o.Success, 100*o.FewData, 100*o.Error)
@@ -177,4 +286,11 @@ func main() {
 				analysis.FormatDistribution(analysis.IWDistribution(res.Records)))
 		}
 	}
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
 }

@@ -32,6 +32,11 @@ type Record struct {
 	ASN    int
 	ASName string
 	RDNS   string
+
+	// Seq is the record's global permutation position within its scan:
+	// the total order that merging sharded streams reproduces. It is
+	// in-memory plumbing for the output pipeline and is not serialized.
+	Seq uint64
 }
 
 // FromTarget converts a core result into a record (metadata fields are

@@ -17,6 +17,64 @@ var csvHeader = []string{
 	"asn", "as_name", "rdns",
 }
 
+// CSVHeader returns the column layout of scan-result CSV files. The
+// returned slice must not be modified.
+func CSVHeader() []string { return csvHeader }
+
+// CSVRow renders one record as a CSV row matching CSVHeader.
+func (r *Record) CSVRow() []string {
+	return []string{
+		r.Addr.String(),
+		strconv.Itoa(int(r.Port)),
+		r.Outcome.String(),
+		strconv.Itoa(r.IW),
+		strconv.Itoa(r.LowerBound),
+		strconv.FormatBool(r.ByteLimited),
+		strconv.Itoa(r.IWBytes),
+		strconv.Itoa(r.Segments64),
+		strconv.Itoa(r.Segments128),
+		strconv.Itoa(r.MaxSeg),
+		strconv.Itoa(r.ASN),
+		r.ASName,
+		r.RDNS,
+	}
+}
+
+// RecordFromCSVRow inverts CSVRow.
+func RecordFromCSVRow(row []string) (Record, error) {
+	if len(row) != len(csvHeader) {
+		return Record{}, fmt.Errorf("analysis: CSV row has %d fields, want %d", len(row), len(csvHeader))
+	}
+	addr, err := wire.ParseAddr(row[0])
+	if err != nil {
+		return Record{}, err
+	}
+	outcome, err := outcomeFromString(row[2])
+	if err != nil {
+		return Record{}, err
+	}
+	atoi := func(s string) int {
+		v, _ := strconv.Atoi(s)
+		return v
+	}
+	return Record{
+		Addr:        addr,
+		Port:        uint16(atoi(row[1])),
+		Outcome:     outcome,
+		IW:          atoi(row[3]),
+		LowerBound:  atoi(row[4]),
+		ByteLimited: row[5] == "true",
+		IWBytes:     atoi(row[6]),
+		Segments64:  atoi(row[7]),
+		Segments128: atoi(row[8]),
+		MaxSeg:      atoi(row[9]),
+		ASN:         atoi(row[10]),
+		ASName:      row[11],
+		RDNS:        row[12],
+		NoData:      outcome == core.OutcomeNoData,
+	}, nil
+}
+
 // WriteCSV writes records as CSV with a header row.
 func WriteCSV(w io.Writer, records []Record) error {
 	cw := csv.NewWriter(w)
@@ -24,29 +82,16 @@ func WriteCSV(w io.Writer, records []Record) error {
 		return err
 	}
 	for i := range records {
-		r := &records[i]
-		row := []string{
-			r.Addr.String(),
-			strconv.Itoa(int(r.Port)),
-			r.Outcome.String(),
-			strconv.Itoa(r.IW),
-			strconv.Itoa(r.LowerBound),
-			strconv.FormatBool(r.ByteLimited),
-			strconv.Itoa(r.IWBytes),
-			strconv.Itoa(r.Segments64),
-			strconv.Itoa(r.Segments128),
-			strconv.Itoa(r.MaxSeg),
-			strconv.Itoa(r.ASN),
-			r.ASName,
-			r.RDNS,
-		}
-		if err := cw.Write(row); err != nil {
+		if err := cw.Write(records[i].CSVRow()); err != nil {
 			return err
 		}
 	}
 	cw.Flush()
 	return cw.Error()
 }
+
+// ParseOutcome inverts core.Outcome.String, for deserializers.
+func ParseOutcome(s string) (core.Outcome, error) { return outcomeFromString(s) }
 
 // outcomeFromString inverts Outcome.String.
 func outcomeFromString(s string) (core.Outcome, error) {
@@ -76,33 +121,9 @@ func ReadCSV(r io.Reader) ([]Record, error) {
 	}
 	records := make([]Record, 0, len(rows)-1)
 	for _, row := range rows[1:] {
-		addr, err := wire.ParseAddr(row[0])
+		rec, err := RecordFromCSVRow(row)
 		if err != nil {
 			return nil, err
-		}
-		outcome, err := outcomeFromString(row[2])
-		if err != nil {
-			return nil, err
-		}
-		atoi := func(s string) int {
-			v, _ := strconv.Atoi(s)
-			return v
-		}
-		rec := Record{
-			Addr:        addr,
-			Port:        uint16(atoi(row[1])),
-			Outcome:     outcome,
-			IW:          atoi(row[3]),
-			LowerBound:  atoi(row[4]),
-			ByteLimited: row[5] == "true",
-			IWBytes:     atoi(row[6]),
-			Segments64:  atoi(row[7]),
-			Segments128: atoi(row[8]),
-			MaxSeg:      atoi(row[9]),
-			ASN:         atoi(row[10]),
-			ASName:      row[11],
-			RDNS:        row[12],
-			NoData:      outcome == core.OutcomeNoData,
 		}
 		records = append(records, rec)
 	}

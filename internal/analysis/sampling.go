@@ -9,15 +9,18 @@ import (
 
 // Subsample returns a uniform random subset of fraction f of the
 // records, deterministic for a given seed (§4.1: a 1% random sample
-// reproduces the full distribution).
+// reproduces the full distribution). Membership is decided by hashing
+// each record's address — the same technique the scan engine's sampler
+// uses — so the subset does not depend on the order records were
+// streamed, merged or sorted in.
 func Subsample(records []Record, f float64, seed uint64) []Record {
 	if f >= 1 {
 		return records
 	}
-	rng := stats.NewRNG(seed)
+	threshold := uint64(f * float64(1<<63) * 2)
 	out := make([]Record, 0, int(float64(len(records))*f)+1)
 	for i := range records {
-		if rng.Float64() < f {
+		if stats.HashIP64(seed, uint32(records[i].Addr)) < threshold {
 			out = append(out, records[i])
 		}
 	}

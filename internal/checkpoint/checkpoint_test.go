@@ -1,0 +1,163 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"iwscan/internal/scanner"
+)
+
+func sampleState() *State {
+	return &State{
+		Version:     Version,
+		Fingerprint: Fingerprint("iwscan", 2017, 0.01),
+		VirtualNS:   123456789,
+		Shards: []ShardState{{
+			Shard: 2, Shards: 4,
+			Cursor: scanner.Cursor{
+				Seq:   100,
+				Shard: scanner.ShardState{Cycle: scanner.CycleState{Cur: 7, First: false}, Pos: 42},
+			},
+			Launched: 100, Completed: 100, Skipped: 9, Retries: 3,
+		}},
+		Metrics: json.RawMessage(`{"counters":{"engine.launched":100}}`),
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scan.ck")
+	want := sampleState()
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != Version || got.Fingerprint != want.Fingerprint ||
+		got.VirtualNS != want.VirtualNS || got.Completed != want.Completed {
+		t.Fatalf("loaded header differs: %+v vs %+v", got, want)
+	}
+	if len(got.Shards) != 1 || got.Shards[0] != want.Shards[0] {
+		t.Fatalf("loaded shard state differs: %+v vs %+v", got.Shards, want.Shards)
+	}
+	var gotBuf, wantBuf bytes.Buffer
+	if err := json.Compact(&gotBuf, got.Metrics); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Compact(&wantBuf, want.Metrics); err != nil {
+		t.Fatal(err)
+	}
+	if gotBuf.String() != wantBuf.String() {
+		t.Fatalf("metrics snapshot differs: %s vs %s", gotBuf.String(), wantBuf.String())
+	}
+}
+
+// TestSaveIsAtomic: Save must never leave a temporary file behind, and
+// overwriting an existing checkpoint must go through a rename (so a
+// crash mid-write preserves the previous state rather than tearing it).
+func TestSaveIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "scan.ck")
+	for i := 0; i < 3; i++ {
+		s := sampleState()
+		s.VirtualNS = int64(i)
+		if err := Save(path, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "scan.ck" {
+			t.Fatalf("leftover file %q after Save", e.Name())
+		}
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.VirtualNS != 2 {
+		t.Fatalf("checkpoint holds VirtualNS %d, want the last write (2)", got.VirtualNS)
+	}
+}
+
+func TestValidateRejectsMismatchedFingerprint(t *testing.T) {
+	s := sampleState()
+	if err := s.Validate(s.Fingerprint); err != nil {
+		t.Fatalf("matching fingerprint rejected: %v", err)
+	}
+	if err := s.Validate(Fingerprint("iwscan", 2018, 0.01)); err == nil {
+		t.Fatal("mismatched fingerprint accepted")
+	}
+}
+
+func TestValidateRejectsCompletedAndWrongVersion(t *testing.T) {
+	s := sampleState()
+	s.Completed = true
+	if err := s.Validate(s.Fingerprint); err == nil ||
+		!strings.Contains(err.Error(), "completed") {
+		t.Fatalf("completed checkpoint accepted for resume (err=%v)", err)
+	}
+	s = sampleState()
+	s.Version = Version + 1
+	if err := s.Validate(s.Fingerprint); err == nil {
+		t.Fatal("wrong-version checkpoint accepted")
+	}
+}
+
+func TestLoadRejectsCorruptAndWrongVersion(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.ck")
+	if err := os.WriteFile(bad, []byte("{torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bad); err == nil {
+		t.Fatal("corrupt checkpoint loaded")
+	}
+	old := filepath.Join(dir, "old.ck")
+	if err := os.WriteFile(old, []byte(`{"version": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(old); err == nil {
+		t.Fatal("future-version checkpoint loaded")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.ck")); err == nil {
+		t.Fatal("missing checkpoint loaded")
+	}
+}
+
+func TestFindLocatesShardSlice(t *testing.T) {
+	s := sampleState()
+	st, err := s.Find(2, 4)
+	if err != nil || st.Cursor.Seq != 100 {
+		t.Fatalf("Find(2,4) = %+v, %v", st, err)
+	}
+	if _, err := s.Find(0, 4); err == nil {
+		t.Fatal("Find returned a cursor for an uncovered shard")
+	}
+	if _, err := s.Find(2, 8); err == nil {
+		t.Fatal("Find ignored the shard-count mismatch")
+	}
+}
+
+func TestFingerprintStableAndSensitive(t *testing.T) {
+	a := Fingerprint("iwscan", uint64(1), 0.5, []int{64, 128})
+	b := Fingerprint("iwscan", uint64(1), 0.5, []int{64, 128})
+	if a != b {
+		t.Fatalf("fingerprint not deterministic: %s vs %s", a, b)
+	}
+	if a == Fingerprint("iwscan", uint64(2), 0.5, []int{64, 128}) {
+		t.Fatal("fingerprint insensitive to the seed")
+	}
+	if a == Fingerprint("iwscan", uint64(1), 0.5, []int{64}) {
+		t.Fatal("fingerprint insensitive to the MSS list")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"iwscan/internal/inet"
+	"iwscan/internal/output"
 )
 
 // RunScanParallel runs one logical scan as several ZMap-style shards,
@@ -13,12 +14,40 @@ import (
 // merges the results. The shards partition the permutation exactly, so
 // the merged record set equals a single-instance scan of the same
 // space; only wall-clock time changes. This mirrors how the paper's
-// scans would be distributed across machines.
+// scans would be distributed across machines. It panics on
+// configuration errors; prefer RunScanParallelChecked when using sinks.
 func RunScanParallel(u *inet.Universe, cfg ScanConfig, shards int) *ScanResult {
+	res, err := RunScanParallelChecked(u, cfg, shards)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return res
+}
+
+// RunScanParallelChecked is RunScanParallel with error reporting. When
+// cfg.Sink is set, the shards stream concurrently through a k-way merge
+// keyed by global permutation position, so the sink receives one
+// ordered stream — byte-identical to what an unsharded scan would
+// write — without any shard accumulating its records.
+func RunScanParallelChecked(u *inet.Universe, cfg ScanConfig, shards int) (*ScanResult, error) {
 	if shards <= 1 {
-		return RunScan(u, cfg)
+		return RunScanChecked(u, cfg)
+	}
+	if cfg.CheckpointPath != "" || cfg.Resume != nil {
+		// A checkpoint cursor is consistent with one engine's own output
+		// frontier; in-process parallel shards share one sink whose
+		// durability lags individual frontiers. Distribute with
+		// Shard/Shards across processes instead — each instance then
+		// checkpoints (and resumes) its own slice, ZMap-style.
+		return nil, fmt.Errorf("checkpointing is per scan instance; use Shard/Shards across separate runs instead of Parallel")
+	}
+	var merge *output.Merge
+	var handles []output.Sink
+	if cfg.Sink != nil {
+		merge, handles = output.NewMerge(cfg.Sink, shards)
 	}
 	results := make([]*ScanResult, shards)
+	errs := make([]error, shards)
 	var wg sync.WaitGroup
 	for i := 0; i < shards; i++ {
 		wg.Add(1)
@@ -27,6 +56,9 @@ func RunScanParallel(u *inet.Universe, cfg ScanConfig, shards int) *ScanResult {
 			c := cfg
 			c.Shard = uint64(shard)
 			c.Shards = uint64(shards)
+			if handles != nil {
+				c.Sink = handles[shard]
+			}
 			if c.StatusOut != nil && c.StatusInterval > 0 {
 				// All shards progress in lockstep through the same space,
 				// so one reporting shard (tagged) tells the whole story
@@ -37,10 +69,20 @@ func RunScanParallel(u *inet.Universe, cfg ScanConfig, shards int) *ScanResult {
 					c.StatusOut = nil
 				}
 			}
-			results[shard] = RunScan(u, c)
+			results[shard], errs[shard] = RunScanChecked(u, c)
+			if handles != nil {
+				if err := handles[shard].Close(); err != nil && errs[shard] == nil {
+					errs[shard] = err
+				}
+			}
 		}(i)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	merged := &ScanResult{}
 	for _, r := range results {
@@ -48,6 +90,7 @@ func RunScanParallel(u *inet.Universe, cfg ScanConfig, shards int) *ScanResult {
 		merged.Engine.Launched += r.Engine.Launched
 		merged.Engine.Completed += r.Engine.Completed
 		merged.Engine.Skipped += r.Engine.Skipped
+		merged.Engine.Retries += r.Engine.Retries
 		merged.Net.PacketsSent += r.Net.PacketsSent
 		merged.Net.PacketsDelivered += r.Net.PacketsDelivered
 		merged.Net.PacketsDuplicated += r.Net.PacketsDuplicated
@@ -68,10 +111,18 @@ func RunScanParallel(u *inet.Universe, cfg ScanConfig, shards int) *ScanResult {
 		if r.VirtualTime > merged.VirtualTime {
 			merged.VirtualTime = r.VirtualTime // shards run concurrently
 		}
+		if r.MaxBuffered > merged.MaxBuffered {
+			merged.MaxBuffered = r.MaxBuffered
+		}
+	}
+	if merge != nil {
+		// Shard reorder buffers and the merge queues never hold the
+		// record set; report their combined high-water mark.
+		merged.MaxBuffered += merge.MaxPending()
 	}
 	// Deterministic output order regardless of shard scheduling.
 	sort.Slice(merged.Records, func(i, j int) bool {
 		return merged.Records[i].Addr < merged.Records[j].Addr
 	})
-	return merged
+	return merged, nil
 }

@@ -6,14 +6,18 @@
 package experiments
 
 import (
+	"bytes"
+	"fmt"
 	"io"
 	"time"
 
 	"iwscan/internal/analysis"
+	"iwscan/internal/checkpoint"
 	"iwscan/internal/core"
 	"iwscan/internal/inet"
 	"iwscan/internal/metrics"
 	"iwscan/internal/netsim"
+	"iwscan/internal/output"
 	"iwscan/internal/scanner"
 	"iwscan/internal/wire"
 )
@@ -32,6 +36,10 @@ type ScanConfig struct {
 	Loss           float64 // per-packet network loss probability
 	MSSList        []int   // announced MSS sequence (default 64, 128)
 	Repeats        int     // probes per MSS (default 3)
+	// MaxRetries re-launches probes whose handshake never completed
+	// (outcome unreachable), up to this many extra attempts each, before
+	// the scan is declared done. 0 disables retries.
+	MaxRetries int
 	// Ablation knobs (§3.2 fallbacks).
 	NoRedirectFollow bool
 	NoBloat          bool
@@ -49,6 +57,32 @@ type ScanConfig struct {
 	StatusOut      io.Writer
 	// StatusLabel prefixes each progress line (e.g. a shard tag).
 	StatusLabel string
+
+	// Sink, when set, receives records as they complete — in permutation
+	// order, one at a time — so the scan holds O(buffer) records in
+	// memory instead of accumulating all of them. With Sink nil the
+	// historical in-memory path is used and ScanResult.Records is
+	// populated.
+	Sink output.Sink
+	// KeepRecords additionally retains records in ScanResult.Records
+	// when a Sink is set (for summaries over streamed scans; costs
+	// O(targets) memory again).
+	KeepRecords bool
+	// CheckpointPath enables periodic, atomically written scan-state
+	// checkpoints to this file. A checkpoint's cursor is consistent with
+	// the Sink contents: everything below it has been flushed.
+	CheckpointPath string
+	// CheckpointInterval is the virtual-time period between checkpoints
+	// (default 10 virtual seconds).
+	CheckpointInterval netsim.Time
+	// Resume, when set, validates the checkpoint against this scan's
+	// configuration fingerprint and continues from its cursor instead of
+	// the beginning of the permutation.
+	Resume *checkpoint.State
+	// TimeLimit stops the scan after this much virtual time, leaving a
+	// final consistent checkpoint (when CheckpointPath is set) and
+	// ScanResult.Incomplete true. 0 runs to completion.
+	TimeLimit netsim.Time
 }
 
 func (c *ScanConfig) withDefaults() ScanConfig {
@@ -62,7 +96,24 @@ func (c *ScanConfig) withDefaults() ScanConfig {
 	if out.MaxOutstanding == 0 {
 		out.MaxOutstanding = 20000
 	}
+	if out.Shards == 0 {
+		out.Shards = 1
+	}
+	out.Shard %= out.Shards
 	return out
+}
+
+// fingerprint hashes the identity-defining parts of the configuration:
+// anything that changes which targets are probed, in what order, or
+// what record a target produces. Rate, concurrency, status reporting
+// and output plumbing are deliberately excluded — a resumed scan may
+// change those freely.
+func (c *ScanConfig) fingerprint(universeSeed uint64, spaceSize uint64) string {
+	return checkpoint.Fingerprint(
+		"iwscan", universeSeed, spaceSize, c.Seed, int(c.Strategy),
+		c.SampleFraction, c.Loss, c.MSSList, c.Repeats, c.MaxRetries,
+		c.NoRedirectFollow, c.NoBloat, c.Shard, c.Shards, c.Blacklist,
+	)
 }
 
 // ScanResult is a completed scan with everything the analyses need.
@@ -76,10 +127,32 @@ type ScanResult struct {
 	// run (netsim, core, engine); for parallel runs it is the exact
 	// merge of the per-shard snapshots.
 	Metrics metrics.Snapshot
+	// Incomplete marks a scan stopped by TimeLimit before finishing.
+	Incomplete bool
+	// Cursor is the engine's final consistent frontier (useful for
+	// inspecting what a checkpoint at this moment would contain).
+	Cursor *scanner.Cursor
+	// MaxBuffered is the high-water mark of records held in the
+	// streaming pipeline's reorder buffer — the O(buffer) figure that
+	// replaces the old O(targets) accumulation when a Sink is used.
+	MaxBuffered int
 }
 
 // RunScan scans the universe's whole announced space with one strategy.
+// It panics on configuration errors; callers using checkpoint/resume or
+// sinks should prefer RunScanChecked.
 func RunScan(u *inet.Universe, cfg ScanConfig) *ScanResult {
+	res, err := RunScanChecked(u, cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return res
+}
+
+// RunScanChecked is RunScan with error reporting: resume-fingerprint
+// mismatches, checkpoint I/O failures and sink write failures surface
+// as errors instead of panics.
+func RunScanChecked(u *inet.Universe, cfg ScanConfig) (*ScanResult, error) {
 	cfg = cfg.withDefaults()
 	n := netsim.New(cfg.Seed)
 	n.SetPath(netsim.PathParams{Delay: 10 * netsim.Millisecond, Jitter: 2 * netsim.Millisecond, Loss: cfg.Loss})
@@ -91,42 +164,155 @@ func RunScan(u *inet.Universe, cfg ScanConfig) *ScanResult {
 
 	space := scanner.NewSpaceFromPrefixes(u.Prefixes())
 	space.AddBlacklist(cfg.Blacklist...)
-	res := &ScanResult{}
-	launch := func(addr wire.Addr, done func()) {
-		tc := core.TargetConfig{
-			Strategy: cfg.Strategy, MSSList: cfg.MSSList, Repeats: cfg.Repeats,
-			NoRedirectFollow: cfg.NoRedirectFollow, NoBloat: cfg.NoBloat,
-		}
-		sc.ProbeTarget(addr, tc, func(tr *core.TargetResult) {
-			res.Records = append(res.Records, enrich(u, tr))
-			done()
-		})
-	}
-	eng := scanner.NewEngine(n, space, scanner.Config{
+	fp := cfg.fingerprint(u.Seed, space.Size())
+
+	engCfg := scanner.Config{
 		Rate:           cfg.Rate,
 		MaxOutstanding: cfg.MaxOutstanding,
 		Seed:           cfg.Seed,
 		SampleFraction: cfg.SampleFraction,
 		Shard:          cfg.Shard,
 		Shards:         cfg.Shards,
-	}, launch)
+		MaxRetries:     cfg.MaxRetries,
+	}
+	startSeq := uint64(0)
+	if cfg.Resume != nil {
+		if err := cfg.Resume.Validate(fp); err != nil {
+			return nil, err
+		}
+		shardSt, err := cfg.Resume.Find(cfg.Shard, cfg.Shards)
+		if err != nil {
+			return nil, err
+		}
+		cur := shardSt.Cursor
+		engCfg.Resume = &cur
+		startSeq = cur.Seq
+	}
+
+	// Output pipeline: records are emitted through a reorder buffer so
+	// they reach the sink in permutation order even though probes
+	// complete out of order — the invariant that makes a checkpoint's
+	// cursor consistent with the sink contents.
+	base := cfg.Sink
+	var mem *output.MemorySink
+	if base == nil {
+		mem = output.NewMemorySink()
+		base = mem
+	} else if cfg.KeepRecords {
+		mem = output.NewMemorySink()
+		base = output.Tee(base, mem)
+	}
+	reorder := output.NewReorderAt(base, startSeq)
+	var sinkErr error
+	keepErr := func(err error) {
+		if err != nil && sinkErr == nil {
+			sinkErr = err
+		}
+	}
+
+	res := &ScanResult{}
+	var eng *scanner.Engine
+	launch := func(addr wire.Addr, done func()) {
+		seq, pos := eng.LaunchCursor()
+		tc := core.TargetConfig{
+			Strategy: cfg.Strategy, MSSList: cfg.MSSList, Repeats: cfg.Repeats,
+			NoRedirectFollow: cfg.NoRedirectFollow, NoBloat: cfg.NoBloat,
+		}
+		sc.ProbeTarget(addr, tc, func(tr *core.TargetResult) {
+			if tr.Outcome == core.OutcomeUnreachable && eng.Fail(seq) {
+				return // engine re-launches; discard this attempt
+			}
+			rec := enrich(u, tr)
+			rec.Seq = pos
+			keepErr(reorder.Add(seq, &rec))
+			done()
+		})
+	}
+	eng = scanner.NewEngine(n, space, engCfg, launch)
+
+	writeCheckpoint := func(complete bool) error {
+		if err := base.Flush(); err != nil {
+			return err
+		}
+		st := eng.Stats()
+		ck := &checkpoint.State{
+			Fingerprint: fp,
+			Completed:   complete,
+			VirtualNS:   int64(n.Now()),
+			Shards: []checkpoint.ShardState{{
+				Shard: cfg.Shard, Shards: cfg.Shards, Cursor: eng.Cursor(),
+				Launched: st.Launched, Completed: st.Completed,
+				Skipped: st.Skipped, Retries: st.Retries,
+			}},
+		}
+		var buf bytes.Buffer
+		if err := n.Metrics().Snapshot().WriteJSON(&buf); err == nil {
+			ck.Metrics = buf.Bytes()
+		}
+		return checkpoint.Save(cfg.CheckpointPath, ck)
+	}
+
+	finished := false
 	var reporter *statusReporter
+	var ckTimer *netsim.Timer
 	eng.OnFinish(func(s scanner.Stats) {
+		finished = true
 		res.Engine = s
 		if reporter != nil {
 			reporter.stop()
 		}
+		if ckTimer != nil {
+			ckTimer.Cancel()
+			ckTimer = nil
+		}
 	})
+	if cfg.CheckpointPath != "" {
+		interval := cfg.CheckpointInterval
+		if interval <= 0 {
+			interval = 10 * netsim.Second
+		}
+		var tick func()
+		tick = func() {
+			if finished {
+				return
+			}
+			keepErr(writeCheckpoint(false))
+			ckTimer = n.After(interval, tick)
+		}
+		ckTimer = n.After(interval, tick)
+	}
 	if cfg.StatusInterval > 0 && cfg.StatusOut != nil {
 		reporter = startStatusReporter(cfg.StatusOut, n, eng, cfg.StatusLabel, cfg.StatusInterval)
 	}
 	eng.Start()
-	n.RunUntilIdle()
+	if cfg.TimeLimit > 0 {
+		n.Run(cfg.TimeLimit)
+		if !finished && reporter != nil {
+			reporter.stop()
+		}
+	} else {
+		n.RunUntilIdle()
+	}
+	if !finished {
+		res.Incomplete = true
+		res.Engine = eng.Stats()
+		res.Engine.FinishedAt = n.Now()
+	}
+	if cfg.CheckpointPath != "" {
+		keepErr(writeCheckpoint(finished))
+	}
+	keepErr(base.Flush())
 	res.Net = n.Stats()
 	res.Scan = sc.Stats()
 	res.VirtualTime = res.Engine.Duration()
 	res.Metrics = n.Metrics().Snapshot()
-	return res
+	if mem != nil {
+		res.Records = mem.Records()
+	}
+	cur := eng.Cursor()
+	res.Cursor = &cur
+	res.MaxBuffered = reorder.MaxPending()
+	return res, sinkErr
 }
 
 // enrich attaches AS and rDNS metadata to a target result.

@@ -1,0 +1,125 @@
+package output
+
+import (
+	"errors"
+	"sync"
+
+	"iwscan/internal/analysis"
+)
+
+// AsyncSink decouples the producer (the scan loop) from a possibly slow
+// destination sink: records go into a bounded queue drained by one
+// writer goroutine. When the queue is full, WriteRecord blocks — the
+// producer feels backpressure instead of the queue growing without
+// bound, keeping total scan memory O(queue), not O(targets). A write
+// error in the drain goroutine is sticky: every later call reports it.
+// Writes may come from multiple goroutines, but Close must only be
+// called after all producers have stopped writing.
+type AsyncSink struct {
+	ch     chan asyncItem
+	done   chan struct{}
+	mu     sync.Mutex
+	err    error
+	closed bool
+}
+
+type asyncItem struct {
+	rec   *analysis.Record
+	flush chan error // non-nil: flush barrier, no record
+}
+
+// NewAsyncSink starts the drain goroutine over dst with the given queue
+// capacity (minimum 1).
+func NewAsyncSink(dst Sink, queue int) *AsyncSink {
+	if queue < 1 {
+		queue = 1
+	}
+	a := &AsyncSink{ch: make(chan asyncItem, queue), done: make(chan struct{})}
+	go a.drain(dst)
+	return a
+}
+
+func (a *AsyncSink) drain(dst Sink) {
+	defer close(a.done)
+	for it := range a.ch {
+		if it.flush != nil {
+			it.flush <- dst.Flush()
+			continue
+		}
+		if a.Err() != nil {
+			continue // drop after first error; producer sees it on next call
+		}
+		if err := dst.WriteRecord(it.rec); err != nil {
+			a.setErr(err)
+		}
+	}
+	if err := dst.Close(); err != nil {
+		a.setErr(err)
+	}
+}
+
+func (a *AsyncSink) setErr(err error) {
+	a.mu.Lock()
+	if a.err == nil {
+		a.err = err
+	}
+	a.mu.Unlock()
+}
+
+// Err returns the sticky error, if any.
+func (a *AsyncSink) Err() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.err
+}
+
+// WriteRecord enqueues a copy of r, blocking while the queue is full.
+func (a *AsyncSink) WriteRecord(r *analysis.Record) error {
+	if err := a.Err(); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	closed := a.closed
+	a.mu.Unlock()
+	if closed {
+		return errors.New("output: write to closed AsyncSink")
+	}
+	rec := *r
+	a.ch <- asyncItem{rec: &rec}
+	return nil
+}
+
+// Flush drains everything queued so far through the destination sink
+// and flushes it, returning any sticky error. Checkpointing calls this
+// before persisting a cursor, so "records below the frontier are
+// durable" holds across the async boundary.
+func (a *AsyncSink) Flush() error {
+	a.mu.Lock()
+	closed := a.closed
+	a.mu.Unlock()
+	if closed {
+		return a.Err()
+	}
+	ack := make(chan error, 1)
+	a.ch <- asyncItem{flush: ack}
+	if err := <-ack; err != nil {
+		a.setErr(err)
+	}
+	return a.Err()
+}
+
+// Close drains the queue, closes the destination sink and stops the
+// goroutine. Further writes fail.
+func (a *AsyncSink) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		<-a.done
+		return a.Err()
+	}
+	a.closed = true
+	a.mu.Unlock()
+	close(a.ch)
+	<-a.done
+	return a.Err()
+}

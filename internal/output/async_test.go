@@ -1,0 +1,140 @@
+package output
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"iwscan/internal/analysis"
+	"iwscan/internal/wire"
+)
+
+// gateSink blocks every WriteRecord until released, counting deliveries.
+type gateSink struct {
+	gate chan struct{}
+	n    atomic.Int64
+}
+
+func newGateSink() *gateSink { return &gateSink{gate: make(chan struct{})} }
+
+func (g *gateSink) WriteRecord(*analysis.Record) error {
+	<-g.gate
+	g.n.Add(1)
+	return nil
+}
+func (g *gateSink) Flush() error { return nil }
+func (g *gateSink) Close() error { return nil }
+
+func testRecord() analysis.Record {
+	return analysis.Record{Addr: wire.MustParseAddr("10.0.0.1"), Port: 80}
+}
+
+func TestAsyncSinkDeliversInOrder(t *testing.T) {
+	mem := NewMemorySink()
+	a := NewAsyncSink(mem, 4)
+	recs := sampleRecords()
+	if err := WriteAll(a, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	checkRoundTrip(t, "async", mem.Records(), recs)
+}
+
+// TestAsyncSinkBackpressure: with the destination stalled and the queue
+// full, WriteRecord must block the producer rather than buffer without
+// bound — that is the property that keeps streamed scans at O(queue)
+// memory.
+func TestAsyncSinkBackpressure(t *testing.T) {
+	dst := newGateSink()
+	const queue = 2
+	a := NewAsyncSink(dst, queue)
+	r := testRecord()
+
+	// One record is stuck inside the stalled destination, queue more
+	// until the channel is full, then one extra write must block.
+	for i := 0; i < queue+1; i++ {
+		if err := a.WriteRecord(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocked := make(chan struct{})
+	go func() {
+		a.WriteRecord(&r)
+		close(blocked)
+	}()
+	select {
+	case <-blocked:
+		t.Fatal("write beyond the queue capacity returned without backpressure")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(dst.gate) // un-stall the destination
+	select {
+	case <-blocked:
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked write never resumed after the destination drained")
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.n.Load(); got != queue+2 {
+		t.Fatalf("destination saw %d records, want %d", got, queue+2)
+	}
+}
+
+func TestAsyncSinkStickyError(t *testing.T) {
+	boom := errors.New("disk full")
+	a := NewAsyncSink(&failSink{err: boom}, 1)
+	r := testRecord()
+	// The failure happens on the drain goroutine; Flush surfaces it
+	// synchronously, and every later call keeps reporting it.
+	a.WriteRecord(&r)
+	if err := a.Flush(); !errors.Is(err, boom) {
+		t.Fatalf("Flush = %v, want %v", err, boom)
+	}
+	if err := a.WriteRecord(&r); !errors.Is(err, boom) {
+		t.Fatalf("WriteRecord after failure = %v, want %v", err, boom)
+	}
+	if err := a.Close(); !errors.Is(err, boom) {
+		t.Fatalf("Close = %v, want %v", err, boom)
+	}
+}
+
+func TestAsyncSinkFlushIsABarrier(t *testing.T) {
+	mem := NewMemorySink()
+	a := NewAsyncSink(mem, 64)
+	recs := sampleRecords()
+	for i := range recs {
+		if err := a.WriteRecord(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := a.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// After Flush returns, everything queued before it is in the
+	// destination — the invariant checkpoint durability relies on.
+	if got := len(mem.Records()); got != len(recs) {
+		t.Fatalf("after Flush the destination has %d records, want %d", got, len(recs))
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncSinkWriteAfterClose(t *testing.T) {
+	a := NewAsyncSink(NewMemorySink(), 1)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r := testRecord()
+	if err := a.WriteRecord(&r); err == nil {
+		t.Fatal("write after Close succeeded")
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("second Close = %v", err)
+	}
+}

@@ -1,0 +1,113 @@
+package output
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+
+	"iwscan/internal/analysis"
+	"iwscan/internal/core"
+	"iwscan/internal/wire"
+)
+
+// recordJSON is the wire shape of one record in JSONL output: addresses
+// and outcomes as strings, zero-valued metadata omitted.
+type recordJSON struct {
+	Addr        string `json:"addr"`
+	Port        uint16 `json:"port"`
+	Outcome     string `json:"outcome"`
+	IW          int    `json:"iw"`
+	LowerBound  int    `json:"lower_bound,omitempty"`
+	ByteLimited bool   `json:"byte_limited,omitempty"`
+	IWBytes     int    `json:"iw_bytes,omitempty"`
+	Segments64  int    `json:"segments_mss64,omitempty"`
+	Segments128 int    `json:"segments_mss128,omitempty"`
+	MaxSeg      int    `json:"max_seg,omitempty"`
+	ASN         int    `json:"asn,omitempty"`
+	ASName      string `json:"as_name,omitempty"`
+	RDNS        string `json:"rdns,omitempty"`
+}
+
+// JSONLSink streams records as one JSON object per line.
+type JSONLSink struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewJSONLSink writes JSON-lines records to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// WriteRecord appends one JSON line.
+func (s *JSONLSink) WriteRecord(r *analysis.Record) error {
+	return s.enc.Encode(recordJSON{
+		Addr:        r.Addr.String(),
+		Port:        r.Port,
+		Outcome:     r.Outcome.String(),
+		IW:          r.IW,
+		LowerBound:  r.LowerBound,
+		ByteLimited: r.ByteLimited,
+		IWBytes:     r.IWBytes,
+		Segments64:  r.Segments64,
+		Segments128: r.Segments128,
+		MaxSeg:      r.MaxSeg,
+		ASN:         r.ASN,
+		ASName:      r.ASName,
+		RDNS:        r.RDNS,
+	})
+}
+
+// Flush writes buffered lines to the underlying writer.
+func (s *JSONLSink) Flush() error { return s.bw.Flush() }
+
+// Close flushes; the underlying writer stays open.
+func (s *JSONLSink) Close() error { return s.Flush() }
+
+// ReadJSONL parses records previously written by a JSONLSink.
+func ReadJSONL(r io.Reader) ([]analysis.Record, error) {
+	dec := json.NewDecoder(r)
+	var out []analysis.Record
+	for {
+		var rj recordJSON
+		if err := dec.Decode(&rj); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return nil, err
+		}
+		rec, err := recordFromJSON(&rj)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+}
+
+func recordFromJSON(rj *recordJSON) (analysis.Record, error) {
+	addr, err := wire.ParseAddr(rj.Addr)
+	if err != nil {
+		return analysis.Record{}, err
+	}
+	outcome, err := analysis.ParseOutcome(rj.Outcome)
+	if err != nil {
+		return analysis.Record{}, err
+	}
+	return analysis.Record{
+		Addr:        addr,
+		Port:        rj.Port,
+		Outcome:     outcome,
+		IW:          rj.IW,
+		LowerBound:  rj.LowerBound,
+		ByteLimited: rj.ByteLimited,
+		IWBytes:     rj.IWBytes,
+		Segments64:  rj.Segments64,
+		Segments128: rj.Segments128,
+		MaxSeg:      rj.MaxSeg,
+		ASN:         rj.ASN,
+		ASName:      rj.ASName,
+		RDNS:        rj.RDNS,
+		NoData:      outcome == core.OutcomeNoData,
+	}, nil
+}

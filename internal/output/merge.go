@@ -1,0 +1,142 @@
+package output
+
+import (
+	"fmt"
+	"sync"
+
+	"iwscan/internal/analysis"
+)
+
+// Merge folds several per-shard record streams into one destination
+// sink, ordered by Record.Seq (the global permutation position). Each
+// shard of one logical scan walks the same permutation and emits its
+// records in ascending global position, so every incoming stream is
+// already sorted; Merge performs a streaming k-way merge: a record is
+// released once every still-open stream has a record queued (proving no
+// smaller position can still arrive). With shards progressing roughly
+// in lockstep — which sharded scans of one space do — buffering stays
+// O(shards), never O(targets), and the merged file is byte-identical
+// to the one an unsharded scan would write.
+type Merge struct {
+	mu         sync.Mutex
+	dst        Sink
+	queues     [][]*analysis.Record
+	open       []bool
+	maxPending int
+	err        error
+}
+
+// mergeHandle is one shard's writer into the merge.
+type mergeHandle struct {
+	m *Merge
+	i int
+}
+
+// NewMerge returns the merge plus one sink handle per shard. Every
+// handle must eventually be closed; the last Close flushes the
+// destination sink. The destination itself stays open (the caller owns
+// it).
+func NewMerge(dst Sink, shards int) (*Merge, []Sink) {
+	m := &Merge{dst: dst, queues: make([][]*analysis.Record, shards), open: make([]bool, shards)}
+	handles := make([]Sink, shards)
+	for i := range handles {
+		m.open[i] = true
+		handles[i] = &mergeHandle{m: m, i: i}
+	}
+	return m, handles
+}
+
+// MaxPending returns the high-water mark of records buffered across all
+// shard queues.
+func (m *Merge) MaxPending() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.maxPending
+}
+
+// release writes out every record that is provably next in the global
+// order: while all open streams have something queued, the smallest
+// head goes to the destination. Called with the lock held.
+func (m *Merge) release() {
+	for m.err == nil {
+		best := -1
+		for i := range m.queues {
+			if len(m.queues[i]) == 0 {
+				if m.open[i] {
+					return // stream i could still produce the minimum
+				}
+				continue
+			}
+			if best < 0 || m.queues[i][0].Seq < m.queues[best][0].Seq {
+				best = i
+			}
+		}
+		if best < 0 {
+			return // everything drained
+		}
+		rec := m.queues[best][0]
+		m.queues[best] = m.queues[best][1:]
+		m.err = m.dst.WriteRecord(rec)
+	}
+}
+
+func (h *mergeHandle) WriteRecord(r *analysis.Record) error {
+	m := h.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return m.err
+	}
+	if !m.open[h.i] {
+		return fmt.Errorf("output: write to closed merge shard %d", h.i)
+	}
+	rec := *r
+	m.queues[h.i] = append(m.queues[h.i], &rec)
+	if n := m.pendingLocked(); n > m.maxPending {
+		m.maxPending = n
+	}
+	m.release()
+	return m.err
+}
+
+func (m *Merge) pendingLocked() int {
+	n := 0
+	for i := range m.queues {
+		n += len(m.queues[i])
+	}
+	return n
+}
+
+// Flush forwards to the destination sink (whatever has been released so
+// far); records still queued behind slower shards stay buffered.
+func (h *mergeHandle) Flush() error {
+	m := h.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return m.err
+	}
+	return m.dst.Flush()
+}
+
+// Close marks this shard's stream complete. The last Close releases any
+// remaining records and flushes the destination.
+func (h *mergeHandle) Close() error {
+	m := h.m
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.open[h.i] {
+		return m.err
+	}
+	m.open[h.i] = false
+	m.release()
+	for i := range m.open {
+		if m.open[i] {
+			return m.err
+		}
+	}
+	if m.err == nil {
+		m.err = m.dst.Flush()
+	}
+	return m.err
+}

@@ -1,0 +1,62 @@
+package output
+
+import (
+	"iwscan/internal/analysis"
+)
+
+// Reorder turns out-of-order probe completions back into launch order:
+// records are added keyed by the engine's dense launch sequence and
+// emitted to the destination sink only once every earlier sequence has
+// been emitted. This is what makes checkpoints consistent — at any
+// moment the sink holds exactly the records below the engine's
+// frontier, so resuming from the frontier re-probes precisely the rest.
+// Buffered records are bounded by the completion re-ordering window
+// (at most the probes in flight plus those stalled behind the slowest
+// one), not by the target count.
+type Reorder struct {
+	dst        Sink
+	next       uint64
+	pending    map[uint64]*analysis.Record
+	maxPending int
+}
+
+// NewReorder emits to dst starting at sequence 0.
+func NewReorder(dst Sink) *Reorder { return NewReorderAt(dst, 0) }
+
+// NewReorderAt emits to dst starting at sequence start — the resumed
+// engine's checkpoint frontier.
+func NewReorderAt(dst Sink, start uint64) *Reorder {
+	return &Reorder{dst: dst, next: start, pending: make(map[uint64]*analysis.Record)}
+}
+
+// Add accepts the record for sequence seq and forwards the longest
+// in-order run now available to the sink.
+func (o *Reorder) Add(seq uint64, r *analysis.Record) error {
+	rec := *r
+	o.pending[seq] = &rec
+	if len(o.pending) > o.maxPending {
+		o.maxPending = len(o.pending)
+	}
+	for {
+		next, ok := o.pending[o.next]
+		if !ok {
+			return nil
+		}
+		delete(o.pending, o.next)
+		o.next++
+		if err := o.dst.WriteRecord(next); err != nil {
+			return err
+		}
+	}
+}
+
+// Next returns the emitted frontier: every sequence below it has been
+// written to the sink.
+func (o *Reorder) Next() uint64 { return o.next }
+
+// PendingLen returns the number of records currently held back.
+func (o *Reorder) PendingLen() int { return len(o.pending) }
+
+// MaxPending returns the high-water mark of held-back records — the
+// O(buffer) figure streamed scans are asserted against.
+func (o *Reorder) MaxPending() int { return o.maxPending }

@@ -1,0 +1,145 @@
+package output
+
+import (
+	"testing"
+
+	"iwscan/internal/analysis"
+	"iwscan/internal/wire"
+)
+
+// recAt makes a distinguishable record for sequence/position i.
+func recAt(i uint64) analysis.Record {
+	return analysis.Record{Addr: wire.Addr(i + 1), Port: 80, Seq: i}
+}
+
+func TestReorderEmitsInSequenceOrder(t *testing.T) {
+	mem := NewMemorySink()
+	o := NewReorder(mem)
+	// Completion order with a reordering window: 2 arrives first, then 0
+	// releases nothing extra, 1 releases 0..2, and so on.
+	arrival := []uint64{2, 0, 1, 5, 4, 3, 6}
+	for _, seq := range arrival {
+		r := recAt(seq)
+		if err := o.Add(seq, &r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := mem.Records()
+	if len(got) != len(arrival) {
+		t.Fatalf("emitted %d records, want %d", len(got), len(arrival))
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i) {
+			t.Fatalf("position %d holds seq %d; sink order is not launch order", i, r.Seq)
+		}
+	}
+	if o.Next() != uint64(len(arrival)) {
+		t.Fatalf("frontier = %d, want %d", o.Next(), len(arrival))
+	}
+	if o.PendingLen() != 0 {
+		t.Fatalf("%d records still pending after a complete stream", o.PendingLen())
+	}
+	// High-water mark of the buffer: seqs 5 and 4 are held back when 3
+	// arrives, so the map momentarily holds {3,4,5}.
+	if o.MaxPending() != 3 {
+		t.Fatalf("MaxPending = %d, want 3", o.MaxPending())
+	}
+}
+
+func TestReorderHoldsBackGapThenReleasesRun(t *testing.T) {
+	mem := NewMemorySink()
+	o := NewReorder(mem)
+	for _, seq := range []uint64{1, 2, 3} {
+		r := recAt(seq)
+		if err := o.Add(seq, &r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(mem.Records()) != 0 {
+		t.Fatal("records emitted past a gap at seq 0")
+	}
+	r := recAt(0)
+	if err := o.Add(0, &r); err != nil {
+		t.Fatal(err)
+	}
+	if len(mem.Records()) != 4 {
+		t.Fatalf("filling the gap released %d records, want 4", len(mem.Records()))
+	}
+}
+
+func TestReorderAtStartsAtResumeFrontier(t *testing.T) {
+	mem := NewMemorySink()
+	o := NewReorderAt(mem, 100)
+	r := recAt(100)
+	if err := o.Add(100, &r); err != nil {
+		t.Fatal(err)
+	}
+	if len(mem.Records()) != 1 || o.Next() != 101 {
+		t.Fatalf("resumed reorder did not emit at the resume frontier (next=%d)", o.Next())
+	}
+}
+
+// TestMergeOrdersShardStreamsBySeq: three shard streams, each already
+// sorted by global position (as engine shards are), must merge into one
+// stream sorted by position while buffering only the stream heads.
+func TestMergeOrdersShardStreamsBySeq(t *testing.T) {
+	mem := NewMemorySink()
+	merge, handles := NewMerge(mem, 3)
+	// Shard i owns positions i, i+3, i+6, ... (the ZMap sharding shape).
+	streams := [][]uint64{{0, 3, 6, 9}, {1, 4, 7}, {2, 5, 8}}
+	// Interleave writes with shards progressing at different speeds.
+	order := []struct{ shard, idx int }{
+		{0, 0}, {2, 0}, {2, 1}, {1, 0}, {0, 1}, {1, 1},
+		{0, 2}, {2, 2}, {1, 2}, {0, 3},
+	}
+	for _, step := range order {
+		r := recAt(streams[step.shard][step.idx])
+		if err := handles[step.shard].WriteRecord(&r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, h := range handles {
+		if err := h.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := mem.Records()
+	if len(got) != 10 {
+		t.Fatalf("merged %d records, want 10", len(got))
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i) {
+			t.Fatalf("merged position %d holds seq %d; not global permutation order", i, r.Seq)
+		}
+	}
+	if merge.MaxPending() >= 10 {
+		t.Fatalf("merge buffered %d records — accumulating instead of streaming", merge.MaxPending())
+	}
+}
+
+// TestMergeReleasesWhenShardCloses: a closed stream can no longer
+// produce the minimum, so the remaining shards' records must flow.
+func TestMergeReleasesWhenShardCloses(t *testing.T) {
+	mem := NewMemorySink()
+	_, handles := NewMerge(mem, 2)
+	r := recAt(1)
+	if err := handles[1].WriteRecord(&r); err != nil {
+		t.Fatal(err)
+	}
+	if len(mem.Records()) != 0 {
+		t.Fatal("record released while shard 0 could still produce a smaller position")
+	}
+	if err := handles[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(mem.Records()) != 1 {
+		t.Fatal("closing the empty shard did not release the waiting record")
+	}
+	if err := handles[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	r2 := recAt(2)
+	if err := handles[1].WriteRecord(&r2); err == nil {
+		t.Fatal("write to a closed merge handle succeeded")
+	}
+}

@@ -7,8 +7,13 @@ import (
 )
 
 // LaunchFunc starts one probe against addr and must eventually invoke
-// done exactly once. The engine uses done for concurrency accounting;
-// probe results flow to the caller through its own closure.
+// done exactly once (or report a failed attempt via Engine.Fail, which
+// may re-launch the probe instead). The engine uses done for
+// concurrency accounting; probe results flow to the caller through its
+// own closure. If the caller needs the probe's sequence number (for
+// ordered streaming or retries) it must read Engine.LaunchCursor
+// synchronously at the top of the launch callback, before any probe
+// I/O or done invocation.
 type LaunchFunc func(addr wire.Addr, done func())
 
 // Config tunes the engine.
@@ -28,6 +33,16 @@ type Config struct {
 	// Shard/Shards split the scan ZMap-style across instances. Shards=0
 	// means no sharding (equivalent to 1 shard).
 	Shard, Shards uint64
+	// MaxRetries re-launches a probe whose attempt was reported failed
+	// via Engine.Fail, up to this many extra attempts. 0 disables
+	// retries (Fail always reports the failure as final).
+	MaxRetries int
+	// Resume, when non-nil, starts the engine from a checkpointed
+	// cursor instead of the beginning of the permutation. The cursor
+	// must come from an engine with the same space size, Seed,
+	// SampleFraction and Shard/Shards; callers enforce that with a
+	// config fingerprint.
+	Resume *Cursor
 }
 
 func (c *Config) withDefaults() Config {
@@ -52,6 +67,7 @@ type Stats struct {
 	Launched    int64
 	Completed   int64
 	Skipped     int64 // blacklisted or outside the sample
+	Retries     int64 // extra launch attempts after failed ones
 	StartedAt   netsim.Time
 	FinishedAt  netsim.Time
 	MaxInFlight int
@@ -59,6 +75,25 @@ type Stats struct {
 
 // Duration returns the virtual-time span of the scan.
 func (s Stats) Duration() netsim.Time { return s.FinishedAt - s.StartedAt }
+
+// Cursor is a consistent resume point: Seq is the frontier (every probe
+// sequence below it has completed; none at or above it is reflected in
+// checkpointed output) and Shard is the permutation state that will
+// produce sequence Seq next. Re-starting an engine from a Cursor
+// re-probes exactly the targets whose results had not yet been emitted.
+type Cursor struct {
+	Seq   uint64     `json:"seq"`
+	Shard ShardState `json:"shard"`
+}
+
+// probeState tracks one launched-but-not-finished probe.
+type probeState struct {
+	addr      wire.Addr
+	pre       ShardState // iterator state that (re)produces this seq
+	pos       uint64     // global cycle position of the index
+	attempts  int        // launches so far (1 = first attempt)
+	completed bool
+}
 
 // Engine drives probes over a target space at a fixed rate with bounded
 // concurrency, in virtual time.
@@ -78,9 +113,18 @@ type Engine struct {
 	stats       Stats
 	onDone      func(Stats)
 
+	// Frontier bookkeeping for checkpointing and ordered emission.
+	nextSeq  uint64                 // seq assigned to the next fresh launch
+	frontier uint64                 // smallest seq not yet completed
+	pending  map[uint64]*probeState // launched, not yet past the frontier
+	retryq   []uint64               // seqs awaiting re-launch
+	curSeq   uint64                 // seq of the probe currently in launch()
+	curPos   uint64                 // its global cycle position
+
 	mLaunched  *metrics.Counter
 	mCompleted *metrics.Counter
 	mSkipped   *metrics.Counter
+	mRetries   *metrics.Counter
 	mInFlight  *metrics.Gauge
 	mProbeDur  *metrics.Histogram // launch → done, virtual ns
 }
@@ -97,34 +141,78 @@ func NewEngine(n *netsim.Network, space *TargetSpace, cfg Config, launch LaunchF
 		iter:     NewShard(space.Size(), cfg.Seed, cfg.Shard%cfg.Shards, cfg.Shards),
 		sampler:  NewSampler(cfg.Seed, cfg.SampleFraction),
 		interval: netsim.Time(float64(netsim.Second) / cfg.Rate),
+		pending:  make(map[uint64]*probeState),
 
 		mLaunched:  n.Metrics().Counter("engine.launched"),
 		mCompleted: n.Metrics().Counter("engine.completed"),
 		mSkipped:   n.Metrics().Counter("engine.skipped"),
+		mRetries:   n.Metrics().Counter("engine.retries"),
 		mInFlight:  n.Metrics().Gauge("engine.in_flight"),
 		mProbeDur:  n.Metrics().Histogram("engine.probe_duration_ns"),
 	}
 	if e.interval <= 0 {
 		e.interval = 1
 	}
+	if cfg.Resume != nil {
+		e.iter.SetState(cfg.Resume.Shard)
+		e.nextSeq = cfg.Resume.Seq
+		e.frontier = cfg.Resume.Seq
+	}
 	return e
 }
 
 // TargetEstimate returns the expected number of launches for this
-// engine: the shard's slice of the space scaled by the sample fraction.
-// It is an estimate (sampling is per-index pseudorandom), used for the
-// %-done figure in progress reports.
+// engine: the shard's slice of the space, net of the blacklist, scaled
+// by the sample fraction. It is an estimate (sampling is per-index
+// pseudorandom), used for the %-done figure in progress reports.
 func (e *Engine) TargetEstimate() int64 {
-	est := float64(e.space.Size()) / float64(e.cfg.Shards) * e.cfg.SampleFraction
+	scannable := e.space.Size() - e.space.BlacklistedCount()
+	est := float64(scannable) / float64(e.cfg.Shards) * e.cfg.SampleFraction
 	return int64(est + 0.5)
 }
 
 // OnFinish registers a callback invoked once when the scan completes
-// (iterator exhausted and all probes done).
+// (iterator exhausted, retry queue drained, and all probes done).
 func (e *Engine) OnFinish(fn func(Stats)) { e.onDone = fn }
 
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats { return e.stats }
+
+// LaunchCursor identifies the probe currently being launched: its dense
+// per-shard sequence number (0, 1, 2, ... in launch order, the key for
+// ordered emission and Fail) and its global cycle position (the total
+// order across shards of one logical scan). It is only valid when read
+// synchronously inside the launch callback, before the probe completes.
+func (e *Engine) LaunchCursor() (seq, pos uint64) { return e.curSeq, e.curPos }
+
+// Cursor returns a consistent resume point: every seq below Cursor.Seq
+// has completed, and restarting from Cursor re-launches everything at
+// or above it (including probes currently in flight or queued for
+// retry).
+func (e *Engine) Cursor() Cursor {
+	if ps, ok := e.pending[e.frontier]; ok {
+		return Cursor{Seq: e.frontier, Shard: ps.pre}
+	}
+	return Cursor{Seq: e.frontier, Shard: e.iter.State()}
+}
+
+// Fail reports that the current attempt of probe seq failed (e.g. the
+// handshake timed out). It returns true when the engine will re-launch
+// the probe — the caller must then discard the attempt's result and not
+// call done. It returns false when retries are disabled or exhausted;
+// the caller then treats the result as final, exactly as if Fail had
+// not been called.
+func (e *Engine) Fail(seq uint64) bool {
+	ps, ok := e.pending[seq]
+	if !ok || ps.attempts > e.cfg.MaxRetries {
+		return false
+	}
+	e.retryq = append(e.retryq, seq)
+	e.stats.Retries++
+	e.mRetries.Inc()
+	e.pump()
+	return true
+}
 
 // Start begins launching probes.
 func (e *Engine) Start() {
@@ -136,26 +224,10 @@ func (e *Engine) Start() {
 // pump launches probes until the rate limiter or the concurrency bound
 // stops it, then schedules itself again.
 func (e *Engine) pump() {
-	for !e.exhausted && e.outstanding < e.cfg.MaxOutstanding && e.nextSend <= e.net.Now() {
-		idx, ok := e.nextIndex()
-		if !ok {
-			e.exhausted = true
-			break
-		}
-		addr := e.space.At(idx)
-		e.nextSend += e.interval
-		e.outstanding++
-		e.stats.Launched++
-		e.mLaunched.Inc()
-		e.mInFlight.Add(1)
-		if e.outstanding > e.stats.MaxInFlight {
-			e.stats.MaxInFlight = e.outstanding
-		}
-		launchedAt := e.net.Now()
-		e.launch(addr, func() { e.probeDone(launchedAt) })
+	for e.nextSend <= e.net.Now() && e.launchOne() {
 	}
 	e.maybeFinish()
-	if e.exhausted || e.tickArmed || e.outstanding >= e.cfg.MaxOutstanding {
+	if e.tickArmed || !e.moreToLaunch() {
 		return
 	}
 	e.tickArmed = true
@@ -163,6 +235,60 @@ func (e *Engine) pump() {
 		e.tickArmed = false
 		e.pump()
 	})
+}
+
+// moreToLaunch reports whether pump has anything left to do right now:
+// queued retries always qualify; fresh launches only below the
+// concurrency bound.
+func (e *Engine) moreToLaunch() bool {
+	if len(e.retryq) > 0 {
+		return true
+	}
+	return !e.exhausted && e.outstanding < e.cfg.MaxOutstanding
+}
+
+// launchOne performs a single (re-)launch, preferring queued retries.
+// It returns false when nothing can be launched at the moment.
+func (e *Engine) launchOne() bool {
+	if len(e.retryq) > 0 {
+		seq := e.retryq[0]
+		e.retryq = e.retryq[1:]
+		ps := e.pending[seq]
+		ps.attempts++
+		e.nextSend += e.interval
+		e.fire(seq, ps)
+		return true
+	}
+	if e.exhausted || e.outstanding >= e.cfg.MaxOutstanding {
+		return false
+	}
+	pre := e.iter.State()
+	idx, ok := e.nextIndex()
+	if !ok {
+		e.exhausted = true
+		return false
+	}
+	seq := e.nextSeq
+	e.nextSeq++
+	ps := &probeState{addr: e.space.At(idx), pre: pre, pos: e.iter.LastPos(), attempts: 1}
+	e.pending[seq] = ps
+	e.nextSend += e.interval
+	e.outstanding++
+	e.stats.Launched++
+	e.mLaunched.Inc()
+	e.mInFlight.Add(1)
+	if e.outstanding > e.stats.MaxInFlight {
+		e.stats.MaxInFlight = e.outstanding
+	}
+	e.fire(seq, ps)
+	return true
+}
+
+// fire invokes the launch callback for one attempt of probe seq.
+func (e *Engine) fire(seq uint64, ps *probeState) {
+	e.curSeq, e.curPos = seq, ps.pos
+	launchedAt := e.net.Now()
+	e.launch(ps.addr, func() { e.probeDone(seq, launchedAt) })
 }
 
 // nextIndex advances the iterator past blacklisted and unsampled
@@ -182,20 +308,28 @@ func (e *Engine) nextIndex() (uint64, bool) {
 	}
 }
 
-func (e *Engine) probeDone(launchedAt netsim.Time) {
+func (e *Engine) probeDone(seq uint64, launchedAt netsim.Time) {
 	e.outstanding--
 	e.stats.Completed++
 	e.mCompleted.Inc()
 	e.mInFlight.Add(-1)
 	e.mProbeDur.Observe(int64(e.net.Now() - launchedAt))
-	e.maybeFinish()
-	if !e.exhausted {
-		e.pump()
+	if ps, ok := e.pending[seq]; ok {
+		ps.completed = true
+		for {
+			fp, ok := e.pending[e.frontier]
+			if !ok || !fp.completed {
+				break
+			}
+			delete(e.pending, e.frontier)
+			e.frontier++
+		}
 	}
+	e.pump()
 }
 
 func (e *Engine) maybeFinish() {
-	if e.exhausted && e.outstanding == 0 && e.onDone != nil {
+	if e.exhausted && e.outstanding == 0 && len(e.retryq) == 0 && e.onDone != nil {
 		e.stats.FinishedAt = e.net.Now()
 		fn := e.onDone
 		e.onDone = nil

@@ -36,6 +36,33 @@ func NewCycle(n uint64, seed uint64) *Cycle {
 // N returns the permutation size.
 func (c *Cycle) N() uint64 { return c.n }
 
+// CycleState is the resumable cursor of a Cycle: the current group
+// element plus the two phase flags. It is tiny and serializable, which
+// is what lets a checkpoint capture "where the permutation is" without
+// recording any of the indices already visited.
+type CycleState struct {
+	Cur   uint64 `json:"cur"`
+	First bool   `json:"first"`
+	Done  bool   `json:"done"`
+}
+
+// State returns the cursor after the most recent Next call. Restoring it
+// with SetState on a Cycle built from the same (n, seed) resumes the
+// permutation at exactly the next index.
+func (c *Cycle) State() CycleState {
+	return CycleState{Cur: c.cur, First: c.first, Done: c.done}
+}
+
+// SetState rewinds or fast-forwards the cycle to a cursor previously
+// obtained from State. The receiver must have been built with the same
+// (n, seed) as the cycle the state came from; the caller is responsible
+// for that invariant (checkpoints enforce it with a config fingerprint).
+func (c *Cycle) SetState(s CycleState) {
+	c.cur = s.Cur
+	c.first = s.First
+	c.done = s.Done
+}
+
 // Next returns the next index of the permutation, or ok=false when all
 // n indices have been produced.
 func (c *Cycle) Next() (idx uint64, ok bool) {
@@ -90,4 +117,31 @@ func (s *Shard) Next() (uint64, bool) {
 			return idx, true
 		}
 	}
+}
+
+// LastPos returns the global cycle position (0-based, counted across all
+// shards) of the most recently produced index. It is only meaningful
+// after Next has returned true at least once. Because every shard walks
+// the same cycle, LastPos totally orders indices across shards: sorting
+// a sharded scan's outputs by this position reproduces the unsharded
+// scan order.
+func (s *Shard) LastPos() uint64 { return s.pos - 1 }
+
+// ShardState is the resumable cursor of a Shard: the underlying cycle
+// cursor plus the count of cycle positions consumed so far.
+type ShardState struct {
+	Cycle CycleState `json:"cycle"`
+	Pos   uint64     `json:"pos"`
+}
+
+// State returns the cursor after the most recent Next call.
+func (s *Shard) State() ShardState {
+	return ShardState{Cycle: s.cycle.State(), Pos: s.pos}
+}
+
+// SetState restores a cursor previously obtained from State. The shard
+// must have been built with the same (n, seed, shard, shards).
+func (s *Shard) SetState(st ShardState) {
+	s.cycle.SetState(st.Cycle)
+	s.pos = st.Pos
 }

@@ -1,0 +1,291 @@
+package scanner
+
+import (
+	"testing"
+
+	"iwscan/internal/netsim"
+	"iwscan/internal/wire"
+)
+
+// TestShardStateRoundTrip: capturing a shard's state mid-walk and
+// replaying it into a fresh shard must reproduce the remaining index
+// sequence exactly — the permutation-cursor property resume depends on.
+func TestShardStateRoundTrip(t *testing.T) {
+	const size, seed = 1000, uint64(42)
+	for _, split := range []int{0, 1, 137, 500, 999} {
+		s := NewShard(size, seed, 0, 1)
+		for i := 0; i < split; i++ {
+			if _, ok := s.Next(); !ok {
+				t.Fatalf("shard exhausted after %d of %d", i, split)
+			}
+		}
+		st := s.State()
+		var rest []uint64
+		for {
+			idx, ok := s.Next()
+			if !ok {
+				break
+			}
+			rest = append(rest, idx)
+		}
+		r := NewShard(size, seed, 0, 1)
+		r.SetState(st)
+		for i, want := range rest {
+			got, ok := r.Next()
+			if !ok || got != want {
+				t.Fatalf("split %d: resumed index %d = %d (ok=%v), want %d", split, i, got, ok, want)
+			}
+		}
+		if _, ok := r.Next(); ok {
+			t.Fatalf("split %d: resumed shard produced extra indices", split)
+		}
+	}
+}
+
+// TestShardLastPosIsGlobalCyclePosition: across shards of one scan,
+// LastPos must be strictly increasing per shard and partition the global
+// position counter — it is the k-way merge key for sharded streaming.
+func TestShardLastPosIsGlobalCyclePosition(t *testing.T) {
+	const size, seed, shards = 500, uint64(7), uint64(3)
+	seen := map[uint64]uint64{} // global pos -> owning shard
+	for sh := uint64(0); sh < shards; sh++ {
+		s := NewShard(size, seed, sh, shards)
+		last := int64(-1)
+		for {
+			if _, ok := s.Next(); !ok {
+				break
+			}
+			pos := s.LastPos()
+			if int64(pos) <= last {
+				t.Fatalf("shard %d: LastPos %d not increasing (prev %d)", sh, pos, last)
+			}
+			last = int64(pos)
+			if owner, dup := seen[pos]; dup {
+				t.Fatalf("global position %d claimed by shards %d and %d", pos, owner, sh)
+			}
+			seen[pos] = sh
+			if pos%shards != sh {
+				t.Fatalf("shard %d produced position %d (owner %d)", sh, pos, pos%shards)
+			}
+		}
+	}
+}
+
+// TestEngineRetryRelaunches: probes reported failed via Fail are
+// re-launched up to MaxRetries times, counted in Stats.Retries, and the
+// scan still terminates with every target completed exactly once.
+func TestEngineRetryRelaunches(t *testing.T) {
+	n := netsim.New(1)
+	space := NewSpaceFromPrefixes([]wire.Prefix{wire.MustParsePrefix("10.0.0.0/26")}) // 64 targets
+	attempts := map[wire.Addr]int{}
+	completions := map[wire.Addr]int{}
+	flaky := func(a wire.Addr) bool { return a%4 == 0 } // 16 of 64
+	var eng *Engine
+	launch := func(addr wire.Addr, done func()) {
+		seq, _ := eng.LaunchCursor()
+		attempts[addr]++
+		att := attempts[addr]
+		n.After(20*netsim.Millisecond, func() {
+			if flaky(addr) && att <= 2 && eng.Fail(seq) {
+				return // engine re-launches this probe
+			}
+			completions[addr]++
+			done()
+		})
+	}
+	eng = NewEngine(n, space, Config{Rate: 1000, Seed: 3, MaxRetries: 2}, launch)
+	var final Stats
+	finished := false
+	eng.OnFinish(func(s Stats) { finished = true; final = s })
+	eng.Start()
+	n.RunUntilIdle()
+
+	if !finished {
+		t.Fatal("engine with retries never finished")
+	}
+	if final.Launched != 64 || final.Completed != 64 {
+		t.Fatalf("launched/completed = %d/%d, want 64/64", final.Launched, final.Completed)
+	}
+	if want := int64(16 * 2); final.Retries != want {
+		t.Fatalf("Stats.Retries = %d, want %d", final.Retries, want)
+	}
+	if got := n.Metrics().Counter("engine.retries").Value(); got != final.Retries {
+		t.Fatalf("engine.retries counter = %d, want %d", got, final.Retries)
+	}
+	for a, c := range completions {
+		if c != 1 {
+			t.Fatalf("%s completed %d times", a, c)
+		}
+		want := 1
+		if flaky(a) {
+			want = 3
+		}
+		if attempts[a] != want {
+			t.Fatalf("%s attempted %d times, want %d", a, attempts[a], want)
+		}
+	}
+}
+
+// TestEngineRetryExhausted: when attempts exceed MaxRetries, Fail must
+// return false so the caller records the failure as final — the scan
+// must not loop on a persistently dead target.
+func TestEngineRetryExhausted(t *testing.T) {
+	n := netsim.New(1)
+	space := NewSpaceFromList([]wire.Addr{1, 2, 3})
+	finalFailures := 0
+	var eng *Engine
+	launch := func(addr wire.Addr, done func()) {
+		seq, _ := eng.LaunchCursor()
+		n.After(10*netsim.Millisecond, func() {
+			if eng.Fail(seq) {
+				return
+			}
+			finalFailures++
+			done()
+		})
+	}
+	eng = NewEngine(n, space, Config{Rate: 1000, Seed: 1, MaxRetries: 1}, launch)
+	var final Stats
+	eng.OnFinish(func(s Stats) { final = s })
+	eng.Start()
+	n.RunUntilIdle()
+
+	if finalFailures != 3 {
+		t.Fatalf("%d targets reported final failure, want 3", finalFailures)
+	}
+	// Each target: attempt 1 fails -> one retry; attempt 2 fails -> final.
+	if final.Retries != 3 {
+		t.Fatalf("Stats.Retries = %d, want 3", final.Retries)
+	}
+	if final.Completed != 3 {
+		t.Fatalf("Completed = %d, want 3", final.Completed)
+	}
+}
+
+func TestEngineFailWithRetriesDisabled(t *testing.T) {
+	n := netsim.New(1)
+	space := NewSpaceFromList([]wire.Addr{1})
+	var eng *Engine
+	launch := func(addr wire.Addr, done func()) {
+		seq, _ := eng.LaunchCursor()
+		if eng.Fail(seq) {
+			t.Error("Fail re-launched with MaxRetries = 0")
+		}
+		done()
+	}
+	eng = NewEngine(n, space, Config{Rate: 1000, Seed: 1}, launch)
+	eng.Start()
+	n.RunUntilIdle()
+}
+
+// TestEngineCursorResumeEquivalence: interrupt a scan mid-run, read the
+// frontier cursor, and drive a fresh engine from it. The reference run's
+// launch sequence must equal the emitted prefix of the interrupted run
+// plus everything the resumed run launches — no target lost, duplicated
+// or reordered.
+func TestEngineCursorResumeEquivalence(t *testing.T) {
+	space := NewSpaceFromPrefixes([]wire.Prefix{wire.MustParsePrefix("10.1.0.0/24")})
+	cfg := Config{Rate: 2000, MaxOutstanding: 16, Seed: 11}
+
+	// run drives an engine until the optional deadline; probes complete
+	// after a per-address delay so completions are out of launch order.
+	run := func(c Config, deadline netsim.Time) (map[uint64]wire.Addr, *Engine) {
+		n := netsim.New(9)
+		bySeq := map[uint64]wire.Addr{}
+		var eng *Engine
+		launch := func(addr wire.Addr, done func()) {
+			seq, _ := eng.LaunchCursor()
+			if prev, dup := bySeq[seq]; dup && prev != addr {
+				t.Fatalf("seq %d launched for both %s and %s", seq, prev, addr)
+			}
+			bySeq[seq] = addr
+			delay := netsim.Time(5+addr%13) * netsim.Millisecond
+			n.After(delay, done)
+		}
+		eng = NewEngine(n, space, c, launch)
+		eng.Start()
+		if deadline > 0 {
+			n.Run(deadline)
+		} else {
+			n.RunUntilIdle()
+		}
+		return bySeq, eng
+	}
+
+	want, _ := run(cfg, 0)
+	for _, deadline := range []netsim.Time{25 * netsim.Millisecond, 60 * netsim.Millisecond, 110 * netsim.Millisecond} {
+		partial, eng := run(cfg, deadline)
+		cur := eng.Cursor()
+		if cur.Seq == 0 || cur.Seq >= uint64(len(want)) {
+			t.Fatalf("deadline %v: frontier %d not mid-scan (total %d)", deadline, cur.Seq, len(want))
+		}
+		resumeCfg := cfg
+		resumeCfg.Resume = &cur
+		resumed, _ := run(resumeCfg, 0)
+
+		got := map[uint64]wire.Addr{}
+		for seq, addr := range partial {
+			if seq < cur.Seq { // the emitted prefix: below the frontier
+				got[seq] = addr
+			}
+		}
+		for seq, addr := range resumed {
+			if seq < cur.Seq {
+				t.Fatalf("resumed run launched seq %d below the frontier %d", seq, cur.Seq)
+			}
+			if prev, dup := got[seq]; dup {
+				t.Fatalf("seq %d probed in both runs (%s, %s)", seq, prev, addr)
+			}
+			got[seq] = addr
+		}
+		if len(got) != len(want) {
+			t.Fatalf("deadline %v: spliced scan has %d seqs, want %d", deadline, len(got), len(want))
+		}
+		for seq, addr := range want {
+			if got[seq] != addr {
+				t.Fatalf("deadline %v: seq %d = %s, want %s", deadline, seq, got[seq], addr)
+			}
+		}
+	}
+}
+
+// TestTargetEstimateAccountsForBlacklist: the estimate must subtract
+// blacklisted addresses (including nested and duplicate entries counted
+// once) instead of reporting the raw space size.
+func TestTargetEstimateAccountsForBlacklist(t *testing.T) {
+	n := netsim.New(1)
+	space := NewSpaceFromPrefixes([]wire.Prefix{wire.MustParsePrefix("10.0.0.0/24")})
+	space.AddBlacklist(
+		wire.MustParsePrefix("10.0.0.0/25"),  // 128 addresses
+		wire.MustParsePrefix("10.0.0.64/26"), // nested in the /25: no extra
+		wire.MustParsePrefix("10.0.0.0/25"),  // duplicate: no extra
+		wire.MustParsePrefix("192.0.2.0/24"), // outside the space: no extra
+	)
+	launched := int64(0)
+	launch := func(addr wire.Addr, done func()) { launched++; done() }
+	e := NewEngine(n, space, Config{Rate: 1e6, Seed: 5}, launch)
+	if got := e.TargetEstimate(); got != 128 {
+		t.Fatalf("TargetEstimate = %d, want 128", got)
+	}
+	e.Start()
+	n.RunUntilIdle()
+	if launched != 128 {
+		t.Fatalf("launched %d, estimate promised 128", launched)
+	}
+}
+
+func TestTargetEstimateListSpaceAndShards(t *testing.T) {
+	n := netsim.New(1)
+	space := NewSpaceFromList([]wire.Addr{1, 2, 3, 4, 5, 6, 7, 8})
+	space.AddBlacklist(wire.MustParsePrefix("0.0.0.1/32"), wire.MustParsePrefix("0.0.0.2/31"))
+	launch := func(addr wire.Addr, done func()) { done() }
+	e := NewEngine(n, space, Config{Rate: 1e6, Seed: 5}, launch)
+	// 8 addresses, 3 blacklisted (1, 2, 3).
+	if got := e.TargetEstimate(); got != 5 {
+		t.Fatalf("list-space TargetEstimate = %d, want 5", got)
+	}
+	sharded := NewEngine(n, space, Config{Rate: 1e6, Seed: 5, Shards: 2}, launch)
+	if got := sharded.TargetEstimate(); got != 3 { // 5/2 rounded
+		t.Fatalf("sharded TargetEstimate = %d, want 3", got)
+	}
+}

@@ -78,6 +78,65 @@ func (t *TargetSpace) Blacklisted(a wire.Addr) bool {
 	return false
 }
 
+// BlacklistedCount returns the number of addresses in the space that the
+// blacklist excludes, so target estimates can be computed over the
+// scannable population rather than the raw space size (otherwise a
+// heavily blacklisted scan's %-done figure stalls below 100%).
+func (t *TargetSpace) BlacklistedCount() uint64 {
+	if len(t.blacklist) == 0 {
+		return 0
+	}
+	if t.list != nil {
+		var n uint64
+		for _, a := range t.list {
+			if t.Blacklisted(a) {
+				n++
+			}
+		}
+		return n
+	}
+	// Two CIDRs either nest or are disjoint, so dropping blacklist
+	// entries contained in another leaves a disjoint cover whose
+	// per-prefix intersections with the space sum without double
+	// counting.
+	var n uint64
+	for i, b := range t.blacklist {
+		covered := false
+		for j, o := range t.blacklist {
+			if j == i {
+				continue
+			}
+			if prefixContains(o, b) && !(prefixContains(b, o) && j > i) {
+				covered = true
+				break
+			}
+		}
+		if covered {
+			continue
+		}
+		for _, p := range t.prefixes {
+			n += prefixOverlap(p, b)
+		}
+	}
+	return n
+}
+
+// prefixContains reports whether p covers all of q.
+func prefixContains(p, q wire.Prefix) bool {
+	return p.Bits <= q.Bits && p.Contains(q.First())
+}
+
+// prefixOverlap returns the number of addresses two CIDRs share.
+func prefixOverlap(p, q wire.Prefix) uint64 {
+	if prefixContains(p, q) {
+		return q.Size()
+	}
+	if prefixContains(q, p) {
+		return p.Size()
+	}
+	return 0
+}
+
 // Sampler deterministically keeps a fraction of indices, so a "1% scan"
 // selects a uniform random subset that is stable for a given seed
 // (§4.1: scanning a 1% sample of the address space suffices).
