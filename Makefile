@@ -1,13 +1,23 @@
 # Developer workflow for the iwscan reproduction. `make check` is the
 # pre-commit gate (see README.md): formatting, vet, full build, full
-# test suite, and a race-detector pass over the packages with
-# concurrency (the metrics registry is shared across -parallel shards).
+# test suite, a race-detector pass over the packages with concurrency,
+# and the ground-truth validation smoke (oracle accuracy report plus
+# golden population comparisons).
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-smoke
+# Where validation artifacts (accuracy report, sweep CSV) land; CI
+# uploads this directory.
+VALIDATE_OUT ?= artifacts
 
-check: fmt vet build test race
+# Per-target budget for fuzz-smoke.
+FUZZ_TIME ?= 3s
+# Packages with native fuzz targets (Fuzz* functions).
+FUZZ_PKGS := ./internal/wire ./internal/output ./internal/httpsim ./internal/tlssim
+
+.PHONY: check fmt vet build test race bench bench-smoke fuzz-smoke validate-smoke validate-sweep
+
+check: fmt vet build test race validate-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -24,8 +34,12 @@ build:
 test:
 	$(GO) test ./...
 
+# The scanner fans out over shards, the output pipeline runs async
+# sinks, and experiments drives both end to end — all under -race along
+# with the shared metrics registry and the core estimator.
 race:
-	$(GO) test -race ./internal/metrics/... ./internal/core/...
+	$(GO) test -race ./internal/metrics/... ./internal/core/... \
+		./internal/scanner/... ./internal/output/... ./internal/experiments/...
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
@@ -35,3 +49,36 @@ bench:
 # measuring anything.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# fuzz-smoke runs every native fuzz target briefly ($(FUZZ_TIME) each):
+# the wire decoders, the IWB1 binary reader, and the HTTP/TLS parsers.
+# `go test -fuzz` takes one target at a time, hence the loop.
+fuzz-smoke:
+	@set -e; for pkg in $(FUZZ_PKGS); do \
+		for target in $$($(GO) test -list '^Fuzz' $$pkg | grep '^Fuzz'); do \
+			echo "==> fuzz $$pkg $$target ($(FUZZ_TIME))"; \
+			$(GO) test $$pkg -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZ_TIME); \
+		done; \
+	done
+
+# validate-smoke is the ground-truth gate: scan a sample of the 2017
+# universe, require >= 99% oracle exact-match accuracy and zero bound
+# violations, then compare both checked-in goldens. The accuracy report
+# is written to $(VALIDATE_OUT) for CI to upload.
+validate-smoke:
+	@mkdir -p $(VALIDATE_OUT)
+	$(GO) run ./cmd/iwvalidate -mode report -sample 0.02 -min-accuracy 0.99 \
+		-out $(VALIDATE_OUT)/accuracy-report.txt
+	@cat $(VALIDATE_OUT)/accuracy-report.txt
+	$(GO) run ./cmd/iwvalidate -mode golden \
+		-golden internal/validate/testdata/golden-http-2017.json
+	$(GO) run ./cmd/iwvalidate -mode golden \
+		-golden internal/validate/testdata/golden-tls-2017.json
+
+# validate-sweep produces the accuracy-vs-adversity curve artifact
+# (full default grid; slower than validate-smoke, CI-only by default).
+validate-sweep:
+	@mkdir -p $(VALIDATE_OUT)
+	$(GO) run ./cmd/iwvalidate -mode sweep -sample 0.01 \
+		-out $(VALIDATE_OUT)/sweep.txt -csv $(VALIDATE_OUT)/sweep.csv
+	@cat $(VALIDATE_OUT)/sweep.txt

@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"iwscan/internal/core"
+)
+
+// TestAggregationDegenerateInputs drives every aggregation over the
+// degenerate populations a partial or failed scan can produce: nothing,
+// one record, one IW class, nothing reachable, nothing definitive.
+func TestAggregationDegenerateInputs(t *testing.T) {
+	cases := []struct {
+		name    string
+		records []Record
+
+		reachable   int
+		success     float64
+		distLen     int
+		distTotal   float64 // sum of fractions; 0 for empty dist
+		dominant10s bool    // DominantIWs(0.001) == [10]
+	}{
+		{name: "empty", records: nil},
+		{name: "single-success", records: []Record{rec(1, core.OutcomeSuccess, 10)},
+			reachable: 1, success: 1, distLen: 1, distTotal: 1, dominant10s: true},
+		{name: "single-unreachable", records: []Record{rec(1, core.OutcomeUnreachable, 0)}},
+		{name: "all-identical-iw", records: []Record{
+			rec(1, core.OutcomeSuccess, 10), rec(2, core.OutcomeSuccess, 10),
+			rec(3, core.OutcomeSuccess, 10), rec(4, core.OutcomeSuccess, 10),
+		}, reachable: 4, success: 1, distLen: 1, distTotal: 1, dominant10s: true},
+		{name: "all-unreachable", records: []Record{
+			rec(1, core.OutcomeUnreachable, 0), rec(2, core.OutcomeUnreachable, 0),
+		}},
+		{name: "all-ambiguous", records: []Record{
+			rec(1, core.OutcomeError, 0), rec(2, core.OutcomeError, 0),
+		}, reachable: 2},
+		{name: "mixed-no-success", records: []Record{
+			rec(1, core.OutcomeError, 0), rec(2, core.OutcomeFewData, 0),
+			rec(3, core.OutcomeUnreachable, 0),
+		}, reachable: 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			o := Table1(tc.records)
+			if o.Reachable != tc.reachable {
+				t.Errorf("Reachable = %d, want %d", o.Reachable, tc.reachable)
+			}
+			if o.Success != tc.success {
+				t.Errorf("Success = %v, want %v", o.Success, tc.success)
+			}
+			if o.Reachable > 0 {
+				if sum := o.Success + o.FewData + o.Error; math.Abs(sum-1) > 1e-9 {
+					t.Errorf("outcome fractions sum to %v", sum)
+				}
+			}
+
+			dist := IWDistribution(tc.records)
+			if len(dist) != tc.distLen {
+				t.Errorf("IWDistribution has %d classes, want %d", len(dist), tc.distLen)
+			}
+			sum := 0.0
+			for _, f := range dist {
+				sum += f
+			}
+			if math.Abs(sum-tc.distTotal) > 1e-9 {
+				t.Errorf("IWDistribution sums to %v, want %v", sum, tc.distTotal)
+			}
+
+			dom := DominantIWs(tc.records, 0.001)
+			if tc.dominant10s {
+				if len(dom) != 1 || dom[0] != 10 {
+					t.Errorf("DominantIWs = %v, want [10]", dom)
+				}
+			} else if len(dom) != 0 {
+				t.Errorf("DominantIWs = %v, want none", dom)
+			}
+
+			// None of the remaining aggregations may panic or divide by
+			// zero on these inputs.
+			if row := Table2(tc.records); tc.reachable == 0 && row.NoData != 0 {
+				t.Errorf("Table2.NoData = %v on reachable-free input", row.NoData)
+			}
+			if bl := ByteLimit(tc.records); bl.Fraction() != 0 {
+				t.Errorf("ByteLimit.Fraction = %v without MSS-128 data", bl.Fraction())
+			}
+			if n := SuccessCount(tc.records); n != int(float64(tc.reachable)*tc.success+0.5) {
+				t.Errorf("SuccessCount = %d", n)
+			}
+		})
+	}
+}
+
+func TestTable2BoundEdges(t *testing.T) {
+	recs := []Record{
+		// Zero and negative lower bounds collapse into the no-data bin.
+		{Addr: 1, Outcome: core.OutcomeFewData, LowerBound: 0},
+		{Addr: 2, Outcome: core.OutcomeFewData, LowerBound: -3},
+		{Addr: 3, Outcome: core.OutcomeNoData},
+		// Boundary bins 1, 10 and the over-10 overflow.
+		{Addr: 4, Outcome: core.OutcomeFewData, LowerBound: 1},
+		{Addr: 5, Outcome: core.OutcomeFewData, LowerBound: 10},
+		{Addr: 6, Outcome: core.OutcomeFewData, LowerBound: 11},
+		// Non-few-data outcomes are invisible to Table 2.
+		{Addr: 7, Outcome: core.OutcomeSuccess, IW: 10},
+		{Addr: 8, Outcome: core.OutcomeUnreachable},
+	}
+	row := Table2(recs)
+	sixth := 1.0 / 6
+	if math.Abs(row.NoData-3*sixth) > 1e-9 {
+		t.Errorf("NoData = %v, want 1/2", row.NoData)
+	}
+	if math.Abs(row.Bound[1]-sixth) > 1e-9 || math.Abs(row.Bound[10]-sixth) > 1e-9 {
+		t.Errorf("Bound[1] = %v, Bound[10] = %v, want 1/6 each", row.Bound[1], row.Bound[10])
+	}
+	if math.Abs(row.Over10-sixth) > 1e-9 {
+		t.Errorf("Over10 = %v, want 1/6", row.Over10)
+	}
+}
+
+func TestAgreementEdges(t *testing.T) {
+	mk := func(addr uint32, outcome core.Outcome, iw int) Record {
+		return rec(addr, outcome, iw)
+	}
+	cases := []struct {
+		name      string
+		http, tls []Record
+		dual, agr int
+	}{
+		{name: "both-empty"},
+		{name: "no-overlap",
+			http: []Record{mk(1, core.OutcomeSuccess, 10)},
+			tls:  []Record{mk(2, core.OutcomeSuccess, 10)}},
+		{name: "overlap-agrees",
+			http: []Record{mk(1, core.OutcomeSuccess, 10)},
+			tls:  []Record{mk(1, core.OutcomeSuccess, 10)},
+			dual: 1, agr: 1},
+		{name: "overlap-disagrees",
+			http: []Record{mk(1, core.OutcomeSuccess, 10)},
+			tls:  []Record{mk(1, core.OutcomeSuccess, 4)},
+			dual: 1},
+		{name: "failures-are-not-dual",
+			http: []Record{mk(1, core.OutcomeError, 0), mk(2, core.OutcomeSuccess, 10)},
+			tls:  []Record{mk(1, core.OutcomeSuccess, 10), mk(2, core.OutcomeFewData, 0)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Agreement(tc.http, tc.tls)
+			if got.Dual != tc.dual || got.Agreeing != tc.agr {
+				t.Errorf("Agreement = %+v, want dual %d agreeing %d", got, tc.dual, tc.agr)
+			}
+		})
+	}
+}
+
+func TestASFeaturesEdges(t *testing.T) {
+	// Below minHosts, no feature; ASN 0 (unattributed) never forms one.
+	recs := []Record{
+		{Addr: 1, Outcome: core.OutcomeSuccess, IW: 10, ASN: 64500, ASName: "A"},
+		{Addr: 2, Outcome: core.OutcomeSuccess, IW: 10, ASN: 0, ASName: "none"},
+		{Addr: 3, Outcome: core.OutcomeError, IW: 0, ASN: 64500, ASName: "A"},
+	}
+	if got := ASFeatures(recs, 2); len(got) != 0 {
+		t.Errorf("ASFeatures below minHosts: %+v", got)
+	}
+	feats := ASFeatures(recs, 1)
+	if len(feats) != 1 || feats[0].ASN != 64500 || feats[0].Hosts != 1 {
+		t.Fatalf("ASFeatures = %+v", feats)
+	}
+	if feats[0].Vec != [5]float64{0, 0, 0, 1, 0} {
+		t.Errorf("all-IW10 AS vector = %v", feats[0].Vec)
+	}
+
+	// DBSCAN and Clusters on empty input.
+	if labels := DBSCAN(nil, 0.1, 2); len(labels) != 0 {
+		t.Errorf("DBSCAN(nil) = %v", labels)
+	}
+	if cl := Clusters(nil, nil); len(cl) != 0 {
+		t.Errorf("Clusters(nil) = %v", cl)
+	}
+	// A single point below minPts is noise, and noise-only labelings
+	// produce no clusters.
+	labels := DBSCAN(feats, 0.1, 2)
+	if len(labels) != 1 || labels[0] != ClusterNoise {
+		t.Fatalf("singleton labels = %v", labels)
+	}
+	if cl := Clusters(feats, labels); len(cl) != 0 {
+		t.Errorf("noise formed cluster %+v", cl)
+	}
+}

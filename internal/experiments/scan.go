@@ -46,6 +46,16 @@ type ScanConfig struct {
 	// Trace, when set, is installed as a network filter (e.g. a
 	// trace.Recorder's Filter for packet capture).
 	Trace netsim.Filter
+	// Path, when set, replaces the default path parameters (10 ms delay,
+	// 2 ms jitter, Loss) wholesale — the adversity-sweep hook that lets
+	// the validation harness dial in reordering, duplication and jitter
+	// on top of loss. When Path is set the Loss field is ignored.
+	Path *netsim.PathParams
+	// Filters are additional packet filters installed before the scan
+	// starts (deterministic impairments such as netsim.TailLossFilter).
+	// Stateful filters must not be shared across parallel shards: each
+	// shard runs its own simulation concurrently.
+	Filters []netsim.Filter
 	// Shard/Shards split the scan ZMap-style (0/0 = unsharded).
 	Shard, Shards uint64
 	// Blacklist excludes prefixes from probing.
@@ -109,10 +119,15 @@ func (c *ScanConfig) withDefaults() ScanConfig {
 // and output plumbing are deliberately excluded — a resumed scan may
 // change those freely.
 func (c *ScanConfig) fingerprint(universeSeed uint64, spaceSize uint64) string {
+	path := netsim.PathParams{}
+	if c.Path != nil {
+		path = *c.Path
+	}
 	return checkpoint.Fingerprint(
 		"iwscan", universeSeed, spaceSize, c.Seed, int(c.Strategy),
 		c.SampleFraction, c.Loss, c.MSSList, c.Repeats, c.MaxRetries,
 		c.NoRedirectFollow, c.NoBloat, c.Shard, c.Shards, c.Blacklist,
+		c.Path != nil, path,
 	)
 }
 
@@ -155,10 +170,17 @@ func RunScan(u *inet.Universe, cfg ScanConfig) *ScanResult {
 func RunScanChecked(u *inet.Universe, cfg ScanConfig) (*ScanResult, error) {
 	cfg = cfg.withDefaults()
 	n := netsim.New(cfg.Seed)
-	n.SetPath(netsim.PathParams{Delay: 10 * netsim.Millisecond, Jitter: 2 * netsim.Millisecond, Loss: cfg.Loss})
+	if cfg.Path != nil {
+		n.SetPath(*cfg.Path)
+	} else {
+		n.SetPath(netsim.PathParams{Delay: 10 * netsim.Millisecond, Jitter: 2 * netsim.Millisecond, Loss: cfg.Loss})
+	}
 	n.SetFactory(u)
 	if cfg.Trace != nil {
 		n.AddFilter(cfg.Trace)
+	}
+	for _, f := range cfg.Filters {
+		n.AddFilter(f)
 	}
 	sc := core.NewScanner(n, ScannerAddr, core.Config{Seed: cfg.Seed})
 

@@ -1,0 +1,133 @@
+package inet
+
+import (
+	"fmt"
+	"testing"
+
+	"iwscan/internal/core"
+	"iwscan/internal/netsim"
+	"iwscan/internal/tlssim"
+	"iwscan/internal/wire"
+)
+
+// oracleScannerAddr lies outside every modelled prefix.
+var oracleScannerAddr = wire.MustParseAddr("198.18.0.1")
+
+// probeProfile materializes one host through the universe's factory and
+// probes it exactly like a scan would, at one announced MSS.
+func probeProfile(t *testing.T, u *Universe, spec *HostSpec, port uint16, mss int) *core.TargetResult {
+	t.Helper()
+	n := netsim.New(uint64(spec.Addr))
+	n.SetFactory(u)
+	n.SetPath(netsim.PathParams{Delay: 10 * netsim.Millisecond})
+	strat := core.StrategyHTTP
+	if port == 443 {
+		strat = core.StrategyTLS
+	}
+	sc := core.NewScanner(n, oracleScannerAddr, core.Config{Seed: uint64(spec.Addr)})
+	var got *core.TargetResult
+	sc.ProbeTarget(spec.Addr, core.TargetConfig{
+		Strategy: strat, Port: port, MSSList: []int{mss},
+	}, func(tr *core.TargetResult) { got = tr })
+	n.RunUntilIdle()
+	if got == nil {
+		t.Fatalf("%s: probe produced no result", spec.Addr)
+	}
+	return got
+}
+
+// TestOracleAgreesWithMaterializedHosts is the oracle's own ground
+// truth: for every distinct (stack, IW policy, service) profile in both
+// universes, the host that Universe.CreateHost materializes must —
+// when actually probed — never contradict ExpectedIWSegments, at both
+// representative announced MSS values (64 and 128).
+func TestOracleAgreesWithMaterializedHosts(t *testing.T) {
+	universes := []struct {
+		name string
+		u    *Universe
+	}{
+		{"2005", NewInternet2005(11)},
+		{"2017", NewInternet2017(11)},
+	}
+	for _, uni := range universes {
+		t.Run(uni.name, func(t *testing.T) {
+			u := uni.u
+			type rep struct {
+				spec *HostSpec
+				port uint16
+			}
+			profiles := make(map[string]rep)
+			for _, as := range u.ASes {
+				for _, p := range as.Prefixes {
+					n := p.Size()
+					if n > 4096 {
+						n = 4096
+					}
+					for i := uint64(0); i < n; i++ {
+						spec := u.HostAt(p.Nth(i))
+						if spec == nil {
+							continue
+						}
+						for _, port := range []uint16{80, 443} {
+							if !spec.ServiceLive(port) {
+								continue
+							}
+							key := fmt.Sprintf("%+v|%+v|%d", spec.Stack.MSS, spec.ServiceIW(port), port)
+							if port == 443 {
+								key += fmt.Sprintf("|b%d", spec.TLSCfg.Behavior)
+							}
+							if _, ok := profiles[key]; !ok {
+								profiles[key] = rep{spec: spec, port: port}
+							}
+						}
+					}
+				}
+			}
+			if len(profiles) < 8 {
+				t.Fatalf("only %d distinct profiles found", len(profiles))
+			}
+
+			successes := 0
+			for key, r := range profiles {
+				for _, mss := range []int{64, 128} {
+					want := r.spec.ExpectedIWSegments(r.port, mss)
+					tr := probeProfile(t, u, r.spec, r.port, mss)
+					switch tr.Outcome {
+					case core.OutcomeSuccess:
+						successes++
+						if tr.IW != want {
+							t.Errorf("%s (%s:%d @MSS %d): measured IW %d, oracle says %d",
+								key, r.spec.Addr, r.port, mss, tr.IW, want)
+						}
+					case core.OutcomeFewData, core.OutcomeNoData:
+						// Small pages / SNI-requiring hosts can't be estimated,
+						// but the lower bound must never exceed the truth.
+						if tr.LowerBound > want {
+							t.Errorf("%s (%s:%d @MSS %d): lower bound %d above true IW %d",
+								key, r.spec.Addr, r.port, mss, tr.LowerBound, want)
+						}
+					default:
+						// Zero-adversity probes of live hosts must not fail
+						// outright — unless the host is modelled to abort the
+						// handshake (no cipher overlap, RST on hello).
+						if r.port == 443 &&
+							(r.spec.TLSCfg.Behavior == tlssim.BehaviorNoCipherOverlap ||
+								r.spec.TLSCfg.Behavior == tlssim.BehaviorReset) {
+							continue
+						}
+						t.Errorf("%s (%s:%d @MSS %d): outcome %v on a live host",
+							key, r.spec.Addr, r.port, mss, tr.Outcome)
+					}
+				}
+			}
+			// The test only bites if a healthy share of profiles produced a
+			// definitive estimate to compare (many TLS variants abort or
+			// require SNI by design and can only be bound-checked).
+			if successes < 20 || successes < len(profiles)/3 {
+				t.Errorf("only %d successful probes across %d profiles x 2 MSS values",
+					successes, len(profiles))
+			}
+			t.Logf("%s: %d profiles, %d successful comparisons", uni.name, len(profiles), successes)
+		})
+	}
+}

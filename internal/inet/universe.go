@@ -82,15 +82,34 @@ type HostSpec struct {
 	TLSProfile  int
 }
 
+// ServiceLive reports whether the host serves the given port (80 for
+// HTTP, 443 for TLS).
+func (h *HostSpec) ServiceLive(port uint16) bool {
+	if port == 443 {
+		return h.TLSLive
+	}
+	return h.HTTPLive
+}
+
+// ServiceIW returns the IW policy governing the given port.
+func (h *HostSpec) ServiceIW(port uint16) tcpstack.IWPolicy {
+	if port == 443 {
+		return h.TLSIW
+	}
+	return h.HTTPIW
+}
+
+// EffectiveMSS returns the segment size the host's stack will actually
+// use for a peer announcing announcedMSS (applying floors and fallbacks).
+func (h *HostSpec) EffectiveMSS(announcedMSS int) int {
+	return h.Stack.MSS.Effective(announcedMSS, h.Stack.LocalMSS)
+}
+
 // ExpectedIWSegments returns the ground-truth IW in segments that a scan
 // announcing announcedMSS should estimate on the given port.
 func (h *HostSpec) ExpectedIWSegments(port uint16, announcedMSS int) int {
-	eff := h.Stack.MSS.Effective(announcedMSS, h.Stack.LocalMSS)
-	pol := h.HTTPIW
-	if port == 443 {
-		pol = h.TLSIW
-	}
-	iw := pol.IW(eff)
+	eff := h.EffectiveMSS(announcedMSS)
+	iw := h.ServiceIW(port).IW(eff)
 	return (iw + eff - 1) / eff
 }
 

@@ -1,0 +1,55 @@
+package netsim
+
+import (
+	"iwscan/internal/stats"
+	"iwscan/internal/wire"
+)
+
+// TailLossFilter returns a deterministic Filter modelling bursty tail
+// loss: with probability p it drops a TCP data segment that is shorter
+// than the largest data segment already seen in the same flow direction
+// — the partial segment that typically closes a burst. Unlike uniform
+// path loss, dropping only the trailing segment leaves no sequence hole
+// for later segments to expose, which is exactly the loss mode §3.5
+// identifies as the one that can silently underestimate an IW.
+//
+// Drops are capped at two per flow direction so retransmissions
+// eventually get through and connections still terminate. The filter
+// keeps per-flow state and must not be shared across concurrently
+// running simulations.
+func TailLossFilter(seed uint64, p float64) Filter {
+	type flowState struct {
+		maxPayload int
+		drops      int
+	}
+	type flowKey struct {
+		src, dst         wire.Addr
+		srcPort, dstPort uint16
+	}
+	rng := stats.NewRNG(seed ^ 0x7a11_1055)
+	flows := make(map[flowKey]*flowState)
+	return func(now Time, pkt []byte) Verdict {
+		ip, payload, err := wire.DecodeIPv4(pkt)
+		if err != nil || ip.Protocol != wire.ProtoTCP {
+			return VerdictPass
+		}
+		tcp, data, err := wire.DecodeTCP(ip.Src, ip.Dst, payload)
+		if err != nil || len(data) == 0 {
+			return VerdictPass
+		}
+		key := flowKey{ip.Src, ip.Dst, tcp.SrcPort, tcp.DstPort}
+		st := flows[key]
+		if st == nil {
+			st = &flowState{}
+			flows[key] = st
+		}
+		if len(data) < st.maxPayload && st.drops < 2 && rng.Float64() < p {
+			st.drops++
+			return VerdictDrop
+		}
+		if len(data) > st.maxPayload {
+			st.maxPayload = len(data)
+		}
+		return VerdictPass
+	}
+}

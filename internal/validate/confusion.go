@@ -1,0 +1,141 @@
+package validate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Confusion is a sparse (true IW, inferred IW) confusion matrix over
+// definitive estimates.
+type Confusion struct {
+	cells map[[2]int]int
+	total int
+}
+
+// NewConfusion returns an empty matrix.
+func NewConfusion() *Confusion {
+	return &Confusion{cells: make(map[[2]int]int)}
+}
+
+// Add records one estimate.
+func (c *Confusion) Add(trueIW, inferredIW int) {
+	c.cells[[2]int{trueIW, inferredIW}]++
+	c.total++
+}
+
+// Total returns the number of recorded estimates.
+func (c *Confusion) Total() int { return c.total }
+
+// Count returns one cell.
+func (c *Confusion) Count(trueIW, inferredIW int) int {
+	return c.cells[[2]int{trueIW, inferredIW}]
+}
+
+// Classes returns every IW value appearing as truth or inference,
+// ascending.
+func (c *Confusion) Classes() []int {
+	seen := make(map[int]bool)
+	for k := range c.cells {
+		seen[k[0]] = true
+		seen[k[1]] = true
+	}
+	out := make([]int, 0, len(seen))
+	for iw := range seen {
+		out = append(out, iw)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TrueCount returns the number of estimates whose ground truth is iw.
+func (c *Confusion) TrueCount(iw int) int {
+	n := 0
+	for k, v := range c.cells {
+		if k[0] == iw {
+			n += v
+		}
+	}
+	return n
+}
+
+// InferredCount returns the number of estimates that inferred iw.
+func (c *Confusion) InferredCount(iw int) int {
+	n := 0
+	for k, v := range c.cells {
+		if k[1] == iw {
+			n += v
+		}
+	}
+	return n
+}
+
+// Precision returns, for one IW class, the fraction of estimates that
+// inferred iw whose ground truth really is iw. Classes never inferred
+// report 1 (no false claims were made).
+func (c *Confusion) Precision(iw int) float64 {
+	inf := c.InferredCount(iw)
+	if inf == 0 {
+		return 1
+	}
+	return float64(c.Count(iw, iw)) / float64(inf)
+}
+
+// Recall returns, for one IW class, the fraction of true-iw hosts whose
+// estimate landed on iw. Classes with no true members report 1.
+func (c *Confusion) Recall(iw int) float64 {
+	tr := c.TrueCount(iw)
+	if tr == 0 {
+		return 1
+	}
+	return float64(c.Count(iw, iw)) / float64(tr)
+}
+
+// Diagonal returns the exact-match count.
+func (c *Confusion) Diagonal() int {
+	n := 0
+	for k, v := range c.cells {
+		if k[0] == k[1] {
+			n += v
+		}
+	}
+	return n
+}
+
+// Render formats the matrix plus per-class precision/recall. Rows are
+// the true IW, columns the inferred IW; off-diagonal mass is the
+// estimator's error surface.
+func (c *Confusion) Render() string {
+	classes := c.Classes()
+	if len(classes) == 0 {
+		return "  confusion matrix: no definitive estimates\n"
+	}
+	var b strings.Builder
+	b.WriteString("  confusion matrix (rows: true IW, cols: inferred IW):\n")
+	fmt.Fprintf(&b, "    %6s", "")
+	for _, iw := range classes {
+		fmt.Fprintf(&b, " %7d", iw)
+	}
+	fmt.Fprintf(&b, " %9s %7s\n", "recall", "n")
+	for _, tr := range classes {
+		if c.TrueCount(tr) == 0 && c.InferredCount(tr) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "    %6d", tr)
+		for _, inf := range classes {
+			n := c.Count(tr, inf)
+			if n == 0 {
+				fmt.Fprintf(&b, " %7s", ".")
+			} else {
+				fmt.Fprintf(&b, " %7d", n)
+			}
+		}
+		fmt.Fprintf(&b, " %8.1f%% %7d\n", 100*c.Recall(tr), c.TrueCount(tr))
+	}
+	fmt.Fprintf(&b, "    %6s", "prec")
+	for _, iw := range classes {
+		fmt.Fprintf(&b, " %6.1f%%", 100*c.Precision(iw))
+	}
+	b.WriteString("\n")
+	return b.String()
+}

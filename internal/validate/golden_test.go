@@ -1,0 +1,184 @@
+package validate
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"iwscan/internal/analysis"
+	"iwscan/internal/core"
+	"iwscan/internal/wire"
+)
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+func TestBandContains(t *testing.T) {
+	b := Band{Value: 0.5, Tol: 0.02}
+	for _, v := range []float64{0.48, 0.5, 0.52} {
+		if !b.Contains(v) {
+			t.Errorf("band rejects %v", v)
+		}
+	}
+	for _, v := range []float64{0.4799, 0.5201, 0, 1} {
+		if b.Contains(v) {
+			t.Errorf("band accepts %v", v)
+		}
+	}
+}
+
+// syntheticRecords builds a population with a known outcome mix and IW
+// distribution: per repetition 6 success (IW 10,10,10,4,4,1), 2
+// few-data, 1 error, 1 unreachable.
+func syntheticRecords(reps int) []analysis.Record {
+	base := wire.MustParseAddr("10.0.0.0")
+	var out []analysis.Record
+	add := func(outcome core.Outcome, iw int) {
+		out = append(out, analysis.Record{
+			Addr: base + wire.Addr(len(out)), Port: 80, Outcome: outcome, IW: iw,
+		})
+	}
+	for i := 0; i < reps; i++ {
+		add(core.OutcomeSuccess, 10)
+		add(core.OutcomeSuccess, 10)
+		add(core.OutcomeSuccess, 10)
+		add(core.OutcomeSuccess, 4)
+		add(core.OutcomeSuccess, 4)
+		add(core.OutcomeSuccess, 1)
+		add(core.OutcomeFewData, 0)
+		add(core.OutcomeFewData, 0)
+		add(core.OutcomeError, 0)
+		add(core.OutcomeUnreachable, 0)
+	}
+	return out
+}
+
+func TestCaptureCompareRoundTrip(t *testing.T) {
+	recs := syntheticRecords(100)
+	g := CaptureGolden("synthetic", 1, 2, "http", 0.5, recs)
+	if g.MinRecords != len(recs)*9/10 {
+		t.Errorf("MinRecords = %d", g.MinRecords)
+	}
+	if len(g.IWDist) != 3 {
+		t.Fatalf("IWDist has %d bands, want 3 (IW 1, 4, 10): %+v", len(g.IWDist), g.IWDist)
+	}
+	// The population it was captured from must compare clean.
+	if v := g.Compare(recs, nil); len(v) != 0 {
+		t.Fatalf("self-comparison violated: %v", v)
+	}
+}
+
+func TestCompareCatchesDrift(t *testing.T) {
+	recs := syntheticRecords(100)
+	g := CaptureGolden("synthetic", 1, 2, "http", 0.5, recs)
+
+	t.Run("shrunk-sample", func(t *testing.T) {
+		v := g.Compare(recs[:len(recs)/2], nil)
+		if len(v) == 0 {
+			t.Fatal("half the records compared clean")
+		}
+	})
+
+	t.Run("iw-share-shift", func(t *testing.T) {
+		shifted := syntheticRecords(100)
+		for i := range shifted {
+			if shifted[i].Outcome == core.OutcomeSuccess && shifted[i].IW == 4 {
+				shifted[i].IW = 10 // IW4 population migrates to IW10
+			}
+		}
+		v := g.Compare(shifted, nil)
+		if len(v) == 0 {
+			t.Fatal("migrated IW population compared clean")
+		}
+		if !strings.Contains(strings.Join(v, "\n"), "IW") {
+			t.Errorf("no IW violation in %v", v)
+		}
+	})
+
+	t.Run("new-iw-class", func(t *testing.T) {
+		grown := syntheticRecords(100)
+		for i := 0; i < 20; i++ { // 20/600 successes ≈ 3.3% > MaxNewIWFrac
+			grown = append(grown, analysis.Record{
+				Addr: wire.MustParseAddr("10.9.9.9") + wire.Addr(i), Port: 80,
+				Outcome: core.OutcomeSuccess, IW: 42,
+			})
+		}
+		v := g.Compare(grown, nil)
+		if !strings.Contains(strings.Join(v, "\n"), "unexpected IW class 42") {
+			t.Errorf("new IW class not flagged: %v", v)
+		}
+	})
+
+	t.Run("outcome-shift", func(t *testing.T) {
+		broken := syntheticRecords(100)
+		for i := range broken {
+			if broken[i].Outcome == core.OutcomeFewData {
+				broken[i].Outcome = core.OutcomeError
+			}
+		}
+		v := g.Compare(broken, nil)
+		if len(v) == 0 {
+			t.Fatal("outcome mix shift compared clean")
+		}
+	})
+
+	t.Run("accuracy-floor", func(t *testing.T) {
+		rep := &Report{Confusion: NewConfusion()}
+		for i := 0; i < 97; i++ {
+			rep.Confusion.Add(10, 10)
+		}
+		rep.Counts[VerdictExact] = 97
+		for i := 0; i < 3; i++ {
+			rep.Confusion.Add(10, 4)
+		}
+		v := g.Compare(recs, rep) // 97% accuracy < 0.99 floor
+		if !strings.Contains(strings.Join(v, "\n"), "accuracy") {
+			t.Errorf("accuracy breach not flagged: %v", v)
+		}
+	})
+}
+
+func TestGoldenSaveLoadRoundTrip(t *testing.T) {
+	g := CaptureGolden("roundtrip", 7, 8, "tls", 0.25, syntheticRecords(50))
+	path := filepath.Join(t.TempDir(), "g.json")
+	if err := SaveGolden(path, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadGolden(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != g.Name || got.UniverseSeed != 7 || got.ScanSeed != 8 ||
+		got.Strategy != "tls" || got.Sample != 0.25 {
+		t.Errorf("round trip lost parameters: %+v", got)
+	}
+	if len(got.IWDist) != len(g.IWDist) {
+		t.Errorf("round trip lost IW bands: %d != %d", len(got.IWDist), len(g.IWDist))
+	}
+	cfg, err := got.ScanConfig()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Strategy != core.StrategyTLS || cfg.Seed != 8 || cfg.SampleFraction != 0.25 {
+		t.Errorf("ScanConfig mismatch: %+v", cfg)
+	}
+}
+
+func TestGoldenBadInputs(t *testing.T) {
+	if _, err := LoadGolden(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("loading a missing golden succeeded")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(bad, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadGolden(bad); err == nil {
+		t.Error("loading malformed JSON succeeded")
+	}
+	g := &Golden{Name: "x", Strategy: "quic"}
+	if _, err := g.ScanConfig(); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}

@@ -1,0 +1,107 @@
+package validate
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"iwscan/internal/core"
+	"iwscan/internal/inet"
+	"iwscan/internal/netsim"
+)
+
+func TestConditionZero(t *testing.T) {
+	if !(Condition{Name: "zero"}).Zero() {
+		t.Error("empty condition not Zero")
+	}
+	for _, c := range []Condition{
+		{Loss: 0.01}, {Reorder: 0.1}, {Duplicate: 0.1},
+		{Jitter: netsim.Millisecond}, {TailLoss: 0.1},
+	} {
+		if c.Zero() {
+			t.Errorf("%+v claims Zero", c)
+		}
+	}
+	// Exactly one zero condition in the default grid, and unique names.
+	names := make(map[string]bool)
+	zeros := 0
+	for _, c := range DefaultGrid() {
+		if names[c.Name] {
+			t.Errorf("duplicate condition name %q", c.Name)
+		}
+		names[c.Name] = true
+		if c.Zero() {
+			zeros++
+		}
+	}
+	if zeros != 1 {
+		t.Errorf("%d zero conditions in default grid, want 1", zeros)
+	}
+}
+
+// TestSweepSmoke runs a two-condition micro-sweep and checks the
+// qualitative shape: zero adversity stays at full accuracy, heavy tail
+// loss does not, and the invariant counters stay zero in both.
+func TestSweepSmoke(t *testing.T) {
+	u := inet.NewInternet2017(3)
+	points, err := RunSweep(u, SweepConfig{
+		Strategy: core.StrategyHTTP,
+		Sample:   0.004,
+		Seed:     99,
+		Conditions: []Condition{
+			{Name: "zero"},
+			{Name: "tail-30", TailLoss: 0.30},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("%d points", len(points))
+	}
+	zero, tail := points[0].Report, points[1].Report
+	if zero.Estimates() < 30 {
+		t.Fatalf("micro-sweep too thin: %d estimates", zero.Estimates())
+	}
+	if acc := zero.Accuracy(); acc < 0.99 {
+		t.Errorf("zero-adversity accuracy %.4f in micro-sweep", acc)
+	}
+	if zero.Counts[VerdictUnder]+zero.Counts[VerdictOffByOne] != 0 {
+		t.Errorf("underestimates under zero adversity")
+	}
+	if tail.Accuracy() >= zero.Accuracy() {
+		t.Errorf("30%% tail loss did not hurt accuracy (%.4f vs %.4f)",
+			tail.Accuracy(), zero.Accuracy())
+	}
+	// Tail loss biases toward underestimation, never overestimation.
+	if tail.Counts[VerdictOver] != 0 {
+		t.Errorf("tail loss produced %d overestimates", tail.Counts[VerdictOver])
+	}
+	for _, p := range points {
+		if n := p.Report.BoundViolations(); n != 0 {
+			t.Errorf("%s: %d bound violations/ghosts", p.Condition.Name, n)
+		}
+	}
+
+	// Rendering smoke on real points.
+	text := RenderSweep(points)
+	for _, want := range []string{"condition", "zero", "tail-30", "accuracy"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("RenderSweep missing %q:\n%s", want, text)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteSweepCSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want header + 2 rows", len(lines))
+	}
+	cols := strings.Split(lines[0], ",")
+	for _, row := range lines[1:] {
+		if got := len(strings.Split(row, ",")); got != len(cols) {
+			t.Errorf("ragged CSV row: %d columns, header has %d", got, len(cols))
+		}
+	}
+}

@@ -1,0 +1,304 @@
+// Package validate is the ground-truth validation harness for the IW
+// estimator. The synthetic universe knows every host's true initial
+// window (inet.HostSpec.ExpectedIWSegments); this package joins scan
+// records against that oracle and turns the comparison into numbers a
+// regression test can gate on:
+//
+//   - a per-record verdict taxonomy (exact, off-by-one, under/over,
+//     byte-limit misreads, bound violations, missed hosts, ghosts),
+//   - a (true IW, inferred IW) confusion matrix with per-class
+//     precision and recall over all definitive estimates,
+//   - an adversity sweep running the same sample across a grid of
+//     netsim conditions (loss, reordering, duplication, jitter, tail
+//     loss), producing accuracy-vs-adversity curves in the spirit of
+//     the paper's §3.5 robustness analysis, and
+//   - a golden-file layer that snapshots the aggregate IW distribution
+//     with tolerance bands, so changes to tcpstack, scanner or the
+//     probe modules that shift the measured population fail a test
+//     instead of silently drifting.
+//
+// The paper's headline claim — the estimator is accurate without prior
+// knowledge of the target — becomes a checkable invariant: under
+// zero-adversity conditions the harness must report >= 99% exact-match
+// accuracy.
+package validate
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"iwscan/internal/analysis"
+	"iwscan/internal/core"
+	"iwscan/internal/inet"
+	"iwscan/internal/tcpstack"
+)
+
+// Verdict classifies one scan record against the oracle's ground truth.
+type Verdict int
+
+// Verdicts, roughly ordered from best to worst.
+const (
+	// VerdictExact: a successful estimate equal to the true IW.
+	VerdictExact Verdict = iota
+	// VerdictOffByOne: a successful estimate one segment off — the
+	// rounding-edge class worth tracking separately from gross errors.
+	VerdictOffByOne
+	// VerdictUnder / VerdictOver: successful estimates further off.
+	VerdictUnder
+	VerdictOver
+	// VerdictByteLimitMisread: the byte-vs-segment classification of
+	// §4.2 disagrees with the host's true configuration.
+	VerdictByteLimitMisread
+	// VerdictBoundOK: a few-data lower bound consistent with the truth
+	// (correct, just uninformative — the host had too little content).
+	VerdictBoundOK
+	// VerdictBoundExceeds: a few-data lower bound above the true IW,
+	// which the method promises can never happen.
+	VerdictBoundExceeds
+	// VerdictNoData: connection established, no payload (e.g. TLS hosts
+	// requiring SNI); nothing to compare.
+	VerdictNoData
+	// VerdictAmbiguous: error outcomes (loss gaps, resets) where the
+	// method explicitly declines to estimate.
+	VerdictAmbiguous
+	// VerdictMissed: the host serves the probed port but the record says
+	// unreachable.
+	VerdictMissed
+	// VerdictDark: nothing serves the probed port there and the scan
+	// correctly measured nothing.
+	VerdictDark
+	// VerdictGhost: the scan claims data from an address the oracle says
+	// is dark — a harness or model bug, never expected.
+	VerdictGhost
+
+	numVerdicts
+)
+
+// String renders the verdict.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictExact:
+		return "exact"
+	case VerdictOffByOne:
+		return "off-by-one"
+	case VerdictUnder:
+		return "underestimate"
+	case VerdictOver:
+		return "overestimate"
+	case VerdictByteLimitMisread:
+		return "byte-limit-misread"
+	case VerdictBoundOK:
+		return "bound-ok"
+	case VerdictBoundExceeds:
+		return "bound-exceeds"
+	case VerdictNoData:
+		return "no-data"
+	case VerdictAmbiguous:
+		return "ambiguous"
+	case VerdictMissed:
+		return "missed"
+	case VerdictDark:
+		return "dark"
+	case VerdictGhost:
+		return "ghost"
+	default:
+		return fmt.Sprintf("verdict(%d)", int(v))
+	}
+}
+
+// Oracle answers ground-truth queries for one universe at one announced
+// MSS (the scan's primary MSS, 64 by default).
+type Oracle struct {
+	Universe *inet.Universe
+	MSS      int
+}
+
+// NewOracle wraps a universe; mss <= 0 defaults to the scan's 64.
+func NewOracle(u *inet.Universe, mss int) *Oracle {
+	if mss <= 0 {
+		mss = 64
+	}
+	return &Oracle{Universe: u, MSS: mss}
+}
+
+// Truth is the oracle's knowledge about one probed (address, port).
+type Truth struct {
+	Live      bool // the host serves the probed port
+	Expected  int  // true IW in segments at the oracle's announced MSS
+	ByteBased bool // the true policy is byte- rather than segment-based
+	IWBytes   int  // the byte budget for byte-based policies
+	// Halvable reports that doubling the announced MSS doubles the
+	// effective segment size on this host, i.e. §4.2's byte-limit
+	// detection has a chance to fire (Windows' 536-byte fallback
+	// defeats it).
+	Halvable bool
+}
+
+// TruthFor derives the ground truth for one probed address and port.
+func (o *Oracle) TruthFor(addr analysis.Record) Truth {
+	spec := o.Universe.HostAt(addr.Addr)
+	if spec == nil || !spec.ServiceLive(addr.Port) {
+		return Truth{}
+	}
+	pol := spec.ServiceIW(addr.Port)
+	eff := spec.EffectiveMSS(o.MSS)
+	t := Truth{
+		Live:      true,
+		Expected:  spec.ExpectedIWSegments(addr.Port, o.MSS),
+		ByteBased: pol.Kind != tcpstack.IWSegments,
+		Halvable:  spec.EffectiveMSS(2*o.MSS) == 2*eff,
+	}
+	if t.ByteBased {
+		t.IWBytes = pol.IW(eff)
+	}
+	return t
+}
+
+// Classify joins one record against its ground truth.
+func Classify(t Truth, r *analysis.Record) Verdict {
+	if !t.Live {
+		switch r.Outcome {
+		case core.OutcomeUnreachable, core.OutcomeError:
+			return VerdictDark
+		default:
+			return VerdictGhost
+		}
+	}
+	switch r.Outcome {
+	case core.OutcomeSuccess:
+		if misreadByteLimit(t, r) {
+			return VerdictByteLimitMisread
+		}
+		switch {
+		case r.IW == t.Expected:
+			return VerdictExact
+		case r.IW == t.Expected-1 || r.IW == t.Expected+1:
+			return VerdictOffByOne
+		case r.IW < t.Expected:
+			return VerdictUnder
+		default:
+			return VerdictOver
+		}
+	case core.OutcomeFewData:
+		if r.LowerBound > t.Expected {
+			return VerdictBoundExceeds
+		}
+		return VerdictBoundOK
+	case core.OutcomeNoData:
+		return VerdictNoData
+	case core.OutcomeUnreachable:
+		return VerdictMissed
+	default:
+		return VerdictAmbiguous
+	}
+}
+
+// misreadByteLimit checks the §4.2 byte-vs-segment classification. A
+// misread is only charged when the method had the evidence to decide:
+// both MSS measurements succeeded and the host's stack lets the
+// effective MSS double.
+func misreadByteLimit(t Truth, r *analysis.Record) bool {
+	if r.ByteLimited {
+		// Claimed byte-limited: the truth must agree on both the nature
+		// and the byte budget.
+		return !t.ByteBased || r.IWBytes != t.IWBytes
+	}
+	// Not claimed: a miss only counts when detection was possible.
+	return t.ByteBased && t.Halvable && t.Expected >= 2 &&
+		r.Segments64 != 0 && r.Segments128 != 0
+}
+
+// Report aggregates the joined verdicts of one scan.
+type Report struct {
+	Strategy string
+	MSS      int
+
+	Total  int // records joined
+	Live   int // records whose target serves the probed port
+	Dark   int // records probed at dark addresses / closed ports
+	Counts [numVerdicts]int
+
+	// Confusion is the (true IW, inferred IW) matrix over records with
+	// a definitive estimate (success outcomes).
+	Confusion *Confusion
+}
+
+// BuildReport joins every record against the oracle.
+func BuildReport(o *Oracle, strategy string, records []analysis.Record) *Report {
+	rep := &Report{Strategy: strategy, MSS: o.MSS, Confusion: NewConfusion()}
+	for i := range records {
+		r := &records[i]
+		t := o.TruthFor(*r)
+		v := Classify(t, r)
+		rep.Total++
+		if t.Live {
+			rep.Live++
+		} else {
+			rep.Dark++
+		}
+		rep.Counts[v]++
+		if r.Outcome == core.OutcomeSuccess && t.Live {
+			rep.Confusion.Add(t.Expected, r.IW)
+		}
+	}
+	return rep
+}
+
+// Estimates returns the number of definitive estimates (success
+// outcomes on live hosts).
+func (r *Report) Estimates() int { return r.Confusion.Total() }
+
+// Accuracy is the headline number: the exact-match fraction among
+// definitive estimates. The paper's claim is that this stays near 1.
+func (r *Report) Accuracy() float64 {
+	n := r.Estimates()
+	if n == 0 {
+		return 0
+	}
+	return float64(r.Counts[VerdictExact]) / float64(n)
+}
+
+// Coverage is the fraction of live probed hosts that yielded a
+// definitive estimate (the paper's "success" share, oracle-normalized).
+func (r *Report) Coverage() float64 {
+	if r.Live == 0 {
+		return 0
+	}
+	return float64(r.Estimates()) / float64(r.Live)
+}
+
+// BoundViolations counts few-data bounds above the true IW plus ghosts:
+// the invariants that must be zero for the dataset to be trustworthy.
+func (r *Report) BoundViolations() int {
+	return r.Counts[VerdictBoundExceeds] + r.Counts[VerdictGhost]
+}
+
+// Render formats the report as the accuracy-report text artifact.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "ground-truth validation: %s scan, announced MSS %d\n", r.Strategy, r.MSS)
+	fmt.Fprintf(&b, "  records %d (live %d, dark %d)\n", r.Total, r.Live, r.Dark)
+	fmt.Fprintf(&b, "  definitive estimates %d (coverage %.1f%% of live hosts)\n",
+		r.Estimates(), 100*r.Coverage())
+	fmt.Fprintf(&b, "  exact-match accuracy %.3f%%\n", 100*r.Accuracy())
+	fmt.Fprintf(&b, "  verdicts:\n")
+	for v := Verdict(0); v < numVerdicts; v++ {
+		if r.Counts[v] == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "    %-20s %8d\n", v.String(), r.Counts[v])
+	}
+	b.WriteString(r.Confusion.Render())
+	return b.String()
+}
+
+// sortedKeys returns the map's integer keys ascending.
+func sortedKeys[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,205 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+
+	"iwscan/internal/analysis"
+	"iwscan/internal/core"
+	"iwscan/internal/inet"
+	"iwscan/internal/tcpstack"
+	"iwscan/internal/wire"
+)
+
+// truth builds a segment-policy ground truth.
+func segTruth(expected int) Truth {
+	return Truth{Live: true, Expected: expected, Halvable: true}
+}
+
+func TestClassifyTaxonomy(t *testing.T) {
+	byteTruth := Truth{Live: true, Expected: 64, ByteBased: true, IWBytes: 4096, Halvable: true}
+	cases := []struct {
+		name  string
+		truth Truth
+		rec   analysis.Record
+		want  Verdict
+	}{
+		{"exact", segTruth(10), analysis.Record{Outcome: core.OutcomeSuccess, IW: 10}, VerdictExact},
+		{"off-by-one-low", segTruth(10), analysis.Record{Outcome: core.OutcomeSuccess, IW: 9}, VerdictOffByOne},
+		{"off-by-one-high", segTruth(10), analysis.Record{Outcome: core.OutcomeSuccess, IW: 11}, VerdictOffByOne},
+		{"under", segTruth(10), analysis.Record{Outcome: core.OutcomeSuccess, IW: 4}, VerdictUnder},
+		{"over", segTruth(10), analysis.Record{Outcome: core.OutcomeSuccess, IW: 20}, VerdictOver},
+		{"bound-ok", segTruth(10), analysis.Record{Outcome: core.OutcomeFewData, LowerBound: 7}, VerdictBoundOK},
+		{"bound-at-truth", segTruth(10), analysis.Record{Outcome: core.OutcomeFewData, LowerBound: 10}, VerdictBoundOK},
+		{"bound-exceeds", segTruth(10), analysis.Record{Outcome: core.OutcomeFewData, LowerBound: 11}, VerdictBoundExceeds},
+		{"no-data", segTruth(10), analysis.Record{Outcome: core.OutcomeNoData}, VerdictNoData},
+		{"ambiguous", segTruth(10), analysis.Record{Outcome: core.OutcomeError}, VerdictAmbiguous},
+		{"missed", segTruth(10), analysis.Record{Outcome: core.OutcomeUnreachable}, VerdictMissed},
+		{"dark-unreachable", Truth{}, analysis.Record{Outcome: core.OutcomeUnreachable}, VerdictDark},
+		{"dark-refused", Truth{}, analysis.Record{Outcome: core.OutcomeError}, VerdictDark},
+		{"ghost", Truth{}, analysis.Record{Outcome: core.OutcomeSuccess, IW: 10}, VerdictGhost},
+		{"ghost-few-data", Truth{}, analysis.Record{Outcome: core.OutcomeFewData, LowerBound: 1}, VerdictGhost},
+		// Byte-limit classification (§4.2).
+		{"byte-detected", byteTruth,
+			analysis.Record{Outcome: core.OutcomeSuccess, IW: 64, ByteLimited: true, IWBytes: 4096, Segments64: 64, Segments128: 32},
+			VerdictExact},
+		{"byte-missed-despite-evidence", byteTruth,
+			analysis.Record{Outcome: core.OutcomeSuccess, IW: 64, Segments64: 64, Segments128: 32},
+			VerdictByteLimitMisread},
+		{"byte-undetectable-no-mss128", byteTruth,
+			analysis.Record{Outcome: core.OutcomeSuccess, IW: 64, Segments64: 64},
+			VerdictExact},
+		{"byte-undetectable-windows", Truth{Live: true, Expected: 8, ByteBased: true, IWBytes: 4096, Halvable: false},
+			analysis.Record{Outcome: core.OutcomeSuccess, IW: 8, Segments64: 8, Segments128: 8},
+			VerdictExact},
+		{"byte-claimed-on-segment-host", segTruth(10),
+			analysis.Record{Outcome: core.OutcomeSuccess, IW: 10, ByteLimited: true, IWBytes: 640, Segments64: 10, Segments128: 5},
+			VerdictByteLimitMisread},
+		{"byte-wrong-budget", byteTruth,
+			analysis.Record{Outcome: core.OutcomeSuccess, IW: 64, ByteLimited: true, IWBytes: 1536, Segments64: 64, Segments128: 32},
+			VerdictByteLimitMisread},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.truth, &tc.rec); got != tc.want {
+			t.Errorf("%s: Classify = %s, want %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	seen := make(map[string]bool)
+	for v := Verdict(0); v < numVerdicts; v++ {
+		s := v.String()
+		if s == "" || strings.HasPrefix(s, "verdict(") {
+			t.Errorf("verdict %d has no name", int(v))
+		}
+		if seen[s] {
+			t.Errorf("duplicate verdict name %q", s)
+		}
+		seen[s] = true
+	}
+	if !strings.HasPrefix(Verdict(99).String(), "verdict(") {
+		t.Error("out-of-range verdict should render numerically")
+	}
+}
+
+func TestOracleTruthFor(t *testing.T) {
+	u := inet.NewInternet2017(1)
+	o := NewOracle(u, 64)
+
+	// A dark address: no truth.
+	if tr := o.TruthFor(analysis.Record{Addr: wire.MustParseAddr("8.8.8.8"), Port: 80}); tr.Live {
+		t.Error("oracle claims a host outside every AS")
+	}
+
+	// Find a live HTTP host and cross-check against the spec.
+	var spec *inet.HostSpec
+	p := u.Prefixes()[0]
+	for i := uint64(0); i < p.Size(); i++ {
+		if s := u.HostAt(p.Nth(i)); s != nil && s.HTTPLive {
+			spec = s
+			break
+		}
+	}
+	if spec == nil {
+		t.Fatal("no live host in first prefix")
+	}
+	tr := o.TruthFor(analysis.Record{Addr: spec.Addr, Port: 80})
+	if !tr.Live {
+		t.Fatal("oracle misses a live host")
+	}
+	if want := spec.ExpectedIWSegments(80, 64); tr.Expected != want {
+		t.Errorf("Expected = %d, want %d", tr.Expected, want)
+	}
+	if wantByte := spec.HTTPIW.Kind != tcpstack.IWSegments; tr.ByteBased != wantByte {
+		t.Errorf("ByteBased = %v, want %v", tr.ByteBased, wantByte)
+	}
+
+	// A TLS-only host is dark on port 80 and live on 443.
+	for i := uint64(0); i < p.Size(); i++ {
+		s := u.HostAt(p.Nth(i))
+		if s == nil || s.HTTPLive || !s.TLSLive {
+			continue
+		}
+		if o.TruthFor(analysis.Record{Addr: s.Addr, Port: 80}).Live {
+			t.Error("TLS-only host reported live on port 80")
+		}
+		if !o.TruthFor(analysis.Record{Addr: s.Addr, Port: 443}).Live {
+			t.Error("TLS-only host reported dark on port 443")
+		}
+		break
+	}
+}
+
+func TestConfusionMath(t *testing.T) {
+	c := NewConfusion()
+	// 10 true-10 exact, 2 true-10 inferred 4, 5 true-4 exact, 1 true-4 inferred 10.
+	for i := 0; i < 10; i++ {
+		c.Add(10, 10)
+	}
+	c.Add(10, 4)
+	c.Add(10, 4)
+	for i := 0; i < 5; i++ {
+		c.Add(4, 4)
+	}
+	c.Add(4, 10)
+
+	if c.Total() != 18 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	if c.Diagonal() != 15 {
+		t.Fatalf("Diagonal = %d", c.Diagonal())
+	}
+	if got := c.TrueCount(10); got != 12 {
+		t.Errorf("TrueCount(10) = %d", got)
+	}
+	if got := c.InferredCount(4); got != 7 {
+		t.Errorf("InferredCount(4) = %d", got)
+	}
+	// precision(10) = 10/11, recall(10) = 10/12.
+	if p := c.Precision(10); p < 0.9090 || p > 0.9091 {
+		t.Errorf("Precision(10) = %f", p)
+	}
+	if r := c.Recall(10); r < 0.8333 || r > 0.8334 {
+		t.Errorf("Recall(10) = %f", r)
+	}
+	// Classes never seen report perfect scores (no claims made).
+	if c.Precision(99) != 1 || c.Recall(99) != 1 {
+		t.Error("unseen class should score 1")
+	}
+	if got := c.Classes(); len(got) != 2 || got[0] != 4 || got[1] != 10 {
+		t.Errorf("Classes = %v", got)
+	}
+	if !strings.Contains(c.Render(), "recall") {
+		t.Error("Render missing recall column")
+	}
+}
+
+func TestBuildReportBalances(t *testing.T) {
+	u := inet.NewInternet2017(1)
+	o := NewOracle(u, 64)
+	p := u.Prefixes()[0]
+	var recs []analysis.Record
+	for i := uint64(0); i < 64; i++ {
+		addr := p.Nth(i)
+		rec := analysis.Record{Addr: addr, Port: 80, Outcome: core.OutcomeUnreachable}
+		if s := u.HostAt(addr); s != nil && s.HTTPLive {
+			rec.Outcome = core.OutcomeSuccess
+			rec.IW = s.ExpectedIWSegments(80, 64)
+		}
+		recs = append(recs, rec)
+	}
+	rep := BuildReport(o, "http", recs)
+	if rep.Total != 64 || rep.Live+rep.Dark != rep.Total {
+		t.Fatalf("unbalanced report: total %d live %d dark %d", rep.Total, rep.Live, rep.Dark)
+	}
+	if rep.Accuracy() != 1 {
+		t.Errorf("synthetic perfect records scored %.3f", rep.Accuracy())
+	}
+	if rep.Counts[VerdictExact] != rep.Estimates() {
+		t.Errorf("exact %d != estimates %d", rep.Counts[VerdictExact], rep.Estimates())
+	}
+	if !strings.Contains(rep.Render(), "exact-match accuracy") {
+		t.Error("Render missing accuracy line")
+	}
+}
