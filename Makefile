@@ -15,7 +15,7 @@ FUZZ_TIME ?= 3s
 # Packages with native fuzz targets (Fuzz* functions).
 FUZZ_PKGS := ./internal/wire ./internal/output ./internal/httpsim ./internal/tlssim
 
-.PHONY: check fmt vet build test race bench bench-smoke fuzz-smoke validate-smoke validate-sweep
+.PHONY: check fmt vet build test race bench bench-check bench-refresh bench-smoke fuzz-smoke validate-smoke validate-sweep
 
 check: fmt vet build test race validate-smoke
 
@@ -36,13 +36,35 @@ test:
 
 # The scanner fans out over shards, the output pipeline runs async
 # sinks, and experiments drives both end to end — all under -race along
-# with the shared metrics registry and the core estimator.
+# with the shared metrics registry, the core estimator, and the pooled
+# packet paths (netsim + tcpstack recycle buffers through one
+# process-wide pool; the experiments stress test hammers it from
+# concurrent parallel scans).
 race:
 	$(GO) test -race ./internal/metrics/... ./internal/core/... \
-		./internal/scanner/... ./internal/output/... ./internal/experiments/...
+		./internal/scanner/... ./internal/output/... ./internal/experiments/... \
+		./internal/netsim/... ./internal/tcpstack/...
 
+# bench runs the canonical fixed-seed benchmark harness (cmd/iwbench)
+# and writes $(VALIDATE_OUT)/BENCH_scan.json (ns/op, B/op, allocs/op,
+# probes/sec per workload); CI uploads it as an artifact.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+	@mkdir -p $(VALIDATE_OUT)
+	$(GO) run ./cmd/iwbench -out $(VALIDATE_OUT)/BENCH_scan.json
+
+# bench-check measures afresh and compares against the checked-in
+# baseline BENCH_scan.json, failing on a >25% ns/op or allocs/op
+# regression. Timing on shared CI runners is noisy — CI runs this as a
+# non-blocking annotation job; treat local failures as real.
+bench-check:
+	@mkdir -p $(VALIDATE_OUT)
+	$(GO) run ./cmd/iwbench -out $(VALIDATE_OUT)/BENCH_scan.json \
+		-check BENCH_scan.json -tolerance 0.25
+
+# bench-refresh rewrites the checked-in baseline; run it (on a quiet
+# machine) whenever a deliberate change shifts the numbers.
+bench-refresh:
+	$(GO) run ./cmd/iwbench -out BENCH_scan.json
 
 # bench-smoke runs every benchmark in the module exactly once — a fast
 # CI guard that the benchmark harnesses still build and run, without

@@ -280,9 +280,10 @@ func BenchmarkWireEncodeDecodeTCP(b *testing.B) {
 	buf := make([]byte, 0, 256)
 	b.ReportAllocs()
 	b.ResetTimer()
+	var dec wire.TCPHeader
 	for i := 0; i < b.N; i++ {
 		seg := wire.EncodeTCP(buf[:0], src, dst, h, payload)
-		if _, _, err := wire.DecodeTCP(src, dst, seg); err != nil {
+		if _, err := wire.DecodeTCPInto(&dec, src, dst, seg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -335,17 +336,20 @@ func BenchmarkProbeSingleTarget(b *testing.B) {
 }
 
 // BenchmarkNetsimEventThroughput measures raw event-loop throughput:
-// packet delivery between two nodes.
+// pooled packet delivery between two nodes.
 func BenchmarkNetsimEventThroughput(b *testing.B) {
 	net := netsim.New(1)
 	net.SetPath(netsim.PathParams{Delay: netsim.Millisecond})
 	dst := wire.Addr(2)
 	net.Register(dst, nopNode{})
-	pkt := wire.EncodeIPv4(nil, &wire.IPv4Header{Protocol: wire.ProtoTCP, Src: 1, Dst: dst}, make([]byte, 40))
+	hdr := &wire.IPv4Header{Protocol: wire.ProtoTCP, Src: 1, Dst: dst}
+	payload := make([]byte, 40)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		net.Send(pkt)
+		p := netsim.GetPacket()
+		p.B = wire.EncodeIPv4(p.B, hdr, payload)
+		net.SendPacket(p)
 		if i%1024 == 1023 {
 			net.RunUntilIdle()
 		}

@@ -1,0 +1,264 @@
+// Command iwbench is the canonical benchmark harness for the hot paths:
+// it runs a fixed set of seeded workloads through testing.Benchmark and
+// emits one machine-readable BENCH_scan.json with ns/op, B/op,
+// allocs/op and (for the scan workloads) probes per second of wall
+// time.
+//
+// The workloads are deliberately deterministic — fixed universe seeds,
+// fixed sample fractions — so two runs on the same machine measure the
+// same simulated work and differ only in hardware noise. That is what
+// makes the checked-in baseline comparable:
+//
+//	iwbench -out artifacts/BENCH_scan.json                 # measure
+//	iwbench -out ... -check BENCH_scan.json                # gate: fail on >25% regression
+//	iwbench -out BENCH_scan.json                           # refresh the baseline
+//
+// `make bench`, `make bench-check` and `make bench-refresh` wrap these.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"iwscan/internal/core"
+	"iwscan/internal/experiments"
+	"iwscan/internal/inet"
+	"iwscan/internal/netsim"
+	"iwscan/internal/wire"
+)
+
+// Workload is one benchmark's results.
+type Workload struct {
+	Name         string  `json:"name"`
+	N            int     `json:"n"`                        // iterations measured
+	NsPerOp      float64 `json:"ns_per_op"`                // wall time per op
+	BytesPerOp   int64   `json:"bytes_per_op"`             // heap bytes allocated per op
+	AllocsPerOp  int64   `json:"allocs_per_op"`            // heap allocations per op
+	ProbesPerSec float64 `json:"probes_per_sec,omitempty"` // scan workloads only
+}
+
+// Report is the BENCH_scan.json document.
+type Report struct {
+	Schema    string     `json:"schema"`
+	Go        string     `json:"go"`
+	Workloads []Workload `json:"workloads"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_scan.json", "write results to this file")
+	check := flag.String("check", "", "compare results against this baseline and fail on regression")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional regression vs the baseline")
+	flag.Parse()
+
+	rep := Report{Schema: "iwbench/v1", Go: runtime.Version()}
+	for _, w := range workloads() {
+		fmt.Printf("running %-22s ", w.name)
+		r := testing.Benchmark(w.fn)
+		wl := Workload{
+			Name:        w.name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if v, ok := r.Extra["probes/s"]; ok {
+			wl.ProbesPerSec = v
+		}
+		fmt.Printf("%12.1f ns/op %8d B/op %6d allocs/op", wl.NsPerOp, wl.BytesPerOp, wl.AllocsPerOp)
+		if wl.ProbesPerSec > 0 {
+			fmt.Printf(" %10.0f probes/s", wl.ProbesPerSec)
+		}
+		fmt.Println()
+		rep.Workloads = append(rep.Workloads, wl)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d workloads)\n", *out, len(rep.Workloads))
+
+	if *check != "" {
+		if err := compare(*check, rep, *tolerance); err != nil {
+			fmt.Fprintf(os.Stderr, "iwbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("within %.0f%% of baseline %s\n", *tolerance*100, *check)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "iwbench: %v\n", err)
+	os.Exit(1)
+}
+
+// compare fails when a fresh workload regressed past the tolerance on
+// time (ns/op) or allocation count, or allocates where the baseline did
+// not. Missing workloads on either side fail: the baseline must be
+// refreshed together with workload changes.
+func compare(path string, fresh Report, tol float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %v", path, err)
+	}
+	byName := make(map[string]Workload, len(fresh.Workloads))
+	for _, w := range fresh.Workloads {
+		byName[w.Name] = w
+	}
+	var failures []string
+	for _, b := range base.Workloads {
+		f, ok := byName[b.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("workload %q missing from this run", b.Name))
+			continue
+		}
+		delete(byName, b.Name)
+		if b.NsPerOp > 0 && f.NsPerOp > b.NsPerOp*(1+tol) {
+			failures = append(failures, fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (+%.0f%%)",
+				b.Name, f.NsPerOp, b.NsPerOp, 100*(f.NsPerOp/b.NsPerOp-1)))
+		}
+		switch {
+		case b.AllocsPerOp == 0 && f.AllocsPerOp > 0:
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op vs zero-alloc baseline",
+				b.Name, f.AllocsPerOp))
+		case b.AllocsPerOp > 0 && float64(f.AllocsPerOp) > float64(b.AllocsPerOp)*(1+tol):
+			failures = append(failures, fmt.Sprintf("%s: %d allocs/op vs baseline %d (+%.0f%%)",
+				b.Name, f.AllocsPerOp, b.AllocsPerOp,
+				100*(float64(f.AllocsPerOp)/float64(b.AllocsPerOp)-1)))
+		}
+	}
+	for name := range byName {
+		failures = append(failures, fmt.Sprintf("workload %q not in baseline (refresh it)", name))
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "REGRESSION %s\n", f)
+		}
+		return fmt.Errorf("%d regression(s) vs %s", len(failures), path)
+	}
+	return nil
+}
+
+type workload struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// workloads returns the fixed benchmark set. Order is the order they
+// appear in BENCH_scan.json.
+func workloads() []workload {
+	return []workload{
+		{"wire_encode_decode", benchWire},
+		{"netsim_delivery", benchNetsimDelivery},
+		{"scan_serial_http", benchScan(func() *experiments.ScanResult {
+			return experiments.RunScan(inet.NewInternet2017(55), serialCfg())
+		})},
+		{"scan_parallel_4shard", benchScan(func() *experiments.ScanResult {
+			return experiments.RunScanParallel(inet.NewInternet2017(55), serialCfg(), 4)
+		})},
+		{"scan_adversity", benchScan(func() *experiments.ScanResult {
+			cfg := serialCfg()
+			cfg.Path = &netsim.PathParams{
+				Delay: 10 * netsim.Millisecond, Jitter: 2 * netsim.Millisecond,
+				Loss: 0.02, Reorder: 0.02, Duplicate: 0.01,
+			}
+			return experiments.RunScan(inet.NewInternet2017(55), cfg)
+		})},
+	}
+}
+
+// serialCfg is the shared fixed-seed scan workload: a sampled HTTP scan
+// of the 2017 universe, small enough that one op is a few hundred
+// milliseconds but large enough to exercise the engine, the TCP stacks
+// and the analysis pipeline end to end.
+func serialCfg() experiments.ScanConfig {
+	return experiments.ScanConfig{
+		Seed:           9,
+		Strategy:       core.StrategyHTTP,
+		SampleFraction: 0.002,
+		MSSList:        []int{64},
+		Repeats:        1,
+	}
+}
+
+// benchWire measures one full packet round trip through the zero-alloc
+// codecs: assemble an IPv4+TCP packet into a reused buffer, then decode
+// both headers back out of it.
+func benchWire(b *testing.B) {
+	ip := &wire.IPv4Header{Protocol: wire.ProtoTCP, Src: 1, Dst: 2, ID: 7, Flags: wire.IPFlagDF}
+	tcp := wire.NewTCPHeader()
+	tcp.SrcPort = 443
+	tcp.DstPort = 34567
+	tcp.Flags = wire.FlagACK | wire.FlagPSH
+	tcp.Window = 65535
+	tcp.MSS = 1460
+	payload := make([]byte, 512)
+	buf := make([]byte, 0, 2048)
+	var ih wire.IPv4Header
+	var th wire.TCPHeader
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = wire.AppendTCPPacket(buf[:0], ip, tcp, payload)
+		seg, err := wire.DecodeIPv4Into(&ih, buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := wire.DecodeTCPInto(&th, ih.Src, ih.Dst, seg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+type nopNode struct{}
+
+func (nopNode) HandlePacket([]byte) {}
+
+// benchNetsimDelivery measures one pooled send→schedule→dispatch→deliver
+// round trip through the discrete-event simulator.
+func benchNetsimDelivery(b *testing.B) {
+	n := netsim.New(1)
+	dst := wire.Addr(42)
+	n.Register(dst, nopNode{})
+	n.SetPath(netsim.PathParams{Delay: netsim.Millisecond})
+	hdr := &wire.IPv4Header{Protocol: wire.ProtoTCP, Src: 1, Dst: dst}
+	payload := make([]byte, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := netsim.GetPacket()
+		p.B = wire.EncodeIPv4(p.B, hdr, payload)
+		n.SendPacket(p)
+		n.RunUntilIdle()
+	}
+}
+
+// benchScan wraps an end-to-end scan as a benchmark, reporting probe
+// throughput (launched probes per second of wall time) alongside the
+// standard metrics.
+func benchScan(run func() *experiments.ScanResult) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		var probes int64
+		for i := 0; i < b.N; i++ {
+			r := run()
+			probes += r.Scan.ProbesStarted
+		}
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(probes)/secs, "probes/s")
+		}
+	}
+}

@@ -127,12 +127,16 @@ func (s *Scanner) Stats() Counters { return s.stats }
 func (s *Scanner) ActiveConns() int { return len(s.conns) }
 
 // HandlePacket implements netsim.Node: dispatch by destination port.
+// Headers decode into stack structs, so the receive path itself does
+// not allocate.
 func (s *Scanner) HandlePacket(pkt []byte) {
-	ip, payload, err := wire.DecodeIPv4(pkt)
+	var ip wire.IPv4Header
+	payload, err := wire.DecodeIPv4Into(&ip, pkt)
 	if err != nil || ip.Dst != s.addr || ip.Protocol != wire.ProtoTCP {
 		return
 	}
-	tcp, data, err := wire.DecodeTCP(ip.Src, ip.Dst, payload)
+	var tcp wire.TCPHeader
+	data, err := wire.DecodeTCPInto(&tcp, ip.Src, ip.Dst, payload)
 	if err != nil {
 		return
 	}
@@ -142,7 +146,7 @@ func (s *Scanner) HandlePacket(pkt []byte) {
 	if c == nil || c.target != ip.Src || c.dstPort != tcp.SrcPort {
 		return
 	}
-	c.handleSegment(tcp, data)
+	c.handleSegment(&tcp, data)
 }
 
 // allocPort reserves a free local port.
@@ -159,19 +163,23 @@ func (s *Scanner) allocPort() uint16 {
 	}
 }
 
+// send encodes the probe segment and its IPv4 header into one pooled
+// buffer and hands ownership to the network — the scanner's send fast
+// path.
 func (s *Scanner) send(dst wire.Addr, h *wire.TCPHeader, payload []byte) {
 	s.stats.PacketsSent++
 	s.cm.packetsSent.Inc()
 	s.ipid++
-	seg := wire.EncodeTCP(nil, s.addr, dst, h, payload)
-	pkt := wire.EncodeIPv4(nil, &wire.IPv4Header{
+	hdr := wire.IPv4Header{
 		Protocol: wire.ProtoTCP,
 		Src:      s.addr,
 		Dst:      dst,
 		ID:       s.ipid,
 		Flags:    wire.IPFlagDF,
-	}, seg)
-	s.net.Send(pkt)
+	}
+	p := netsim.GetPacket()
+	p.B = wire.AppendTCPPacket(p.B, &hdr, h, payload)
+	s.net.SendPacket(p)
 }
 
 // probeSpec parameterizes one connection probe.
@@ -245,7 +253,8 @@ const (
 func (c *connProbe) start() {
 	c.synAt = c.sc.net.Now()
 	c.traceID = c.sc.tracer.Begin(c.target.String(), "syn_sent", int64(c.synAt))
-	h := wire.NewTCPHeader()
+	var h wire.TCPHeader
+	h.Reset()
 	h.SrcPort = c.localPort
 	h.DstPort = c.dstPort
 	h.Seq = c.isn
@@ -254,7 +263,7 @@ func (c *connProbe) start() {
 	h.MSS = uint16(c.mss)
 	// No SACK-permitted: §3.1 disables selective acknowledgment to keep
 	// tail loss probes from skewing the estimate.
-	c.sc.send(c.target, h, nil)
+	c.sc.send(c.target, &h, nil)
 	c.arm(c.sc.cfg.SynTimeout, func() {
 		c.finish(ProbeResult{Outcome: OutcomeUnreachable, Err: "syn-timeout"}, false)
 	})
@@ -281,13 +290,14 @@ func (c *connProbe) finish(r ProbeResult, rst bool) {
 	c.timer.Cancel()
 	c.sc.tracer.End(c.traceID, r.Taxon(), int64(c.sc.net.Now()))
 	if rst {
-		h := wire.NewTCPHeader()
+		var h wire.TCPHeader
+		h.Reset()
 		h.SrcPort = c.localPort
 		h.DstPort = c.dstPort
 		h.Seq = c.nextSeq()
 		h.Ack = c.irs + 1 + uint32(c.cov.max())
 		h.Flags = wire.FlagRST | wire.FlagACK
-		c.sc.send(c.target, h, nil)
+		c.sc.send(c.target, &h, nil)
 	}
 	delete(c.sc.conns, c.localPort)
 	c.done(r)
@@ -327,14 +337,15 @@ func (c *connProbe) handleSegment(tcp *wire.TCPHeader, data []byte) {
 			return
 		}
 		// Complete the handshake and send the request in one segment.
-		h := wire.NewTCPHeader()
+		var h wire.TCPHeader
+		h.Reset()
 		h.SrcPort = c.localPort
 		h.DstPort = c.dstPort
 		h.Seq = c.isn + 1
 		h.Ack = c.irs + 1
 		h.Flags = wire.FlagACK | wire.FlagPSH
 		h.Window = c.sc.cfg.Window
-		c.sc.send(c.target, h, c.payload)
+		c.sc.send(c.target, &h, c.payload)
 		c.state = stateCollecting
 		c.arm(c.sc.cfg.CollectTimeout, c.onCollectTimeout)
 	case stateCollecting:
@@ -350,14 +361,15 @@ func (c *connProbe) collect(tcp *wire.TCPHeader, data []byte) {
 		// A retransmitted SYN-ACK means our handshake ACK (which carries
 		// the request) was lost: send it again, or the server will never
 		// produce the response burst.
-		h := wire.NewTCPHeader()
+		var h wire.TCPHeader
+		h.Reset()
 		h.SrcPort = c.localPort
 		h.DstPort = c.dstPort
 		h.Seq = c.isn + 1
 		h.Ack = c.irs + 1
 		h.Flags = wire.FlagACK | wire.FlagPSH
 		h.Window = c.sc.cfg.Window
-		c.sc.send(c.target, h, c.payload)
+		c.sc.send(c.target, &h, c.payload)
 		return
 	}
 	if len(data) > 0 {
@@ -441,14 +453,15 @@ func (c *connProbe) onRetransmission() {
 	if win > 65535 {
 		win = 65535
 	}
-	h := wire.NewTCPHeader()
+	var h wire.TCPHeader
+	h.Reset()
 	h.SrcPort = c.localPort
 	h.DstPort = c.dstPort
 	h.Seq = c.nextSeq()
 	h.Ack = c.irs + 1 + uint32(c.cov.contiguous())
 	h.Flags = wire.FlagACK
 	h.Window = uint16(win)
-	c.sc.send(c.target, h, nil)
+	c.sc.send(c.target, &h, nil)
 	c.state = stateVerifying
 	c.arm(c.sc.cfg.VerifyTimeout, func() {
 		// Silence: the host was out of data but keeps the connection

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"iwscan/internal/core"
+	"iwscan/internal/inet"
+)
+
+// TestConcurrentPooledScansStress runs several parallel-sharded scans at
+// once, so many single-threaded simulations recycle packet buffers and
+// events through the shared process-wide pool concurrently. Under
+// `make race` this is the regression gate for the pooling contract: a
+// buffer recycled while another goroutine still reads it, or a Put/Get
+// race in the pool plumbing, surfaces here as a race report or as a
+// nondeterministic record set.
+func TestConcurrentPooledScansStress(t *testing.T) {
+	cfg := ScanConfig{Seed: 31, Strategy: core.StrategyHTTP, SampleFraction: 0.003, MSSList: []int{64}, Repeats: 1}
+	want := RunScanParallel(inet.NewInternet2017(77), cfg, 4)
+
+	const runs = 4
+	got := make([]*ScanResult, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Each run gets its own universe (hosts are per-network state)
+			// but all shards of all runs share the global packet pool.
+			got[i] = RunScanParallel(inet.NewInternet2017(77), cfg, 4)
+		}(i)
+	}
+	wg.Wait()
+
+	for i, r := range got {
+		if len(r.Records) != len(want.Records) {
+			t.Fatalf("run %d: %d records, want %d", i, len(r.Records), len(want.Records))
+		}
+		for j, rec := range r.Records {
+			w := want.Records[j]
+			if rec.Addr != w.Addr || rec.Outcome != w.Outcome || rec.IW != w.IW {
+				t.Fatalf("run %d record %d: %s/%s/%d, want %s/%s/%d — pooled buffers leaked across scans",
+					i, j, rec.Addr, rec.Outcome, rec.IW, w.Addr, w.Outcome, w.IW)
+			}
+		}
+	}
+}

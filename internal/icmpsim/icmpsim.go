@@ -84,13 +84,15 @@ func (pr *probe) send(id uint16) {
 		Seq:  uint16(pr.result.Probes),
 		Body: make([]byte, payload),
 	})
-	pkt := wire.EncodeIPv4(nil, &wire.IPv4Header{
+	hdr := wire.IPv4Header{
 		Protocol: wire.ProtoICMP,
 		Src:      pr.p.addr,
 		Dst:      pr.target,
 		Flags:    wire.IPFlagDF,
-	}, msg)
-	pr.p.net.Send(pkt)
+	}
+	p := netsim.GetPacket()
+	p.B = wire.EncodeIPv4(p.B, &hdr, msg)
+	pr.p.net.SendPacket(p)
 	pr.timer.Cancel()
 	pr.timer = pr.p.net.After(pr.p.timeout, func() { pr.finish(id, false) })
 }
@@ -108,12 +110,13 @@ func (pr *probe) finish(id uint16, ok bool) {
 
 // HandlePacket implements netsim.Node.
 func (p *Prober) HandlePacket(pkt []byte) {
-	ip, payload, err := wire.DecodeIPv4(pkt)
+	var ip wire.IPv4Header
+	payload, err := wire.DecodeIPv4Into(&ip, pkt)
 	if err != nil || ip.Protocol != wire.ProtoICMP {
 		return
 	}
-	msg, err := wire.DecodeICMP(payload)
-	if err != nil {
+	var msg wire.ICMPHeader
+	if err := wire.DecodeICMPInto(&msg, payload); err != nil {
 		return
 	}
 	switch msg.Type {

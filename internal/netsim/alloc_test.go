@@ -1,0 +1,156 @@
+package netsim
+
+import (
+	"testing"
+
+	"iwscan/internal/wire"
+)
+
+type nopNode struct{}
+
+func (nopNode) HandlePacket([]byte) {}
+
+// TestDeliveryAllocBudget pins the steady-state allocation budget of one
+// full send→schedule→dispatch→deliver round trip through the simulator.
+// With the packet pool and event free list warmed up, delivering a
+// packet should not touch the heap; the budget of 1 alloc/op leaves
+// slack only for sync.Pool internals under GC pressure.
+func TestDeliveryAllocBudget(t *testing.T) {
+	n := New(1)
+	dst := wire.Addr(42)
+	n.Register(dst, nopNode{})
+	n.SetPath(PathParams{Delay: Millisecond})
+	hdr := &wire.IPv4Header{Protocol: wire.ProtoTCP, Src: 1, Dst: dst}
+	payload := make([]byte, 512)
+	roundTrip := func() {
+		p := GetPacket()
+		p.B = wire.EncodeIPv4(p.B, hdr, payload)
+		n.SendPacket(p)
+		n.RunUntilIdle()
+	}
+	// Warm the packet pool, the event free list and the heap backing
+	// array before measuring.
+	for i := 0; i < 100; i++ {
+		roundTrip()
+	}
+	if avg := testing.AllocsPerRun(500, roundTrip); avg > 1 {
+		t.Errorf("delivered packet cost %.2f allocs/op, budget is 1", avg)
+	}
+}
+
+// TestBatchDrainPreservesOrder schedules more same-timestamp events than
+// one drain batch holds and checks they still dispatch in push order:
+// the batched ready-event drain must be invisible to event ordering.
+func TestBatchDrainPreservesOrder(t *testing.T) {
+	n := New(1)
+	const total = 3*drainBatchMax + 17
+	var order []int
+	for i := 0; i < total; i++ {
+		i := i
+		n.After(Millisecond, func() { order = append(order, i) })
+	}
+	n.RunUntilIdle()
+	if len(order) != total {
+		t.Fatalf("dispatched %d events, want %d", len(order), total)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("order[%d] = %d, want %d (batched drain reordered events)", i, got, i)
+		}
+	}
+}
+
+// TestBatchDrainRunsSameTimeEventsAfterBatch checks that an event
+// scheduled *during* dispatch for the current virtual instant runs after
+// the events that were already due — the same ordering an unbatched
+// pop-dispatch loop produces.
+func TestBatchDrainRunsSameTimeEventsAfterBatch(t *testing.T) {
+	n := New(1)
+	var order []string
+	n.After(Millisecond, func() {
+		order = append(order, "a")
+		n.After(0, func() { order = append(order, "c") })
+	})
+	n.After(Millisecond, func() { order = append(order, "b") })
+	n.RunUntilIdle()
+	if got := len(order); got != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("dispatch order = %v, want [a b c]", order)
+	}
+}
+
+// TestCancelWithinBatch cancels a timer from an earlier event at the
+// same timestamp: the cancelled callback has already been popped into
+// the in-flight drain batch, so Cancel must neutralize it there rather
+// than touch the heap.
+func TestCancelWithinBatch(t *testing.T) {
+	n := New(1)
+	fired := false
+	var victim *Timer
+	n.After(Millisecond, func() { victim.Cancel() })
+	victim = n.After(Millisecond, func() { fired = true })
+	// A third event after the victim proves the batch survives the
+	// cancellation intact.
+	survived := false
+	n.After(Millisecond, func() { survived = true })
+	n.RunUntilIdle()
+	if fired {
+		t.Fatal("cancelled timer fired from inside the drain batch")
+	}
+	if !survived {
+		t.Fatal("event after the cancelled one was lost")
+	}
+}
+
+// TestPooledBuffersDoNotAlias sends several pooled packets back to back
+// and checks each delivery sees its own payload: recycling a buffer must
+// never leak one packet's bytes into another delivery.
+func TestPooledBuffersDoNotAlias(t *testing.T) {
+	n := New(1)
+	dst := wire.Addr(9)
+	c := &captureNode{n: n}
+	n.Register(dst, c)
+	n.SetPath(PathParams{Delay: Millisecond})
+	hdr := &wire.IPv4Header{Protocol: wire.ProtoTCP, Src: 1, Dst: dst}
+	want := []string{"first-payload", "second-payload", "third-payload"}
+	for _, w := range want {
+		p := GetPacket()
+		p.B = wire.EncodeIPv4(p.B, hdr, []byte(w))
+		n.SendPacket(p)
+		n.RunUntilIdle()
+	}
+	if len(c.pkts) != len(want) {
+		t.Fatalf("delivered %d packets, want %d", len(c.pkts), len(want))
+	}
+	for i, pkt := range c.pkts {
+		var h wire.IPv4Header
+		payload, err := wire.DecodeIPv4Into(&h, pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(payload) != want[i] {
+			t.Fatalf("delivery %d payload = %q, want %q", i, payload, want[i])
+		}
+	}
+}
+
+// TestRunDeadlineWithBatchedDrain checks Run still stops exactly at the
+// deadline when same-timestamp batches straddle it.
+func TestRunDeadlineWithBatchedDrain(t *testing.T) {
+	n := New(1)
+	var before, after int
+	for i := 0; i < 10; i++ {
+		n.After(Millisecond, func() { before++ })
+		n.After(3*Millisecond, func() { after++ })
+	}
+	n.Run(2 * Millisecond)
+	if before != 10 || after != 0 {
+		t.Fatalf("before=%d after=%d, want 10/0 at the deadline", before, after)
+	}
+	if n.Now() != 2*Millisecond {
+		t.Fatalf("clock = %v, want deadline 2ms", n.Now())
+	}
+	n.RunUntilIdle()
+	if after != 10 {
+		t.Fatalf("after=%d, want 10 once idle", after)
+	}
+}

@@ -29,11 +29,13 @@ func TailLossFilter(seed uint64, p float64) Filter {
 	rng := stats.NewRNG(seed ^ 0x7a11_1055)
 	flows := make(map[flowKey]*flowState)
 	return func(now Time, pkt []byte) Verdict {
-		ip, payload, err := wire.DecodeIPv4(pkt)
+		var ip wire.IPv4Header
+		payload, err := wire.DecodeIPv4Into(&ip, pkt)
 		if err != nil || ip.Protocol != wire.ProtoTCP {
 			return VerdictPass
 		}
-		tcp, data, err := wire.DecodeTCP(ip.Src, ip.Dst, payload)
+		var tcp wire.TCPHeader
+		data, err := wire.DecodeTCPInto(&tcp, ip.Src, ip.Dst, payload)
 		if err != nil || len(data) == 0 {
 			return VerdictPass
 		}

@@ -144,6 +144,12 @@ type Network struct {
 	stats   Counters
 	reg     *metrics.Registry
 	nm      netMetrics
+
+	// evFree recycles event structs (the network is single-threaded, so a
+	// plain free list beats a sync.Pool here), and batch is the reusable
+	// scratch for the ready-event drain in Run/RunUntilIdle.
+	evFree []*event
+	batch  []*event
 }
 
 // linkKey identifies a directed bottleneck link.
@@ -233,8 +239,15 @@ func (t *Timer) Cancel() {
 	if t == nil || t.ev == nil {
 		return
 	}
-	heap.Remove(&t.net.queue, t.ev.idx)
+	ev := t.ev
 	t.ev = nil
+	ev.timer = nil
+	if ev.idx >= 0 {
+		heap.Remove(&t.net.queue, ev.idx)
+		t.net.freeEvent(ev)
+	}
+	// idx < 0: the event was already popped into the in-flight drain
+	// batch; dispatch will skip it (timer is nil) and recycle it there.
 }
 
 // At schedules fn to run at absolute virtual time t (clamped to now).
@@ -243,7 +256,11 @@ func (n *Network) At(t Time, fn func()) *Timer {
 		t = n.now
 	}
 	timer := &Timer{fn: fn, net: n}
-	timer.ev = n.push(event{at: t, timer: timer})
+	ev := n.newEvent()
+	ev.at = t
+	ev.timer = timer
+	timer.ev = ev
+	n.push(ev)
 	return timer
 }
 
@@ -253,13 +270,27 @@ func (n *Network) After(d Time, fn func()) *Timer {
 }
 
 // Send injects an IPv4 packet into the network. Path impairments are
-// applied based on the packet's source and destination addresses.
-func (n *Network) Send(pkt []byte) {
-	hdr, _, err := wire.DecodeIPv4(pkt)
-	if err != nil {
+// applied based on the packet's source and destination addresses. The
+// network may hold pkt until delivery, so the caller must not modify it
+// afterwards; for the allocation-free path use SendPacket instead.
+func (n *Network) Send(pkt []byte) { n.send(pkt, nil) }
+
+// SendPacket injects a pooled packet into the network, taking ownership
+// of p: the buffer is recycled as soon as the packet is dropped or
+// delivered (see the Packet ownership contract in pool.go). This is the
+// zero-allocation send path.
+func (n *Network) SendPacket(p *Packet) { n.send(p.B, p) }
+
+// send is the shared implementation: pb is non-nil for pool-owned
+// packets and must be recycled on every exit path that ends the
+// packet's life.
+func (n *Network) send(pkt []byte, pb *Packet) {
+	var hdr wire.IPv4Header
+	if _, err := wire.DecodeIPv4Into(&hdr, pkt); err != nil {
 		// Malformed packets vanish, as a router would drop them.
 		n.stats.PacketsLost++
 		n.nm.packetsLost.Inc()
+		PutPacket(pb)
 		return
 	}
 	n.stats.PacketsSent++
@@ -271,6 +302,7 @@ func (n *Network) Send(pkt []byte) {
 		if f(n.now, pkt) == VerdictDrop {
 			n.stats.PacketsFiltered++
 			n.nm.packetsFiltered.Inc()
+			PutPacket(pb)
 			return
 		}
 	}
@@ -284,12 +316,14 @@ func (n *Network) Send(pkt []byte) {
 		}
 		// Without DF a real router would fragment; our endpoints never
 		// exceed the MTU except when probing, so dropping is fine.
+		PutPacket(pb)
 		return
 	}
 
 	if n.rng.Bool(p.Loss) {
 		n.stats.PacketsLost++
 		n.nm.packetsLost.Inc()
+		PutPacket(pb)
 		return
 	}
 
@@ -314,6 +348,7 @@ func (n *Network) Send(pkt []byte) {
 		if backlogBytes > int64(qcap) {
 			n.stats.PacketsQueueDrop++
 			n.nm.packetsQueueDrop.Inc()
+			PutPacket(pb)
 			return
 		}
 		txTime := Time(int64(len(pkt)) * 8 * int64(Second) / p.Rate)
@@ -321,18 +356,21 @@ func (n *Network) Send(pkt []byte) {
 		extra = l.busyUntil - n.now
 	}
 
-	n.scheduleDelivery(pkt, p, extra)
+	// The delivery event holds pkt until dispatch, so the buffer is still
+	// valid for the duplicate copy below even on the pooled path.
+	n.scheduleDelivery(pkt, pb, p, extra)
 	if n.rng.Bool(p.Duplicate) {
 		n.stats.PacketsDuplicated++
 		n.nm.packetsDuplicated.Inc()
-		dup := append([]byte(nil), pkt...)
-		n.scheduleDelivery(dup, p, extra)
+		dup := GetPacket()
+		dup.B = append(dup.B, pkt...)
+		n.scheduleDelivery(dup.B, dup, p, extra)
 	}
 }
 
 // sendFragNeeded emits the RFC 1191 ICMP "fragmentation needed" message
 // for an oversized DF packet.
-func (n *Network) sendFragNeeded(orig *wire.IPv4Header, pkt []byte, mtu int) {
+func (n *Network) sendFragNeeded(orig wire.IPv4Header, pkt []byte, mtu int) {
 	// Body: original IP header + first 8 bytes of payload.
 	bodyLen := wire.IPv4HeaderLen + 8
 	if bodyLen > len(pkt) {
@@ -342,9 +380,10 @@ func (n *Network) sendFragNeeded(orig *wire.IPv4Header, pkt []byte, mtu int) {
 		Type:       wire.ICMPDestUnreach,
 		Code:       wire.ICMPCodeFragNeeded,
 		NextHopMTU: uint16(mtu),
-		Body:       append([]byte(nil), pkt[:bodyLen]...),
+		Body:       pkt[:bodyLen],
 	})
-	reply := wire.EncodeIPv4(nil, &wire.IPv4Header{
+	rp := GetPacket()
+	rp.B = wire.EncodeIPv4(rp.B, &wire.IPv4Header{
 		Protocol: wire.ProtoICMP,
 		Src:      orig.Dst, // nominally the router; the destination stands in
 		Dst:      orig.Src,
@@ -352,12 +391,13 @@ func (n *Network) sendFragNeeded(orig *wire.IPv4Header, pkt []byte, mtu int) {
 	// The ICMP reply traverses the reverse path without MTU issues.
 	p := n.path(orig.Dst, orig.Src)
 	p.MTU = 0
-	n.scheduleDelivery(reply, p, 0)
+	n.scheduleDelivery(rp.B, rp, p, 0)
 }
 
 // scheduleDelivery queues the packet for delivery after propagation
 // delay plus any serialization time already accrued at a bottleneck.
-func (n *Network) scheduleDelivery(pkt []byte, p PathParams, serialization Time) {
+// When pb is non-nil the buffer is pool-owned and recycled at dispatch.
+func (n *Network) scheduleDelivery(pkt []byte, pb *Packet, p PathParams, serialization Time) {
 	delay := p.Delay + serialization
 	if p.Jitter > 0 {
 		delay += Time(n.rng.Int63() % int64(p.Jitter))
@@ -366,22 +406,48 @@ func (n *Network) scheduleDelivery(pkt []byte, p PathParams, serialization Time)
 		delay = p.Delay / 4
 	}
 	n.nm.pathDelay.Observe(int64(delay))
-	n.push(event{at: n.now + delay, pkt: pkt})
+	ev := n.newEvent()
+	ev.at = n.now + delay
+	ev.pkt = pkt
+	ev.pb = pb
+	n.push(ev)
+}
+
+// drainBatchMax caps how many ready events one drain round pops before
+// dispatching, bounding the reusable batch buffer.
+const drainBatchMax = 256
+
+// drainReady pops the run of events sharing the earliest timestamp (up
+// to drainBatchMax) and dispatches them in order, amortizing heap
+// operations across a delivery burst — a server's whole IW burst lands
+// at one instant and drains as one batch. Collecting the full run
+// before dispatching preserves exact event ordering: any event pushed
+// during dispatch carries a later insertion seq than everything in the
+// batch, so at an equal timestamp the heap would order it after the
+// batch anyway. The caller must ensure the queue is non-empty.
+func (n *Network) drainReady() int {
+	t := n.queue[0].at
+	batch := n.batch[:0]
+	for len(n.queue) > 0 && n.queue[0].at == t && len(batch) < drainBatchMax {
+		batch = append(batch, heap.Pop(&n.queue).(*event))
+	}
+	n.now = t
+	for i, ev := range batch {
+		n.dispatch(ev)
+		n.freeEvent(ev)
+		batch[i] = nil
+	}
+	k := len(batch)
+	n.batch = batch[:0]
+	return k
 }
 
 // Run processes events until the queue is empty or the virtual clock
 // would pass deadline. It returns the number of events processed.
 func (n *Network) Run(deadline Time) int {
 	processed := 0
-	for len(n.queue) > 0 {
-		ev := n.queue[0]
-		if ev.at > deadline {
-			break
-		}
-		heap.Pop(&n.queue)
-		n.now = ev.at
-		n.dispatch(ev)
-		processed++
+	for len(n.queue) > 0 && n.queue[0].at <= deadline {
+		processed += n.drainReady()
 	}
 	if n.now < deadline {
 		n.now = deadline
@@ -394,10 +460,7 @@ func (n *Network) Run(deadline Time) int {
 func (n *Network) RunUntilIdle() int {
 	processed := 0
 	for len(n.queue) > 0 {
-		ev := heap.Pop(&n.queue).(*event)
-		n.now = ev.at
-		n.dispatch(ev)
-		processed++
+		processed += n.drainReady()
 	}
 	return processed
 }
@@ -408,8 +471,11 @@ func (n *Network) dispatch(ev *event) {
 		ev.timer.fn()
 		return
 	}
-	hdr, _, err := wire.DecodeIPv4(ev.pkt)
-	if err != nil {
+	if ev.pkt == nil {
+		return // timer cancelled while the event sat in the drain batch
+	}
+	var hdr wire.IPv4Header
+	if _, err := wire.DecodeIPv4Into(&hdr, ev.pkt); err != nil {
 		n.stats.PacketsLost++
 		n.nm.packetsLost.Inc()
 		return
@@ -437,17 +503,34 @@ func (n *Network) dispatch(ev *event) {
 type event struct {
 	at    Time
 	seq   uint64 // insertion order, for deterministic tie-breaking
-	idx   int    // heap index, maintained by eventHeap.Swap
+	idx   int    // heap index, maintained by eventHeap.Swap; -1 once popped
 	pkt   []byte
+	pb    *Packet // non-nil when pkt is pool-owned; recycled after dispatch
 	timer *Timer
 }
 
-func (n *Network) push(ev event) *event {
-	ev.seq = n.seq
+// newEvent returns a zeroed event from the free list (or a fresh one).
+func (n *Network) newEvent() *event {
+	if k := len(n.evFree) - 1; k >= 0 {
+		e := n.evFree[k]
+		n.evFree[k] = nil
+		n.evFree = n.evFree[:k]
+		return e
+	}
+	return new(event)
+}
+
+// freeEvent recycles ev, returning any pool-owned packet buffer first.
+func (n *Network) freeEvent(ev *event) {
+	PutPacket(ev.pb)
+	*ev = event{}
+	n.evFree = append(n.evFree, ev)
+}
+
+func (n *Network) push(e *event) {
+	e.seq = n.seq
 	n.seq++
-	e := &ev
 	heap.Push(&n.queue, e)
-	return e
 }
 
 type eventHeap []*event
@@ -475,5 +558,6 @@ func (h *eventHeap) Pop() interface{} {
 	ev := old[n-1]
 	old[n-1] = nil
 	*h = old[:n-1]
+	ev.idx = -1 // no longer in the heap (see Timer.Cancel)
 	return ev
 }

@@ -1,0 +1,52 @@
+package netsim
+
+import "sync"
+
+// DefaultPacketCap is the initial capacity of pooled packet buffers:
+// enough for a full 1500-byte MTU frame plus headroom, so steady-state
+// sends never grow a buffer.
+const DefaultPacketCap = 2048
+
+// Packet is a pooled, reusable packet buffer. B holds the encoded IPv4
+// datagram; senders encode into B (typically with B[:0] as the append
+// base) and hand the whole Packet to Network.SendPacket.
+//
+// Ownership contract:
+//
+//   - GetPacket transfers ownership to the caller.
+//   - Network.SendPacket transfers ownership to the network. The sender
+//     must not touch the Packet (or any slice aliasing B) afterwards.
+//   - The network recycles the buffer as soon as the packet's fate is
+//     decided: immediately on a drop (filter, loss, MTU, queue
+//     overflow), or right after the destination Node's HandlePacket
+//     returns on delivery. Nodes therefore must not retain the pkt
+//     slice they are handed — copy what outlives the callback (this has
+//     always been the Node contract; pooling is what enforces it).
+//   - A Packet that is never sent must be returned with PutPacket.
+//
+// The pool is a process-wide sync.Pool shared by every Network, so
+// parallel shards running their own single-threaded simulations recycle
+// buffers through one concurrency-safe pool without ever sharing a live
+// buffer across goroutines.
+type Packet struct {
+	B []byte
+}
+
+var packetPool = sync.Pool{
+	New: func() interface{} { return &Packet{B: make([]byte, 0, DefaultPacketCap)} },
+}
+
+// GetPacket returns a pooled packet buffer with B reset to length zero.
+func GetPacket() *Packet {
+	p := packetPool.Get().(*Packet)
+	p.B = p.B[:0]
+	return p
+}
+
+// PutPacket returns p to the pool. p must not be used afterwards.
+func PutPacket(p *Packet) {
+	if p == nil {
+		return
+	}
+	packetPool.Put(p)
+}

@@ -1,0 +1,185 @@
+package scanner
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// drain runs a cycle to exhaustion, returning the produced indices.
+func drain(c *Cycle) []uint64 {
+	var out []uint64
+	for {
+		idx, ok := c.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, idx)
+	}
+}
+
+// propSizes mixes structured edge cases (tiny cycles, a prime, a power
+// of two, p = n+1 boundaries) with randomized sizes from a fixed seed.
+func propSizes(rng *rand.Rand) []uint64 {
+	sizes := []uint64{1, 2, 3, 4, 6, 16, 97, 256, 1000, 4096}
+	for i := 0; i < 8; i++ {
+		sizes = append(sizes, uint64(rng.Intn(20000)+1))
+	}
+	return sizes
+}
+
+// TestCycleBijectionProperty: for arbitrary (n, seed), the cycle visits
+// every index of [0, n) exactly once — a bijection, never a repeat,
+// never an out-of-range value.
+func TestCycleBijectionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x1057))
+	for _, n := range propSizes(rng) {
+		for trial := 0; trial < 3; trial++ {
+			seed := rng.Uint64()
+			c := NewCycle(n, seed)
+			seen := make([]bool, n)
+			count := uint64(0)
+			for {
+				idx, ok := c.Next()
+				if !ok {
+					break
+				}
+				if idx >= n {
+					t.Fatalf("n=%d seed=%#x: index %d out of range", n, seed, idx)
+				}
+				if seen[idx] {
+					t.Fatalf("n=%d seed=%#x: index %d produced twice", n, seed, idx)
+				}
+				seen[idx] = true
+				count++
+			}
+			if count != n {
+				t.Fatalf("n=%d seed=%#x: produced %d indices, want %d", n, seed, count, n)
+			}
+			if idx, ok := c.Next(); ok {
+				t.Fatalf("n=%d seed=%#x: Next after exhaustion returned %d", n, seed, idx)
+			}
+		}
+	}
+}
+
+// TestShardPartitionProperty: for arbitrary (n, seed, shards), the
+// shards partition [0, n) exactly — disjoint, complete — and LastPos
+// totally orders the union back into the unsharded cycle order.
+func TestShardPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x54a7d))
+	for _, n := range propSizes(rng) {
+		seed := rng.Uint64()
+		shards := uint64(rng.Intn(7) + 1)
+		want := drain(NewCycle(n, seed))
+
+		type posIdx struct{ pos, idx uint64 }
+		var merged []posIdx
+		owner := make(map[uint64]uint64, n)
+		for sh := uint64(0); sh < shards; sh++ {
+			s := NewShard(n, seed, sh, shards)
+			for {
+				idx, ok := s.Next()
+				if !ok {
+					break
+				}
+				if prev, dup := owner[idx]; dup {
+					t.Fatalf("n=%d shards=%d: index %d in shard %d and %d", n, shards, idx, prev, sh)
+				}
+				owner[idx] = sh
+				pos := s.LastPos()
+				if pos%shards != sh {
+					t.Fatalf("n=%d shards=%d: shard %d produced position %d", n, shards, sh, pos)
+				}
+				merged = append(merged, posIdx{pos, idx})
+			}
+		}
+		if uint64(len(owner)) != n {
+			t.Fatalf("n=%d shards=%d: union has %d indices, want %d", n, shards, len(owner), n)
+		}
+		sort.Slice(merged, func(i, j int) bool { return merged[i].pos < merged[j].pos })
+		for i, pi := range merged {
+			if pi.idx != want[i] {
+				t.Fatalf("n=%d shards=%d: LastPos order diverges from cycle order at %d: got %d want %d",
+					n, shards, i, pi.idx, want[i])
+			}
+		}
+	}
+}
+
+// TestCycleStateRoundTripProperty: capturing State at an arbitrary
+// cursor and restoring it on a fresh cycle of the same (n, seed)
+// resumes the permutation at exactly the next index.
+func TestCycleStateRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xc0c1e))
+	for trial := 0; trial < 12; trial++ {
+		n := uint64(rng.Intn(5000) + 1)
+		seed := rng.Uint64()
+		cut := rng.Intn(int(n) + 1) // resume point, including 0 and n
+
+		c := NewCycle(n, seed)
+		for i := 0; i < cut; i++ {
+			c.Next()
+		}
+		st := c.State()
+		want := drain(c)
+
+		r := NewCycle(n, seed)
+		r.SetState(st)
+		got := drain(r)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d cut=%d: resumed %d indices, want %d", n, cut, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d cut=%d: resume diverges at %d: got %d want %d", n, cut, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestShardStateRoundTripProperty: the shard cursor (cycle state plus
+// consumed position count) round-trips from arbitrary cut points, and
+// the resumed shard reports the same LastPos sequence.
+func TestShardStateRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5ead5))
+	for trial := 0; trial < 12; trial++ {
+		n := uint64(rng.Intn(5000) + 1)
+		seed := rng.Uint64()
+		shards := uint64(rng.Intn(4) + 2)
+		sh := uint64(rng.Intn(int(shards)))
+
+		s := NewShard(n, seed, sh, shards)
+		cut := rng.Intn(int(n/shards) + 1)
+		for i := 0; i < cut; i++ {
+			if _, ok := s.Next(); !ok {
+				break
+			}
+		}
+		st := s.State()
+		type posIdx struct{ pos, idx uint64 }
+		var want []posIdx
+		for {
+			idx, ok := s.Next()
+			if !ok {
+				break
+			}
+			want = append(want, posIdx{s.LastPos(), idx})
+		}
+
+		r := NewShard(n, seed, sh, shards)
+		r.SetState(st)
+		for i := 0; ; i++ {
+			idx, ok := r.Next()
+			if !ok {
+				if i != len(want) {
+					t.Fatalf("n=%d shard=%d/%d cut=%d: resumed %d indices, want %d", n, sh, shards, cut, i, len(want))
+				}
+				break
+			}
+			if i >= len(want) || idx != want[i].idx || r.LastPos() != want[i].pos {
+				t.Fatalf("n=%d shard=%d/%d cut=%d: resume diverges at %d", n, sh, shards, cut, i)
+			}
+		}
+	}
+}

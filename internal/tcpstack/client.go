@@ -70,11 +70,13 @@ func NewClient(n *netsim.Network, addr wire.Addr, cfg ClientConfig) *Client {
 
 // HandlePacket implements netsim.Node.
 func (c *Client) HandlePacket(pkt []byte) {
-	ip, payload, err := wire.DecodeIPv4(pkt)
+	var ip wire.IPv4Header
+	payload, err := wire.DecodeIPv4Into(&ip, pkt)
 	if err != nil || ip.Dst != c.addr || ip.Protocol != wire.ProtoTCP {
 		return
 	}
-	tcp, data, err := wire.DecodeTCP(ip.Src, ip.Dst, payload)
+	var tcp wire.TCPHeader
+	data, err := wire.DecodeTCPInto(&tcp, ip.Src, ip.Dst, payload)
 	if err != nil {
 		return
 	}
@@ -82,16 +84,17 @@ func (c *Client) HandlePacket(pkt []byte) {
 	if conn == nil || conn.peer != ip.Src || conn.peerPort != tcp.SrcPort {
 		return
 	}
-	conn.handleSegment(tcp, data)
+	conn.handleSegment(&tcp, data)
 }
 
 func (c *Client) send(dst wire.Addr, h *wire.TCPHeader, payload []byte) {
 	c.ipid++
-	seg := wire.EncodeTCP(nil, c.addr, dst, h, payload)
-	pkt := wire.EncodeIPv4(nil, &wire.IPv4Header{
+	hdr := wire.IPv4Header{
 		Protocol: wire.ProtoTCP, Src: c.addr, Dst: dst, ID: c.ipid, Flags: wire.IPFlagDF,
-	}, seg)
-	c.net.Send(pkt)
+	}
+	p := netsim.GetPacket()
+	p.B = wire.AppendTCPPacket(p.B, &hdr, h, payload)
+	c.net.SendPacket(p)
 }
 
 // ClientEvents receives connection lifecycle callbacks.
@@ -168,14 +171,15 @@ func (cc *ClientConn) BytesReceived() int64 { return cc.bytesRcvd }
 func (cc *ClientConn) SegmentsReceived() int64 { return cc.segsRcvd }
 
 func (cc *ClientConn) sendSYN() {
-	h := wire.NewTCPHeader()
+	var h wire.TCPHeader
+	h.Reset()
 	h.SrcPort = cc.localPort
 	h.DstPort = cc.peerPort
 	h.Seq = cc.isn
 	h.Flags = wire.FlagSYN
 	h.Window = cc.client.cfg.Window
 	h.MSS = cc.client.cfg.MSS
-	cc.client.send(cc.peer, h, nil)
+	cc.client.send(cc.peer, &h, nil)
 	cc.synTimer.Cancel()
 	cc.synTimer = cc.client.net.After(cc.client.cfg.SynTimeout, func() {
 		if cc.established || cc.closed {
@@ -276,14 +280,15 @@ func (cc *ClientConn) sendAck() {
 }
 
 func (cc *ClientConn) sendSegment(payload []byte, flags byte) {
-	h := wire.NewTCPHeader()
+	var h wire.TCPHeader
+	h.Reset()
 	h.SrcPort = cc.localPort
 	h.DstPort = cc.peerPort
 	h.Seq = cc.sndNxt
 	h.Ack = cc.rcvNxt
 	h.Flags = flags
 	h.Window = cc.client.cfg.Window
-	cc.client.send(cc.peer, h, payload)
+	cc.client.send(cc.peer, &h, payload)
 }
 
 // Abort resets the connection.
@@ -291,13 +296,14 @@ func (cc *ClientConn) Abort() {
 	if cc.closed {
 		return
 	}
-	h := wire.NewTCPHeader()
+	var h wire.TCPHeader
+	h.Reset()
 	h.SrcPort = cc.localPort
 	h.DstPort = cc.peerPort
 	h.Seq = cc.sndNxt
 	h.Ack = cc.rcvNxt
 	h.Flags = wire.FlagRST | wire.FlagACK
-	cc.client.send(cc.peer, h, nil)
+	cc.client.send(cc.peer, &h, nil)
 	cc.teardown(false)
 }
 

@@ -216,23 +216,26 @@ type connKey struct {
 	localPort uint16
 }
 
-// HandlePacket implements netsim.Node.
+// HandlePacket implements netsim.Node. Headers are decoded into stack
+// structs via the wire Into variants, so handling a packet does not
+// allocate on its own.
 func (h *Host) HandlePacket(pkt []byte) {
-	ip, payload, err := wire.DecodeIPv4(pkt)
+	var ip wire.IPv4Header
+	payload, err := wire.DecodeIPv4Into(&ip, pkt)
 	if err != nil || ip.Dst != h.addr {
 		return
 	}
 	switch ip.Protocol {
 	case wire.ProtoTCP:
-		h.handleTCP(ip, payload)
+		h.handleTCP(&ip, payload)
 	case wire.ProtoICMP:
-		h.handleICMP(ip, payload)
+		h.handleICMP(&ip, payload)
 	}
 }
 
 func (h *Host) handleICMP(ip *wire.IPv4Header, payload []byte) {
-	msg, err := wire.DecodeICMP(payload)
-	if err != nil || msg.Type != wire.ICMPEchoRequest {
+	var msg wire.ICMPHeader
+	if err := wire.DecodeICMPInto(&msg, payload); err != nil || msg.Type != wire.ICMPEchoRequest {
 		return
 	}
 	reply := wire.EncodeICMP(nil, &wire.ICMPHeader{
@@ -245,25 +248,26 @@ func (h *Host) handleICMP(ip *wire.IPv4Header, payload []byte) {
 }
 
 func (h *Host) handleTCP(ip *wire.IPv4Header, payload []byte) {
-	tcp, data, err := wire.DecodeTCP(ip.Src, ip.Dst, payload)
+	var tcp wire.TCPHeader
+	data, err := wire.DecodeTCPInto(&tcp, ip.Src, ip.Dst, payload)
 	if err != nil {
 		return
 	}
 	key := connKey{peer: ip.Src, peerPort: tcp.SrcPort, localPort: tcp.DstPort}
 	if c, ok := h.conns[key]; ok {
-		c.handleSegment(tcp, data)
+		c.handleSegment(&tcp, data)
 		return
 	}
 	// No connection. A SYN to a listening port opens one; everything
 	// else (except RSTs) gets a RST.
 	if tcp.HasFlag(wire.FlagSYN) && !tcp.HasFlag(wire.FlagACK) {
 		if l, ok := h.listeners[tcp.DstPort]; ok {
-			h.accept(key, l, tcp)
+			h.accept(key, l, &tcp)
 			return
 		}
 	}
 	if !tcp.HasFlag(wire.FlagRST) {
-		h.sendRSTFor(key, tcp, len(data))
+		h.sendRSTFor(key, &tcp, len(data))
 	}
 }
 
@@ -293,7 +297,8 @@ func (h *Host) accept(key connKey, l listener, syn *wire.TCPHeader) {
 
 // sendRSTFor answers an out-of-the-blue segment with a RST (RFC 793 §3.4).
 func (h *Host) sendRSTFor(key connKey, tcp *wire.TCPHeader, dataLen int) {
-	rst := wire.NewTCPHeader()
+	var rst wire.TCPHeader
+	rst.Reset()
 	rst.SrcPort = key.localPort
 	rst.DstPort = key.peerPort
 	if tcp.HasFlag(wire.FlagACK) {
@@ -311,13 +316,28 @@ func (h *Host) sendRSTFor(key connKey, tcp *wire.TCPHeader, dataLen int) {
 		rst.Ack = tcp.Seq + seqLen
 	}
 	h.stats.ResetsSent++
-	seg := wire.EncodeTCP(nil, h.addr, key.peer, rst, nil)
-	h.sendIP(key.peer, wire.ProtoTCP, seg, false)
+	h.sendTCP(key.peer, &rst, nil)
+}
+
+// sendTCP encodes the TCP segment and its IPv4 header directly into one
+// pooled buffer (a single copy of the payload) and hands ownership to
+// the network — the per-segment send fast path.
+func (h *Host) sendTCP(dst wire.Addr, tcp *wire.TCPHeader, payload []byte) {
+	h.ipid++
+	hdr := wire.IPv4Header{
+		Protocol: wire.ProtoTCP,
+		Src:      h.addr,
+		Dst:      dst,
+		ID:       h.ipid,
+	}
+	p := netsim.GetPacket()
+	p.B = wire.AppendTCPPacket(p.B, &hdr, tcp, payload)
+	h.net.SendPacket(p)
 }
 
 func (h *Host) sendIP(dst wire.Addr, proto byte, payload []byte, df bool) {
 	h.ipid++
-	hdr := &wire.IPv4Header{
+	hdr := wire.IPv4Header{
 		Protocol: proto,
 		Src:      h.addr,
 		Dst:      dst,
@@ -326,7 +346,9 @@ func (h *Host) sendIP(dst wire.Addr, proto byte, payload []byte, df bool) {
 	if df {
 		hdr.Flags = wire.IPFlagDF
 	}
-	h.net.Send(wire.EncodeIPv4(nil, hdr, payload))
+	p := netsim.GetPacket()
+	p.B = wire.EncodeIPv4(p.B, &hdr, payload)
+	h.net.SendPacket(p)
 }
 
 func (h *Host) removeConn(c *Conn) {
@@ -455,15 +477,15 @@ func (c *Conn) Abort() {
 	if c.state == stateClosed {
 		return
 	}
-	rst := wire.NewTCPHeader()
+	var rst wire.TCPHeader
+	rst.Reset()
 	rst.SrcPort = c.key.localPort
 	rst.DstPort = c.key.peerPort
 	rst.Seq = c.sndNxt
 	rst.Flags = wire.FlagRST | wire.FlagACK
 	rst.Ack = c.rcvNxt
 	c.host.stats.ResetsSent++
-	seg := wire.EncodeTCP(nil, c.host.addr, c.key.peer, rst, nil)
-	c.host.sendIP(c.key.peer, wire.ProtoTCP, seg, false)
+	c.host.sendTCP(c.key.peer, &rst, nil)
 	c.destroy(false)
 }
 
@@ -506,7 +528,8 @@ func (c *Conn) armIdleTimer() {
 }
 
 func (c *Conn) sendSynAck() {
-	h := wire.NewTCPHeader()
+	var h wire.TCPHeader
+	h.Reset()
 	h.SrcPort = c.key.localPort
 	h.DstPort = c.key.peerPort
 	h.Seq = c.iss
@@ -515,8 +538,7 @@ func (c *Conn) sendSynAck() {
 	h.Window = c.host.cfg.Window
 	h.MSS = uint16(c.host.cfg.LocalMSS)
 	c.host.stats.SegmentsSent++
-	seg := wire.EncodeTCP(nil, c.host.addr, c.key.peer, h, nil)
-	c.host.sendIP(c.key.peer, wire.ProtoTCP, seg, false)
+	c.host.sendTCP(c.key.peer, &h, nil)
 }
 
 func (c *Conn) handleSegment(tcp *wire.TCPHeader, data []byte) {
@@ -685,7 +707,8 @@ func (c *Conn) processData(tcp *wire.TCPHeader, data []byte) {
 }
 
 func (c *Conn) sendAck() {
-	h := wire.NewTCPHeader()
+	var h wire.TCPHeader
+	h.Reset()
 	h.SrcPort = c.key.localPort
 	h.DstPort = c.key.peerPort
 	h.Seq = c.sndNxt
@@ -693,8 +716,7 @@ func (c *Conn) sendAck() {
 	h.Flags = wire.FlagACK
 	h.Window = c.host.cfg.Window
 	c.host.stats.SegmentsSent++
-	seg := wire.EncodeTCP(nil, c.host.addr, c.key.peer, h, nil)
-	c.host.sendIP(c.key.peer, wire.ProtoTCP, seg, false)
+	c.host.sendTCP(c.key.peer, &h, nil)
 }
 
 // trySend transmits as much queued data as congestion and flow control
@@ -772,7 +794,8 @@ func (c *Conn) markFinState() {
 }
 
 func (c *Conn) sendData(seq uint32, payload []byte, fin, push bool) {
-	h := wire.NewTCPHeader()
+	var h wire.TCPHeader
+	h.Reset()
 	h.SrcPort = c.key.localPort
 	h.DstPort = c.key.peerPort
 	h.Seq = seq
@@ -786,8 +809,7 @@ func (c *Conn) sendData(seq uint32, payload []byte, fin, push bool) {
 	}
 	h.Window = c.host.cfg.Window
 	c.host.stats.SegmentsSent++
-	seg := wire.EncodeTCP(nil, c.host.addr, c.key.peer, h, payload)
-	c.host.sendIP(c.key.peer, wire.ProtoTCP, seg, false)
+	c.host.sendTCP(c.key.peer, &h, payload)
 }
 
 func (c *Conn) armRetxTimer() {

@@ -1,0 +1,126 @@
+package wire
+
+import "testing"
+
+// TestEncodeZeroAlloc pins the encode fast paths at zero allocations per
+// op: with a destination buffer of sufficient capacity, appending a
+// header (or a whole packet) must not touch the heap. This is the
+// regression gate for the stack-scratch growth pattern — an
+// `append(dst, make([]byte, n)...)` sneaking back in fails here.
+func TestEncodeZeroAlloc(t *testing.T) {
+	ip := &IPv4Header{Protocol: ProtoTCP, Src: 0x0a000001, Dst: 0x0a000002, ID: 7, Flags: IPFlagDF}
+	tcp := NewTCPHeader()
+	tcp.SrcPort = 443
+	tcp.DstPort = 34567
+	tcp.Seq = 0x11223344
+	tcp.Ack = 0x55667788
+	tcp.Flags = FlagACK | FlagPSH
+	tcp.Window = 65535
+	tcp.MSS = 1460
+	tcp.WindowScale = 7
+	tcp.SACKPermitted = true
+	tcp.HasTimestamps = true
+	tcp.TSVal, tcp.TSEcr = 123, 456
+	icmp := &ICMPHeader{Type: ICMPEchoRequest, ID: 9, Seq: 2, Body: make([]byte, 64)}
+	payload := make([]byte, 512)
+	buf := make([]byte, 0, 4096)
+	hdr := make([]byte, IPv4HeaderLen)
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"EncodeIPv4", func() { buf = EncodeIPv4(buf[:0], ip, payload) }},
+		{"PutIPv4Header", func() { PutIPv4Header(hdr, ip, len(payload)) }},
+		{"EncodeTCP", func() { buf = EncodeTCP(buf[:0], ip.Src, ip.Dst, tcp, payload) }},
+		{"AppendTCPPacket", func() { buf = AppendTCPPacket(buf[:0], ip, tcp, payload) }},
+		{"EncodeICMP", func() { buf = EncodeICMP(buf[:0], icmp) }},
+	}
+	for _, c := range cases {
+		if n := testing.AllocsPerRun(200, c.fn); n != 0 {
+			t.Errorf("%s: %.1f allocs/op, want 0", c.name, n)
+		}
+	}
+}
+
+// TestDecodeIntoZeroAlloc pins the decode fast paths (the Into variants)
+// at zero allocations per op.
+func TestDecodeIntoZeroAlloc(t *testing.T) {
+	ip := &IPv4Header{Protocol: ProtoTCP, Src: 0x0a000001, Dst: 0x0a000002, ID: 7}
+	tcp := NewTCPHeader()
+	tcp.SrcPort = 443
+	tcp.DstPort = 34567
+	tcp.Flags = FlagSYN | FlagACK
+	tcp.Window = 14600
+	tcp.MSS = 1460
+	tcp.WindowScale = 7
+	tcp.SACKPermitted = true
+	tcp.HasTimestamps = true
+	payload := make([]byte, 256)
+	pkt := AppendTCPPacket(nil, ip, tcp, payload)
+	seg := pkt[IPv4HeaderLen:]
+	icmpMsg := EncodeICMP(nil, &ICMPHeader{Type: ICMPEchoReply, ID: 3, Seq: 4, Body: make([]byte, 32)})
+
+	var (
+		ih  IPv4Header
+		th  TCPHeader
+		mh  ICMPHeader
+		err error
+	)
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"DecodeIPv4Into", func() { _, err = DecodeIPv4Into(&ih, pkt) }},
+		{"DecodeTCPInto", func() { _, err = DecodeTCPInto(&th, ip.Src, ip.Dst, seg) }},
+		{"DecodeICMPInto", func() { err = DecodeICMPInto(&mh, icmpMsg) }},
+	}
+	for _, c := range cases {
+		if n := testing.AllocsPerRun(200, c.fn); n != 0 {
+			t.Errorf("%s: %.1f allocs/op, want 0", c.name, n)
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+	}
+}
+
+// TestDecodeIntoMatchesDecode cross-checks the zero-alloc decoders
+// against the allocating wrappers on a representative packet.
+func TestDecodeIntoMatchesDecode(t *testing.T) {
+	ip := &IPv4Header{Protocol: ProtoTCP, Src: 1, Dst: 2, ID: 3, TTL: 17, TOS: 0x10}
+	tcp := NewTCPHeader()
+	tcp.SrcPort = 80
+	tcp.DstPort = 40000
+	tcp.Seq = 42
+	tcp.Flags = FlagACK | FlagFIN
+	tcp.Window = 1000
+	tcp.MSS = 536
+	pkt := AppendTCPPacket(nil, ip, tcp, []byte("hello"))
+
+	wantIP, wantSeg, err := DecodeIPv4(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotIP IPv4Header
+	gotSeg, err := DecodeIPv4Into(&gotIP, pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotIP != *wantIP || string(gotSeg) != string(wantSeg) {
+		t.Fatalf("DecodeIPv4Into = %+v, want %+v", gotIP, *wantIP)
+	}
+
+	wantTCP, wantData, err := DecodeTCP(1, 2, wantSeg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotTCP TCPHeader
+	gotData, err := DecodeTCPInto(&gotTCP, 1, 2, gotSeg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotTCP != *wantTCP || string(gotData) != string(wantData) {
+		t.Fatalf("DecodeTCPInto = %+v, want %+v", gotTCP, *wantTCP)
+	}
+}

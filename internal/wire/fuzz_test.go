@@ -1,18 +1,66 @@
 package wire
 
-import "testing"
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
 
-// FuzzDecodeIPv4 ensures the IPv4 decoder never panics and that every
-// accepted packet re-encodes consistently.
+// maxOptionsIPv4 builds a valid max-length IPv4 header (IHL 15, 40 bytes
+// of options) followed by 4 payload bytes — a seed for the option-skip
+// path of the zero-alloc decoder.
+func maxOptionsIPv4() []byte {
+	pkt := make([]byte, 64)
+	pkt[0] = 0x4f // version 4, IHL 15
+	binary.BigEndian.PutUint16(pkt[2:4], 64)
+	pkt[8] = 64
+	pkt[9] = ProtoTCP
+	binary.BigEndian.PutUint32(pkt[12:16], 0x0a000001)
+	binary.BigEndian.PutUint32(pkt[16:20], 0x0a000002)
+	for i := IPv4HeaderLen; i < 60; i++ {
+		pkt[i] = OptNOP
+	}
+	cs := Checksum(pkt[:60])
+	binary.BigEndian.PutUint16(pkt[10:12], cs)
+	return pkt
+}
+
+// exoticOptionsTCP builds a checksummed segment carrying an unknown
+// option plus padding — a seed for the unknown-kind branch of the
+// zero-alloc options loop.
+func exoticOptionsTCP() []byte {
+	seg := make([]byte, 28)
+	binary.BigEndian.PutUint16(seg[0:2], 80)
+	binary.BigEndian.PutUint16(seg[2:4], 12345)
+	seg[12] = 7 << 4 // data offset 28
+	seg[13] = FlagACK
+	copy(seg[TCPHeaderLen:], []byte{254, 4, 0xde, 0xad, OptNOP, OptEnd, 0, 0})
+	cs := tcpChecksum(1, 2, seg)
+	binary.BigEndian.PutUint16(seg[16:18], cs)
+	return seg
+}
+
+// FuzzDecodeIPv4 ensures the IPv4 decoders never panic, that the
+// allocating and zero-alloc variants agree on every input, and that
+// every accepted packet re-encodes consistently.
 func FuzzDecodeIPv4(f *testing.F) {
 	f.Add(EncodeIPv4(nil, &IPv4Header{Protocol: ProtoTCP, Src: 1, Dst: 2}, []byte("payload")))
 	f.Add([]byte{})
 	f.Add([]byte{0x45, 0, 0, 20})
 	f.Add(make([]byte, 20))
+	f.Add(maxOptionsIPv4())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		h, payload, err := DecodeIPv4(data)
+		var h2 IPv4Header
+		payload2, err2 := DecodeIPv4Into(&h2, data)
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("DecodeIPv4 err=%v but DecodeIPv4Into err=%v", err, err2)
+		}
 		if err != nil {
 			return
+		}
+		if *h != h2 || !bytes.Equal(payload, payload2) {
+			t.Fatal("DecodeIPv4Into disagrees with DecodeIPv4")
 		}
 		// Accepted packets must satisfy their own invariants.
 		if int(h.TotalLen) > len(data) {
@@ -24,18 +72,19 @@ func FuzzDecodeIPv4(f *testing.F) {
 		// Re-encoding the parsed header with the same payload must
 		// decode back to identical fields.
 		re := EncodeIPv4(nil, h, payload)
-		h2, _, err := DecodeIPv4(re)
+		h3, _, err := DecodeIPv4(re)
 		if err != nil {
 			t.Fatalf("re-encode failed: %v", err)
 		}
-		if h2.Src != h.Src || h2.Dst != h.Dst || h2.Protocol != h.Protocol {
+		if h3.Src != h.Src || h3.Dst != h.Dst || h3.Protocol != h.Protocol {
 			t.Fatal("re-encode round trip changed header")
 		}
 	})
 }
 
-// FuzzDecodeTCP ensures the TCP decoder never panics on arbitrary
-// segments, including option soup.
+// FuzzDecodeTCP ensures the TCP decoders never panic on arbitrary
+// segments, including option soup, and that the allocating and
+// zero-alloc variants agree on every input.
 func FuzzDecodeTCP(f *testing.F) {
 	h := NewTCPHeader()
 	h.SrcPort = 80
@@ -45,12 +94,32 @@ func FuzzDecodeTCP(f *testing.F) {
 	h.WindowScale = 7
 	h.SACKPermitted = true
 	f.Add(EncodeTCP(nil, 1, 2, h, []byte("data")))
+	// Options-heavy: every option we understand, including timestamps.
+	full := NewTCPHeader()
+	full.SrcPort = 443
+	full.DstPort = 54321
+	full.Flags = FlagSYN
+	full.MSS = 1460
+	full.WindowScale = 14
+	full.SACKPermitted = true
+	full.HasTimestamps = true
+	full.TSVal, full.TSEcr = 0xdeadbeef, 0xfeedface
+	f.Add(EncodeTCP(nil, 1, 2, full, nil))
+	f.Add(exoticOptionsTCP())
 	f.Add([]byte{})
 	f.Add(make([]byte, TCPHeaderLen))
 	f.Fuzz(func(t *testing.T, seg []byte) {
 		hdr, payload, err := DecodeTCP(1, 2, seg)
+		var h2 TCPHeader
+		payload2, err2 := DecodeTCPInto(&h2, 1, 2, seg)
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("DecodeTCP err=%v but DecodeTCPInto err=%v", err, err2)
+		}
 		if err != nil {
 			return
+		}
+		if *hdr != h2 || !bytes.Equal(payload, payload2) {
+			t.Fatal("DecodeTCPInto disagrees with DecodeTCP")
 		}
 		if len(payload) > len(seg) {
 			t.Fatal("payload longer than segment")
@@ -59,15 +128,24 @@ func FuzzDecodeTCP(f *testing.F) {
 	})
 }
 
-// FuzzDecodeICMP ensures the ICMP decoder never panics.
+// FuzzDecodeICMP ensures the ICMP decoders never panic and agree.
 func FuzzDecodeICMP(f *testing.F) {
 	f.Add(EncodeICMP(nil, &ICMPHeader{Type: ICMPEchoRequest, ID: 1, Seq: 2, Body: []byte("ping")}))
 	f.Add(EncodeICMP(nil, &ICMPHeader{Type: ICMPDestUnreach, Code: ICMPCodeFragNeeded, NextHopMTU: 1400}))
 	f.Add([]byte{8, 0, 0, 0})
 	f.Fuzz(func(t *testing.T, msg []byte) {
 		h, err := DecodeICMP(msg)
+		var h2 ICMPHeader
+		err2 := DecodeICMPInto(&h2, msg)
+		if (err == nil) != (err2 == nil) {
+			t.Fatalf("DecodeICMP err=%v but DecodeICMPInto err=%v", err, err2)
+		}
 		if err != nil {
 			return
+		}
+		if h.Type != h2.Type || h.Code != h2.Code || h.ID != h2.ID ||
+			h.Seq != h2.Seq || h.NextHopMTU != h2.NextHopMTU || !bytes.Equal(h.Body, h2.Body) {
+			t.Fatal("DecodeICMPInto disagrees with DecodeICMP")
 		}
 		if len(h.Body) > len(msg) {
 			t.Fatal("body longer than message")

@@ -27,10 +27,13 @@ type ICMPHeader struct {
 const ICMPHeaderLen = 8
 
 // EncodeICMP appends the encoded ICMP message to dst, computing the
-// checksum over the whole message.
+// checksum over the whole message. The header grows via a stack scratch
+// array, so encoding into a buffer with sufficient capacity does not
+// allocate.
 func EncodeICMP(dst []byte, h *ICMPHeader) []byte {
 	start := len(dst)
-	dst = append(dst, make([]byte, ICMPHeaderLen)...)
+	var scratch [ICMPHeaderLen]byte
+	dst = append(dst, scratch[:]...)
 	b := dst[start:]
 	b[0] = h.Type
 	b[1] = h.Code
@@ -48,15 +51,17 @@ func EncodeICMP(dst []byte, h *ICMPHeader) []byte {
 	return dst
 }
 
-// DecodeICMP parses an ICMP message, validating its checksum.
-func DecodeICMP(msg []byte) (*ICMPHeader, error) {
+// DecodeICMPInto parses an ICMP message into the caller-owned header h,
+// validating its checksum. Body aliases msg. It never allocates;
+// DecodeICMP is the allocating convenience wrapper.
+func DecodeICMPInto(h *ICMPHeader, msg []byte) error {
 	if len(msg) < ICMPHeaderLen {
-		return nil, ErrTruncated
+		return ErrTruncated
 	}
 	if Checksum(msg) != 0 {
-		return nil, ErrBadChecksum
+		return ErrBadChecksum
 	}
-	h := &ICMPHeader{
+	*h = ICMPHeader{
 		Type: msg[0],
 		Code: msg[1],
 		Body: msg[ICMPHeaderLen:],
@@ -67,6 +72,15 @@ func DecodeICMP(msg []byte) (*ICMPHeader, error) {
 		h.Seq = binary.BigEndian.Uint16(msg[6:8])
 	case ICMPDestUnreach:
 		h.NextHopMTU = binary.BigEndian.Uint16(msg[6:8])
+	}
+	return nil
+}
+
+// DecodeICMP parses an ICMP message, validating its checksum.
+func DecodeICMP(msg []byte) (*ICMPHeader, error) {
+	h := new(ICMPHeader)
+	if err := DecodeICMPInto(h, msg); err != nil {
+		return nil, err
 	}
 	return h, nil
 }

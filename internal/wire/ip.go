@@ -210,17 +210,17 @@ func checksumFinish(sum uint32) uint16 {
 	return ^uint16(sum)
 }
 
-// EncodeIPv4 appends the encoded header plus payload to dst and returns
-// the extended slice. TotalLen is computed from the payload; the header
-// checksum is filled in.
-func EncodeIPv4(dst []byte, h *IPv4Header, payload []byte) []byte {
-	total := IPv4HeaderLen + len(payload)
-	start := len(dst)
-	dst = append(dst, make([]byte, IPv4HeaderLen)...)
-	b := dst[start:]
-	b[0] = 0x45 // version 4, IHL 5
+// PutIPv4Header encodes h into b[:IPv4HeaderLen] in place, given that
+// payloadLen bytes of payload follow the header in the same packet.
+// TotalLen and the header checksum are filled in. b must hold at least
+// IPv4HeaderLen bytes. It never allocates, which makes it the building
+// block for encoding a packet into a reusable buffer: reserve the
+// header space, append the payload, then fix the header up.
+func PutIPv4Header(b []byte, h *IPv4Header, payloadLen int) {
+	b = b[:IPv4HeaderLen] // one bounds check; also catches short buffers
+	b[0] = 0x45           // version 4, IHL 5
 	b[1] = h.TOS
-	binary.BigEndian.PutUint16(b[2:4], uint16(total))
+	binary.BigEndian.PutUint16(b[2:4], uint16(IPv4HeaderLen+payloadLen))
 	binary.BigEndian.PutUint16(b[4:6], h.ID)
 	binary.BigEndian.PutUint16(b[6:8], uint16(h.Flags)<<13|h.FragOff&0x1fff)
 	ttl := h.TTL
@@ -229,43 +229,66 @@ func EncodeIPv4(dst []byte, h *IPv4Header, payload []byte) []byte {
 	}
 	b[8] = ttl
 	b[9] = h.Protocol
-	// checksum at [10:12] computed below
+	b[10], b[11] = 0, 0 // zero before checksumming
 	binary.BigEndian.PutUint32(b[12:16], uint32(h.Src))
 	binary.BigEndian.PutUint32(b[16:20], uint32(h.Dst))
 	cs := Checksum(b)
 	binary.BigEndian.PutUint16(b[10:12], cs)
-	return append(dst, payload...)
+}
+
+// EncodeIPv4 appends the encoded header plus payload to dst and returns
+// the extended slice. TotalLen is computed from the payload; the header
+// checksum is filled in. The header grows via a stack scratch array, so
+// encoding into a buffer with sufficient capacity does not allocate.
+func EncodeIPv4(dst []byte, h *IPv4Header, payload []byte) []byte {
+	start := len(dst)
+	var scratch [IPv4HeaderLen]byte
+	dst = append(dst, scratch[:]...)
+	dst = append(dst, payload...)
+	PutIPv4Header(dst[start:], h, len(payload))
+	return dst
+}
+
+// DecodeIPv4Into parses an IPv4 packet into the caller-owned header h,
+// validating version, length and header checksum. It returns the payload
+// (aliasing pkt) and never allocates, which makes it the per-packet fast
+// path; DecodeIPv4 is the allocating convenience wrapper.
+func DecodeIPv4Into(h *IPv4Header, pkt []byte) ([]byte, error) {
+	if len(pkt) < IPv4HeaderLen {
+		return nil, ErrTruncated
+	}
+	if pkt[0]>>4 != 4 {
+		return nil, ErrBadVersion
+	}
+	ihl := int(pkt[0]&0xf) * 4
+	if ihl < IPv4HeaderLen || len(pkt) < ihl {
+		return nil, ErrTruncated
+	}
+	if Checksum(pkt[:ihl]) != 0 {
+		return nil, ErrBadChecksum
+	}
+	h.TOS = pkt[1]
+	h.TotalLen = binary.BigEndian.Uint16(pkt[2:4])
+	h.ID = binary.BigEndian.Uint16(pkt[4:6])
+	h.Flags = byte(binary.BigEndian.Uint16(pkt[6:8]) >> 13)
+	h.FragOff = binary.BigEndian.Uint16(pkt[6:8]) & 0x1fff
+	h.TTL = pkt[8]
+	h.Protocol = pkt[9]
+	h.Src = Addr(binary.BigEndian.Uint32(pkt[12:16]))
+	h.Dst = Addr(binary.BigEndian.Uint32(pkt[16:20]))
+	if int(h.TotalLen) < ihl || int(h.TotalLen) > len(pkt) {
+		return nil, ErrTruncated
+	}
+	return pkt[ihl:h.TotalLen], nil
 }
 
 // DecodeIPv4 parses an IPv4 packet, validating version, length and header
 // checksum. It returns the header and the payload (aliasing pkt).
 func DecodeIPv4(pkt []byte) (*IPv4Header, []byte, error) {
-	if len(pkt) < IPv4HeaderLen {
-		return nil, nil, ErrTruncated
+	h := new(IPv4Header)
+	payload, err := DecodeIPv4Into(h, pkt)
+	if err != nil {
+		return nil, nil, err
 	}
-	if pkt[0]>>4 != 4 {
-		return nil, nil, ErrBadVersion
-	}
-	ihl := int(pkt[0]&0xf) * 4
-	if ihl < IPv4HeaderLen || len(pkt) < ihl {
-		return nil, nil, ErrTruncated
-	}
-	if Checksum(pkt[:ihl]) != 0 {
-		return nil, nil, ErrBadChecksum
-	}
-	h := &IPv4Header{
-		TOS:      pkt[1],
-		TotalLen: binary.BigEndian.Uint16(pkt[2:4]),
-		ID:       binary.BigEndian.Uint16(pkt[4:6]),
-		Flags:    byte(binary.BigEndian.Uint16(pkt[6:8]) >> 13),
-		FragOff:  binary.BigEndian.Uint16(pkt[6:8]) & 0x1fff,
-		TTL:      pkt[8],
-		Protocol: pkt[9],
-		Src:      Addr(binary.BigEndian.Uint32(pkt[12:16])),
-		Dst:      Addr(binary.BigEndian.Uint32(pkt[16:20])),
-	}
-	if int(h.TotalLen) < ihl || int(h.TotalLen) > len(pkt) {
-		return nil, nil, ErrTruncated
-	}
-	return h, pkt[ihl:h.TotalLen], nil
+	return h, payload, nil
 }

@@ -49,6 +49,11 @@ type TCPHeader struct {
 // "absent" values.
 func NewTCPHeader() *TCPHeader { return &TCPHeader{WindowScale: -1} }
 
+// Reset reinitializes h to the zero header with option fields set to
+// their "absent" values, so a stack-allocated or reused TCPHeader can
+// stand in for NewTCPHeader without heap allocation.
+func (h *TCPHeader) Reset() { *h = TCPHeader{WindowScale: -1} }
+
 // HasFlag reports whether all bits in mask are set.
 func (h *TCPHeader) HasFlag(mask byte) bool { return h.Flags&mask == mask }
 
@@ -74,13 +79,20 @@ func (h *TCPHeader) optionsLen() int {
 // TCPHeaderLen is the fixed part of the TCP header.
 const TCPHeaderLen = 20
 
+// MaxTCPHeaderLen is the largest encodable TCP header (data offset 15
+// words), bounding the stack scratch space the encoder reserves.
+const MaxTCPHeaderLen = 60
+
 // EncodeTCP appends the TCP segment (header, options, payload) to dst,
-// computing the checksum over the IPv4 pseudo-header for src/dst.
+// computing the checksum over the IPv4 pseudo-header for src/dst. The
+// header grows via a stack scratch array, so encoding into a buffer
+// with sufficient capacity does not allocate.
 func EncodeTCP(dst []byte, src, dstAddr Addr, h *TCPHeader, payload []byte) []byte {
 	optLen := h.optionsLen()
 	hdrLen := TCPHeaderLen + optLen
 	start := len(dst)
-	dst = append(dst, make([]byte, hdrLen)...)
+	var scratch [MaxTCPHeaderLen]byte
+	dst = append(dst, scratch[:hdrLen]...)
 	b := dst[start:]
 	binary.BigEndian.PutUint16(b[0:2], h.SrcPort)
 	binary.BigEndian.PutUint16(b[2:4], h.DstPort)
@@ -143,21 +155,38 @@ func tcpChecksum(src, dst Addr, seg []byte) uint16 {
 	return checksumFinish(sum)
 }
 
-// DecodeTCP parses a TCP segment, validating its checksum against the
-// given pseudo-header addresses. It returns the header and payload
-// (aliasing seg).
-func DecodeTCP(src, dst Addr, seg []byte) (*TCPHeader, []byte, error) {
+// AppendTCPPacket appends a complete IPv4+TCP packet to dst: the IPv4
+// header is reserved up front, the TCP segment is encoded directly after
+// it, and the IPv4 header is then fixed up in place. Compared to
+// encoding the segment separately and wrapping it with EncodeIPv4 this
+// saves one full copy of the segment, and with a dst of sufficient
+// capacity it does not allocate — the per-packet send fast path.
+func AppendTCPPacket(dst []byte, ip *IPv4Header, tcp *TCPHeader, payload []byte) []byte {
+	start := len(dst)
+	var scratch [IPv4HeaderLen]byte
+	dst = append(dst, scratch[:]...)
+	dst = EncodeTCP(dst, ip.Src, ip.Dst, tcp, payload)
+	PutIPv4Header(dst[start:], ip, len(dst)-start-IPv4HeaderLen)
+	return dst
+}
+
+// DecodeTCPInto parses a TCP segment into the caller-owned header h
+// (resetting it first), validating the checksum against the given
+// pseudo-header addresses. It returns the payload (aliasing seg) and
+// never allocates, which makes it the per-segment fast path; DecodeTCP
+// is the allocating convenience wrapper.
+func DecodeTCPInto(h *TCPHeader, src, dst Addr, seg []byte) ([]byte, error) {
 	if len(seg) < TCPHeaderLen {
-		return nil, nil, ErrTruncated
+		return nil, ErrTruncated
 	}
 	dataOff := int(seg[12]>>4) * 4
 	if dataOff < TCPHeaderLen || dataOff > len(seg) {
-		return nil, nil, ErrTruncated
+		return nil, ErrTruncated
 	}
 	if tcpChecksum(src, dst, seg) != 0 {
-		return nil, nil, ErrBadChecksum
+		return nil, ErrBadChecksum
 	}
-	h := NewTCPHeader()
+	h.Reset()
 	h.SrcPort = binary.BigEndian.Uint16(seg[0:2])
 	h.DstPort = binary.BigEndian.Uint16(seg[2:4])
 	h.Seq = binary.BigEndian.Uint32(seg[4:8])
@@ -178,11 +207,11 @@ func DecodeTCP(src, dst Addr, seg []byte) (*TCPHeader, []byte, error) {
 			continue
 		}
 		if i+1 >= len(o) {
-			return nil, nil, ErrTruncated
+			return nil, ErrTruncated
 		}
 		olen := int(o[i+1])
 		if olen < 2 || i+olen > len(o) {
-			return nil, nil, ErrTruncated
+			return nil, ErrTruncated
 		}
 		switch kind {
 		case OptMSS:
@@ -204,7 +233,19 @@ func DecodeTCP(src, dst Addr, seg []byte) (*TCPHeader, []byte, error) {
 		}
 		i += olen
 	}
-	return h, seg[dataOff:], nil
+	return seg[dataOff:], nil
+}
+
+// DecodeTCP parses a TCP segment, validating its checksum against the
+// given pseudo-header addresses. It returns the header and payload
+// (aliasing seg).
+func DecodeTCP(src, dst Addr, seg []byte) (*TCPHeader, []byte, error) {
+	h := new(TCPHeader)
+	payload, err := DecodeTCPInto(h, src, dst, seg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return h, payload, nil
 }
 
 // SeqLT reports whether a < b in 32-bit sequence-number arithmetic
