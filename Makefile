@@ -15,9 +15,9 @@ FUZZ_TIME ?= 3s
 # Packages with native fuzz targets (Fuzz* functions).
 FUZZ_PKGS := ./internal/wire ./internal/output ./internal/httpsim ./internal/tlssim
 
-.PHONY: check fmt vet build test race bench bench-check bench-refresh bench-smoke fuzz-smoke validate-smoke validate-sweep
+.PHONY: check fmt vet build test race bench bench-check bench-refresh bench-smoke fuzz-smoke flight-smoke validate-smoke validate-sweep
 
-check: fmt vet build test race validate-smoke
+check: fmt vet build test race flight-smoke validate-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -43,7 +43,7 @@ test:
 race:
 	$(GO) test -race ./internal/metrics/... ./internal/core/... \
 		./internal/scanner/... ./internal/output/... ./internal/experiments/... \
-		./internal/netsim/... ./internal/tcpstack/...
+		./internal/netsim/... ./internal/tcpstack/... ./internal/flight/...
 
 # bench runs the canonical fixed-seed benchmark harness (cmd/iwbench)
 # and writes $(VALIDATE_OUT)/BENCH_scan.json (ns/op, B/op, allocs/op,
@@ -82,6 +82,20 @@ fuzz-smoke:
 			$(GO) test $$pkg -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZ_TIME); \
 		done; \
 	done
+
+# flight-smoke is the forensic-pipeline gate: a short fixed-seed
+# adversity scan with anomaly triggers armed must freeze at least one
+# flight record, and every export must validate as Chrome trace-event
+# JSON (iwtrace smoke). The records land in $(VALIDATE_OUT)/flight,
+# which CI uploads with the other validation artifacts.
+flight-smoke:
+	@mkdir -p $(VALIDATE_OUT)
+	rm -rf $(VALIDATE_OUT)/flight
+	$(GO) run ./cmd/iwscan -sample 0.004 -seed 3 -loss 0.15 -tail-loss 0.3 \
+		-flight-dir $(VALIDATE_OUT)/flight -flight-on ghost,byte-limit-misread \
+		-out /dev/null -q
+	$(GO) run ./cmd/iwtrace smoke $(VALIDATE_OUT)/flight
+	@$(GO) run ./cmd/iwtrace list $(VALIDATE_OUT)/flight
 
 # validate-smoke is the ground-truth gate: scan a sample of the 2017
 # universe, require >= 99% oracle exact-match accuracy and zero bound

@@ -21,6 +21,13 @@
 //	iwscan -sample 0.01 -metrics-out m.json    # dump the telemetry snapshot
 //	iwscan -sample 0.01 -retries 2             # re-probe timed-out targets twice
 //
+// Forensics (per-probe flight recorder, see cmd/iwtrace to read records):
+//
+//	iwscan -sample 0.01 -loss 0.02 -flight-dir fr -flight-on ghost,byte-limit-misread
+//	iwscan -sample 0.01 -tail-loss 0.3 -flight-dir fr -flight-on underestimate
+//	iwscan -sample 0.01 -flight-dir fr -trace-host 10.4.7.23   # always record this host
+//	iwscan -sample 0.1 -debug-addr localhost:6060              # live pprof//metrics//flight
+//
 // Checkpoint/resume (interruption-survivable scans):
 //
 //	iwscan -sample 0.5 -out big.csv -checkpoint big.ck        # checkpoint as it runs
@@ -37,7 +44,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -45,11 +55,14 @@ import (
 	"iwscan/internal/checkpoint"
 	"iwscan/internal/core"
 	"iwscan/internal/experiments"
+	"iwscan/internal/flight"
 	"iwscan/internal/inet"
 	"iwscan/internal/netsim"
 	"iwscan/internal/output"
 	"iwscan/internal/scanner"
 	"iwscan/internal/trace"
+	"iwscan/internal/validate"
+	"iwscan/internal/wire"
 )
 
 func fatalf(format string, args ...any) {
@@ -81,6 +94,15 @@ func main() {
 		resume   = flag.String("resume", "", "resume an interrupted scan from this checkpoint file (appends to -out)")
 		tlimit   = flag.Duration("time-limit", 0, "stop the scan after this much virtual time, leaving a checkpoint (0 = run to completion)")
 		quiet    = flag.Bool("q", false, "suppress the summary on stderr (also skips record retention for it: O(buffer) memory)")
+
+		flightDir    = flag.String("flight-dir", "", "write frozen flight-recorder records (forensic probe timelines) to this directory")
+		flightOn     = flag.String("flight-on", "", "comma-separated verdict names that freeze a forensic record (e.g. ghost,byte-limit-misread; 'all' records everything)")
+		flightSample = flag.Float64("flight-sample", 0, "additionally freeze this deterministic fraction of all probes (0..1)")
+		flightMax    = flag.Int("flight-max", 50, "stop writing records to -flight-dir after this many (0 = unlimited)")
+		traceHost    = flag.String("trace-host", "", "comma-separated addresses whose probes are always frozen, whatever the verdict")
+		debugAddr    = flag.String("debug-addr", "", "serve a live debug endpoint on this address (pprof, expvar, /metrics, /flight)")
+		tailLoss     = flag.Float64("tail-loss", 0, "deterministic bursty tail-loss probability (drops trailing short segments)")
+		reorderP     = flag.Float64("reorder", 0, "per-packet reordering probability on the path")
 	)
 	flag.Parse()
 
@@ -108,6 +130,7 @@ func main() {
 			userSharded = true
 		}
 	})
+	flightEnabled := *flightDir != "" || *flightOn != "" || *traceHost != "" || *flightSample > 0
 	if *parallel > 1 {
 		if *pcap != "" {
 			fatalf("-parallel and -pcap are incompatible (each shard runs its own simulation; there is no single packet stream to capture); drop one")
@@ -118,9 +141,92 @@ func main() {
 		if *ckPath != "" || *resume != "" {
 			fatalf("-checkpoint/-resume track one engine per process; distribute with -shard/-shards across separate runs instead of -parallel")
 		}
+		if flightEnabled || *debugAddr != "" {
+			fatalf("the flight recorder and -debug-addr observe one simulation; they are incompatible with -parallel")
+		}
 	}
 	if *alexa > 0 && (*ckPath != "" || *resume != "" || *tlimit > 0) {
 		fatalf("-checkpoint/-resume/-time-limit apply to address-space scans, not -alexa list scans")
+	}
+	if *alexa > 0 && (flightEnabled || *debugAddr != "") {
+		fatalf("the flight recorder and -debug-addr apply to address-space scans, not -alexa list scans")
+	}
+	if *flightSample < 0 || *flightSample > 1 {
+		fatalf("-flight-sample %v out of range: want 0 <= f <= 1", *flightSample)
+	}
+	if flightEnabled && *flightDir == "" && *debugAddr == "" {
+		fatalf("flight recording needs somewhere to surface records: set -flight-dir (write files) or -debug-addr (serve /flight)")
+	}
+
+	// Build the flight recorder up front so configuration errors (an
+	// unwritable directory, an unknown verdict name) kill the run before
+	// any scanning happens, not mid-scan.
+	var fr *flight.Recorder
+	var dbg *flight.DebugServer
+	if flightEnabled {
+		fcfg := flight.Config{
+			Dir:        *flightDir,
+			SampleRate: *flightSample,
+			Seed:       *seed,
+			MaxWrites:  *flightMax,
+		}
+		if *flightDir != "" {
+			if err := os.MkdirAll(*flightDir, 0o755); err != nil {
+				fatalf("-flight-dir: %v", err)
+			}
+			// Create-or-fail before the scan: a read-only or quota-full
+			// directory must not surface as silent record loss later.
+			probe := filepath.Join(*flightDir, ".iwscan-writable")
+			if err := os.WriteFile(probe, nil, 0o644); err != nil {
+				fatalf("-flight-dir %s is not writable: %v", *flightDir, err)
+			}
+			os.Remove(probe)
+		}
+		if *flightOn != "" {
+			valid := make(map[string]bool)
+			for _, v := range validate.VerdictNames() {
+				valid[v] = true
+			}
+			for _, o := range []string{"success", "few-data", "no-data", "error", "unreachable", "all"} {
+				valid[o] = true
+			}
+			fcfg.Triggers = make(map[string]bool)
+			for _, v := range strings.Split(*flightOn, ",") {
+				v = strings.TrimSpace(v)
+				if v == "" {
+					continue
+				}
+				if !valid[v] {
+					fatalf("-flight-on: unknown verdict %q (valid: %s, plus outcome taxa and 'all')",
+						v, strings.Join(validate.VerdictNames(), ", "))
+				}
+				fcfg.Triggers[v] = true
+			}
+		}
+		if *traceHost != "" {
+			fcfg.TraceHosts = make(map[wire.Addr]bool)
+			for _, h := range strings.Split(*traceHost, ",") {
+				h = strings.TrimSpace(h)
+				if h == "" {
+					continue
+				}
+				addr, err := wire.ParseAddr(h)
+				if err != nil {
+					fatalf("-trace-host: %v", err)
+				}
+				fcfg.TraceHosts[addr] = true
+			}
+		}
+		fr = flight.NewRecorder(fcfg)
+	}
+	if *debugAddr != "" {
+		dbg = flight.NewDebugServer()
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatalf("-debug-addr: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "iwscan: debug endpoint at http://%s/ (pprof, expvar, /metrics, /flight)\n", ln.Addr())
+		go http.Serve(ln, dbg.Handler())
 	}
 
 	u := inet.NewInternet2017(*useed)
@@ -200,7 +306,37 @@ func main() {
 			}
 		}
 		if rec != nil {
-			cfg.Trace = rec.Filter()
+			cfg.PcapRecorder = rec
+		}
+		if *reorderP > 0 {
+			// An explicit path replaces the default wholesale, so fold
+			// the loss probability in rather than losing it.
+			cfg.Path = &netsim.PathParams{
+				Delay: 10 * netsim.Millisecond, Jitter: 2 * netsim.Millisecond,
+				Loss: *loss, Reorder: *reorderP,
+			}
+		}
+		if *tailLoss > 0 {
+			cfg.Filters = append(cfg.Filters, netsim.TailLossFilter(*seed, *tailLoss))
+		}
+		if fr != nil {
+			cfg.Flight = fr
+			// Join each record against the ground-truth oracle so the
+			// trigger verdicts are the validate taxonomy, not just the
+			// scan's own outcome taxa.
+			oracle := validate.NewOracle(u, 64)
+			cfg.FlightClassify = func(r *analysis.Record) (string, string) {
+				t := oracle.TruthFor(*r)
+				v := validate.Classify(t, r)
+				detail := fmt.Sprintf(
+					"oracle: live=%v expected-iw=%d byte-based=%v iw-bytes=%d; scan: outcome=%s iw=%d bound=%d byte-limited=%v",
+					t.Live, t.Expected, t.ByteBased, t.IWBytes,
+					r.Outcome, r.IW, r.LowerBound, r.ByteLimited)
+				return v.String(), detail
+			}
+		}
+		if dbg != nil {
+			cfg.Debug = dbg
 		}
 		if *parallel > 1 {
 			res, err = experiments.RunScanParallelChecked(u, cfg, *parallel)
@@ -235,7 +371,26 @@ func main() {
 			fatalf("closing %s: %v", *pcap, err)
 		}
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "wrote %d packets to %s\n", len(rec.Packets()), *pcap)
+			dropped := ""
+			if rec.Dropped() > 0 {
+				dropped = fmt.Sprintf(" (%d more dropped at the capture limit)", rec.Dropped())
+			}
+			fmt.Fprintf(os.Stderr, "wrote %d packets to %s%s\n", len(rec.Packets()), *pcap, dropped)
+		}
+	}
+
+	if fr != nil {
+		if err := fr.WriteErr(); err != nil {
+			fatalf("writing flight records: %v", err)
+		}
+		if !*quiet {
+			if *flightDir != "" {
+				fmt.Fprintf(os.Stderr, "flight recorder: %d records frozen, %d written to %s\n",
+					fr.TotalFrozen(), fr.Written(), *flightDir)
+			} else {
+				fmt.Fprintf(os.Stderr, "flight recorder: %d records frozen (in memory; served at /flight)\n",
+					fr.TotalFrozen())
+			}
 		}
 	}
 

@@ -80,6 +80,23 @@ func newCoreMetrics(reg *metrics.Registry) coreMetrics {
 	}
 }
 
+// FlightSink receives estimator-level events for the per-probe flight
+// recorder. It is defined here as an interface (implemented by
+// internal/flight.Recorder) so core does not depend on the recorder.
+// All methods are invoked on the simulation goroutine; note and class
+// arguments are static strings except the final probe taxon.
+type FlightSink interface {
+	// ProbePhase records a probe lifecycle phase transition.
+	ProbePhase(at netsim.Time, target wire.Addr, phase string)
+	// ProbeSegment records the classification of one received data
+	// segment: class is "new", "reorder" or "retransmit", off/length
+	// locate it in the response stream.
+	ProbeSegment(at netsim.Time, target wire.Addr, off, length int, class string)
+	// ProbeStep records an estimator step with two integer arguments
+	// (e.g. the verification ACK's shrunken window and ack point).
+	ProbeStep(at netsim.Time, target wire.Addr, note string, a, b int64)
+}
+
 // Scanner is the probing endpoint: a netsim node that multiplexes many
 // concurrent connection probes over local ports, the way the ZMap probe
 // module keeps per-connection state (§3.4).
@@ -94,6 +111,7 @@ type Scanner struct {
 	ipid   uint16
 	cm     coreMetrics
 	tracer *metrics.Tracer
+	fl     FlightSink // nil unless a flight recorder is attached
 }
 
 // NewScanner creates a scanner at addr and registers it with the
@@ -116,6 +134,10 @@ func NewScanner(n *netsim.Network, addr wire.Addr, cfg Config) *Scanner {
 // Tracer exposes the probe-lifecycle tracer (enable trace retention
 // with SetKeep for per-probe debugging; aggregation is always on).
 func (s *Scanner) Tracer() *metrics.Tracer { return s.tracer }
+
+// SetFlight attaches a flight recorder sink (nil detaches). Callers
+// must pass nil rather than a nil-valued concrete interface.
+func (s *Scanner) SetFlight(fl FlightSink) { s.fl = fl }
 
 // Addr returns the scanner's source address.
 func (s *Scanner) Addr() wire.Addr { return s.addr }
@@ -253,6 +275,10 @@ const (
 func (c *connProbe) start() {
 	c.synAt = c.sc.net.Now()
 	c.traceID = c.sc.tracer.Begin(c.target.String(), "syn_sent", int64(c.synAt))
+	if fl := c.sc.fl; fl != nil {
+		fl.ProbePhase(c.synAt, c.target, "syn_sent")
+		fl.ProbeStep(c.synAt, c.target, "syn_options", int64(c.mss), int64(c.sc.cfg.Window))
+	}
 	var h wire.TCPHeader
 	h.Reset()
 	h.SrcPort = c.localPort
@@ -275,9 +301,28 @@ func (c *connProbe) arm(d netsim.Time, fn func()) {
 }
 
 // trace records a lifecycle phase transition at the current virtual
-// time.
+// time, mirrored into the flight recorder when one is attached.
 func (c *connProbe) trace(phase string) {
-	c.sc.tracer.Phase(c.traceID, phase, int64(c.sc.net.Now()))
+	now := c.sc.net.Now()
+	c.sc.tracer.Phase(c.traceID, phase, int64(now))
+	if fl := c.sc.fl; fl != nil {
+		fl.ProbePhase(now, c.target, phase)
+	}
+}
+
+// flStep forwards one estimator step to the flight recorder.
+func (c *connProbe) flStep(note string, a, b int64) {
+	if fl := c.sc.fl; fl != nil {
+		fl.ProbeStep(c.sc.net.Now(), c.target, note, a, b)
+	}
+}
+
+// flSeg forwards one data-segment classification to the flight
+// recorder.
+func (c *connProbe) flSeg(off, length int, class string) {
+	if fl := c.sc.fl; fl != nil {
+		fl.ProbeSegment(c.sc.net.Now(), c.target, off, length, class)
+	}
 }
 
 // finish reports the result and tears the connection down. When rst is
@@ -288,7 +333,12 @@ func (c *connProbe) finish(r ProbeResult, rst bool) {
 	}
 	c.state = stateDone
 	c.timer.Cancel()
-	c.sc.tracer.End(c.traceID, r.Taxon(), int64(c.sc.net.Now()))
+	taxon := r.Taxon()
+	c.sc.tracer.End(c.traceID, taxon, int64(c.sc.net.Now()))
+	if fl := c.sc.fl; fl != nil {
+		fl.ProbePhase(c.sc.net.Now(), c.target, "done:"+taxon)
+		fl.ProbeStep(c.sc.net.Now(), c.target, "probe_result", int64(r.Bytes), int64(r.Segments))
+	}
 	if rst {
 		var h wire.TCPHeader
 		h.Reset()
@@ -331,6 +381,7 @@ func (c *connProbe) handleSegment(tcp *wire.TCPHeader, data []byte) {
 		c.sc.cm.synAcks.Inc()
 		c.sc.cm.rtt.Observe(int64(c.sc.net.Now() - c.synAt))
 		c.trace("syn_ack")
+		c.flStep("synack_options", int64(tcp.MSS), int64(tcp.Window))
 		if c.synOnly {
 			// Port scan: the port is open; RST and report.
 			c.finish(ProbeResult{Outcome: OutcomeSuccess}, true)
@@ -361,6 +412,7 @@ func (c *connProbe) collect(tcp *wire.TCPHeader, data []byte) {
 		// A retransmitted SYN-ACK means our handshake ACK (which carries
 		// the request) was lost: send it again, or the server will never
 		// produce the response burst.
+		c.flStep("synack_retransmit_seen", int64(tcp.Seq), 0)
 		var h wire.TCPHeader
 		h.Reset()
 		h.SrcPort = c.localPort
@@ -381,13 +433,16 @@ func (c *connProbe) collect(tcp *wire.TCPHeader, data []byte) {
 		case addRetransmit:
 			c.sc.stats.Retransmits++
 			c.sc.cm.retransmits.Inc()
+			c.flSeg(off, len(data), "retransmit")
 			c.trace("retransmit_seen")
 			c.onRetransmission()
 			return
 		case addReorder:
 			c.reorder = true
+			c.flSeg(off, len(data), "reorder")
 			c.record(off, data)
 		case addNew:
+			c.flSeg(off, len(data), "new")
 			c.record(off, data)
 		}
 		if len(data) > c.maxSeg {
@@ -453,6 +508,7 @@ func (c *connProbe) onRetransmission() {
 	if win > 65535 {
 		win = 65535
 	}
+	c.flStep("verify_ack_shrink_window", int64(win), int64(c.cov.contiguous()))
 	var h wire.TCPHeader
 	h.Reset()
 	h.SrcPort = c.localPort
@@ -483,6 +539,7 @@ func (c *connProbe) verify(tcp *wire.TCPHeader, data []byte) {
 			return
 		}
 		// A straggling retransmission; keep waiting.
+		c.flStep("verify_straggler", int64(off), int64(len(data)))
 		return
 	}
 	if tcp.HasFlag(wire.FlagFIN) {
@@ -491,6 +548,7 @@ func (c *connProbe) verify(tcp *wire.TCPHeader, data []byte) {
 }
 
 func (c *connProbe) onCollectTimeout() {
+	c.flStep("collect_timeout", int64(c.cov.total()), int64(c.segs))
 	if c.cov.total() == 0 {
 		c.finish(c.result(OutcomeNoData, "silent"), true)
 		return

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"iwscan/internal/core"
+	"iwscan/internal/flight"
+	"iwscan/internal/inet"
+	"iwscan/internal/wire"
+)
+
+// TestFlightRecorderDoesNotPerturbScan is the golden-scan guarantee
+// end to end: a scan with the flight recorder armed (freezing every
+// probe) must produce record-for-record identical results to the same
+// scan without it — no RNG draws, no event reordering.
+func TestFlightRecorderDoesNotPerturbScan(t *testing.T) {
+	u := inet.NewInternet2017(77)
+	base := ScanConfig{Seed: 5, Strategy: core.StrategyHTTP, SampleFraction: 0.002}
+
+	bare := RunScan(u, base)
+
+	armed := base
+	armed.Flight = flight.NewRecorder(flight.Config{Triggers: map[string]bool{"all": true}})
+	rec := RunScan(u, armed)
+
+	if len(bare.Records) != len(rec.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(bare.Records), len(rec.Records))
+	}
+	for i := range bare.Records {
+		if bare.Records[i] != rec.Records[i] {
+			t.Fatalf("record %d differs with recorder armed:\nbare: %+v\narmed: %+v",
+				i, bare.Records[i], rec.Records[i])
+		}
+	}
+	if bare.Net != rec.Net {
+		t.Fatalf("network stats differ:\nbare: %+v\narmed: %+v", bare.Net, rec.Net)
+	}
+	if armed.Flight.TotalFrozen() != int64(len(rec.Records)) {
+		t.Fatalf("froze %d records for %d probes under the 'all' trigger",
+			armed.Flight.TotalFrozen(), len(rec.Records))
+	}
+}
+
+// TestFlightFreezeCapturesAllLayers checks frozen records carry a
+// correlated multi-layer timeline. The default classifier (no
+// FlightClassify) uses the scan's own outcome taxa as verdicts; the
+// oracle-joined variant lives in internal/validate to avoid an import
+// cycle.
+func TestFlightFreezeCapturesAllLayers(t *testing.T) {
+	u := inet.NewInternet2017(77)
+	fr := flight.NewRecorder(flight.Config{Triggers: map[string]bool{"success": true}})
+	res := RunScan(u, ScanConfig{
+		Seed: 5, Strategy: core.StrategyHTTP, SampleFraction: 0.002, Flight: fr,
+	})
+	if fr.TotalFrozen() == 0 {
+		t.Fatalf("no success records frozen across %d probes", len(res.Records))
+	}
+	for _, rec := range fr.Records() {
+		if rec.Verdict != "success" || rec.Trigger != "verdict" {
+			t.Fatalf("record = verdict %q trigger %q", rec.Verdict, rec.Trigger)
+		}
+		kinds := map[string]bool{}
+		for _, ev := range rec.Events {
+			kinds[ev.Type] = true
+		}
+		// A successful probe's timeline spans every layer: netsim packet
+		// ops, scanner phases and steps, segment classifications, the
+		// server stack's annotations, and the closing verdict.
+		for _, want := range []string{"phase", "packet", "step", "segment", "stack", "verdict"} {
+			if !kinds[want] {
+				t.Fatalf("record for %s has no %q events: kinds %v", rec.Target, want, kinds)
+			}
+		}
+		if rec.EndedNS <= rec.BeganNS {
+			t.Fatalf("record for %s spans nothing: [%d, %d]", rec.Target, rec.BeganNS, rec.EndedNS)
+		}
+	}
+}
+
+func TestFlightConfigInCheckpointFingerprint(t *testing.T) {
+	base := ScanConfig{Seed: 5, Strategy: core.StrategyHTTP, SampleFraction: 0.01}
+	plain := base.fingerprint(2017, 1<<20)
+
+	armed := base
+	armed.Flight = flight.NewRecorder(flight.Config{Triggers: map[string]bool{"ghost": true}})
+	if armed.fingerprint(2017, 1<<20) == plain {
+		t.Fatal("arming the flight recorder does not change the checkpoint fingerprint")
+	}
+
+	other := base
+	other.Flight = flight.NewRecorder(flight.Config{Triggers: map[string]bool{"missed": true}})
+	if other.fingerprint(2017, 1<<20) == armed.fingerprint(2017, 1<<20) {
+		t.Fatal("different trigger sets share a checkpoint fingerprint")
+	}
+}
+
+func TestParallelRejectsFlightRecorder(t *testing.T) {
+	u := inet.NewInternet2017(77)
+	cfg := ScanConfig{
+		Seed: 5, Strategy: core.StrategyHTTP, SampleFraction: 0.001,
+		Flight: flight.NewRecorder(flight.Config{}),
+	}
+	if _, err := RunScanParallelChecked(u, cfg, 2); err == nil ||
+		!strings.Contains(err.Error(), "per scan instance") {
+		t.Fatalf("parallel scan with flight recorder: err = %v, want rejection", err)
+	}
+	cfg.Flight = nil
+	cfg.Debug = flight.NewDebugServer()
+	if _, err := RunScanParallelChecked(u, cfg, 2); err == nil {
+		t.Fatal("parallel scan with debug server not rejected")
+	}
+}
+
+// TestFlightTraceHostFreezesRegardless pins the -trace-host path: the
+// probed host freezes on any verdict, others do not.
+func TestFlightTraceHostFreezesRegardless(t *testing.T) {
+	u := inet.NewInternet2017(77)
+	probe := RunScan(u, ScanConfig{Seed: 5, Strategy: core.StrategyHTTP, SampleFraction: 0.001})
+	if len(probe.Records) == 0 {
+		t.Skip("sample too small")
+	}
+	chosen := probe.Records[0].Addr
+	fr := flight.NewRecorder(flight.Config{TraceHosts: map[wire.Addr]bool{chosen: true}})
+	RunScan(u, ScanConfig{
+		Seed: 5, Strategy: core.StrategyHTTP, SampleFraction: 0.001, Flight: fr,
+	})
+	if fr.TotalFrozen() != 1 {
+		t.Fatalf("froze %d records, want exactly the traced host", fr.TotalFrozen())
+	}
+	rec := fr.Records()[0]
+	if rec.Target != chosen.String() || rec.Trigger != "host" {
+		t.Fatalf("record = %s trigger %s, want %s via host trigger", rec.Target, rec.Trigger, chosen)
+	}
+}

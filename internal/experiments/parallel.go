@@ -33,6 +33,12 @@ func RunScanParallelChecked(u *inet.Universe, cfg ScanConfig, shards int) (*Scan
 	if shards <= 1 {
 		return RunScanChecked(u, cfg)
 	}
+	if cfg.Flight != nil || cfg.Debug != nil {
+		// The flight recorder (and the debug endpoint that serves it) is
+		// bound to one simulation's observer slot and one scanner; shards
+		// would race on it. Forensics are a serial-scan tool.
+		return nil, fmt.Errorf("the flight recorder is per scan instance; run serially or shard across separate runs")
+	}
 	if cfg.CheckpointPath != "" || cfg.Resume != nil {
 		// A checkpoint cursor is consistent with one engine's own output
 		// frontier; in-process parallel shards share one sink whose

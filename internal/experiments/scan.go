@@ -14,11 +14,13 @@ import (
 	"iwscan/internal/analysis"
 	"iwscan/internal/checkpoint"
 	"iwscan/internal/core"
+	"iwscan/internal/flight"
 	"iwscan/internal/inet"
 	"iwscan/internal/metrics"
 	"iwscan/internal/netsim"
 	"iwscan/internal/output"
 	"iwscan/internal/scanner"
+	"iwscan/internal/trace"
 	"iwscan/internal/wire"
 )
 
@@ -46,6 +48,27 @@ type ScanConfig struct {
 	// Trace, when set, is installed as a network filter (e.g. a
 	// trace.Recorder's Filter for packet capture).
 	Trace netsim.Filter
+	// PcapRecorder, when set, captures packets like Trace but lets the
+	// run bind the recorder's drop counter into its metrics registry
+	// (the registry is created inside the run, so a bare Trace filter
+	// cannot reach it).
+	PcapRecorder *trace.Recorder
+	// Flight, when set, attaches a per-probe flight recorder: it
+	// becomes the network's observer and the scanner's estimator sink,
+	// and every probe begins/ends a journal keyed by target address.
+	// Observation never draws from the simulation RNG, so golden
+	// outputs stay byte-identical with the recorder enabled. Its
+	// trigger configuration is part of the checkpoint fingerprint.
+	Flight *flight.Recorder
+	// FlightClassify maps a completed record to the verdict name the
+	// flight recorder's triggers match against (plus a free-form
+	// detail line). Unset, the record's own outcome taxon is used —
+	// wiring in the validate oracle is the caller's job because only
+	// the caller knows the ground truth universe.
+	FlightClassify func(*analysis.Record) (verdict, detail string)
+	// Debug, when set, gets this run's registry and flight recorder
+	// attached so a live HTTP endpoint can serve them mid-scan.
+	Debug *flight.DebugServer
 	// Path, when set, replaces the default path parameters (10 ms delay,
 	// 2 ms jitter, Loss) wholesale — the adversity-sweep hook that lets
 	// the validation harness dial in reordering, duplication and jitter
@@ -127,7 +150,7 @@ func (c *ScanConfig) fingerprint(universeSeed uint64, spaceSize uint64) string {
 		"iwscan", universeSeed, spaceSize, c.Seed, int(c.Strategy),
 		c.SampleFraction, c.Loss, c.MSSList, c.Repeats, c.MaxRetries,
 		c.NoRedirectFollow, c.NoBloat, c.Shard, c.Shards, c.Blacklist,
-		c.Path != nil, path,
+		c.Path != nil, path, c.Flight.FingerprintKey(),
 	)
 }
 
@@ -179,10 +202,24 @@ func RunScanChecked(u *inet.Universe, cfg ScanConfig) (*ScanResult, error) {
 	if cfg.Trace != nil {
 		n.AddFilter(cfg.Trace)
 	}
+	if cfg.PcapRecorder != nil {
+		cfg.PcapRecorder.BindMetrics(n.Metrics())
+		n.AddFilter(cfg.PcapRecorder.Filter())
+	}
 	for _, f := range cfg.Filters {
 		n.AddFilter(f)
 	}
 	sc := core.NewScanner(n, ScannerAddr, core.Config{Seed: cfg.Seed})
+	if cfg.Flight != nil {
+		cfg.Flight.Attach(n, ScannerAddr)
+		sc.SetFlight(cfg.Flight)
+	}
+	if cfg.Debug != nil {
+		cfg.Debug.SetRegistry(n.Metrics())
+		if cfg.Flight != nil {
+			cfg.Debug.SetRecorder(cfg.Flight)
+		}
+	}
 
 	space := scanner.NewSpaceFromPrefixes(u.Prefixes())
 	space.AddBlacklist(cfg.Blacklist...)
@@ -240,12 +277,22 @@ func RunScanChecked(u *inet.Universe, cfg ScanConfig) (*ScanResult, error) {
 			Strategy: cfg.Strategy, MSSList: cfg.MSSList, Repeats: cfg.Repeats,
 			NoRedirectFollow: cfg.NoRedirectFollow, NoBloat: cfg.NoBloat,
 		}
+		if cfg.Flight != nil {
+			cfg.Flight.Begin(n.Now(), addr)
+		}
 		sc.ProbeTarget(addr, tc, func(tr *core.TargetResult) {
 			if tr.Outcome == core.OutcomeUnreachable && eng.Fail(seq) {
-				return // engine re-launches; discard this attempt
+				return // engine re-launches; Begin resets the journal then
 			}
 			rec := enrich(u, tr)
 			rec.Seq = pos
+			if cfg.Flight != nil {
+				verdict, detail := tr.Outcome.String(), ""
+				if cfg.FlightClassify != nil {
+					verdict, detail = cfg.FlightClassify(&rec)
+				}
+				cfg.Flight.End(n.Now(), addr, verdict, detail)
+			}
 			keepErr(reorder.Add(seq, &rec))
 			done()
 		})

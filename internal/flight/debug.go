@@ -1,0 +1,192 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync"
+
+	"expvar"
+
+	"iwscan/internal/metrics"
+)
+
+// DebugServer serves a live debug endpoint during a scan:
+//
+//	/               endpoint index
+//	/debug/pprof/   net/http/pprof profiles
+//	/debug/vars     expvar JSON
+//	/metrics        Prometheus snapshot of the scan's registry
+//	/metrics.json   JSON snapshot of the same registry
+//	/flight         frozen forensic records (summary list)
+//	/flight/<n>     one record; ?fmt=json|txt|trace selects the format
+//
+// The registry and recorder are attached once the scan constructs
+// them; until then the handlers answer 503. All handlers are safe to
+// hit mid-scan: the registry is atomic and the recorder's record list
+// is mutex-guarded.
+type DebugServer struct {
+	mu  sync.Mutex
+	reg *metrics.Registry
+	rec *Recorder
+	mux *http.ServeMux
+}
+
+// NewDebugServer creates the server with no registry or recorder yet.
+func NewDebugServer() *DebugServer {
+	s := &DebugServer{mux: http.NewServeMux()}
+	s.mux.HandleFunc("/", s.handleIndex)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mux.Handle("/debug/vars", expvar.Handler())
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	s.mux.HandleFunc("/flight", s.handleFlightList)
+	s.mux.HandleFunc("/flight/", s.handleFlightRecord)
+	return s
+}
+
+// SetRegistry attaches the scan's metrics registry.
+func (s *DebugServer) SetRegistry(reg *metrics.Registry) {
+	s.mu.Lock()
+	s.reg = reg
+	s.mu.Unlock()
+}
+
+// SetRecorder attaches the scan's flight recorder.
+func (s *DebugServer) SetRecorder(rec *Recorder) {
+	s.mu.Lock()
+	s.rec = rec
+	s.mu.Unlock()
+}
+
+// Handler returns the root handler for use with http.Serve.
+func (s *DebugServer) Handler() http.Handler { return s.mux }
+
+func (s *DebugServer) registry() *metrics.Registry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reg
+}
+
+func (s *DebugServer) recorder() *Recorder {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rec
+}
+
+func (s *DebugServer) handleIndex(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Path != "/" {
+		http.NotFound(w, req)
+		return
+	}
+	fmt.Fprint(w, `iwscan debug endpoint
+  /debug/pprof/   profiles
+  /debug/vars     expvar
+  /metrics        Prometheus snapshot
+  /metrics.json   JSON snapshot
+  /flight         forensic records
+`)
+}
+
+func (s *DebugServer) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	reg := s.registry()
+	if reg == nil {
+		http.Error(w, "scan not started", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	reg.Snapshot().WritePrometheus(w)
+}
+
+func (s *DebugServer) handleMetricsJSON(w http.ResponseWriter, req *http.Request) {
+	reg := s.registry()
+	if reg == nil {
+		http.Error(w, "scan not started", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	reg.Snapshot().WriteJSON(w)
+}
+
+// flightSummary is one row of the /flight listing.
+type flightSummary struct {
+	Index   int    `json:"index"`
+	Target  string `json:"target"`
+	Verdict string `json:"verdict"`
+	Trigger string `json:"trigger"`
+	Events  int    `json:"events"`
+	Packets int    `json:"packets"`
+	BeganNS int64  `json:"began_ns"`
+	EndedNS int64  `json:"ended_ns"`
+}
+
+func (s *DebugServer) handleFlightList(w http.ResponseWriter, req *http.Request) {
+	rec := s.recorder()
+	if rec == nil {
+		http.Error(w, "no flight recorder attached", http.StatusServiceUnavailable)
+		return
+	}
+	records := rec.Records()
+	out := struct {
+		TotalFrozen int64           `json:"total_frozen"`
+		Retained    int             `json:"retained"`
+		Records     []flightSummary `json:"records"`
+	}{
+		TotalFrozen: rec.TotalFrozen(),
+		Retained:    len(records),
+		Records:     make([]flightSummary, len(records)),
+	}
+	for i, r := range records {
+		out.Records[i] = flightSummary{
+			Index: i, Target: r.Target, Verdict: r.Verdict, Trigger: r.Trigger,
+			Events: len(r.Events), Packets: len(r.Packets),
+			BeganNS: r.BeganNS, EndedNS: r.EndedNS,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(out)
+}
+
+func (s *DebugServer) handleFlightRecord(w http.ResponseWriter, req *http.Request) {
+	rec := s.recorder()
+	if rec == nil {
+		http.Error(w, "no flight recorder attached", http.StatusServiceUnavailable)
+		return
+	}
+	idxStr := strings.TrimPrefix(req.URL.Path, "/flight/")
+	idx, err := strconv.Atoi(idxStr)
+	if err != nil {
+		http.Error(w, "bad record index", http.StatusBadRequest)
+		return
+	}
+	records := rec.Records()
+	if idx < 0 || idx >= len(records) {
+		http.Error(w, "record index out of range", http.StatusNotFound)
+		return
+	}
+	r := records[idx]
+	switch req.URL.Query().Get("fmt") {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(r)
+	case "txt":
+		w.Header().Set("Content-Type", "text/plain")
+		r.WriteNarrative(w)
+	case "trace":
+		w.Header().Set("Content-Type", "application/json")
+		r.WriteTraceEvents(w)
+	default:
+		http.Error(w, "unknown fmt (want json, txt or trace)", http.StatusBadRequest)
+	}
+}

@@ -42,6 +42,12 @@ type Tracer struct {
 	reg    *Registry
 	prefix string
 
+	// evicted counts completed traces pushed out of the retention ring;
+	// retained gauges the ring's current size. Together they make the
+	// otherwise-silent SetKeep window observable.
+	evicted  *Counter
+	retained *Gauge
+
 	mu     sync.Mutex
 	nextID uint64
 	active map[uint64]*ProbeTrace
@@ -53,9 +59,11 @@ type Tracer struct {
 // name prefix (e.g. "core.probe").
 func NewTracer(reg *Registry, prefix string) *Tracer {
 	return &Tracer{
-		reg:    reg,
-		prefix: prefix,
-		active: make(map[uint64]*ProbeTrace),
+		reg:      reg,
+		prefix:   prefix,
+		evicted:  reg.Counter(prefix + ".traces_evicted"),
+		retained: reg.Gauge(prefix + ".traces_retained"),
+		active:   make(map[uint64]*ProbeTrace),
 	}
 }
 
@@ -67,6 +75,11 @@ func (t *Tracer) SetKeep(n int) {
 	if n == 0 {
 		t.ring = nil
 	}
+	if len(t.ring) > n {
+		t.evicted.Add(int64(len(t.ring) - n))
+		t.ring = t.ring[len(t.ring)-n:]
+	}
+	t.retained.Set(int64(len(t.ring)))
 }
 
 // Begin starts a trace in the given initial phase and returns its ID.
@@ -113,8 +126,10 @@ func (t *Tracer) End(id uint64, outcome string, at int64) {
 		if len(t.ring) >= t.keep {
 			copy(t.ring, t.ring[1:])
 			t.ring = t.ring[:len(t.ring)-1]
+			t.evicted.Inc()
 		}
 		t.ring = append(t.ring, *tr)
+		t.retained.Set(int64(len(t.ring)))
 	}
 	t.mu.Unlock()
 	t.reg.Counter(t.prefix + ".outcome." + outcome).Inc()

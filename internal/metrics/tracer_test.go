@@ -1,0 +1,85 @@
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestTracerEvictionCounters(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg, "probe")
+	tr.SetKeep(2)
+	for i := 0; i < 4; i++ {
+		id := tr.Begin("x", "start", int64(i))
+		tr.End(id, "success", int64(i)+10)
+	}
+	if got := reg.Counter("probe.traces_evicted").Value(); got != 2 {
+		t.Fatalf("evicted = %d, want 2", got)
+	}
+	if got := reg.Gauge("probe.traces_retained").Value(); got != 2 {
+		t.Fatalf("retained = %d, want 2", got)
+	}
+	// Shrinking the window evicts the overflow immediately.
+	tr.SetKeep(1)
+	if got := reg.Counter("probe.traces_evicted").Value(); got != 3 {
+		t.Fatalf("evicted after shrink = %d, want 3", got)
+	}
+	if got := reg.Gauge("probe.traces_retained").Value(); got != 1 {
+		t.Fatalf("retained after shrink = %d, want 1", got)
+	}
+	if n := len(tr.Completed()); n != 1 {
+		t.Fatalf("ring holds %d traces, want 1", n)
+	}
+}
+
+// TestTracerConcurrentLifecycle hammers Begin/Phase/End from many
+// goroutines; run under -race it proves the tracer's locking. The
+// invariants checked here hold regardless of interleaving.
+func TestTracerConcurrentLifecycle(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTracer(reg, "probe")
+	tr.SetKeep(8)
+	const workers = 8
+	const perWorker = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				at := int64(w*perWorker + i)
+				id := tr.Begin(fmt.Sprintf("w%d", w), "syn_sent", at)
+				tr.Phase(id, "syn_ack", at+1)
+				tr.Phase(id, "collect", at+2)
+				// Ending a foreign or already-ended ID must be harmless.
+				tr.Phase(id+1, "ghost", at)
+				tr.End(id, "success", at+3)
+				tr.End(id, "success", at+3)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := tr.Active(); n != 0 {
+		t.Fatalf("%d traces still active", n)
+	}
+	const total = workers * perWorker
+	if got := reg.Counter("probe.outcome.success").Value(); got != total {
+		t.Fatalf("outcomes = %d, want %d", got, total)
+	}
+	ring := tr.Completed()
+	if len(ring) != 8 {
+		t.Fatalf("ring holds %d, want 8", len(ring))
+	}
+	if got := reg.Counter("probe.traces_evicted").Value(); got != total-8 {
+		t.Fatalf("evicted = %d, want %d", got, total-8)
+	}
+	if got := reg.Gauge("probe.traces_retained").Value(); got != 8 {
+		t.Fatalf("retained = %d, want 8", got)
+	}
+	for _, pt := range ring {
+		if len(pt.Events) != 3 || pt.Outcome != "success" {
+			t.Fatalf("retained trace corrupted: %+v", pt)
+		}
+	}
+}

@@ -144,6 +144,7 @@ type Network struct {
 	stats   Counters
 	reg     *metrics.Registry
 	nm      netMetrics
+	obs     Observer
 
 	// evFree recycles event structs (the network is single-threaded, so a
 	// plain free list beats a sync.Pool here), and batch is the reusable
@@ -290,6 +291,7 @@ func (n *Network) send(pkt []byte, pb *Packet) {
 		// Malformed packets vanish, as a router would drop them.
 		n.stats.PacketsLost++
 		n.nm.packetsLost.Inc()
+		n.observe(OpDropMalformed, pkt)
 		PutPacket(pb)
 		return
 	}
@@ -297,11 +299,13 @@ func (n *Network) send(pkt []byte, pb *Packet) {
 	n.stats.BytesSent += int64(len(pkt))
 	n.nm.packetsSent.Inc()
 	n.nm.bytesSent.Add(int64(len(pkt)))
+	n.observe(OpSend, pkt)
 
 	for _, f := range n.filters {
 		if f(n.now, pkt) == VerdictDrop {
 			n.stats.PacketsFiltered++
 			n.nm.packetsFiltered.Inc()
+			n.observe(OpDropFilter, pkt)
 			PutPacket(pb)
 			return
 		}
@@ -311,6 +315,7 @@ func (n *Network) send(pkt []byte, pb *Packet) {
 	if p.MTU > 0 && len(pkt) > p.MTU {
 		n.stats.PacketsMTUDrop++
 		n.nm.packetsMTUDrop.Inc()
+		n.observe(OpDropMTU, pkt)
 		if hdr.Flags&wire.IPFlagDF != 0 {
 			n.sendFragNeeded(hdr, pkt, p.MTU)
 		}
@@ -323,6 +328,7 @@ func (n *Network) send(pkt []byte, pb *Packet) {
 	if n.rng.Bool(p.Loss) {
 		n.stats.PacketsLost++
 		n.nm.packetsLost.Inc()
+		n.observe(OpDropLoss, pkt)
 		PutPacket(pb)
 		return
 	}
@@ -348,6 +354,7 @@ func (n *Network) send(pkt []byte, pb *Packet) {
 		if backlogBytes > int64(qcap) {
 			n.stats.PacketsQueueDrop++
 			n.nm.packetsQueueDrop.Inc()
+			n.observe(OpDropQueue, pkt)
 			PutPacket(pb)
 			return
 		}
@@ -362,6 +369,7 @@ func (n *Network) send(pkt []byte, pb *Packet) {
 	if n.rng.Bool(p.Duplicate) {
 		n.stats.PacketsDuplicated++
 		n.nm.packetsDuplicated.Inc()
+		n.observe(OpDuplicate, pkt)
 		dup := GetPacket()
 		dup.B = append(dup.B, pkt...)
 		n.scheduleDelivery(dup.B, dup, p, extra)
@@ -389,6 +397,7 @@ func (n *Network) sendFragNeeded(orig wire.IPv4Header, pkt []byte, mtu int) {
 		Dst:      orig.Src,
 	}, icmp)
 	// The ICMP reply traverses the reverse path without MTU issues.
+	n.observe(OpSend, rp.B)
 	p := n.path(orig.Dst, orig.Src)
 	p.MTU = 0
 	n.scheduleDelivery(rp.B, rp, p, 0)
@@ -404,6 +413,7 @@ func (n *Network) scheduleDelivery(pkt []byte, pb *Packet, p PathParams, seriali
 	}
 	if p.Reorder > 0 && n.rng.Bool(p.Reorder) {
 		delay = p.Delay / 4
+		n.observe(OpReorder, pkt)
 	}
 	n.nm.pathDelay.Observe(int64(delay))
 	ev := n.newEvent()
@@ -478,6 +488,7 @@ func (n *Network) dispatch(ev *event) {
 	if _, err := wire.DecodeIPv4Into(&hdr, ev.pkt); err != nil {
 		n.stats.PacketsLost++
 		n.nm.packetsLost.Inc()
+		n.observe(OpDropMalformed, ev.pkt)
 		return
 	}
 	node := n.nodes[hdr.Dst]
@@ -490,12 +501,14 @@ func (n *Network) dispatch(ev *event) {
 	if node == nil {
 		n.stats.PacketsNoRoute++
 		n.nm.packetsNoRoute.Inc()
+		n.observe(OpDropNoRoute, ev.pkt)
 		return
 	}
 	n.stats.PacketsDelivered++
 	n.stats.BytesDelivered += int64(len(ev.pkt))
 	n.nm.packetsDelivered.Inc()
 	n.nm.bytesDelivered.Add(int64(len(ev.pkt)))
+	n.observe(OpDeliver, ev.pkt)
 	node.HandlePacket(ev.pkt)
 }
 

@@ -1,0 +1,89 @@
+package netsim
+
+import "iwscan/internal/wire"
+
+// PacketOp identifies one observable moment in a packet's life inside
+// the simulated network. The drop ops name the exact mechanism that
+// ended the packet — loss vs. filter vs. MTU vs. queue overflow are
+// very different stories when reconstructing why an estimator
+// misjudged a host.
+type PacketOp uint8
+
+// Packet lifecycle operations, in rough hot-path order.
+const (
+	OpSend          PacketOp = iota // packet accepted into the network
+	OpDeliver                       // packet handed to the destination node
+	OpDropMalformed                 // undecodable IPv4 datagram discarded
+	OpDropFilter                    // dropped by an installed Filter
+	OpDropMTU                       // exceeded the path MTU
+	OpDropLoss                      // random path loss
+	OpDropQueue                     // tail drop at a bottleneck link
+	OpDropNoRoute                   // no node answers the destination
+	OpReorder                       // delivery jumped the queue (Delay/4)
+	OpDuplicate                     // extra copy injected by the path
+)
+
+var packetOpNames = [...]string{
+	OpSend:          "send",
+	OpDeliver:       "deliver",
+	OpDropMalformed: "drop(malformed)",
+	OpDropFilter:    "drop(filter)",
+	OpDropMTU:       "drop(mtu)",
+	OpDropLoss:      "drop(loss)",
+	OpDropQueue:     "drop(queue)",
+	OpDropNoRoute:   "drop(noroute)",
+	OpReorder:       "reorder",
+	OpDuplicate:     "duplicate",
+}
+
+func (op PacketOp) String() string {
+	if int(op) < len(packetOpNames) {
+		return packetOpNames[op]
+	}
+	return "op(?)"
+}
+
+// Dropped reports whether the operation ends the packet's life without
+// delivery.
+func (op PacketOp) Dropped() bool {
+	return op >= OpDropMalformed && op <= OpDropNoRoute
+}
+
+// Observer receives low-overhead notifications about packet lifecycle
+// events and free-form annotations from endpoints (the flight recorder
+// in internal/flight implements it). Constraints on implementations:
+//
+//   - PacketEvent must not retain pkt — buffers are pool-owned and are
+//     recycled immediately after the call (copy what you need).
+//   - Callbacks run synchronously on the simulation goroutine and must
+//     not call back into the Network or draw from its RNG; observation
+//     must never perturb event ordering or RNG draw order, so golden
+//     scan outputs stay byte-identical with an observer attached.
+type Observer interface {
+	// PacketEvent reports op happening to pkt (a complete IPv4
+	// datagram) at virtual time at. For OpReorder and OpDuplicate the
+	// packet is also reported separately as OpSend/OpDeliver; these ops
+	// annotate the anomaly itself.
+	PacketEvent(op PacketOp, at Time, pkt []byte)
+	// Note reports an endpoint-level annotation on the src→dst
+	// conversation (e.g. the simulated server's TCP stack announcing
+	// the congestion window it chose). note must be a static string;
+	// a and b carry event-specific integer arguments.
+	Note(at Time, src, dst wire.Addr, note string, a, b int64)
+}
+
+// SetObserver attaches o to the network (nil detaches). Only one
+// observer can be attached; the hot path pays a single nil check when
+// no observer is present.
+func (n *Network) SetObserver(o Observer) { n.obs = o }
+
+// Observer returns the attached observer, or nil. Endpoints use this
+// to emit Notes without holding their own reference.
+func (n *Network) Observer() Observer { return n.obs }
+
+// observe reports a packet lifecycle event to the attached observer.
+func (n *Network) observe(op PacketOp, pkt []byte) {
+	if n.obs != nil {
+		n.obs.PacketEvent(op, n.now, pkt)
+	}
+}

@@ -1,0 +1,174 @@
+package netsim
+
+import (
+	"testing"
+
+	"iwscan/internal/wire"
+)
+
+// opLog records every observer callback in order.
+type opLog struct {
+	ops   []PacketOp
+	at    []Time
+	notes []string
+}
+
+func (l *opLog) PacketEvent(op PacketOp, at Time, pkt []byte) {
+	l.ops = append(l.ops, op)
+	l.at = append(l.at, at)
+}
+
+func (l *opLog) Note(at Time, src, dst wire.Addr, note string, a, b int64) {
+	l.notes = append(l.notes, note)
+}
+
+func TestObserverSendDeliverSequence(t *testing.T) {
+	n := New(1)
+	log := &opLog{}
+	n.SetObserver(log)
+	dst := wire.MustParseAddr("10.0.0.2")
+	n.Register(dst, &captureNode{n: n})
+	n.SetPath(PathParams{Delay: 5 * Millisecond})
+	n.Send(mkPkt(wire.MustParseAddr("10.0.0.1"), dst, []byte("x"), false))
+	n.RunUntilIdle()
+	want := []PacketOp{OpSend, OpDeliver}
+	if len(log.ops) != len(want) || log.ops[0] != want[0] || log.ops[1] != want[1] {
+		t.Fatalf("ops = %v, want %v", log.ops, want)
+	}
+	if log.at[0] != 0 || log.at[1] != 5*Millisecond {
+		t.Fatalf("event times = %v, want [0 5ms]", log.at)
+	}
+}
+
+func TestObserverDropOps(t *testing.T) {
+	t.Run("loss", func(t *testing.T) {
+		n := New(1)
+		log := &opLog{}
+		n.SetObserver(log)
+		dst := wire.MustParseAddr("10.0.0.2")
+		n.Register(dst, &captureNode{n: n})
+		n.SetPath(PathParams{Loss: 1})
+		n.Send(mkPkt(1, dst, []byte("x"), false))
+		n.RunUntilIdle()
+		if len(log.ops) != 2 || log.ops[0] != OpSend || log.ops[1] != OpDropLoss {
+			t.Fatalf("ops = %v, want [send drop(loss)]", log.ops)
+		}
+	})
+	t.Run("noroute", func(t *testing.T) {
+		n := New(1)
+		log := &opLog{}
+		n.SetObserver(log)
+		n.Send(mkPkt(1, 2, nil, false))
+		n.RunUntilIdle()
+		if len(log.ops) != 2 || log.ops[0] != OpSend || log.ops[1] != OpDropNoRoute {
+			t.Fatalf("ops = %v, want [send drop(noroute)]", log.ops)
+		}
+	})
+	t.Run("malformed", func(t *testing.T) {
+		n := New(1)
+		log := &opLog{}
+		n.SetObserver(log)
+		n.Send([]byte{1, 2, 3})
+		if len(log.ops) != 1 || log.ops[0] != OpDropMalformed {
+			t.Fatalf("ops = %v, want [drop(malformed)]", log.ops)
+		}
+	})
+}
+
+func TestObserverDuplicate(t *testing.T) {
+	n := New(1)
+	log := &opLog{}
+	n.SetObserver(log)
+	dst := wire.MustParseAddr("10.0.0.2")
+	c := &captureNode{n: n}
+	n.Register(dst, c)
+	n.SetPath(PathParams{Duplicate: 1})
+	n.Send(mkPkt(1, dst, []byte("x"), false))
+	n.RunUntilIdle()
+	if len(c.pkts) != 2 {
+		t.Fatalf("delivered %d packets, want the original plus its duplicate", len(c.pkts))
+	}
+	dups, delivers := 0, 0
+	for _, op := range log.ops {
+		switch op {
+		case OpDuplicate:
+			dups++
+		case OpDeliver:
+			delivers++
+		}
+	}
+	if dups != 1 || delivers != 2 {
+		t.Fatalf("ops = %v, want one duplicate and two delivers", log.ops)
+	}
+}
+
+func TestPacketOpStringsAndDropped(t *testing.T) {
+	cases := map[PacketOp]string{
+		OpSend:          "send",
+		OpDeliver:       "deliver",
+		OpDropLoss:      "drop(loss)",
+		OpDropNoRoute:   "drop(noroute)",
+		OpDropMalformed: "drop(malformed)",
+		OpReorder:       "reorder",
+		OpDuplicate:     "duplicate",
+	}
+	for op, want := range cases {
+		if op.String() != want {
+			t.Errorf("%d.String() = %q, want %q", op, op.String(), want)
+		}
+	}
+	for _, op := range []PacketOp{OpDropMalformed, OpDropFilter, OpDropMTU, OpDropLoss, OpDropQueue, OpDropNoRoute} {
+		if !op.Dropped() {
+			t.Errorf("%v.Dropped() = false", op)
+		}
+	}
+	for _, op := range []PacketOp{OpSend, OpDeliver, OpReorder, OpDuplicate} {
+		if op.Dropped() {
+			t.Errorf("%v.Dropped() = true", op)
+		}
+	}
+}
+
+// adversityRun pushes a batch of packets through a lossy, reordering,
+// duplicating path and returns the network plus the delivery log.
+func adversityRun(obs Observer) (*Network, *captureNode) {
+	n := New(42)
+	if obs != nil {
+		n.SetObserver(obs)
+	}
+	dst := wire.MustParseAddr("10.0.0.2")
+	c := &captureNode{n: n}
+	n.Register(dst, c)
+	n.SetPath(PathParams{
+		Delay: 10 * Millisecond, Jitter: 3 * Millisecond,
+		Loss: 0.3, Reorder: 0.2, Duplicate: 0.2,
+	})
+	src := wire.MustParseAddr("10.0.0.1")
+	for i := 0; i < 200; i++ {
+		n.Send(mkPkt(src, dst, []byte{byte(i)}, false))
+	}
+	n.RunUntilIdle()
+	return n, c
+}
+
+// TestObserverDoesNotPerturb is the golden-scan guarantee at netsim
+// level: attaching an observer must not change a single RNG draw, so
+// delivery order, timing and every counter stay identical.
+func TestObserverDoesNotPerturb(t *testing.T) {
+	bare, bareLog := adversityRun(nil)
+	obs, obsLog := adversityRun(&opLog{})
+	if bare.Stats() != obs.Stats() {
+		t.Fatalf("stats diverge:\nbare: %+v\nobs:  %+v", bare.Stats(), obs.Stats())
+	}
+	if len(bareLog.pkts) != len(obsLog.pkts) {
+		t.Fatalf("delivered %d vs %d packets", len(bareLog.pkts), len(obsLog.pkts))
+	}
+	for i := range bareLog.pkts {
+		if bareLog.at[i] != obsLog.at[i] {
+			t.Fatalf("packet %d delivered at %v vs %v", i, bareLog.at[i], obsLog.at[i])
+		}
+		if string(bareLog.pkts[i]) != string(obsLog.pkts[i]) {
+			t.Fatalf("packet %d contents diverge", i)
+		}
+	}
+}

@@ -595,10 +595,21 @@ func (c *Conn) establish(tcp *wire.TCPHeader) {
 		iw = *c.iw
 	}
 	c.cwnd = iw.IW(c.effMSS)
+	c.note("tcp.established", int64(c.effMSS), int64(c.cwnd))
 	c.retxTimer.Cancel()
 	c.retries = 0
 	c.rto = c.host.cfg.RTO
 	c.session = c.app.NewSession(c)
+}
+
+// note reports a stack-level annotation on this connection to the
+// network observer, if one is attached. These are the server's side of
+// the story — the ground truth the flight recorder lines up against
+// what the estimator inferred. note must be a static string.
+func (c *Conn) note(note string, a, b int64) {
+	if o := c.host.net.Observer(); o != nil {
+		o.Note(c.host.net.Now(), c.host.addr, c.key.peer, note, a, b)
+	}
 }
 
 // processAck handles the acknowledgment and window fields.
@@ -771,6 +782,12 @@ func (c *Conn) trySend() {
 		if wnd := c.peerWnd - c.inflightBytes; wnd < room {
 			room = wnd
 		}
+		if room <= 0 {
+			// The FIN is gated by an exhausted window — the very signal
+			// the estimator keys on (§3.3: FIN present means IW not
+			// exhausted). Worth a line in the flight recorder.
+			c.note("tcp.fin_blocked", int64(c.cwnd-c.inflightBytes), int64(c.peerWnd-c.inflightBytes))
+		}
 		if room > 0 {
 			c.sendData(c.sndNxt, nil, true, true)
 			c.finSent = true
@@ -834,6 +851,7 @@ func (c *Conn) onRetxTimeout() {
 	c.host.stats.Retransmits++
 	switch {
 	case c.state == stateSynRcvd:
+		c.note("tcp.rto_synack", int64(c.retries), int64(c.rto))
 		c.sendSynAck()
 	case c.inflightBytes > 0:
 		// First unacked data segment.
@@ -841,11 +859,13 @@ func (c *Conn) onRetxTimeout() {
 		if size > c.inflightBytes {
 			size = c.inflightBytes
 		}
+		c.note("tcp.rto_retransmit", int64(c.retries), int64(c.sndUna-c.iss))
 		// The retransmitted first segment carries the FIN only when it
 		// is also the last (FIN was piggybacked on it originally).
 		fin := c.finSent && size == c.inflightBytes && c.inflightBytes == len(c.sndQueue)
 		c.sendData(c.sndUna, c.sndQueue[:size], fin, size == c.inflightBytes)
 	case c.finSent && !c.finAcked:
+		c.note("tcp.rto_fin", int64(c.retries), int64(c.rto))
 		c.sendData(c.sndNxt-1, nil, true, true)
 	default:
 		// Nothing outstanding; stop the timer chain.

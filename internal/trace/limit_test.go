@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"iwscan/internal/metrics"
+	"iwscan/internal/netsim"
+	"iwscan/internal/wire"
+)
+
+func encPkt(src, dst wire.Addr) []byte {
+	h := &wire.IPv4Header{Protocol: wire.ProtoTCP, Src: src, Dst: dst}
+	return wire.EncodeIPv4(nil, h, []byte("payload"))
+}
+
+func TestLimitCountsDrops(t *testing.T) {
+	reg := metrics.NewRegistry()
+	rec := NewRecorder().Limit(3).BindMetrics(reg)
+	f := rec.Filter()
+	pkt := encPkt(cliAddr, srvAddr)
+	for i := 0; i < 10; i++ {
+		f(netsim.Time(i)*netsim.Millisecond, pkt)
+	}
+	if len(rec.Packets()) != 3 {
+		t.Fatalf("captured %d packets, want 3", len(rec.Packets()))
+	}
+	if rec.Dropped() != 7 {
+		t.Fatalf("Dropped() = %d, want 7", rec.Dropped())
+	}
+	if got := reg.Counter("trace.capture_dropped").Value(); got != 7 {
+		t.Fatalf("trace.capture_dropped = %d, want 7", got)
+	}
+}
+
+func TestLimitDropsOnlyMatchingPackets(t *testing.T) {
+	other := wire.MustParseAddr("203.0.113.9")
+	rec := NewRecorder().Limit(1).FilterHost(srvAddr)
+	f := rec.Filter()
+	f(0, encPkt(cliAddr, srvAddr))
+	// Non-matching traffic past the cap is not a capture loss.
+	f(0, encPkt(cliAddr, other))
+	f(0, encPkt(srvAddr, cliAddr))
+	if rec.Dropped() != 1 {
+		t.Fatalf("Dropped() = %d, want 1 (only the matching overflow)", rec.Dropped())
+	}
+}
+
+func TestDumpLeadsWithTruncationHeader(t *testing.T) {
+	rec := NewRecorder().Limit(2)
+	f := rec.Filter()
+	pkt := encPkt(cliAddr, srvAddr)
+	for i := 0; i < 5; i++ {
+		f(0, pkt)
+	}
+	var buf bytes.Buffer
+	if err := rec.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "# capture truncated: 2 packets recorded, 3 dropped after limit 2\n"
+	if !bytes.HasPrefix(buf.Bytes(), []byte(want)) {
+		t.Fatalf("dump header = %q, want prefix %q", buf.String(), want)
+	}
+
+	// A capture within its limit carries no header.
+	rec2 := NewRecorder().Limit(10)
+	rec2.Filter()(0, pkt)
+	buf.Reset()
+	if err := rec2.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.HasPrefix(buf.Bytes(), []byte("#")) {
+		t.Fatalf("unexpected truncation header on a complete capture: %q", buf.String())
+	}
+}
+
+func TestAddHonorsLimit(t *testing.T) {
+	rec := NewRecorder().Limit(2)
+	for i := 0; i < 4; i++ {
+		rec.Add(netsim.Time(i), []byte{byte(i)})
+	}
+	if len(rec.Packets()) != 2 || rec.Dropped() != 2 {
+		t.Fatalf("got %d packets, %d dropped; want 2 and 2", len(rec.Packets()), rec.Dropped())
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"io"
 	"strings"
 
+	"iwscan/internal/metrics"
 	"iwscan/internal/netsim"
 	"iwscan/internal/tlssim"
 	"iwscan/internal/wire"
@@ -24,9 +25,11 @@ type Captured struct {
 
 // Recorder collects packets matching an optional address filter.
 type Recorder struct {
-	match func(src, dst wire.Addr) bool
-	pkts  []Captured
-	max   int
+	match   func(src, dst wire.Addr) bool
+	pkts    []Captured
+	max     int
+	dropped int64
+	dropCtr *metrics.Counter // optional; see BindMetrics
 }
 
 // NewRecorder records every packet. Use Limit and FilterHost to narrow.
@@ -34,10 +37,41 @@ func NewRecorder() *Recorder {
 	return &Recorder{max: 1 << 20}
 }
 
-// Limit caps the number of recorded packets (default ~1M).
+// Limit caps the number of recorded packets (default ~1M). Packets
+// that match the filter but arrive past the cap are counted as dropped
+// rather than vanishing silently; see Dropped.
 func (r *Recorder) Limit(n int) *Recorder {
 	r.max = n
 	return r
+}
+
+// BindMetrics exposes the recorder's drop count as the counter
+// "trace.capture_dropped" in reg, so a capture that silently hit its
+// Limit shows up in the scan's metrics snapshot.
+func (r *Recorder) BindMetrics(reg *metrics.Registry) *Recorder {
+	r.dropCtr = reg.Counter("trace.capture_dropped")
+	return r
+}
+
+// Dropped returns how many matching packets were discarded because the
+// capture had already reached its Limit.
+func (r *Recorder) Dropped() int64 { return r.dropped }
+
+// Add records one packet directly (outside the netsim filter path),
+// honoring the capture limit. The data is copied.
+func (r *Recorder) Add(at netsim.Time, data []byte) {
+	if len(r.pkts) >= r.max {
+		r.drop()
+		return
+	}
+	r.pkts = append(r.pkts, Captured{At: at, Data: append([]byte(nil), data...)})
+}
+
+func (r *Recorder) drop() {
+	r.dropped++
+	if r.dropCtr != nil {
+		r.dropCtr.Inc()
+	}
 }
 
 // FilterHost records only packets to or from addr.
@@ -58,14 +92,17 @@ func (r *Recorder) FilterPair(a, b wire.Addr) *Recorder {
 // with Network.AddFilter. It never drops packets.
 func (r *Recorder) Filter() netsim.Filter {
 	return func(now netsim.Time, pkt []byte) netsim.Verdict {
-		if len(r.pkts) >= r.max {
-			return netsim.VerdictPass
-		}
 		if r.match != nil {
 			ip, _, err := wire.DecodeIPv4(pkt)
 			if err != nil || !r.match(ip.Src, ip.Dst) {
 				return netsim.VerdictPass
 			}
+		}
+		if len(r.pkts) >= r.max {
+			// Past the cap: count the drop (only for packets that would
+			// have been captured) instead of losing it silently.
+			r.drop()
+			return netsim.VerdictPass
 		}
 		r.pkts = append(r.pkts, Captured{At: now, Data: append([]byte(nil), pkt...)})
 		return netsim.VerdictPass
@@ -197,8 +234,16 @@ func FormatPacket(p Captured) string {
 	}
 }
 
-// Dump renders the whole capture, one line per packet.
+// Dump renders the whole capture, one line per packet. A capture that
+// overflowed its Limit leads with a header naming the shortfall, so a
+// truncated text dump is never mistaken for the full packet story.
 func (r *Recorder) Dump(w io.Writer) error {
+	if r.dropped > 0 {
+		if _, err := fmt.Fprintf(w, "# capture truncated: %d packets recorded, %d dropped after limit %d\n",
+			len(r.pkts), r.dropped, r.max); err != nil {
+			return err
+		}
+	}
 	for _, p := range r.pkts {
 		if _, err := fmt.Fprintln(w, FormatPacket(p)); err != nil {
 			return err

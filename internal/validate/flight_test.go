@@ -1,0 +1,72 @@
+package validate
+
+import (
+	"strings"
+	"testing"
+
+	"iwscan/internal/analysis"
+	"iwscan/internal/core"
+	"iwscan/internal/experiments"
+	"iwscan/internal/flight"
+	"iwscan/internal/inet"
+)
+
+// TestFlightFreezeJoinsOracleVerdict runs a scan with the ground-truth
+// oracle as the flight classifier — the exact wiring cmd/iwscan uses —
+// and checks frozen records carry oracle-taxonomy verdicts.
+func TestFlightFreezeJoinsOracleVerdict(t *testing.T) {
+	u := inet.NewInternet2017(77)
+	oracle := NewOracle(u, 64)
+	fr := flight.NewRecorder(flight.Config{Triggers: map[string]bool{"exact": true}})
+	res := experiments.RunScan(u, experiments.ScanConfig{
+		Seed: 5, Strategy: core.StrategyHTTP, SampleFraction: 0.002,
+		Flight: fr,
+		FlightClassify: func(r *analysis.Record) (string, string) {
+			truth := oracle.TruthFor(*r)
+			return Classify(truth, r).String(), "joined"
+		},
+	})
+	if fr.TotalFrozen() == 0 {
+		t.Fatalf("no exact-verdict records frozen across %d probes", len(res.Records))
+	}
+	// Every frozen record's verdict agrees with an independent re-join
+	// of the final record set.
+	byAddr := make(map[string]analysis.Record)
+	for _, r := range res.Records {
+		byAddr[r.Addr.String()] = r
+	}
+	for _, rec := range fr.Records() {
+		if rec.Verdict != "exact" || rec.Trigger != "verdict" || rec.Detail != "joined" {
+			t.Fatalf("record = verdict %q trigger %q detail %q", rec.Verdict, rec.Trigger, rec.Detail)
+		}
+		r, ok := byAddr[rec.Target]
+		if !ok {
+			t.Fatalf("frozen target %s not in the scan's record set", rec.Target)
+		}
+		if v := Classify(oracle.TruthFor(r), &r); v != VerdictExact {
+			t.Fatalf("re-join of %s gives %v, recorder froze exact", rec.Target, v)
+		}
+	}
+}
+
+func TestVerdictNamesCoverTaxonomy(t *testing.T) {
+	names := VerdictNames()
+	if len(names) != int(numVerdicts) {
+		t.Fatalf("%d names for %d verdicts", len(names), numVerdicts)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if n == "" || strings.HasPrefix(n, "verdict(") {
+			t.Fatalf("unnamed verdict in %v", names)
+		}
+		if seen[n] {
+			t.Fatalf("duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+	for _, want := range []string{"exact", "ghost", "byte-limit-misread", "missed"} {
+		if !seen[want] {
+			t.Fatalf("taxonomy missing %q: %v", want, names)
+		}
+	}
+}

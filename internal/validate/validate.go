@@ -107,6 +107,17 @@ func (v Verdict) String() string {
 	}
 }
 
+// VerdictNames returns every verdict name in declaration order — the
+// vocabulary accepted by anomaly-trigger flags like iwscan's
+// -flight-on.
+func VerdictNames() []string {
+	out := make([]string, numVerdicts)
+	for v := Verdict(0); v < numVerdicts; v++ {
+		out[int(v)] = v.String()
+	}
+	return out
+}
+
 // Oracle answers ground-truth queries for one universe at one announced
 // MSS (the scan's primary MSS, 64 by default).
 type Oracle struct {
