@@ -15,9 +15,9 @@ FUZZ_TIME ?= 3s
 # Packages with native fuzz targets (Fuzz* functions).
 FUZZ_PKGS := ./internal/wire ./internal/output ./internal/httpsim ./internal/tlssim
 
-.PHONY: check fmt vet build test race bench bench-check bench-refresh bench-smoke fuzz-smoke flight-smoke validate-smoke validate-sweep
+.PHONY: check fmt vet build test race bench bench-check bench-refresh bench-smoke fuzz-smoke flight-smoke telemetry-smoke validate-smoke validate-sweep
 
-check: fmt vet build test race flight-smoke validate-smoke
+check: fmt vet build test race flight-smoke telemetry-smoke validate-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -43,7 +43,8 @@ test:
 race:
 	$(GO) test -race ./internal/metrics/... ./internal/core/... \
 		./internal/scanner/... ./internal/output/... ./internal/experiments/... \
-		./internal/netsim/... ./internal/tcpstack/... ./internal/flight/...
+		./internal/netsim/... ./internal/tcpstack/... ./internal/flight/... \
+		./internal/timeseries/...
 
 # bench runs the canonical fixed-seed benchmark harness (cmd/iwbench)
 # and writes $(VALIDATE_OUT)/BENCH_scan.json (ns/op, B/op, allocs/op,
@@ -96,6 +97,20 @@ flight-smoke:
 		-out /dev/null -q
 	$(GO) run ./cmd/iwtrace smoke $(VALIDATE_OUT)/flight
 	@$(GO) run ./cmd/iwtrace list $(VALIDATE_OUT)/flight
+
+# telemetry-smoke is the observability gate: a fixed-seed 4-shard scan
+# under tail loss streams its telemetry to
+# $(VALIDATE_OUT)/telemetry.jsonl (CI uploads it), then iwtrace
+# re-parses the stream and requires every line tagged, contiguous
+# per-shard sample indices, at least one sample from each of the four
+# shards, and at least one anomaly — tail loss at 0.3 reliably trips
+# the drop-spike detector.
+telemetry-smoke:
+	@mkdir -p $(VALIDATE_OUT)
+	$(GO) run ./cmd/iwscan -sample 0.02 -seed 3 -tail-loss 0.3 -parallel 4 \
+		-telemetry-out $(VALIDATE_OUT)/telemetry.jsonl -out /dev/null -q
+	$(GO) run ./cmd/iwtrace telemetry -shards 4 -require-anomaly \
+		$(VALIDATE_OUT)/telemetry.jsonl
 
 # validate-smoke is the ground-truth gate: scan a sample of the 2017
 # universe, require >= 99% oracle exact-match accuracy and zero bound

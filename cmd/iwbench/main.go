@@ -39,6 +39,11 @@ type Workload struct {
 	BytesPerOp   int64   `json:"bytes_per_op"`             // heap bytes allocated per op
 	AllocsPerOp  int64   `json:"allocs_per_op"`            // heap allocations per op
 	ProbesPerSec float64 `json:"probes_per_sec,omitempty"` // scan workloads only
+	// ShardProbesPerSec breaks the parallel scan workload's throughput
+	// down by shard (launched probes per second of wall time, measured
+	// over the same elapsed window). Uneven shards point at skew; evenly
+	// slow shards point at shared-resource contention.
+	ShardProbesPerSec []float64 `json:"shard_probes_per_sec,omitempty"`
 }
 
 // Report is the BENCH_scan.json document.
@@ -46,6 +51,12 @@ type Report struct {
 	Schema    string     `json:"schema"`
 	Go        string     `json:"go"`
 	Workloads []Workload `json:"workloads"`
+	// ScalingEfficiency is scan_parallel_4shard's probes/s over
+	// scan_serial_http's — the figure ROADMAP's open item 1 tracks.
+	// Perfect 4-way scaling would be 4.0; below 1.0 the parallel run is
+	// slower than serial. Gated like the per-workload numbers so the
+	// ratio cannot silently regress.
+	ScalingEfficiency float64 `json:"scaling_efficiency,omitempty"`
 }
 
 func main() {
@@ -68,12 +79,26 @@ func main() {
 		if v, ok := r.Extra["probes/s"]; ok {
 			wl.ProbesPerSec = v
 		}
+		if w.shards != nil {
+			wl.ShardProbesPerSec = append([]float64(nil), w.shards.rates...)
+		}
 		fmt.Printf("%12.1f ns/op %8d B/op %6d allocs/op", wl.NsPerOp, wl.BytesPerOp, wl.AllocsPerOp)
 		if wl.ProbesPerSec > 0 {
 			fmt.Printf(" %10.0f probes/s", wl.ProbesPerSec)
 		}
 		fmt.Println()
+		if len(wl.ShardProbesPerSec) > 0 {
+			fmt.Printf("  per shard:")
+			for i, r := range wl.ShardProbesPerSec {
+				fmt.Printf(" [%d] %.0f", i, r)
+			}
+			fmt.Println(" probes/s")
+		}
 		rep.Workloads = append(rep.Workloads, wl)
+	}
+	rep.ScalingEfficiency = scalingEfficiency(rep.Workloads)
+	if rep.ScalingEfficiency > 0 {
+		fmt.Printf("scaling efficiency (parallel/serial): %.2f\n", rep.ScalingEfficiency)
 	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
@@ -142,6 +167,12 @@ func compare(path string, fresh Report, tol float64) error {
 	for name := range byName {
 		failures = append(failures, fmt.Sprintf("workload %q not in baseline (refresh it)", name))
 	}
+	if base.ScalingEfficiency > 0 && fresh.ScalingEfficiency < base.ScalingEfficiency*(1-tol) {
+		failures = append(failures, fmt.Sprintf(
+			"scaling efficiency %.2f vs baseline %.2f (-%.0f%%)",
+			fresh.ScalingEfficiency, base.ScalingEfficiency,
+			100*(1-fresh.ScalingEfficiency/base.ScalingEfficiency)))
+	}
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintf(os.Stderr, "REGRESSION %s\n", f)
@@ -152,23 +183,50 @@ func compare(path string, fresh Report, tol float64) error {
 }
 
 type workload struct {
-	name string
-	fn   func(b *testing.B)
+	name   string
+	fn     func(b *testing.B)
+	shards *shardRates // non-nil for sharded scan workloads
+}
+
+// shardRates is the side channel a sharded benchmark fills in: per-shard
+// launched probes per second, from the final measured run. testing.Benchmark
+// only surfaces scalar Extra metrics, so the slice travels out of band.
+type shardRates struct {
+	rates []float64
+}
+
+// scalingEfficiency is scan_parallel_4shard's probes/s over
+// scan_serial_http's, or 0 when either workload is absent.
+func scalingEfficiency(ws []Workload) float64 {
+	var serial, parallel float64
+	for _, w := range ws {
+		switch w.Name {
+		case "scan_serial_http":
+			serial = w.ProbesPerSec
+		case "scan_parallel_4shard":
+			parallel = w.ProbesPerSec
+		}
+	}
+	if serial <= 0 || parallel <= 0 {
+		return 0
+	}
+	return parallel / serial
 }
 
 // workloads returns the fixed benchmark set. Order is the order they
 // appear in BENCH_scan.json.
 func workloads() []workload {
+	parShards := &shardRates{}
 	return []workload{
-		{"wire_encode_decode", benchWire},
-		{"netsim_delivery", benchNetsimDelivery},
-		{"scan_serial_http", benchScan(func() *experiments.ScanResult {
+		{name: "wire_encode_decode", fn: benchWire},
+		{name: "netsim_delivery", fn: benchNetsimDelivery},
+		{name: "scan_serial_http", fn: benchScan(func() *experiments.ScanResult {
 			return experiments.RunScan(inet.NewInternet2017(55), serialCfg())
 		})},
-		{"scan_parallel_4shard", benchScan(func() *experiments.ScanResult {
+		{name: "scan_parallel_4shard", shards: parShards, fn: benchScanSharded(parShards, func() *experiments.ScanResult {
 			return experiments.RunScanParallel(inet.NewInternet2017(55), serialCfg(), 4)
 		})},
-		{"scan_adversity", benchScan(func() *experiments.ScanResult {
+		{name: "scan_adversity", fn: benchScan(func() *experiments.ScanResult {
 			cfg := serialCfg()
 			cfg.Path = &netsim.PathParams{
 				Delay: 10 * netsim.Millisecond, Jitter: 2 * netsim.Millisecond,
@@ -259,6 +317,37 @@ func benchScan(run func() *experiments.ScanResult) func(b *testing.B) {
 		}
 		if secs := b.Elapsed().Seconds(); secs > 0 {
 			b.ReportMetric(float64(probes)/secs, "probes/s")
+		}
+	}
+}
+
+// benchScanSharded is benchScan plus the per-shard breakdown: it
+// accumulates each shard's launched count across iterations and divides
+// by the same elapsed window probes/s uses. testing.Benchmark calls fn
+// several times while sizing b.N; resetting the accumulator at entry
+// makes the final (measured) run the one that lands in the report.
+func benchScanSharded(out *shardRates, run func() *experiments.ScanResult) func(b *testing.B) {
+	return func(b *testing.B) {
+		out.rates = nil
+		var launched []int64
+		b.ReportAllocs()
+		b.ResetTimer()
+		var probes int64
+		for i := 0; i < b.N; i++ {
+			r := run()
+			probes += r.Scan.ProbesStarted
+			for s, eng := range r.ShardEngines {
+				if s >= len(launched) {
+					launched = append(launched, 0)
+				}
+				launched[s] += eng.Launched
+			}
+		}
+		if secs := b.Elapsed().Seconds(); secs > 0 {
+			b.ReportMetric(float64(probes)/secs, "probes/s")
+			for _, n := range launched {
+				out.rates = append(out.rates, float64(n)/secs)
+			}
 		}
 	}
 }

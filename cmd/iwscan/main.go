@@ -21,6 +21,13 @@
 //	iwscan -sample 0.01 -metrics-out m.json    # dump the telemetry snapshot
 //	iwscan -sample 0.01 -retries 2             # re-probe timed-out targets twice
 //
+// Time-series telemetry (per-shard interval samples plus anomaly
+// detection — stalls, retry storms, drop spikes, shard skew):
+//
+//	iwscan -sample 0.01 -telemetry-out scan.tsl            # JSONL stream
+//	iwscan -sample 0.1 -parallel 4 -debug-addr :6060       # live /timeseries + /dash
+//	iwscan -sample 0.01 -tail-loss 0.3 -telemetry-out t.tsl -status-interval 1s
+//
 // Forensics (per-probe flight recorder, see cmd/iwtrace to read records):
 //
 //	iwscan -sample 0.01 -loss 0.02 -flight-dir fr -flight-on ghost,byte-limit-misread
@@ -60,6 +67,7 @@ import (
 	"iwscan/internal/netsim"
 	"iwscan/internal/output"
 	"iwscan/internal/scanner"
+	"iwscan/internal/timeseries"
 	"iwscan/internal/trace"
 	"iwscan/internal/validate"
 	"iwscan/internal/wire"
@@ -100,9 +108,11 @@ func main() {
 		flightSample = flag.Float64("flight-sample", 0, "additionally freeze this deterministic fraction of all probes (0..1)")
 		flightMax    = flag.Int("flight-max", 50, "stop writing records to -flight-dir after this many (0 = unlimited)")
 		traceHost    = flag.String("trace-host", "", "comma-separated addresses whose probes are always frozen, whatever the verdict")
-		debugAddr    = flag.String("debug-addr", "", "serve a live debug endpoint on this address (pprof, expvar, /metrics, /flight)")
+		debugAddr    = flag.String("debug-addr", "", "serve a live debug endpoint on this address (pprof, expvar, /metrics, /flight, /timeseries, /dash)")
 		tailLoss     = flag.Float64("tail-loss", 0, "deterministic bursty tail-loss probability (drops trailing short segments)")
 		reorderP     = flag.Float64("reorder", 0, "per-packet reordering probability on the path")
+		telemOut     = flag.String("telemetry-out", "", "stream time-series telemetry to this file (JSONL, one line per interval sample or anomaly; appends under -resume)")
+		telemIv      = flag.Duration("telemetry-interval", 0, "virtual-time cadence between telemetry samples (0 = 100ms default)")
 	)
 	flag.Parse()
 
@@ -141,15 +151,19 @@ func main() {
 		if *ckPath != "" || *resume != "" {
 			fatalf("-checkpoint/-resume track one engine per process; distribute with -shard/-shards across separate runs instead of -parallel")
 		}
-		if flightEnabled || *debugAddr != "" {
-			fatalf("the flight recorder and -debug-addr observe one simulation; they are incompatible with -parallel")
+		// Only the flight recorder genuinely requires serial mode (it
+		// binds one simulation's observer slot). The debug server and the
+		// telemetry store are shard-aware: each shard attaches its own
+		// registry and sampler, and the endpoints serve the merged view.
+		if flightEnabled {
+			fatalf("the flight recorder observes one simulation; it is incompatible with -parallel (the shard-aware -debug-addr and -telemetry-out work fine)")
 		}
 	}
 	if *alexa > 0 && (*ckPath != "" || *resume != "" || *tlimit > 0) {
 		fatalf("-checkpoint/-resume/-time-limit apply to address-space scans, not -alexa list scans")
 	}
-	if *alexa > 0 && (flightEnabled || *debugAddr != "") {
-		fatalf("the flight recorder and -debug-addr apply to address-space scans, not -alexa list scans")
+	if *alexa > 0 && (flightEnabled || *debugAddr != "" || *telemOut != "") {
+		fatalf("the flight recorder, -debug-addr and -telemetry-out apply to address-space scans, not -alexa list scans")
 	}
 	if *flightSample < 0 || *flightSample > 1 {
 		fatalf("-flight-sample %v out of range: want 0 <= f <= 1", *flightSample)
@@ -225,7 +239,7 @@ func main() {
 		if err != nil {
 			fatalf("-debug-addr: %v", err)
 		}
-		fmt.Fprintf(os.Stderr, "iwscan: debug endpoint at http://%s/ (pprof, expvar, /metrics, /flight)\n", ln.Addr())
+		fmt.Fprintf(os.Stderr, "iwscan: debug endpoint at http://%s/ (pprof, expvar, /metrics, /flight, /timeseries, /dash)\n", ln.Addr())
 		go http.Serve(ln, dbg.Handler())
 	}
 
@@ -257,6 +271,29 @@ func main() {
 		fatalf("%v", err)
 	}
 	sink := output.NewAsyncSink(fileSink, 4096)
+
+	// Time-series telemetry: armed by -telemetry-out (JSONL stream) or
+	// implicitly whenever the debug endpoint is up, so /timeseries and
+	// /dash have data to serve.
+	var ts *timeseries.Store
+	var telemFile *os.File
+	if *alexa == 0 && (*telemOut != "" || *telemIv > 0 || dbg != nil) {
+		ts = timeseries.NewStore(timeseries.Config{Interval: netsim.Time(*telemIv)})
+		if *telemOut != "" {
+			tflags := os.O_WRONLY | os.O_CREATE
+			if *resume != "" {
+				tflags |= os.O_APPEND // stream stays valid across resumes
+			} else {
+				tflags |= os.O_TRUNC
+			}
+			f, err := os.OpenFile(*telemOut, tflags, 0o644)
+			if err != nil {
+				fatalf("-telemetry-out: %v", err)
+			}
+			telemFile = f
+			ts.StreamJSONL(f)
+		}
+	}
 
 	var res *experiments.ScanResult
 	if *alexa > 0 {
@@ -317,7 +354,13 @@ func main() {
 			}
 		}
 		if *tailLoss > 0 {
-			cfg.Filters = append(cfg.Filters, netsim.TailLossFilter(*seed, *tailLoss))
+			// A factory, not a shared instance: the filter keeps per-flow
+			// state, and under -parallel each shard runs its own
+			// simulation concurrently, so each must build its own copy.
+			tlSeed, tlP := *seed, *tailLoss
+			cfg.FilterFactories = append(cfg.FilterFactories, func() netsim.Filter {
+				return netsim.TailLossFilter(tlSeed, tlP)
+			})
 		}
 		if fr != nil {
 			cfg.Flight = fr
@@ -338,6 +381,9 @@ func main() {
 		if dbg != nil {
 			cfg.Debug = dbg
 		}
+		if ts != nil {
+			cfg.Timeseries = ts
+		}
 		if *parallel > 1 {
 			res, err = experiments.RunScanParallelChecked(u, cfg, *parallel)
 		} else {
@@ -356,6 +402,35 @@ func main() {
 	if outFile != os.Stdout {
 		if err := outFile.Close(); err != nil {
 			fatalf("closing %s: %v", *out, err)
+		}
+	}
+
+	if ts != nil {
+		if err := ts.CloseStream(); err != nil {
+			fatalf("writing telemetry: %v", err)
+		}
+		if telemFile != nil {
+			if err := telemFile.Close(); err != nil {
+				fatalf("closing %s: %v", *telemOut, err)
+			}
+		}
+		if !*quiet {
+			total, byKind, last := ts.AnomalySummary()
+			where := "served at /timeseries and /dash"
+			if *telemOut != "" {
+				where = "written to " + *telemOut
+			}
+			fmt.Fprintf(os.Stderr, "telemetry: %d samples %s\n", ts.TotalSamples(), where)
+			if total > 0 {
+				parts := make([]string, 0, len(byKind))
+				for _, k := range []string{timeseries.KindStall, timeseries.KindRetryStorm, timeseries.KindDropSpike, timeseries.KindShardSkew} {
+					if byKind[k] > 0 {
+						parts = append(parts, fmt.Sprintf("%s=%d", k, byKind[k]))
+					}
+				}
+				fmt.Fprintf(os.Stderr, "telemetry: %d anomalies (%s); last: %s\n",
+					total, strings.Join(parts, ", "), last.Detail)
+			}
 		}
 	}
 

@@ -25,6 +25,13 @@
 //	iwtrace smoke <dir>
 //	    CI guard: require at least one record in the directory and
 //	    validate every export. Exits nonzero otherwise.
+//
+//	iwtrace telemetry [-shards n] [-require-anomaly] <stream.jsonl>
+//	    Parse a -telemetry-out JSONL stream, verify its invariants
+//	    (every line tagged, per-shard sample indices contiguous,
+//	    -shards n shards each contributed at least one sample, and
+//	    with -require-anomaly at least one anomaly fired), then print
+//	    a per-shard summary. The make telemetry-smoke gate.
 package main
 
 import (
@@ -37,6 +44,7 @@ import (
 	"strings"
 
 	"iwscan/internal/flight"
+	"iwscan/internal/timeseries"
 )
 
 func main() {
@@ -59,6 +67,8 @@ func main() {
 		err = runDiff(args[1:])
 	case "smoke":
 		err = runSmoke(args[1:])
+	case "telemetry":
+		err = runTelemetry(args[1:])
 	default:
 		fmt.Fprintf(os.Stderr, "iwtrace: unknown mode %q\n\n", args[0])
 		usage()
@@ -77,6 +87,7 @@ func usage() {
   iwtrace validate <dir | record.flight.json ...>
   iwtrace diff <a.flight.json> <b.flight.json>
   iwtrace smoke <dir>
+  iwtrace telemetry [-shards n] [-require-anomaly] <stream.jsonl>
 `)
 }
 
@@ -344,4 +355,31 @@ func lcs(a, b []string) []match {
 		}
 	}
 	return out
+}
+
+// runTelemetry parses and verifies a -telemetry-out JSONL stream.
+func runTelemetry(args []string) error {
+	fs := flag.NewFlagSet("telemetry", flag.ExitOnError)
+	shards := fs.Int("shards", 0, "require at least one sample from each of n shards (0 = any)")
+	requireAnomaly := fs.Bool("require-anomaly", false, "fail unless at least one anomaly fired")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("telemetry wants exactly one stream file")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	samples, anomalies, err := timeseries.ReadJSONL(f)
+	if err != nil {
+		return err
+	}
+	if err := timeseries.VerifyStream(samples, anomalies, *shards, *requireAnomaly); err != nil {
+		return err
+	}
+	timeseries.SummarizeStream(os.Stdout, samples, anomalies)
+	return nil
 }

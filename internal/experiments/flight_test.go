@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"encoding/json"
+	"net/http/httptest"
 	"strings"
 	"testing"
 
@@ -95,7 +97,7 @@ func TestFlightConfigInCheckpointFingerprint(t *testing.T) {
 	}
 }
 
-func TestParallelRejectsFlightRecorder(t *testing.T) {
+func TestParallelFlightRejectedDebugAllowed(t *testing.T) {
 	u := inet.NewInternet2017(77)
 	cfg := ScanConfig{
 		Seed: 5, Strategy: core.StrategyHTTP, SampleFraction: 0.001,
@@ -105,10 +107,28 @@ func TestParallelRejectsFlightRecorder(t *testing.T) {
 		!strings.Contains(err.Error(), "per scan instance") {
 		t.Fatalf("parallel scan with flight recorder: err = %v, want rejection", err)
 	}
+	// The debug server, by contrast, is shard-aware: a parallel scan
+	// attaches one registry per shard and /metrics serves their merge.
 	cfg.Flight = nil
 	cfg.Debug = flight.NewDebugServer()
-	if _, err := RunScanParallelChecked(u, cfg, 2); err == nil {
-		t.Fatal("parallel scan with debug server not rejected")
+	res, err := RunScanParallelChecked(u, cfg, 2)
+	if err != nil {
+		t.Fatalf("parallel scan with debug server: %v", err)
+	}
+	req := httptest.NewRequest("GET", "/metrics.json", nil)
+	rw := httptest.NewRecorder()
+	cfg.Debug.Handler().ServeHTTP(rw, req)
+	if rw.Code != 200 {
+		t.Fatalf("/metrics.json after parallel scan: HTTP %d", rw.Code)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(rw.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("parsing merged snapshot: %v", err)
+	}
+	if got := snap.Counters["engine.launched"]; got != res.Engine.Launched {
+		t.Fatalf("merged snapshot launched = %d, want cross-shard sum %d", got, res.Engine.Launched)
 	}
 }
 

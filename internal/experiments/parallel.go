@@ -7,6 +7,7 @@ import (
 
 	"iwscan/internal/inet"
 	"iwscan/internal/output"
+	"iwscan/internal/timeseries"
 )
 
 // RunScanParallel runs one logical scan as several ZMap-style shards,
@@ -33,11 +34,19 @@ func RunScanParallelChecked(u *inet.Universe, cfg ScanConfig, shards int) (*Scan
 	if shards <= 1 {
 		return RunScanChecked(u, cfg)
 	}
-	if cfg.Flight != nil || cfg.Debug != nil {
-		// The flight recorder (and the debug endpoint that serves it) is
-		// bound to one simulation's observer slot and one scanner; shards
-		// would race on it. Forensics are a serial-scan tool.
+	if cfg.Flight != nil {
+		// The flight recorder is bound to one simulation's observer slot
+		// and one scanner; shards would race on it. Forensics are a
+		// serial-scan tool. The debug server, by contrast, is shard-aware
+		// (per-shard registries merged at snapshot time), so -debug-addr
+		// and telemetry work fine under parallel.
 		return nil, fmt.Errorf("the flight recorder is per scan instance; run serially or shard across separate runs")
+	}
+	if len(cfg.Filters) > 0 {
+		// A netsim.Filter may keep per-flow state (TailLossFilter does);
+		// sharing one instance across concurrently running simulations is
+		// a data race. FilterFactories builds a fresh instance per shard.
+		return nil, fmt.Errorf("cfg.Filters would be shared across concurrent shards; use FilterFactories instead")
 	}
 	if cfg.CheckpointPath != "" || cfg.Resume != nil {
 		// A checkpoint cursor is consistent with one engine's own output
@@ -90,8 +99,23 @@ func RunScanParallelChecked(u *inet.Universe, cfg ScanConfig, shards int) (*Scan
 		}
 	}
 
+	// The k-way merge's wait accounting tells the telemetry layer which
+	// shard the output stream was pacing behind.
+	if merge != nil && cfg.Timeseries != nil {
+		waits := merge.WaitStats()
+		tw := make([]timeseries.MergeWait, len(waits))
+		for i, w := range waits {
+			tw[i] = timeseries.MergeWait{
+				Shard: w.Shard, Writes: w.Writes, MaxQueued: w.MaxQueued,
+				Stalls: w.Stalls, BlockedNS: w.BlockedNS,
+			}
+		}
+		cfg.Timeseries.SetMergeWaits(tw)
+	}
+
 	merged := &ScanResult{}
 	for _, r := range results {
+		merged.ShardEngines = append(merged.ShardEngines, r.Engine)
 		merged.Records = append(merged.Records, r.Records...)
 		merged.Engine.Launched += r.Engine.Launched
 		merged.Engine.Completed += r.Engine.Completed
@@ -100,6 +124,7 @@ func RunScanParallelChecked(u *inet.Universe, cfg ScanConfig, shards int) (*Scan
 		merged.Net.PacketsSent += r.Net.PacketsSent
 		merged.Net.PacketsDelivered += r.Net.PacketsDelivered
 		merged.Net.PacketsDuplicated += r.Net.PacketsDuplicated
+		merged.Net.PacketsReordered += r.Net.PacketsReordered
 		merged.Net.PacketsLost += r.Net.PacketsLost
 		merged.Net.PacketsFiltered += r.Net.PacketsFiltered
 		merged.Net.PacketsNoRoute += r.Net.PacketsNoRoute

@@ -8,6 +8,7 @@ import (
 	"iwscan/internal/metrics"
 	"iwscan/internal/netsim"
 	"iwscan/internal/scanner"
+	"iwscan/internal/timeseries"
 )
 
 // statusTick is the virtual-time cadence at which the reporter checks
@@ -29,6 +30,7 @@ type statusReporter struct {
 
 	synAcks   *metrics.Counter
 	probes    *metrics.Counter
+	ts        *timeseries.Store
 	wallStart time.Time
 	lastWall  time.Time
 	lastSent  int64
@@ -38,7 +40,9 @@ type statusReporter struct {
 
 // startStatusReporter arms the reporter; call stop() when the scan
 // completes (it prints one final line so short scans still report).
-func startStatusReporter(w io.Writer, n *netsim.Network, eng *scanner.Engine, label string, interval time.Duration) *statusReporter {
+// With a timeseries store attached the line also carries the live
+// anomaly tally.
+func startStatusReporter(w io.Writer, n *netsim.Network, eng *scanner.Engine, label string, interval time.Duration, ts *timeseries.Store) *statusReporter {
 	now := time.Now()
 	r := &statusReporter{
 		w:         w,
@@ -48,6 +52,7 @@ func startStatusReporter(w io.Writer, n *netsim.Network, eng *scanner.Engine, la
 		interval:  interval,
 		synAcks:   n.Metrics().Counter("core.synacks"),
 		probes:    n.Metrics().Counter("core.probes_started"),
+		ts:        ts,
 		wallStart: now,
 		lastWall:  now,
 	}
@@ -99,9 +104,16 @@ func (r *statusReporter) print(wall time.Time) {
 	}
 	inFlight := st.Launched - st.Completed
 
-	fmt.Fprintf(r.w, "%s%s wall %v virt | %5.1f%% done | send %d (%s virt, %s wall) | hit %.1f%% | in-flight %d\n",
+	anom := ""
+	if r.ts != nil {
+		if total, _, last := r.ts.AnomalySummary(); total > 0 {
+			anom = fmt.Sprintf(" | anomalies %d (last: %s)", total, last.Kind)
+		}
+	}
+
+	fmt.Fprintf(r.w, "%s%s wall %v virt | %5.1f%% done | send %d (%s virt, %s wall) | hit %.1f%% | in-flight %d%s\n",
 		r.label, fmtWall(wall.Sub(r.wallStart)), virtElapsed, pct,
-		st.Launched, fmtRate(virtRate), fmtRate(wallRate), hit, inFlight)
+		st.Launched, fmtRate(virtRate), fmtRate(wallRate), hit, inFlight, anom)
 
 	r.lastWall = wall
 	r.lastSent = st.Launched

@@ -20,6 +20,7 @@ import (
 	"iwscan/internal/netsim"
 	"iwscan/internal/output"
 	"iwscan/internal/scanner"
+	"iwscan/internal/timeseries"
 	"iwscan/internal/trace"
 	"iwscan/internal/wire"
 )
@@ -79,6 +80,19 @@ type ScanConfig struct {
 	// Stateful filters must not be shared across parallel shards: each
 	// shard runs its own simulation concurrently.
 	Filters []netsim.Filter
+	// FilterFactories build additional filters inside each run, one
+	// fresh instance per simulation — the safe way to install stateful
+	// impairments (TailLossFilter keeps per-flow state) under
+	// RunScanParallel, where cfg.Filters would be shared across
+	// concurrently running shards.
+	FilterFactories []func() netsim.Filter
+	// Timeseries, when set, attaches a telemetry sampler to the run: the
+	// store's configured virtual-time cadence snapshots the registry into
+	// per-shard interval deltas, feeds the anomaly detector, and serves
+	// the debug server's /timeseries and /dash endpoints. Sampling is
+	// non-perturbing (no RNG draws, read-only callbacks), so golden
+	// outputs stay byte-identical with telemetry armed.
+	Timeseries *timeseries.Store
 	// Shard/Shards split the scan ZMap-style (0/0 = unsharded).
 	Shard, Shards uint64
 	// Blacklist excludes prefixes from probing.
@@ -174,6 +188,10 @@ type ScanResult struct {
 	// streaming pipeline's reorder buffer — the O(buffer) figure that
 	// replaces the old O(targets) accumulation when a Sink is used.
 	MaxBuffered int
+	// ShardEngines holds the per-shard engine stats of a parallel run
+	// (in shard order; empty for serial scans). Engine above is their
+	// sum — these are the inputs to per-shard rate and scaling analyses.
+	ShardEngines []scanner.Stats
 }
 
 // RunScan scans the universe's whole announced space with one strategy.
@@ -209,15 +227,21 @@ func RunScanChecked(u *inet.Universe, cfg ScanConfig) (*ScanResult, error) {
 	for _, f := range cfg.Filters {
 		n.AddFilter(f)
 	}
+	for _, mk := range cfg.FilterFactories {
+		n.AddFilter(mk())
+	}
 	sc := core.NewScanner(n, ScannerAddr, core.Config{Seed: cfg.Seed})
 	if cfg.Flight != nil {
 		cfg.Flight.Attach(n, ScannerAddr)
 		sc.SetFlight(cfg.Flight)
 	}
 	if cfg.Debug != nil {
-		cfg.Debug.SetRegistry(n.Metrics())
+		cfg.Debug.AttachShard(int(cfg.Shard), n.Metrics())
 		if cfg.Flight != nil {
 			cfg.Debug.SetRecorder(cfg.Flight)
+		}
+		if cfg.Timeseries != nil {
+			cfg.Debug.SetTimeseries(cfg.Timeseries)
 		}
 	}
 
@@ -299,6 +323,25 @@ func RunScanChecked(u *inet.Universe, cfg ScanConfig) (*ScanResult, error) {
 	}
 	eng = scanner.NewEngine(n, space, engCfg, launch)
 
+	// Telemetry sampler: rides the simulation like the status reporter
+	// and the checkpointer; stopped at engine finish (or after a time
+	// limit) so it never keeps RunUntilIdle alive. Its probes read
+	// single-threaded engine and sink state on the simulation goroutine.
+	var sampler *timeseries.Sampler
+	if cfg.Timeseries != nil {
+		sampler = timeseries.Attach(n, cfg.Timeseries, int(cfg.Shard))
+		sampler.AddProbe(func(set func(string, int64)) {
+			set("engine.frontier_lag", eng.FrontierLag())
+			set("engine.retry_queue", int64(eng.RetryQueueLen()))
+		})
+		if async, ok := cfg.Sink.(*output.AsyncSink); ok {
+			sampler.AddProbe(func(set func(string, int64)) {
+				set("sink.queue_depth", int64(async.Depth()))
+				set("sink.queue_cap", int64(async.Cap()))
+			})
+		}
+	}
+
 	writeCheckpoint := func(complete bool) error {
 		if err := base.Flush(); err != nil {
 			return err
@@ -330,6 +373,9 @@ func RunScanChecked(u *inet.Universe, cfg ScanConfig) (*ScanResult, error) {
 		if reporter != nil {
 			reporter.stop()
 		}
+		if sampler != nil {
+			sampler.Stop()
+		}
 		if ckTimer != nil {
 			ckTimer.Cancel()
 			ckTimer = nil
@@ -351,13 +397,18 @@ func RunScanChecked(u *inet.Universe, cfg ScanConfig) (*ScanResult, error) {
 		ckTimer = n.After(interval, tick)
 	}
 	if cfg.StatusInterval > 0 && cfg.StatusOut != nil {
-		reporter = startStatusReporter(cfg.StatusOut, n, eng, cfg.StatusLabel, cfg.StatusInterval)
+		reporter = startStatusReporter(cfg.StatusOut, n, eng, cfg.StatusLabel, cfg.StatusInterval, cfg.Timeseries)
 	}
 	eng.Start()
 	if cfg.TimeLimit > 0 {
 		n.Run(cfg.TimeLimit)
-		if !finished && reporter != nil {
-			reporter.stop()
+		if !finished {
+			if reporter != nil {
+				reporter.stop()
+			}
+			if sampler != nil {
+				sampler.Stop()
+			}
 		}
 	} else {
 		n.RunUntilIdle()

@@ -12,6 +12,7 @@ import (
 	"expvar"
 
 	"iwscan/internal/metrics"
+	"iwscan/internal/timeseries"
 )
 
 // DebugServer serves a live debug endpoint during a scan:
@@ -23,21 +24,27 @@ import (
 //	/metrics.json   JSON snapshot of the same registry
 //	/flight         frozen forensic records (summary list)
 //	/flight/<n>     one record; ?fmt=json|txt|trace selects the format
+//	/timeseries     telemetry document (per-shard series + anomalies)
+//	/dash           self-contained HTML sparkline dashboard
 //
-// The registry and recorder are attached once the scan constructs
-// them; until then the handlers answer 503. All handlers are safe to
-// hit mid-scan: the registry is atomic and the recorder's record list
-// is mutex-guarded.
+// The server is shard-aware: a parallel scan attaches one registry per
+// shard (AttachShard) and /metrics serves their merged snapshot, the
+// same merge an unsharded run would report. Registries, recorder and
+// timeseries store are attached once the scan constructs them; until
+// then the handlers answer 503. All handlers are safe to hit mid-scan:
+// registries are atomic, and the recorder and store are mutex-guarded.
 type DebugServer struct {
-	mu  sync.Mutex
-	reg *metrics.Registry
-	rec *Recorder
-	mux *http.ServeMux
+	mu     sync.Mutex
+	regs   map[int]*metrics.Registry
+	shards []int // attach order
+	rec    *Recorder
+	ts     *timeseries.Store
+	mux    *http.ServeMux
 }
 
 // NewDebugServer creates the server with no registry or recorder yet.
 func NewDebugServer() *DebugServer {
-	s := &DebugServer{mux: http.NewServeMux()}
+	s := &DebugServer{mux: http.NewServeMux(), regs: make(map[int]*metrics.Registry)}
 	s.mux.HandleFunc("/", s.handleIndex)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -49,13 +56,23 @@ func NewDebugServer() *DebugServer {
 	s.mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
 	s.mux.HandleFunc("/flight", s.handleFlightList)
 	s.mux.HandleFunc("/flight/", s.handleFlightRecord)
+	s.mux.HandleFunc("/timeseries", s.handleTimeseries)
+	s.mux.HandleFunc("/dash", s.handleDash)
 	return s
 }
 
-// SetRegistry attaches the scan's metrics registry.
-func (s *DebugServer) SetRegistry(reg *metrics.Registry) {
+// SetRegistry attaches an unsharded scan's metrics registry
+// (equivalent to AttachShard(0, reg)).
+func (s *DebugServer) SetRegistry(reg *metrics.Registry) { s.AttachShard(0, reg) }
+
+// AttachShard attaches one shard's registry. Parallel scans call this
+// once per shard; /metrics then serves the merged snapshot.
+func (s *DebugServer) AttachShard(shard int, reg *metrics.Registry) {
 	s.mu.Lock()
-	s.reg = reg
+	if _, ok := s.regs[shard]; !ok {
+		s.shards = append(s.shards, shard)
+	}
+	s.regs[shard] = reg
 	s.mu.Unlock()
 }
 
@@ -66,13 +83,41 @@ func (s *DebugServer) SetRecorder(rec *Recorder) {
 	s.mu.Unlock()
 }
 
+// SetTimeseries attaches the scan's telemetry store; /timeseries and
+// /dash go live once it is set.
+func (s *DebugServer) SetTimeseries(ts *timeseries.Store) {
+	s.mu.Lock()
+	s.ts = ts
+	s.mu.Unlock()
+}
+
 // Handler returns the root handler for use with http.Serve.
 func (s *DebugServer) Handler() http.Handler { return s.mux }
 
-func (s *DebugServer) registry() *metrics.Registry {
+// snapshot merges every attached shard registry's snapshot — exactly
+// the cross-shard sum ScanResult.Metrics reports for a parallel run.
+// ok is false when no registry is attached yet.
+func (s *DebugServer) snapshot() (metrics.Snapshot, bool) {
+	s.mu.Lock()
+	regs := make([]*metrics.Registry, 0, len(s.shards))
+	for _, shard := range s.shards {
+		regs = append(regs, s.regs[shard])
+	}
+	s.mu.Unlock()
+	if len(regs) == 0 {
+		return metrics.Snapshot{}, false
+	}
+	merged := regs[0].Snapshot()
+	for _, reg := range regs[1:] {
+		merged.Merge(reg.Snapshot())
+	}
+	return merged, true
+}
+
+func (s *DebugServer) timeseriesStore() *timeseries.Store {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.reg
+	return s.ts
 }
 
 func (s *DebugServer) recorder() *Recorder {
@@ -89,30 +134,49 @@ func (s *DebugServer) handleIndex(w http.ResponseWriter, req *http.Request) {
 	fmt.Fprint(w, `iwscan debug endpoint
   /debug/pprof/   profiles
   /debug/vars     expvar
-  /metrics        Prometheus snapshot
+  /metrics        Prometheus snapshot (merged across shards)
   /metrics.json   JSON snapshot
   /flight         forensic records
+  /timeseries     telemetry document (per-shard series + anomalies)
+  /dash           live sparkline dashboard
 `)
 }
 
 func (s *DebugServer) handleMetrics(w http.ResponseWriter, req *http.Request) {
-	reg := s.registry()
-	if reg == nil {
+	snap, ok := s.snapshot()
+	if !ok {
 		http.Error(w, "scan not started", http.StatusServiceUnavailable)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	reg.Snapshot().WritePrometheus(w)
+	snap.WritePrometheus(w)
 }
 
 func (s *DebugServer) handleMetricsJSON(w http.ResponseWriter, req *http.Request) {
-	reg := s.registry()
-	if reg == nil {
+	snap, ok := s.snapshot()
+	if !ok {
 		http.Error(w, "scan not started", http.StatusServiceUnavailable)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	reg.Snapshot().WriteJSON(w)
+	snap.WriteJSON(w)
+}
+
+func (s *DebugServer) handleTimeseries(w http.ResponseWriter, req *http.Request) {
+	ts := s.timeseriesStore()
+	if ts == nil {
+		http.Error(w, "no telemetry store attached", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(ts.Document())
+}
+
+func (s *DebugServer) handleDash(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, timeseries.DashboardHTML())
 }
 
 // flightSummary is one row of the /flight listing.

@@ -89,6 +89,7 @@ type Counters struct {
 	PacketsSent       int64
 	PacketsDelivered  int64
 	PacketsDuplicated int64 // extra copies injected by path duplication
+	PacketsReordered  int64 // deliveries that jumped the queue (Delay/4)
 	PacketsLost       int64
 	PacketsFiltered   int64
 	PacketsNoRoute    int64
@@ -104,6 +105,7 @@ type netMetrics struct {
 	packetsSent       *metrics.Counter
 	packetsDelivered  *metrics.Counter
 	packetsDuplicated *metrics.Counter
+	packetsReordered  *metrics.Counter
 	packetsLost       *metrics.Counter
 	packetsFiltered   *metrics.Counter
 	packetsNoRoute    *metrics.Counter
@@ -112,6 +114,8 @@ type netMetrics struct {
 	bytesSent         *metrics.Counter
 	bytesDelivered    *metrics.Counter
 	pathDelay         *metrics.Histogram // actual per-delivery delay (propagation+jitter+serialization)
+	eventsDispatched  *metrics.Counter
+	drainBatch        *metrics.Histogram // events dispatched per same-timestamp drain round
 }
 
 func newNetMetrics(reg *metrics.Registry) netMetrics {
@@ -119,6 +123,7 @@ func newNetMetrics(reg *metrics.Registry) netMetrics {
 		packetsSent:       reg.Counter("netsim.packets_sent"),
 		packetsDelivered:  reg.Counter("netsim.packets_delivered"),
 		packetsDuplicated: reg.Counter("netsim.packets_duplicated"),
+		packetsReordered:  reg.Counter("netsim.packets_reordered"),
 		packetsLost:       reg.Counter("netsim.packets_lost"),
 		packetsFiltered:   reg.Counter("netsim.packets_filtered"),
 		packetsNoRoute:    reg.Counter("netsim.packets_noroute"),
@@ -127,6 +132,8 @@ func newNetMetrics(reg *metrics.Registry) netMetrics {
 		bytesSent:         reg.Counter("netsim.bytes_sent"),
 		bytesDelivered:    reg.Counter("netsim.bytes_delivered"),
 		pathDelay:         reg.Histogram("netsim.path_delay_ns"),
+		eventsDispatched:  reg.Counter("netsim.events_dispatched"),
+		drainBatch:        reg.Histogram("netsim.drain_batch"),
 	}
 }
 
@@ -182,6 +189,11 @@ func New(seed uint64) *Network {
 
 // Now returns the current virtual time.
 func (n *Network) Now() Time { return n.now }
+
+// QueueLen returns the number of events (deliveries and timers)
+// currently pending in the event heap. Only meaningful when read on the
+// simulation goroutine (e.g. from a timer callback).
+func (n *Network) QueueLen() int { return len(n.queue) }
 
 // Stats returns a snapshot of the network counters.
 func (n *Network) Stats() Counters { return n.stats }
@@ -413,6 +425,8 @@ func (n *Network) scheduleDelivery(pkt []byte, pb *Packet, p PathParams, seriali
 	}
 	if p.Reorder > 0 && n.rng.Bool(p.Reorder) {
 		delay = p.Delay / 4
+		n.stats.PacketsReordered++
+		n.nm.packetsReordered.Inc()
 		n.observe(OpReorder, pkt)
 	}
 	n.nm.pathDelay.Observe(int64(delay))
@@ -449,6 +463,8 @@ func (n *Network) drainReady() int {
 	}
 	k := len(batch)
 	n.batch = batch[:0]
+	n.nm.eventsDispatched.Add(int64(k))
+	n.nm.drainBatch.Observe(int64(k))
 	return k
 }
 

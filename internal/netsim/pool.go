@@ -1,6 +1,9 @@
 package netsim
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // DefaultPacketCap is the initial capacity of pooled packet buffers:
 // enough for a full 1500-byte MTU frame plus headroom, so steady-state
@@ -33,11 +36,29 @@ type Packet struct {
 }
 
 var packetPool = sync.Pool{
-	New: func() interface{} { return &Packet{B: make([]byte, 0, DefaultPacketCap)} },
+	New: func() interface{} {
+		atomic.AddInt64(&poolNews, 1)
+		return &Packet{B: make([]byte, 0, DefaultPacketCap)}
+	},
+}
+
+// poolGets counts GetPacket calls; poolNews counts the subset that
+// missed the pool and allocated. gets-news is the hit count. The
+// counters are process-wide like the pool itself: under parallel shards
+// a rising miss rate is the signature of buffers bouncing between
+// per-P pool shards (and of GC clearing the pool), which is exactly
+// the contention the timeseries sampler wants to surface.
+var poolGets, poolNews int64
+
+// PoolStats returns the cumulative process-wide packet-pool counters:
+// total GetPacket calls and how many of them allocated a fresh buffer.
+func PoolStats() (gets, news int64) {
+	return atomic.LoadInt64(&poolGets), atomic.LoadInt64(&poolNews)
 }
 
 // GetPacket returns a pooled packet buffer with B reset to length zero.
 func GetPacket() *Packet {
+	atomic.AddInt64(&poolGets, 1)
 	p := packetPool.Get().(*Packet)
 	p.B = p.B[:0]
 	return p

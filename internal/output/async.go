@@ -73,6 +73,14 @@ func (a *AsyncSink) Err() error {
 	return a.err
 }
 
+// Depth returns the number of records currently queued and not yet
+// drained — an instantaneous backpressure signal (at Cap the producer
+// blocks). Safe to call from any goroutine.
+func (a *AsyncSink) Depth() int { return len(a.ch) }
+
+// Cap returns the queue capacity.
+func (a *AsyncSink) Cap() int { return cap(a.ch) }
+
 // WriteRecord enqueues a copy of r, blocking while the queue is full.
 func (a *AsyncSink) WriteRecord(r *analysis.Record) error {
 	if err := a.Err(); err != nil {

@@ -3,6 +3,7 @@ package output
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"iwscan/internal/analysis"
 )
@@ -24,6 +25,27 @@ type Merge struct {
 	open       []bool
 	maxPending int
 	err        error
+
+	// Per-shard wait accounting: which shard the merge is currently
+	// blocked on (its queue is empty while records from other shards sit
+	// buffered), since when, and the cumulative per-shard totals.
+	waits      []ShardWait
+	blocker    int
+	blockSince time.Time
+}
+
+// ShardWait summarizes one shard's behaviour at the k-way merge: how
+// many records it contributed, the high-water mark of its own queue,
+// how many distinct episodes the merge spent blocked waiting for it,
+// and the total wall time other shards' records sat buffered behind it.
+// A shard with a dominant BlockedNS is the straggler of the parallel
+// scan — the merge (and therefore the output stream) runs at its pace.
+type ShardWait struct {
+	Shard     int   `json:"shard"`
+	Writes    int64 `json:"writes"`
+	MaxQueued int   `json:"max_queued"`
+	Stalls    int64 `json:"stalls"`
+	BlockedNS int64 `json:"blocked_ns"`
 }
 
 // mergeHandle is one shard's writer into the merge.
@@ -37,13 +59,45 @@ type mergeHandle struct {
 // destination sink. The destination itself stays open (the caller owns
 // it).
 func NewMerge(dst Sink, shards int) (*Merge, []Sink) {
-	m := &Merge{dst: dst, queues: make([][]*analysis.Record, shards), open: make([]bool, shards)}
+	m := &Merge{
+		dst:     dst,
+		queues:  make([][]*analysis.Record, shards),
+		open:    make([]bool, shards),
+		waits:   make([]ShardWait, shards),
+		blocker: -1,
+	}
 	handles := make([]Sink, shards)
 	for i := range handles {
 		m.open[i] = true
+		m.waits[i].Shard = i
 		handles[i] = &mergeHandle{m: m, i: i}
 	}
 	return m, handles
+}
+
+// WaitStats returns a copy of the per-shard merge wait accounting.
+func (m *Merge) WaitStats() []ShardWait {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.settleBlockerLocked(-1)
+	out := make([]ShardWait, len(m.waits))
+	copy(out, m.waits)
+	return out
+}
+
+// settleBlockerLocked closes the current blocking episode (crediting
+// its elapsed wall time to the blocking shard) and opens a new one on
+// next (-1 = none). Called with the lock held.
+func (m *Merge) settleBlockerLocked(next int) {
+	now := time.Now()
+	if m.blocker >= 0 {
+		m.waits[m.blocker].BlockedNS += now.Sub(m.blockSince).Nanoseconds()
+	}
+	if next >= 0 && next != m.blocker {
+		m.waits[next].Stalls++
+	}
+	m.blocker = next
+	m.blockSince = now
 }
 
 // MaxPending returns the high-water mark of records buffered across all
@@ -63,7 +117,17 @@ func (m *Merge) release() {
 		for i := range m.queues {
 			if len(m.queues[i]) == 0 {
 				if m.open[i] {
-					return // stream i could still produce the minimum
+					// Stream i could still produce the minimum. If other
+					// shards have records buffered, i is the straggler the
+					// merge is waiting on — account the episode to it.
+					if m.pendingLocked() > 0 {
+						if m.blocker != i {
+							m.settleBlockerLocked(i)
+						}
+					} else {
+						m.settleBlockerLocked(-1)
+					}
+					return
 				}
 				continue
 			}
@@ -72,6 +136,7 @@ func (m *Merge) release() {
 			}
 		}
 		if best < 0 {
+			m.settleBlockerLocked(-1)
 			return // everything drained
 		}
 		rec := m.queues[best][0]
@@ -92,6 +157,10 @@ func (h *mergeHandle) WriteRecord(r *analysis.Record) error {
 	}
 	rec := *r
 	m.queues[h.i] = append(m.queues[h.i], &rec)
+	m.waits[h.i].Writes++
+	if q := len(m.queues[h.i]); q > m.waits[h.i].MaxQueued {
+		m.waits[h.i].MaxQueued = q
+	}
 	if n := m.pendingLocked(); n > m.maxPending {
 		m.maxPending = n
 	}

@@ -1,0 +1,138 @@
+package timeseries
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentAppendAndRead models the live deployment: parallel
+// shard samplers appending while the debug server renders /timeseries
+// documents and the status reporter polls the anomaly summary. Run
+// under -race (make race covers this package).
+func TestConcurrentAppendAndRead(t *testing.T) {
+	st := NewStore(Config{Ring: 64, StallIntervals: 2})
+	const shards = 4
+	const perShard = 300
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				doc := st.Document()
+				for _, sh := range doc.Shards {
+					for i := 1; i < len(sh.Samples); i++ {
+						if sh.Samples[i].Index <= sh.Samples[i-1].Index {
+							t.Errorf("shard %d document out of order: %d then %d",
+								sh.Shard, sh.Samples[i-1].Index, sh.Samples[i].Index)
+							return
+						}
+					}
+				}
+				st.AnomalySummary()
+				st.TotalSamples()
+			}
+		}()
+	}
+
+	var writers sync.WaitGroup
+	for shard := 0; shard < shards; shard++ {
+		writers.Add(1)
+		go func(shard int) {
+			defer writers.Done()
+			for i := uint64(0); i < perShard; i++ {
+				st.Append(mk(shard, i,
+					map[string]int64{"engine.launched": 10, "engine.completed": 9},
+					map[string]int64{"engine.in_flight": int64(shard + 1)}))
+			}
+		}(shard)
+	}
+	writers.Wait()
+	close(stop)
+	wg.Wait()
+
+	if got := st.TotalSamples(); got != shards*perShard {
+		t.Fatalf("TotalSamples = %d, want %d", got, shards*perShard)
+	}
+	doc := st.Document()
+	if len(doc.Shards) != shards {
+		t.Fatalf("document has %d shards, want %d", len(doc.Shards), shards)
+	}
+	for _, sh := range doc.Shards {
+		if len(sh.Samples) != 64 {
+			t.Fatalf("shard %d retained %d samples, want full ring of 64", sh.Shard, len(sh.Samples))
+		}
+		if sh.Evicted != perShard-64 {
+			t.Fatalf("shard %d evicted %d, want %d", sh.Shard, sh.Evicted, perShard-64)
+		}
+	}
+}
+
+// TestConcurrentStreamAndEviction drives the JSONL stream from several
+// shard writers at once while the ring evicts under sustained sampling;
+// the stream must still parse and verify.
+func TestConcurrentStreamAndEviction(t *testing.T) {
+	var buf bytes.Buffer
+	st := NewStore(Config{Ring: 16})
+	st.StreamJSONL(&buf)
+
+	const shards = 4
+	const perShard = 200
+	var writers sync.WaitGroup
+	for shard := 0; shard < shards; shard++ {
+		writers.Add(1)
+		go func(shard int) {
+			defer writers.Done()
+			for i := uint64(0); i < perShard; i++ {
+				st.Append(mk(shard, i, map[string]int64{"engine.launched": 1}, nil))
+			}
+		}(shard)
+	}
+	writers.Wait()
+	if err := st.CloseStream(); err != nil {
+		t.Fatalf("CloseStream: %v", err)
+	}
+
+	samples, anomalies, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(samples) != shards*perShard {
+		t.Fatalf("stream carries %d samples, want %d (eviction must not drop stream lines)",
+			len(samples), shards*perShard)
+	}
+	if err := VerifyStream(samples, anomalies, shards, false); err != nil {
+		t.Fatalf("VerifyStream: %v", err)
+	}
+}
+
+// TestConcurrentMergeWaitsAndAnomalies exercises the remaining writer
+// entry points against document reads.
+func TestConcurrentMergeWaitsAndAnomalies(t *testing.T) {
+	st := NewStore(Config{StallIntervals: 1, MaxAnomalies: 8})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				st.SetMergeWaits([]MergeWait{{Shard: w, Writes: int64(i)}})
+				st.Append(mk(w, uint64(i), nil, map[string]int64{"engine.in_flight": 5}))
+				fmt.Fprintf(new(bytes.Buffer), "%v", st.Document().MergeWaits)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if total, _, _ := st.AnomalySummary(); total == 0 {
+		t.Fatalf("stall detector never fired under concurrent load")
+	}
+}
