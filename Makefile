@@ -15,9 +15,9 @@ FUZZ_TIME ?= 3s
 # Packages with native fuzz targets (Fuzz* functions).
 FUZZ_PKGS := ./internal/wire ./internal/output ./internal/httpsim ./internal/tlssim
 
-.PHONY: check fmt vet build test race bench bench-check bench-refresh bench-smoke fuzz-smoke flight-smoke telemetry-smoke validate-smoke validate-sweep
+.PHONY: check fmt vet build test race bench bench-check bench-refresh bench-smoke fuzz-smoke flight-smoke telemetry-smoke serve-smoke validate-smoke validate-sweep
 
-check: fmt vet build test race flight-smoke telemetry-smoke validate-smoke
+check: fmt vet build test race flight-smoke telemetry-smoke serve-smoke validate-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -44,7 +44,7 @@ race:
 	$(GO) test -race ./internal/metrics/... ./internal/core/... \
 		./internal/scanner/... ./internal/output/... ./internal/experiments/... \
 		./internal/netsim/... ./internal/tcpstack/... ./internal/flight/... \
-		./internal/timeseries/...
+		./internal/timeseries/... ./internal/jobs/...
 
 # bench runs the canonical fixed-seed benchmark harness (cmd/iwbench)
 # and writes $(VALIDATE_OUT)/BENCH_scan.json (ns/op, B/op, allocs/op,
@@ -111,6 +111,18 @@ telemetry-smoke:
 		-telemetry-out $(VALIDATE_OUT)/telemetry.jsonl -out /dev/null -q
 	$(GO) run ./cmd/iwtrace telemetry -shards 4 -require-anomaly \
 		$(VALIDATE_OUT)/telemetry.jsonl
+
+# serve-smoke is the control-plane gate: boot the iwserve daemon
+# against a real listener, run two tenants at 3:1 weights, pause and
+# resume one job mid-flight, and require (a) fair-share convergence
+# within +-10 points of the 75/25 split measured over contended probes
+# and (b) the paused-and-resumed job's artifact byte-identical to its
+# uninterrupted twin's. The smoke's state directory (job files,
+# artifacts, checkpoints) lands in $(VALIDATE_OUT)/serve for CI to
+# upload.
+serve-smoke:
+	@mkdir -p $(VALIDATE_OUT)
+	$(GO) run ./cmd/iwserve -smoke -state $(VALIDATE_OUT)/serve
 
 # validate-smoke is the ground-truth gate: scan a sample of the 2017
 # universe, require >= 99% oracle exact-match accuracy and zero bound

@@ -24,9 +24,12 @@ import (
 	"runtime"
 	"testing"
 
+	"time"
+
 	"iwscan/internal/core"
 	"iwscan/internal/experiments"
 	"iwscan/internal/inet"
+	"iwscan/internal/jobs"
 	"iwscan/internal/netsim"
 	"iwscan/internal/wire"
 )
@@ -234,6 +237,7 @@ func workloads() []workload {
 			}
 			return experiments.RunScan(inet.NewInternet2017(55), cfg)
 		})},
+		{name: "jobs_concurrent", fn: benchJobsConcurrent},
 	}
 }
 
@@ -349,5 +353,69 @@ func benchScanSharded(out *shardRates, run func() *experiments.ScanResult) func(
 				out.rates = append(out.rates, float64(n)/secs)
 			}
 		}
+	}
+}
+
+// benchJobsConcurrent measures the control plane end to end: one op
+// boots a job manager on a fresh state directory, submits six jobs
+// across three tenants, drains them to completion through the
+// fair-share scheduler (four concurrent segments), and shuts the
+// manager down. Throughput is launched probes per second of wall time
+// with all service overhead — scheduling, per-segment persistence,
+// artifact sinks — included, so a regression here that doesn't show in
+// scan_serial_http points at the control plane, not the engine.
+func benchJobsConcurrent(b *testing.B) {
+	base := jobs.Spec{
+		Seed: 9, SampleFraction: 0.0008, Rate: 2000, MSSList: []int{64}, Repeats: 1,
+	}
+	tenants := []string{"a", "a", "b", "b", "c", "c"}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var probes int64
+	for i := 0; i < b.N; i++ {
+		dir, err := os.MkdirTemp("", "iwbench-jobs")
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := jobs.NewManager(jobs.Config{
+			Dir: dir, MaxConcurrent: 4, SliceVirtual: 5 * netsim.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids := make([]string, 0, len(tenants))
+		for k, tn := range tenants {
+			s := base
+			s.Tenant, s.Seed = tn, base.Seed+uint64(k)
+			v, err := m.Submit(s)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids = append(ids, v.ID)
+		}
+		for done := false; !done; {
+			done = true
+			for _, id := range ids {
+				if v, _ := m.Get(id); !v.State.Terminal() {
+					done = false
+					break
+				}
+			}
+			if !done {
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+		for _, id := range ids {
+			v, _ := m.Get(id)
+			if v.State != jobs.StateCompleted {
+				b.Fatalf("job %s finished as %s (%s)", id, v.State, v.Error)
+			}
+			probes += v.Launched
+		}
+		m.Close()
+		os.RemoveAll(dir)
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(probes)/secs, "probes/s")
 	}
 }

@@ -1,0 +1,235 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"iwscan/internal/jobs"
+	"iwscan/internal/netsim"
+)
+
+// runSmoke boots the daemon against a real listener and drives the
+// acceptance scenario end to end over HTTP:
+//
+//  1. Fair share: tenants alpha (weight 3) and beta (weight 1) submit
+//     identical workloads; once both complete, alpha must hold 75% ±10
+//     of the contended probe budget.
+//  2. Pause/resume: two fresh tenants submit identical jobs; one is
+//     paused mid-flight and resumed, and its artifact must come out
+//     byte-identical to the uninterrupted twin's.
+//
+// The state directory is cleared first so stale jobs from an earlier
+// smoke cannot skew the scheduler accounts.
+func runSmoke(cfg jobs.Config) error {
+	if err := os.RemoveAll(cfg.Dir); err != nil {
+		return err
+	}
+	// Serialize segments so the fair-share interleave is exactly what
+	// the virtual clocks dictate, and keep segments short so pause
+	// points come often.
+	cfg.MaxConcurrent = 1
+	cfg.SliceVirtual = 5 * netsim.Second
+
+	m, err := jobs.NewManager(cfg)
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: jobs.NewServer(m).Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	c := smokeClient{base: "http://" + ln.Addr().String()}
+	fmt.Printf("smoke: daemon on %s (state %s)\n", c.base, cfg.Dir)
+
+	// Phase 1 — fair-share convergence at 3:1.
+	big := jobs.Spec{
+		Tenant: "alpha", Weight: 3, Seed: 11, SampleFraction: 0.0125,
+		Rate: 200, MSSList: []int{64}, Repeats: 1,
+	}
+	a1, err := c.submit(big)
+	if err != nil {
+		return err
+	}
+	big.Tenant, big.Weight = "beta", 1
+	b1, err := c.submit(big)
+	if err != nil {
+		return err
+	}
+	for _, id := range []string{a1.ID, b1.ID} {
+		v, err := c.await(id, 120*time.Second, func(v jobs.JobView) bool { return v.State.Terminal() })
+		if err != nil {
+			return err
+		}
+		if v.State != jobs.StateCompleted {
+			return fmt.Errorf("job %s finished as %s (%s)", id, v.State, v.Error)
+		}
+	}
+	var stats jobs.SchedulerStats
+	if err := c.getJSON("/scheduler", &stats); err != nil {
+		return err
+	}
+	var contA, contB int64
+	for _, tv := range stats.Tenants {
+		switch tv.Name {
+		case "alpha":
+			contA = tv.Contended
+		case "beta":
+			contB = tv.Contended
+		}
+	}
+	if contA+contB < 1000 {
+		return fmt.Errorf("contention window too small: %d probes", contA+contB)
+	}
+	share := float64(contA) / float64(contA+contB)
+	fmt.Printf("smoke: fair share alpha %.1f%% of %d contended probes (want 75%% ± 10)\n",
+		100*share, contA+contB)
+	if share < 0.65 || share > 0.85 {
+		return fmt.Errorf("fair share violated: alpha at %.1f%%, want 75%% ± 10", 100*share)
+	}
+
+	// Phase 2 — pause/resume byte identity on fresh tenants (equal
+	// weights, zero virtual-time debt, so both jobs interleave from the
+	// start and the pause lands mid-flight).
+	// Sized for ~19 segments so the mid-flight pause below cannot race
+	// the job's completion even on a heavily loaded machine.
+	twin := jobs.Spec{
+		Tenant: "gamma", Seed: 7, SampleFraction: 0.012,
+		Rate: 100, MSSList: []int{64}, Repeats: 1,
+	}
+	ref, err := c.submit(twin)
+	if err != nil {
+		return err
+	}
+	twin.Tenant = "delta"
+	tgt, err := c.submit(twin)
+	if err != nil {
+		return err
+	}
+	// Let the target job make real progress, then pause it.
+	if _, err := c.await(tgt.ID, 60*time.Second, func(v jobs.JobView) bool { return v.Slices >= 1 }); err != nil {
+		return err
+	}
+	if _, err := c.post("/jobs/" + tgt.ID + "/pause"); err != nil {
+		return err
+	}
+	pv, err := c.await(tgt.ID, 60*time.Second, func(v jobs.JobView) bool {
+		return v.State == jobs.StatePaused || v.State.Terminal()
+	})
+	if err != nil {
+		return err
+	}
+	if pv.State != jobs.StatePaused {
+		return fmt.Errorf("pause did not land mid-flight: job %s reached %s first", tgt.ID, pv.State)
+	}
+	fmt.Printf("smoke: paused %s after %d segments (%d records durable)\n",
+		tgt.ID, pv.Slices, pv.RecordsEmitted)
+	if _, err := c.post("/jobs/" + tgt.ID + "/resume"); err != nil {
+		return err
+	}
+	for _, id := range []string{ref.ID, tgt.ID} {
+		v, err := c.await(id, 120*time.Second, func(v jobs.JobView) bool { return v.State.Terminal() })
+		if err != nil {
+			return err
+		}
+		if v.State != jobs.StateCompleted {
+			return fmt.Errorf("job %s finished as %s (%s)", id, v.State, v.Error)
+		}
+	}
+	wantBytes, err := c.artifact(ref.ID)
+	if err != nil {
+		return err
+	}
+	gotBytes, err := c.artifact(tgt.ID)
+	if err != nil {
+		return err
+	}
+	if len(wantBytes) == 0 || !bytes.Equal(wantBytes, gotBytes) {
+		return fmt.Errorf("paused-and-resumed artifact differs from uninterrupted twin (%d vs %d bytes)",
+			len(gotBytes), len(wantBytes))
+	}
+	fmt.Printf("smoke: resumed artifact byte-identical to uninterrupted twin (%d bytes)\n", len(gotBytes))
+	return nil
+}
+
+// smokeClient is a minimal JSON client for the daemon API.
+type smokeClient struct {
+	base string
+}
+
+func (c smokeClient) submit(spec jobs.Spec) (jobs.JobView, error) {
+	body, _ := json.Marshal(spec)
+	resp, err := http.Post(c.base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return jobs.JobView{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		msg, _ := io.ReadAll(resp.Body)
+		return jobs.JobView{}, fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, msg)
+	}
+	var v jobs.JobView
+	return v, json.NewDecoder(resp.Body).Decode(&v)
+}
+
+func (c smokeClient) post(path string) (jobs.JobView, error) {
+	resp, err := http.Post(c.base+path, "", nil)
+	if err != nil {
+		return jobs.JobView{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(resp.Body)
+		return jobs.JobView{}, fmt.Errorf("POST %s: HTTP %d: %s", path, resp.StatusCode, msg)
+	}
+	var v jobs.JobView
+	return v, json.NewDecoder(resp.Body).Decode(&v)
+}
+
+func (c smokeClient) getJSON(path string, v any) error {
+	resp, err := http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: HTTP %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func (c smokeClient) artifact(id string) ([]byte, error) {
+	resp, err := http.Get(c.base + "/jobs/" + id + "/artifact")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("artifact %s: HTTP %d", id, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func (c smokeClient) await(id string, timeout time.Duration, pred func(jobs.JobView) bool) (jobs.JobView, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		var v jobs.JobView
+		if err := c.getJSON("/jobs/"+id, &v); err != nil {
+			return v, err
+		}
+		if pred(v) {
+			return v, nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return jobs.JobView{}, fmt.Errorf("timed out waiting on job %s", id)
+}

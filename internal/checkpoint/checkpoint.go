@@ -16,6 +16,7 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"iwscan/internal/scanner"
 )
@@ -57,6 +58,13 @@ type State struct {
 	// Metrics is the partial metrics-registry snapshot at checkpoint
 	// time, embedded verbatim in the registry's JSON form.
 	Metrics json.RawMessage `json:"metrics,omitempty"`
+	// Config is the named breakdown of the fingerprint: one entry per
+	// identity-defining configuration field. It exists so a fingerprint
+	// mismatch can say *which* fields differ instead of only that the
+	// hashes do. Optional — checkpoints written before this field (or by
+	// callers using the bare Fingerprint) validate the same way, just
+	// with the less helpful message.
+	Config []Field `json:"config,omitempty"`
 }
 
 // Find returns the cursor for the given shard/shards slice, or an error
@@ -86,6 +94,30 @@ func (s *State) Validate(fingerprint string) error {
 	return nil
 }
 
+// ValidateConfig is Validate with field-level diagnosis: the scan's
+// configuration arrives as named fields, and on a fingerprint mismatch
+// the error lists exactly which fields differ between the checkpoint
+// and the resuming scan (when the checkpoint recorded its own field
+// breakdown; older checkpoints fall back to the hash-only message).
+func (s *State) ValidateConfig(fields []Field) error {
+	fp := FingerprintFields(fields)
+	if s.Version != Version {
+		return fmt.Errorf("checkpoint: version %d, want %d", s.Version, Version)
+	}
+	if s.Fingerprint != fp {
+		if diff := DiffFields(s.Config, fields); len(diff) > 0 {
+			return fmt.Errorf("checkpoint: fingerprint mismatch (checkpoint %s, scan %s); differing fields: %s",
+				s.Fingerprint, fp, strings.Join(diff, "; "))
+		}
+		return fmt.Errorf("checkpoint: fingerprint %s does not match scan config %s (same seed, universe, strategy, sample, shards and blacklist required)",
+			s.Fingerprint, fp)
+	}
+	if s.Completed {
+		return fmt.Errorf("checkpoint: scan already completed")
+	}
+	return nil
+}
+
 // Save atomically persists the state: it writes a temporary file in the
 // destination directory and renames it into place, so a crash mid-write
 // leaves the previous checkpoint intact rather than a torn file.
@@ -96,6 +128,15 @@ func Save(path string, s *State) error {
 		return err
 	}
 	data = append(data, '\n')
+	return WriteFileAtomic(path, data)
+}
+
+// WriteFileAtomic writes data to path with the same crash discipline
+// Save uses: temp file in the destination directory, fsync, rename.
+// Other durable control-plane state (job metadata in internal/jobs)
+// shares this primitive so every on-disk artifact is either the old
+// version or the new one, never a torn mix.
+func WriteFileAtomic(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -117,6 +158,17 @@ func Save(path string, s *State) error {
 		return err
 	}
 	return nil
+}
+
+// SaveJSON marshals v (indented, trailing newline) and writes it with
+// WriteFileAtomic.
+func SaveJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	return WriteFileAtomic(path, data)
 }
 
 // Load reads a checkpoint previously written by Save.
@@ -146,4 +198,75 @@ func Fingerprint(parts ...any) string {
 		fmt.Fprintf(h, "%v|", p)
 	}
 	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Field is one named, human-readable component of a configuration
+// fingerprint. Keeping the name alongside the rendered value is what
+// lets a resume rejection say "seed: checkpoint 5, scan 6" instead of
+// only showing two hashes.
+type Field struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// FieldList builds a field slice from alternating name, value pairs
+// (values are rendered with %v, matching Fingerprint). It panics on an
+// odd argument count or a non-string name — both are programmer errors.
+func FieldList(pairs ...any) []Field {
+	if len(pairs)%2 != 0 {
+		panic("checkpoint: FieldList needs name, value pairs")
+	}
+	out := make([]Field, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		name, ok := pairs[i].(string)
+		if !ok {
+			panic(fmt.Sprintf("checkpoint: FieldList name %d is %T, want string", i/2, pairs[i]))
+		}
+		out = append(out, Field{Name: name, Value: fmt.Sprintf("%v", pairs[i+1])})
+	}
+	return out
+}
+
+// FingerprintFields hashes a field list into the fingerprint string.
+// Names participate in the hash, so renaming or reordering fields
+// (deliberately) changes the fingerprint.
+func FingerprintFields(fields []Field) string {
+	h := fnv.New64a()
+	for _, f := range fields {
+		fmt.Fprintf(h, "%s=%s|", f.Name, f.Value)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// DiffFields compares a checkpoint's recorded fields against the
+// resuming scan's, returning one human-readable line per difference
+// ("name: checkpoint X, scan Y"; fields present on only one side are
+// reported too). An empty result with differing fingerprints means the
+// checkpoint predates field recording.
+func DiffFields(ck, scan []Field) []string {
+	if len(ck) == 0 {
+		return nil
+	}
+	ckBy := make(map[string]string, len(ck))
+	for _, f := range ck {
+		ckBy[f.Name] = f.Value
+	}
+	var diff []string
+	seen := make(map[string]bool, len(scan))
+	for _, f := range scan {
+		seen[f.Name] = true
+		v, ok := ckBy[f.Name]
+		switch {
+		case !ok:
+			diff = append(diff, fmt.Sprintf("%s: not recorded in checkpoint, scan %s", f.Name, f.Value))
+		case v != f.Value:
+			diff = append(diff, fmt.Sprintf("%s: checkpoint %s, scan %s", f.Name, v, f.Value))
+		}
+	}
+	for _, f := range ck {
+		if !seen[f.Name] {
+			diff = append(diff, fmt.Sprintf("%s: checkpoint %s, not in scan config", f.Name, f.Value))
+		}
+	}
+	return diff
 }

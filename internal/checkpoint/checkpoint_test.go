@@ -161,3 +161,83 @@ func TestFingerprintStableAndSensitive(t *testing.T) {
 		t.Fatal("fingerprint insensitive to the MSS list")
 	}
 }
+
+func TestFieldListAndFingerprintFields(t *testing.T) {
+	a := FieldList("seed", uint64(5), "sample", 0.5)
+	b := FieldList("seed", uint64(5), "sample", 0.5)
+	if FingerprintFields(a) != FingerprintFields(b) {
+		t.Fatal("field fingerprint not deterministic")
+	}
+	if FingerprintFields(a) == FingerprintFields(FieldList("seed", uint64(6), "sample", 0.5)) {
+		t.Fatal("field fingerprint insensitive to a value change")
+	}
+	if FingerprintFields(a) == FingerprintFields(FieldList("sneed", uint64(5), "sample", 0.5)) {
+		t.Fatal("field fingerprint insensitive to a name change")
+	}
+	if a[0].Name != "seed" || a[0].Value != "5" || a[1].Value != "0.5" {
+		t.Fatalf("FieldList rendered %+v", a)
+	}
+}
+
+// TestValidateConfigReportsDifferingFields is the satellite acceptance
+// test: a resume rejection must say which configuration fields differ,
+// in both values, not just that two hashes do.
+func TestValidateConfigReportsDifferingFields(t *testing.T) {
+	ckFields := FieldList("seed", uint64(5), "sample_fraction", 0.5, "strategy", 0)
+	s := &State{
+		Version:     Version,
+		Fingerprint: FingerprintFields(ckFields),
+		Config:      ckFields,
+	}
+
+	// The matching config validates.
+	if err := s.ValidateConfig(ckFields); err != nil {
+		t.Fatalf("matching config rejected: %v", err)
+	}
+
+	// One field off: the message names it with both values.
+	scan := FieldList("seed", uint64(6), "sample_fraction", 0.5, "strategy", 0)
+	err := s.ValidateConfig(scan)
+	if err == nil {
+		t.Fatal("mismatched seed accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{"fingerprint mismatch", "seed: checkpoint 5, scan 6"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not contain %q", msg, want)
+		}
+	}
+	if strings.Contains(msg, "sample_fraction") {
+		t.Errorf("error %q names sample_fraction, which matches", msg)
+	}
+
+	// Two fields off: both are listed.
+	scan = FieldList("seed", uint64(6), "sample_fraction", 0.25, "strategy", 0)
+	msg = s.ValidateConfig(scan).Error()
+	for _, want := range []string{"seed: checkpoint 5, scan 6", "sample_fraction: checkpoint 0.5, scan 0.25"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not contain %q", msg, want)
+		}
+	}
+
+	// A field present on one side only is reported, not dropped.
+	scan = FieldList("seed", uint64(5), "sample_fraction", 0.5, "strategy", 0, "tail_loss", 0.3)
+	msg = s.ValidateConfig(scan).Error()
+	if !strings.Contains(msg, "tail_loss: not recorded in checkpoint, scan 0.3") {
+		t.Errorf("error %q does not report the checkpoint-missing field", msg)
+	}
+
+	// Checkpoints without a recorded field breakdown fall back to the
+	// hash-only message instead of claiming nothing differs.
+	old := &State{Version: Version, Fingerprint: "deadbeefdeadbeef"}
+	msg = old.ValidateConfig(ckFields).Error()
+	if !strings.Contains(msg, "fingerprint") || strings.Contains(msg, "differing fields") {
+		t.Errorf("legacy checkpoint mismatch produced %q", msg)
+	}
+
+	// Completed checkpoints are still rejected as completed.
+	done := &State{Version: Version, Fingerprint: FingerprintFields(ckFields), Completed: true}
+	if err := done.ValidateConfig(ckFields); err == nil || !strings.Contains(err.Error(), "completed") {
+		t.Errorf("completed checkpoint: err = %v", err)
+	}
+}

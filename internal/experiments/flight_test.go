@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"iwscan/internal/checkpoint"
 	"iwscan/internal/core"
 	"iwscan/internal/flight"
 	"iwscan/internal/inet"
@@ -81,18 +82,21 @@ func TestFlightFreezeCapturesAllLayers(t *testing.T) {
 }
 
 func TestFlightConfigInCheckpointFingerprint(t *testing.T) {
+	fp := func(c ScanConfig) string {
+		return checkpoint.FingerprintFields(c.configFields(2017, 1<<20))
+	}
 	base := ScanConfig{Seed: 5, Strategy: core.StrategyHTTP, SampleFraction: 0.01}
-	plain := base.fingerprint(2017, 1<<20)
+	plain := fp(base)
 
 	armed := base
 	armed.Flight = flight.NewRecorder(flight.Config{Triggers: map[string]bool{"ghost": true}})
-	if armed.fingerprint(2017, 1<<20) == plain {
+	if fp(armed) == plain {
 		t.Fatal("arming the flight recorder does not change the checkpoint fingerprint")
 	}
 
 	other := base
 	other.Flight = flight.NewRecorder(flight.Config{Triggers: map[string]bool{"missed": true}})
-	if other.fingerprint(2017, 1<<20) == armed.fingerprint(2017, 1<<20) {
+	if fp(other) == fp(armed) {
 		t.Fatal("different trigger sets share a checkpoint fingerprint")
 	}
 }

@@ -150,22 +150,48 @@ func (c *ScanConfig) withDefaults() ScanConfig {
 	return out
 }
 
-// fingerprint hashes the identity-defining parts of the configuration:
+// configFields names the identity-defining parts of the configuration:
 // anything that changes which targets are probed, in what order, or
 // what record a target produces. Rate, concurrency, status reporting
 // and output plumbing are deliberately excluded — a resumed scan may
-// change those freely.
-func (c *ScanConfig) fingerprint(universeSeed uint64, spaceSize uint64) string {
+// change those freely. The names are persisted into checkpoints so a
+// resume rejection can report exactly which fields differ.
+func (c *ScanConfig) configFields(universeSeed uint64, spaceSize uint64) []checkpoint.Field {
 	path := netsim.PathParams{}
 	if c.Path != nil {
 		path = *c.Path
 	}
-	return checkpoint.Fingerprint(
-		"iwscan", universeSeed, spaceSize, c.Seed, int(c.Strategy),
-		c.SampleFraction, c.Loss, c.MSSList, c.Repeats, c.MaxRetries,
-		c.NoRedirectFollow, c.NoBloat, c.Shard, c.Shards, c.Blacklist,
-		c.Path != nil, path, c.Flight.FingerprintKey(),
+	return checkpoint.FieldList(
+		"program", "iwscan",
+		"universe_seed", universeSeed,
+		"space_size", spaceSize,
+		"seed", c.Seed,
+		"strategy", int(c.Strategy),
+		"sample_fraction", c.SampleFraction,
+		"loss", c.Loss,
+		"mss_list", c.MSSList,
+		"repeats", c.Repeats,
+		"max_retries", c.MaxRetries,
+		"no_redirect_follow", c.NoRedirectFollow,
+		"no_bloat", c.NoBloat,
+		"shard", c.Shard,
+		"shards", c.Shards,
+		"blacklist", c.Blacklist,
+		"path_set", c.Path != nil,
+		"path", path,
+		"flight_triggers", c.Flight.FingerprintKey(),
 	)
+}
+
+// ConfigFields returns the named fingerprint fields this configuration
+// would produce against u — the same fields RunScanChecked embeds in
+// checkpoints and validates resumes against. The jobs control plane
+// uses it to build checkpoint states of its own at slice boundaries.
+func (c *ScanConfig) ConfigFields(u *inet.Universe) []checkpoint.Field {
+	cfg := c.withDefaults()
+	space := scanner.NewSpaceFromPrefixes(u.Prefixes())
+	space.AddBlacklist(cfg.Blacklist...)
+	return cfg.configFields(u.Seed, space.Size())
 }
 
 // ScanResult is a completed scan with everything the analyses need.
@@ -247,7 +273,8 @@ func RunScanChecked(u *inet.Universe, cfg ScanConfig) (*ScanResult, error) {
 
 	space := scanner.NewSpaceFromPrefixes(u.Prefixes())
 	space.AddBlacklist(cfg.Blacklist...)
-	fp := cfg.fingerprint(u.Seed, space.Size())
+	fields := cfg.configFields(u.Seed, space.Size())
+	fp := checkpoint.FingerprintFields(fields)
 
 	engCfg := scanner.Config{
 		Rate:           cfg.Rate,
@@ -260,7 +287,7 @@ func RunScanChecked(u *inet.Universe, cfg ScanConfig) (*ScanResult, error) {
 	}
 	startSeq := uint64(0)
 	if cfg.Resume != nil {
-		if err := cfg.Resume.Validate(fp); err != nil {
+		if err := cfg.Resume.ValidateConfig(fields); err != nil {
 			return nil, err
 		}
 		shardSt, err := cfg.Resume.Find(cfg.Shard, cfg.Shards)
@@ -349,6 +376,7 @@ func RunScanChecked(u *inet.Universe, cfg ScanConfig) (*ScanResult, error) {
 		st := eng.Stats()
 		ck := &checkpoint.State{
 			Fingerprint: fp,
+			Config:      fields,
 			Completed:   complete,
 			VirtualNS:   int64(n.Now()),
 			Shards: []checkpoint.ShardState{{

@@ -91,6 +91,23 @@ func (s *DebugServer) SetTimeseries(ts *timeseries.Store) {
 	s.mu.Unlock()
 }
 
+// Reset detaches every shard registry, the flight recorder and the
+// telemetry store, returning the server to its pre-attach state: the
+// data handlers answer 503 again until the next scan attaches. A
+// long-running process that serves jobs in sequence (the iwserve
+// control plane, or any loop re-using one server across scans) must
+// call this between jobs — without it a 4-shard job's registries would
+// linger under a following serial job and /metrics would keep merging
+// the dead job's shards into the live one's numbers.
+func (s *DebugServer) Reset() {
+	s.mu.Lock()
+	s.regs = make(map[int]*metrics.Registry)
+	s.shards = nil
+	s.rec = nil
+	s.ts = nil
+	s.mu.Unlock()
+}
+
 // Handler returns the root handler for use with http.Serve.
 func (s *DebugServer) Handler() http.Handler { return s.mux }
 

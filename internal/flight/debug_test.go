@@ -112,3 +112,58 @@ func TestDebugServerEndpoints(t *testing.T) {
 		t.Fatalf("fmt=bogus = %d, want 400", code)
 	}
 }
+
+// TestDebugServerResetBetweenJobs is the sequential-jobs regression
+// test: after Reset the server must answer 503 again (no stale
+// registries served), and a following job's attach must expose only its
+// own shards — a prior 4-shard job's registries must not keep merging
+// into the new job's /metrics.
+func TestDebugServerResetBetweenJobs(t *testing.T) {
+	dbg := NewDebugServer()
+	srv := httptest.NewServer(dbg.Handler())
+	defer srv.Close()
+
+	launched := func() int64 {
+		t.Helper()
+		code, body := get(t, srv, "/metrics.json")
+		if code != 200 {
+			t.Fatalf("GET /metrics.json = %d", code)
+		}
+		var snap struct {
+			Counters map[string]int64 `json:"counters"`
+		}
+		if err := json.Unmarshal([]byte(body), &snap); err != nil {
+			t.Fatalf("parsing snapshot: %v", err)
+		}
+		return snap.Counters["engine.launched"]
+	}
+
+	// Job 1: two shards, 100 + 40 launches.
+	reg0, reg1 := metrics.NewRegistry(), metrics.NewRegistry()
+	reg0.Counter("engine.launched").Add(100)
+	reg1.Counter("engine.launched").Add(40)
+	dbg.AttachShard(0, reg0)
+	dbg.AttachShard(1, reg1)
+	dbg.SetRecorder(NewRecorder(Config{}))
+	if got := launched(); got != 140 {
+		t.Fatalf("job 1 merged launched = %d, want 140", got)
+	}
+
+	// Between jobs: back to the pre-attach state, 503 on every data
+	// endpoint, nothing stale served.
+	dbg.Reset()
+	for _, path := range []string{"/metrics", "/metrics.json", "/flight"} {
+		if code, _ := get(t, srv, path); code != http.StatusServiceUnavailable {
+			t.Fatalf("GET %s after Reset = %d, want 503", path, code)
+		}
+	}
+
+	// Job 2: a serial job attaching only shard 0. Its numbers must not
+	// include job 1's shard-1 registry.
+	reg2 := metrics.NewRegistry()
+	reg2.Counter("engine.launched").Add(7)
+	dbg.AttachShard(0, reg2)
+	if got := launched(); got != 7 {
+		t.Fatalf("job 2 launched = %d, want 7 (stale job-1 registries still attached)", got)
+	}
+}

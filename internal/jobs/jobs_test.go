@@ -1,0 +1,93 @@
+package jobs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLifecycleStateMachine pins the full transition matrix: every
+// legal edge and every illegal one, including that terminal states have
+// no exits.
+func TestLifecycleStateMachine(t *testing.T) {
+	all := []State{StateQueued, StateRunning, StatePaused, StateCompleted, StateFailed, StateCancelled}
+	legal := map[[2]State]bool{
+		{StateQueued, StateRunning}:    true,
+		{StateQueued, StatePaused}:     true,
+		{StateQueued, StateCancelled}:  true,
+		{StateRunning, StatePaused}:    true,
+		{StateRunning, StateQueued}:    true, // daemon restart re-queues
+		{StateRunning, StateCompleted}: true,
+		{StateRunning, StateFailed}:    true,
+		{StateRunning, StateCancelled}: true,
+		{StatePaused, StateQueued}:     true,
+		{StatePaused, StateCancelled}:  true,
+	}
+	for _, from := range all {
+		for _, to := range all {
+			if got := CanTransition(from, to); got != legal[[2]State{from, to}] {
+				t.Errorf("CanTransition(%s, %s) = %v, want %v", from, to, got, !got)
+			}
+		}
+		if from.Terminal() {
+			for _, to := range all {
+				if CanTransition(from, to) {
+					t.Errorf("terminal state %s has an exit to %s", from, to)
+				}
+			}
+		}
+	}
+}
+
+func TestSpecNormalizeDefaults(t *testing.T) {
+	s := Spec{Tenant: "acme"}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Universe != "2017" || s.UniverseSeed != 2017 || s.Strategy != "http" ||
+		s.SampleFraction != 1 || s.Rate != 10000 || s.Format != "csv" {
+		t.Fatalf("defaults not applied: %+v", s)
+	}
+	if s.artifactName() != "records.csv" {
+		t.Fatalf("artifactName = %q", s.artifactName())
+	}
+}
+
+func TestSpecNormalizeAdversityProfiles(t *testing.T) {
+	s := Spec{Tenant: "acme", Adversity: "hostile"}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Loss != 0.05 || s.Reorder != 0.02 || s.Duplicate != 0.01 || s.TailLoss != 0.2 {
+		t.Fatalf("hostile profile not resolved: %+v", s)
+	}
+	// Explicit knobs override the profile field by field.
+	s = Spec{Tenant: "acme", Adversity: "lossy", Loss: 0.11}
+	if err := s.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Loss != 0.11 {
+		t.Fatalf("explicit loss overridden by profile: %v", s.Loss)
+	}
+}
+
+// TestSpecNormalizeCollectsProblems: a bad spec reports every problem
+// in one deterministic message, not just the first.
+func TestSpecNormalizeCollectsProblems(t *testing.T) {
+	s := Spec{Universe: "1999", Strategy: "icmp", Adversity: "cosmic", Format: "xml", Rate: -1}
+	err := s.Normalize()
+	if err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	for _, want := range []string{
+		"tenant is required",
+		`unknown universe "1999"`,
+		`unknown strategy "icmp"`,
+		`unknown adversity profile "cosmic" (want bursty, clean, hostile, lossy)`,
+		`unknown format "xml"`,
+		"rate -1 is negative",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}

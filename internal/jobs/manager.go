@@ -1,0 +1,763 @@
+package jobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"iwscan/internal/checkpoint"
+	"iwscan/internal/experiments"
+	"iwscan/internal/flight"
+	"iwscan/internal/inet"
+	"iwscan/internal/netsim"
+	"iwscan/internal/output"
+	"iwscan/internal/scanner"
+	"iwscan/internal/timeseries"
+)
+
+// Config tunes the manager.
+type Config struct {
+	// Dir is the durable state root: one subdirectory per job holding
+	// job.json (spec + lifecycle + cursor, written atomically) and the
+	// artifact file the job's sink streams into.
+	Dir string
+	// BudgetPPS is the global probe budget in probes per second of
+	// virtual time — the paper's §3.4 uplink arithmetic (150 kpps
+	// there, the default here). Each tenant's share is BudgetPPS
+	// weighted by its fair-share weight; a job's engine rate is capped
+	// at its tenant's share at admission.
+	BudgetPPS float64
+	// MaxConcurrent bounds how many job segments execute at once
+	// (default 2). Each segment is one independent simulation, so this
+	// is the process's scan parallelism knob.
+	MaxConcurrent int
+	// SliceVirtual is the virtual-time length of one segment — the
+	// spacing of the cooperative pause points where pause, resume,
+	// cancel and restart take effect (default 10 virtual seconds, the
+	// CLI's checkpoint cadence).
+	SliceVirtual netsim.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.BudgetPPS <= 0 {
+		c.BudgetPPS = 150000
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+	}
+	if c.SliceVirtual <= 0 {
+		c.SliceVirtual = 10 * netsim.Second
+	}
+	return c
+}
+
+// Job is the durable description of one job — the exact JSON persisted
+// as job.json at every cooperative pause point.
+type Job struct {
+	ID   string `json:"id"`
+	Spec Spec   `json:"spec"`
+	// State is the lifecycle state; Error carries the failure reason
+	// when State is failed.
+	State State  `json:"state"`
+	Error string `json:"error,omitempty"`
+	// PauseRequested / CancelRequested mark a request made while a
+	// segment was executing; it is honored at the next pause point (or
+	// at restart recovery, if the daemon dies first).
+	PauseRequested  bool `json:"pause_requested,omitempty"`
+	CancelRequested bool `json:"cancel_requested,omitempty"`
+	// SubmitSeq orders jobs FIFO within a tenant across restarts.
+	SubmitSeq int `json:"submit_seq"`
+	// EffectiveRate is the admitted engine rate: min(requested rate,
+	// tenant budget share at submission). Fixed for the job's lifetime
+	// so every segment replays identically.
+	EffectiveRate float64 `json:"effective_rate"`
+	// Estimate is the expected number of probe launches (space ×
+	// sample), the denominator of the progress figure.
+	Estimate int64 `json:"estimate"`
+	// Frontier is the engine cursor: exactly this many records are
+	// durably in the artifact. The scheduler bills tenants by frontier
+	// advance — re-probed in-flight work is never double-charged.
+	Frontier uint64 `json:"frontier"`
+	// Cumulative engine counters across segments. Launched/Completed
+	// count work performed, which exceeds Frontier when segments
+	// re-probe the in-flight tail; they measure cost, Frontier
+	// measures output.
+	Launched  int64 `json:"launched"`
+	Completed int64 `json:"completed"`
+	Skipped   int64 `json:"skipped"`
+	Retries   int64 `json:"retries"`
+	// VirtualNS is the summed virtual time of all segments; Slices is
+	// the segment count.
+	VirtualNS int64 `json:"virtual_ns"`
+	Slices    int   `json:"slices"`
+	// ArtifactBytes is the artifact size at the last pause point.
+	// Restart recovery truncates the file back to it, discarding any
+	// torn tail a mid-segment crash left behind.
+	ArtifactBytes int64 `json:"artifact_bytes"`
+	// Anomalies tallies telemetry anomalies across segments.
+	Anomalies int64 `json:"anomalies"`
+	// Checkpoint is the resume state for the next segment (nil before
+	// the first segment; Completed once the scan finished).
+	Checkpoint *checkpoint.State `json:"checkpoint,omitempty"`
+
+	CreatedUnixNS int64 `json:"created_unix_ns"`
+	UpdatedUnixNS int64 `json:"updated_unix_ns"`
+}
+
+// job wraps the durable Job with runtime-only state.
+type job struct {
+	Job
+	executing      bool
+	sliceEst       float64
+	sliceContended bool
+	debug          *flight.DebugServer
+	ts             *timeseries.Store // executing segment's telemetry
+}
+
+// JobView is the API snapshot of a job.
+type JobView struct {
+	ID              string  `json:"id"`
+	Name            string  `json:"name,omitempty"`
+	Tenant          string  `json:"tenant"`
+	Weight          int     `json:"weight"`
+	State           State   `json:"state"`
+	PauseRequested  bool    `json:"pause_requested,omitempty"`
+	CancelRequested bool    `json:"cancel_requested,omitempty"`
+	Error           string  `json:"error,omitempty"`
+	Spec            Spec    `json:"spec"`
+	EffectiveRate   float64 `json:"effective_rate"`
+	Estimate        int64   `json:"estimate"`
+	RecordsEmitted  uint64  `json:"records_emitted"`
+	Progress        float64 `json:"progress"`
+	Launched        int64   `json:"launched"`
+	Completed       int64   `json:"completed"`
+	Skipped         int64   `json:"skipped"`
+	Retries         int64   `json:"retries"`
+	Slices          int     `json:"slices"`
+	VirtualNS       int64   `json:"virtual_ns"`
+	ArtifactBytes   int64   `json:"artifact_bytes"`
+	Anomalies       int64   `json:"anomalies"`
+	CursorSeq       uint64  `json:"cursor_seq"`
+	Artifact        string  `json:"artifact"`
+	CreatedUnixNS   int64   `json:"created_unix_ns"`
+	UpdatedUnixNS   int64   `json:"updated_unix_ns"`
+}
+
+// SchedulerStats is the API snapshot of the fair-share state.
+type SchedulerStats struct {
+	BudgetPPS      float64       `json:"budget_pps"`
+	MaxConcurrent  int           `json:"max_concurrent"`
+	SliceVirtualNS int64         `json:"slice_virtual_ns"`
+	Running        int           `json:"running"`
+	States         map[State]int `json:"states"`
+	ChargedTotal   int64         `json:"charged_probes"`
+	ContendedTotal int64         `json:"contended_probes"`
+	Tenants        []TenantView  `json:"tenants"`
+}
+
+// Manager owns the job table, the fair-share scheduler and the segment
+// runners. All public methods are safe for concurrent use.
+type Manager struct {
+	cfg Config
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	sched   *scheduler
+	running int
+	closed  bool
+	nextID  int
+	nextSeq int
+	wg      sync.WaitGroup
+}
+
+// NewManager opens (or creates) the state directory and recovers every
+// persisted job: interrupted segments are rolled back to their last
+// pause point (artifact truncated to the recorded size), jobs that were
+// running are re-queued, and pending pause/cancel requests are honored.
+func NewManager(cfg Config) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("jobs: Config.Dir is required")
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.Dir, "jobs"), 0o755); err != nil {
+		return nil, err
+	}
+	m := &Manager{cfg: cfg, jobs: make(map[string]*job), sched: newScheduler()}
+	if err := m.recover(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	m.dispatchLocked()
+	m.mu.Unlock()
+	return m, nil
+}
+
+// recover loads persisted jobs and resolves interrupted lifecycle
+// state. It runs before the manager is visible to any other goroutine.
+func (m *Manager) recover() error {
+	root := filepath.Join(m.cfg.Dir, "jobs")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		path := filepath.Join(root, e.Name(), "job.json")
+		var rec Job
+		if err := loadJSON(path, &rec); err != nil {
+			return fmt.Errorf("jobs: recovering %s: %w", e.Name(), err)
+		}
+		j := &job{Job: rec, debug: flight.NewDebugServer()}
+		// Requests made while a segment was executing are honored here
+		// if the daemon died before the pause point did it.
+		switch {
+		case j.CancelRequested && !j.State.Terminal():
+			setState(j, StateCancelled)
+			j.CancelRequested, j.PauseRequested = false, false
+		case j.PauseRequested && !j.State.Terminal():
+			setState(j, StatePaused)
+			j.PauseRequested = false
+		case j.State == StateRunning:
+			// Interrupted mid-run: the last pause point is durable, so
+			// the job simply rejoins the queue and resumes from it.
+			setState(j, StateQueued)
+		}
+		// Roll a torn artifact tail back to the last pause point.
+		if !j.State.Terminal() || j.State == StateCancelled {
+			art := filepath.Join(root, j.ID, j.Spec.artifactName())
+			if fi, err := os.Stat(art); err == nil && fi.Size() > j.ArtifactBytes {
+				if err := os.Truncate(art, j.ArtifactBytes); err != nil {
+					return fmt.Errorf("jobs: truncating %s: %w", art, err)
+				}
+			}
+		}
+		m.jobs[j.ID] = j
+		m.sched.tenant(j.Spec.Tenant, j.Spec.Weight)
+		if n := idNumber(j.ID); n >= m.nextID {
+			m.nextID = n + 1
+		}
+		if j.SubmitSeq >= m.nextSeq {
+			m.nextSeq = j.SubmitSeq + 1
+		}
+		if err := m.persistLocked(j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func idNumber(id string) int {
+	var n int
+	fmt.Sscanf(id, "j%d", &n)
+	return n
+}
+
+func loadJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+// Close stops dispatching, waits for executing segments to reach their
+// pause point, and leaves every job durably at a clean boundary. A
+// restarted manager over the same directory picks each job up exactly
+// where it left off.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+func (m *Manager) jobDir(id string) string { return filepath.Join(m.cfg.Dir, "jobs", id) }
+
+// ArtifactPath returns the absolute path of a job's artifact file.
+func (m *Manager) ArtifactPath(id string) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return "", false
+	}
+	return filepath.Join(m.jobDir(id), j.Spec.artifactName()), true
+}
+
+// Debug returns the job's per-job debug server (metrics, timeseries,
+// dashboard). Its handlers are live while a segment executes and answer
+// 503 between segments — each segment resets and re-attaches it.
+func (m *Manager) Debug(id string) (*flight.DebugServer, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return nil, false
+	}
+	return j.debug, true
+}
+
+// Submit validates and admits a job, assigning its effective rate from
+// the tenant's budget share, and returns its initial view.
+func (m *Manager) Submit(spec Spec) (JobView, error) {
+	if err := spec.Normalize(); err != nil {
+		return JobView{}, err
+	}
+	// Size the target estimate outside the lock: it materializes the
+	// universe prefix table.
+	estimate := spec.estimateTargets()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return JobView{}, fmt.Errorf("jobs: manager is shutting down")
+	}
+	t := m.sched.tenant(spec.Tenant, spec.Weight)
+	share := m.cfg.BudgetPPS * float64(t.Weight) / float64(m.sched.totalWeight())
+	eff := spec.Rate
+	if eff > share {
+		eff = share
+	}
+	if eff < 1 {
+		eff = 1
+	}
+	// Snapshot activity before the new job exists: the wake clamp must
+	// only apply when the tenant was actually idle, otherwise a fresh
+	// submission would erase service debt owed to an active tenant.
+	active := m.activeTenantsLocked()
+	id := fmt.Sprintf("j%06d", m.nextID)
+	m.nextID++
+	now := time.Now().UnixNano()
+	j := &job{
+		Job: Job{
+			ID: id, Spec: spec, State: StateQueued,
+			SubmitSeq: m.nextSeq, EffectiveRate: eff, Estimate: estimate,
+			CreatedUnixNS: now, UpdatedUnixNS: now,
+		},
+		debug: flight.NewDebugServer(),
+	}
+	m.nextSeq++
+	if err := os.MkdirAll(m.jobDir(id), 0o755); err != nil {
+		return JobView{}, err
+	}
+	m.jobs[id] = j
+	if !active[spec.Tenant] {
+		m.sched.wake(t, active)
+	}
+	if err := m.persistLocked(j); err != nil {
+		delete(m.jobs, id)
+		return JobView{}, err
+	}
+	m.dispatchLocked()
+	return m.viewLocked(j), nil
+}
+
+// estimateTargets sizes the job: the space net of sampling.
+func (s *Spec) estimateTargets() int64 {
+	sp := scanner.NewSpaceFromPrefixes(s.universe().Prefixes())
+	return int64(float64(sp.Size())*s.SampleFraction + 0.5)
+}
+
+// Pause moves a job to paused: immediately when it is queued or between
+// segments, at the next cooperative pause point when a segment is
+// executing (the view shows pause_requested until then).
+func (m *Manager) Pause(id string) (JobView, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobView{}, errUnknownJob(id)
+	}
+	switch {
+	case j.State == StateQueued, j.State == StateRunning && !j.executing:
+		setState(j, StatePaused)
+	case j.State == StateRunning:
+		j.PauseRequested = true
+	case j.State == StatePaused:
+		// Idempotent.
+	default:
+		return JobView{}, fmt.Errorf("jobs: cannot pause job %s in state %s", id, j.State)
+	}
+	if err := m.persistLocked(j); err != nil {
+		return JobView{}, err
+	}
+	return m.viewLocked(j), nil
+}
+
+// Resume re-queues a paused job (or withdraws a pending pause request).
+func (m *Manager) Resume(id string) (JobView, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobView{}, errUnknownJob(id)
+	}
+	switch {
+	case j.State == StatePaused:
+		active := m.activeTenantsLocked()
+		setState(j, StateQueued)
+		if !active[j.Spec.Tenant] {
+			m.sched.wake(m.sched.tenant(j.Spec.Tenant, 0), active)
+		}
+	case j.State == StateRunning && j.PauseRequested:
+		j.PauseRequested = false
+	case j.State == StateQueued, j.State == StateRunning:
+		// Idempotent.
+	default:
+		return JobView{}, fmt.Errorf("jobs: cannot resume job %s in state %s", id, j.State)
+	}
+	if err := m.persistLocked(j); err != nil {
+		return JobView{}, err
+	}
+	m.dispatchLocked()
+	return m.viewLocked(j), nil
+}
+
+// Cancel terminates a job: immediately when it is not executing, at the
+// next cooperative pause point otherwise. The artifact keeps every
+// record emitted up to the cancellation point.
+func (m *Manager) Cancel(id string) (JobView, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobView{}, errUnknownJob(id)
+	}
+	switch {
+	case j.State == StateQueued, j.State == StatePaused, j.State == StateRunning && !j.executing:
+		setState(j, StateCancelled)
+		j.PauseRequested = false
+	case j.State == StateRunning:
+		j.CancelRequested = true
+	case j.State == StateCancelled:
+		// Idempotent.
+	default:
+		return JobView{}, fmt.Errorf("jobs: cannot cancel job %s in state %s", id, j.State)
+	}
+	if err := m.persistLocked(j); err != nil {
+		return JobView{}, err
+	}
+	return m.viewLocked(j), nil
+}
+
+// Get returns a job snapshot.
+func (m *Manager) Get(id string) (JobView, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return m.viewLocked(j), true
+}
+
+// List returns every job, ordered by submission.
+func (m *Manager) List() []JobView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobView, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, m.viewLocked(j))
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Stats snapshots the scheduler.
+func (m *Manager) Stats() SchedulerStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := SchedulerStats{
+		BudgetPPS:      m.cfg.BudgetPPS,
+		MaxConcurrent:  m.cfg.MaxConcurrent,
+		SliceVirtualNS: int64(m.cfg.SliceVirtual),
+		Running:        m.running,
+		States:         make(map[State]int),
+		Tenants:        m.sched.views(),
+	}
+	for _, j := range m.jobs {
+		st.States[j.State]++
+	}
+	for _, t := range st.Tenants {
+		st.ChargedTotal += t.Charged
+		st.ContendedTotal += t.Contended
+	}
+	return st
+}
+
+func errUnknownJob(id string) error { return fmt.Errorf("jobs: unknown job %q", id) }
+
+// setState applies a lifecycle edge, enforcing the state machine: an
+// illegal edge is a manager bug and panics rather than corrupting the
+// persisted job file.
+func setState(j *job, to State) {
+	if !CanTransition(j.State, to) {
+		panic(fmt.Sprintf("jobs: illegal transition %s -> %s for %s", j.State, to, j.ID))
+	}
+	j.State = to
+}
+
+func (m *Manager) viewLocked(j *job) JobView {
+	t := m.sched.tenant(j.Spec.Tenant, 0)
+	v := JobView{
+		ID: j.ID, Name: j.Spec.Name, Tenant: j.Spec.Tenant, Weight: t.Weight,
+		State: j.State, PauseRequested: j.PauseRequested, CancelRequested: j.CancelRequested,
+		Error: j.Error, Spec: j.Spec, EffectiveRate: j.EffectiveRate,
+		Estimate: j.Estimate, RecordsEmitted: j.Frontier,
+		Launched: j.Launched, Completed: j.Completed, Skipped: j.Skipped, Retries: j.Retries,
+		Slices: j.Slices, VirtualNS: j.VirtualNS, ArtifactBytes: j.ArtifactBytes,
+		Anomalies:     j.Anomalies,
+		Artifact:      filepath.Join("jobs", j.ID, j.Spec.artifactName()),
+		CreatedUnixNS: j.CreatedUnixNS, UpdatedUnixNS: j.UpdatedUnixNS,
+	}
+	if j.Checkpoint != nil && len(j.Checkpoint.Shards) > 0 {
+		v.CursorSeq = j.Checkpoint.Shards[0].Cursor.Seq
+	}
+	if j.Estimate > 0 {
+		v.Progress = float64(j.Frontier) / float64(j.Estimate)
+		if v.Progress > 1 {
+			v.Progress = 1
+		}
+	}
+	if j.ts != nil {
+		// Fold the executing segment's live tally into the view.
+		total, _, _ := j.ts.AnomalySummary()
+		v.Anomalies += total
+	}
+	return v
+}
+
+func (m *Manager) persistLocked(j *job) error {
+	j.UpdatedUnixNS = time.Now().UnixNano()
+	return checkpoint.SaveJSON(filepath.Join(m.jobDir(j.ID), "job.json"), &j.Job)
+}
+
+// activeTenantsLocked names tenants with live (non-terminal) jobs.
+func (m *Manager) activeTenantsLocked() map[string]bool {
+	out := make(map[string]bool)
+	for _, j := range m.jobs {
+		if j.State == StateQueued || j.State == StateRunning {
+			out[j.Spec.Tenant] = true
+		}
+	}
+	return out
+}
+
+// dispatchableLocked reports whether a job can start a segment now.
+func dispatchableLocked(j *job) bool {
+	if j.executing || j.PauseRequested || j.CancelRequested {
+		return false
+	}
+	return j.State == StateQueued || j.State == StateRunning
+}
+
+// dispatchLocked fills free execution slots: pick the minimum
+// virtual-time tenant with a dispatchable job, charge the estimated
+// segment cost, and launch the segment runner.
+func (m *Manager) dispatchLocked() {
+	for !m.closed && m.running < m.cfg.MaxConcurrent {
+		runnable := make(map[string]bool)
+		for _, j := range m.jobs {
+			if dispatchableLocked(j) {
+				runnable[j.Spec.Tenant] = true
+			}
+		}
+		if len(runnable) == 0 {
+			return
+		}
+		t := m.sched.pick(runnable)
+		var next *job
+		for _, j := range m.jobs {
+			if j.Spec.Tenant != t.Name || !dispatchableLocked(j) {
+				continue
+			}
+			if next == nil || j.SubmitSeq < next.SubmitSeq {
+				next = j
+			}
+		}
+		if next == nil {
+			return
+		}
+		if next.State == StateQueued {
+			setState(next, StateRunning)
+		}
+		next.executing = true
+		next.sliceContended = len(runnable) > 1
+		next.sliceEst = next.EffectiveRate * float64(m.cfg.SliceVirtual) / float64(netsim.Second)
+		m.sched.chargeEstimate(t, next.sliceEst)
+		m.running++
+		m.wg.Add(1)
+		go m.runSegment(next)
+	}
+}
+
+// scanConfig builds the segment's ScanConfig from the job spec. Every
+// identity-defining field comes from the immutable spec, so each
+// segment fingerprints identically — the precondition for splicing.
+func (j *job) scanConfig() experiments.ScanConfig {
+	spec := j.Spec
+	cfg := experiments.ScanConfig{
+		Seed:           spec.Seed,
+		Strategy:       spec.strategy(),
+		SampleFraction: spec.SampleFraction,
+		Rate:           j.EffectiveRate,
+		MSSList:        spec.MSSList,
+		Repeats:        spec.Repeats,
+		MaxRetries:     spec.MaxRetries,
+		Loss:           spec.Loss,
+	}
+	if spec.Reorder > 0 || spec.Duplicate > 0 {
+		cfg.Path = &netsim.PathParams{
+			Delay: 10 * netsim.Millisecond, Jitter: 2 * netsim.Millisecond,
+			Loss: spec.Loss, Reorder: spec.Reorder, Duplicate: spec.Duplicate,
+		}
+	}
+	if spec.TailLoss > 0 {
+		seed, p := spec.Seed, spec.TailLoss
+		cfg.FilterFactories = append(cfg.FilterFactories, func() netsim.Filter {
+			return netsim.TailLossFilter(seed, p)
+		})
+	}
+	return cfg
+}
+
+// runSegment executes one virtual-time slice of a job, then finalizes
+// its lifecycle at the cooperative pause point.
+func (m *Manager) runSegment(j *job) {
+	defer m.wg.Done()
+
+	// Snapshot what the segment needs under the lock.
+	m.mu.Lock()
+	cfg := j.scanConfig()
+	resume := j.Checkpoint
+	slices := j.Slices
+	artBytes := j.ArtifactBytes
+	spec := j.Spec
+	ts := timeseries.NewStore(timeseries.Config{Ring: 256})
+	j.ts = ts
+	m.mu.Unlock()
+
+	u := spec.universe()
+	cfg.TimeLimit = m.cfg.SliceVirtual
+	cfg.Resume = resume
+	cfg.Timeseries = ts
+	// Fresh attach per segment: reset first so a previous segment's
+	// registry is never served as if it were the live one.
+	j.debug.Reset()
+	cfg.Debug = j.debug
+
+	art := filepath.Join(m.jobDir(j.ID), spec.artifactName())
+	res, size, runErr := m.runSink(u, &cfg, art, artBytes, slices > 0, spec.Format)
+	// Detach the segment's registries again: between segments (and
+	// after the job settles) the debug data handlers answer 503 rather
+	// than serving a dead segment's numbers as if they were live.
+	j.debug.Reset()
+
+	var fields []checkpoint.Field
+	if runErr == nil {
+		fields = cfg.ConfigFields(u)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.executing = false
+	j.ts = nil
+	m.running--
+	actual := int64(0)
+	if res != nil && runErr == nil {
+		j.Slices++
+		j.Launched += res.Engine.Launched
+		j.Completed += res.Engine.Completed
+		j.Skipped += res.Engine.Skipped
+		j.Retries += res.Engine.Retries
+		j.VirtualNS += int64(res.VirtualTime)
+		actual = int64(res.Cursor.Seq - j.Frontier)
+		j.Frontier = res.Cursor.Seq
+		j.ArtifactBytes = size
+		total, _, _ := ts.AnomalySummary()
+		j.Anomalies += total
+		st := res.Engine
+		j.Checkpoint = &checkpoint.State{
+			Version:     checkpoint.Version,
+			Fingerprint: checkpoint.FingerprintFields(fields),
+			Config:      fields,
+			Completed:   !res.Incomplete,
+			VirtualNS:   j.VirtualNS,
+			Shards: []checkpoint.ShardState{{
+				Shard: 0, Shards: 1, Cursor: *res.Cursor,
+				Launched: st.Launched, Completed: st.Completed,
+				Skipped: st.Skipped, Retries: st.Retries,
+			}},
+		}
+	}
+	t := m.sched.tenant(spec.Tenant, 0)
+	m.sched.settle(t, j.sliceEst, actual, j.sliceContended)
+
+	switch {
+	case runErr != nil:
+		setState(j, StateFailed)
+		j.Error = runErr.Error()
+		j.PauseRequested, j.CancelRequested = false, false
+	case !res.Incomplete:
+		// Completion wins over a pending cancel or pause: the artifact
+		// is already whole.
+		setState(j, StateCompleted)
+		j.PauseRequested, j.CancelRequested = false, false
+	case j.CancelRequested:
+		setState(j, StateCancelled)
+		j.PauseRequested, j.CancelRequested = false, false
+	case j.PauseRequested:
+		setState(j, StatePaused)
+		j.PauseRequested = false
+	}
+	if err := m.persistLocked(j); err != nil && j.Error == "" {
+		// The in-memory state is ahead of the durable file; surface it
+		// on the job without forging a lifecycle edge.
+		j.Error = "persist: " + err.Error()
+	}
+	m.dispatchLocked()
+}
+
+// runSink opens the artifact at the exact splice point (truncating any
+// tail past it), streams one segment through a file sink, and returns
+// the segment result plus the new durable artifact size.
+func (m *Manager) runSink(u *inet.Universe, cfg *experiments.ScanConfig, art string, artBytes int64, appending bool, format string) (*experiments.ScanResult, int64, error) {
+	f, err := os.OpenFile(art, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, artBytes, err
+	}
+	defer f.Close()
+	if err := f.Truncate(artBytes); err != nil {
+		return nil, artBytes, err
+	}
+	if _, err := f.Seek(artBytes, io.SeekStart); err != nil {
+		return nil, artBytes, err
+	}
+	sink, err := output.NewFileSink(f, format, appending)
+	if err != nil {
+		return nil, artBytes, err
+	}
+	cfg.Sink = sink
+	res, runErr := experiments.RunScanChecked(u, *cfg)
+	if err := sink.Close(); runErr == nil {
+		runErr = err
+	}
+	if err := f.Sync(); runErr == nil {
+		runErr = err
+	}
+	size, err := f.Seek(0, io.SeekCurrent)
+	if runErr == nil {
+		runErr = err
+	}
+	if runErr != nil {
+		return res, artBytes, runErr
+	}
+	return res, size, nil
+}

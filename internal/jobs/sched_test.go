@@ -1,0 +1,138 @@
+package jobs
+
+import (
+	"testing"
+
+	"iwscan/internal/netsim"
+)
+
+// TestSchedulerAccounts pins the virtual-time arithmetic: weighted
+// clock advance, estimate settlement, the idle-wake clamp and the
+// deterministic min-vtime pick.
+func TestSchedulerAccounts(t *testing.T) {
+	sc := newScheduler()
+	a := sc.tenant("a", 3)
+	b := sc.tenant("b", 1)
+	if sc.totalWeight() != 4 {
+		t.Fatalf("totalWeight = %d, want 4", sc.totalWeight())
+	}
+
+	// A weight-3 tenant's clock advances a third as fast per probe.
+	sc.chargeEstimate(a, 300)
+	if a.vtime != 100 {
+		t.Fatalf("a.vtime = %v after charging 300 at weight 3, want 100", a.vtime)
+	}
+	// Settlement replaces the estimate with the actual cost.
+	sc.settle(a, 300, 150, true)
+	if a.vtime != 50 || a.Charged != 150 || a.Contended != 150 {
+		t.Fatalf("after settle: vtime %v charged %d contended %d, want 50/150/150",
+			a.vtime, a.Charged, a.Contended)
+	}
+	// Uncontended work is charged but not counted as contended.
+	sc.chargeEstimate(a, 30)
+	sc.settle(a, 30, 30, false)
+	if a.Charged != 180 || a.Contended != 150 {
+		t.Fatalf("uncontended settle: charged %d contended %d, want 180/150", a.Charged, a.Contended)
+	}
+
+	// An idle tenant waking up is clocked forward to the minimum active
+	// vtime: sleeping never accumulates burst credit.
+	if b.vtime != 0 {
+		t.Fatalf("b.vtime = %v before wake", b.vtime)
+	}
+	sc.wake(b, map[string]bool{"a": true, "b": true})
+	if b.vtime != a.vtime {
+		t.Fatalf("woken tenant at vtime %v, want clamp to active minimum %v", b.vtime, a.vtime)
+	}
+	// The clamp never moves a clock backwards.
+	sc.chargeEstimate(b, 100)
+	sc.settle(b, 100, 100, true)
+	was := b.vtime
+	sc.wake(b, map[string]bool{"a": true, "b": true})
+	if b.vtime != was {
+		t.Fatalf("wake moved an ahead clock from %v to %v", was, b.vtime)
+	}
+
+	// pick serves the minimum vtime; ties break by name.
+	if got := sc.pick(map[string]bool{"a": true, "b": true}); got != a {
+		t.Fatalf("pick = %s, want a (vtime %v vs %v)", got.Name, a.vtime, b.vtime)
+	}
+	b.vtime = a.vtime
+	if got := sc.pick(map[string]bool{"a": true, "b": true}); got != a {
+		t.Fatalf("tie pick = %s, want a by name", got.Name)
+	}
+}
+
+// TestFairShareConvergence is the acceptance criterion for the
+// scheduler: two tenants with 3:1 weights submitting identical
+// workloads must split the contended probe budget 75/25 within ±10
+// percentage points, measured only over probes earned while both had
+// runnable work. MaxConcurrent 1 serializes segments so the interleave
+// is exactly the weighted round-robin the virtual clocks produce.
+func TestFairShareConvergence(t *testing.T) {
+	m, err := NewManager(Config{
+		Dir: t.TempDir(), MaxConcurrent: 1, SliceVirtual: 5 * netsim.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	spec := Spec{
+		Tenant: "alpha", Weight: 3, Seed: 11, SampleFraction: 0.0125,
+		Rate: 200, MSSList: []int{64}, Repeats: 1,
+	}
+	va, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb := spec
+	sb.Tenant, sb.Weight = "beta", 1
+	vb, err := m.Submit(sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, id := range []string{va.ID, vb.ID} {
+		done := waitJob(t, m, id, "completion", func(v JobView) bool { return v.State.Terminal() })
+		if done.State != StateCompleted {
+			t.Fatalf("job %s finished as %s (%s)", id, done.State, done.Error)
+		}
+	}
+
+	// Identical workloads: both artifacts hold the same record count.
+	fa, _ := m.Get(va.ID)
+	fb, _ := m.Get(vb.ID)
+	if fa.RecordsEmitted != fb.RecordsEmitted || fa.RecordsEmitted == 0 {
+		t.Fatalf("identical workloads emitted %d vs %d records", fa.RecordsEmitted, fb.RecordsEmitted)
+	}
+
+	stats := m.Stats()
+	var contA, contB int64
+	for _, tv := range stats.Tenants {
+		switch tv.Name {
+		case "alpha":
+			contA = tv.Contended
+			if tv.Weight != 3 || tv.Share != 0.75 {
+				t.Fatalf("alpha weight/share = %d/%v, want 3/0.75", tv.Weight, tv.Share)
+			}
+		case "beta":
+			contB = tv.Contended
+			if tv.Weight != 1 || tv.Share != 0.25 {
+				t.Fatalf("beta weight/share = %d/%v, want 1/0.25", tv.Weight, tv.Share)
+			}
+		}
+	}
+	total := contA + contB
+	if total < 1000 {
+		t.Fatalf("contention window too small to judge fairness: %d contended probes", total)
+	}
+	share := float64(contA) / float64(total)
+	if share < 0.65 || share > 0.85 {
+		t.Fatalf("alpha got %.1f%% of the contended budget (%d of %d), want 75%% ± 10",
+			100*share, contA, total)
+	}
+	if stats.ChargedTotal < stats.ContendedTotal {
+		t.Fatalf("charged %d < contended %d", stats.ChargedTotal, stats.ContendedTotal)
+	}
+}

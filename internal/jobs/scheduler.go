@@ -1,0 +1,165 @@
+// Fair-share scheduling. Each tenant owns a virtual-time account: a
+// token bucket whose level is expressed as the tenant's virtual finish
+// time — charged probes divided by weight. Dispatching always picks the
+// tenant with the smallest virtual time among those with runnable
+// jobs (weighted round-robin emerges from the arithmetic: a weight-3
+// tenant's clock advances a third as fast per probe, so it wins three
+// slots for every one a weight-1 tenant gets). Costs are charged as an
+// estimate at dispatch and corrected to the exact emitted-record count
+// when the segment completes, so concurrent segments cannot double-book
+// a tenant's budget. A tenant waking from idle is clocked forward to
+// the minimum active virtual time — sleeping never accumulates credit,
+// exactly like a token bucket with a bounded burst.
+package jobs
+
+import "math"
+
+// tenantState is one tenant's scheduling account.
+type tenantState struct {
+	Name   string
+	Weight int
+
+	// vtime is the tenant's virtual finish time: charged probes scaled
+	// by 1/weight. The scheduler always serves the minimum.
+	vtime float64
+	// Charged counts completed (durably emitted) probe records billed
+	// to the tenant across all its jobs.
+	Charged int64
+	// Contended counts the subset of Charged earned by segments
+	// dispatched while at least one other tenant also had runnable
+	// work — the window where fair share is observable. Convergence
+	// assertions use this, not Charged, so idle-system throughput
+	// doesn't dilute the ratio.
+	Contended int64
+}
+
+// scheduler holds the per-tenant accounts. It is not self-locking: the
+// manager's mutex guards every call.
+type scheduler struct {
+	tenants map[string]*tenantState
+}
+
+func newScheduler() *scheduler {
+	return &scheduler{tenants: make(map[string]*tenantState)}
+}
+
+// tenant returns the named account, creating it with the given weight
+// on first sight. A zero weight defaults to 1; later registrations keep
+// the original weight unless they name a different non-zero one.
+func (sc *scheduler) tenant(name string, weight int) *tenantState {
+	t, ok := sc.tenants[name]
+	if !ok {
+		if weight <= 0 {
+			weight = 1
+		}
+		t = &tenantState{Name: name, Weight: weight}
+		sc.tenants[name] = t
+		return t
+	}
+	if weight > 0 {
+		t.Weight = weight
+	}
+	return t
+}
+
+// totalWeight sums every known tenant's weight (minimum 1 so a budget
+// share is always defined).
+func (sc *scheduler) totalWeight() int {
+	total := 0
+	for _, t := range sc.tenants {
+		total += t.Weight
+	}
+	if total < 1 {
+		total = 1
+	}
+	return total
+}
+
+// wake clocks a tenant that is about to become runnable forward to the
+// minimum virtual time among the given active tenants, so time spent
+// idle cannot be cashed in as a burst against everyone else.
+func (sc *scheduler) wake(t *tenantState, active map[string]bool) {
+	minActive := math.Inf(1)
+	for name := range active {
+		if name == t.Name {
+			continue
+		}
+		if other, ok := sc.tenants[name]; ok && other.vtime < minActive {
+			minActive = other.vtime
+		}
+	}
+	if !math.IsInf(minActive, 1) && t.vtime < minActive {
+		t.vtime = minActive
+	}
+}
+
+// pick returns the runnable tenant with the smallest virtual time,
+// breaking ties by name for determinism. runnable maps tenant name →
+// has at least one dispatchable job.
+func (sc *scheduler) pick(runnable map[string]bool) *tenantState {
+	var best *tenantState
+	for name := range runnable {
+		t, ok := sc.tenants[name]
+		if !ok {
+			continue
+		}
+		if best == nil || t.vtime < best.vtime || (t.vtime == best.vtime && t.Name < best.Name) {
+			best = t
+		}
+	}
+	return best
+}
+
+// chargeEstimate books an estimated segment cost at dispatch time.
+func (sc *scheduler) chargeEstimate(t *tenantState, est float64) {
+	if t.Weight > 0 {
+		t.vtime += est / float64(t.Weight)
+	}
+}
+
+// settle replaces a segment's dispatch estimate with its actual cost
+// (exact records emitted) and records the totals.
+func (sc *scheduler) settle(t *tenantState, est float64, actual int64, contended bool) {
+	if t.Weight > 0 {
+		t.vtime += (float64(actual) - est) / float64(t.Weight)
+	}
+	t.Charged += actual
+	if contended {
+		t.Contended += actual
+	}
+}
+
+// TenantView is a tenant account snapshot for the API.
+type TenantView struct {
+	Name   string `json:"name"`
+	Weight int    `json:"weight"`
+	// VTime is the virtual finish time (charged probes / weight) the
+	// scheduler serves in ascending order.
+	VTime float64 `json:"vtime"`
+	// Charged / Contended are completed-probe totals; Contended counts
+	// only probes earned while another tenant also had runnable work.
+	Charged   int64 `json:"charged_probes"`
+	Contended int64 `json:"contended_probes"`
+	// Share is the tenant's weight fraction of the global budget.
+	Share float64 `json:"share"`
+}
+
+// views snapshots every tenant, sorted by name.
+func (sc *scheduler) views() []TenantView {
+	total := float64(sc.totalWeight())
+	out := make([]TenantView, 0, len(sc.tenants))
+	for _, t := range sc.tenants {
+		out = append(out, TenantView{
+			Name: t.Name, Weight: t.Weight, VTime: t.vtime,
+			Charged: t.Charged, Contended: t.Contended,
+			Share: float64(t.Weight) / total,
+		})
+	}
+	// Insertion-order maps; sort for stable output.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Name < out[j-1].Name; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Server is the HTTP face of the control plane:
+//
+//	POST /jobs                 submit a job (body: Spec JSON) → JobView
+//	GET  /jobs                 list jobs
+//	GET  /jobs/{id}            one job's view
+//	POST /jobs/{id}/pause      request pause (applies at the pause point)
+//	POST /jobs/{id}/resume     re-queue a paused job
+//	POST /jobs/{id}/cancel     cancel
+//	GET  /jobs/{id}/artifact   stream the artifact as written so far
+//	GET  /jobs/{id}/debug/...  the job's live debug server (/metrics,
+//	                           /timeseries, /dash, /debug/pprof, ...)
+//	GET  /scheduler            fair-share scheduler snapshot
+//	GET  /healthz              liveness
+type Server struct {
+	m   *Manager
+	mux *http.ServeMux
+}
+
+// NewServer wires the manager's API onto a fresh mux.
+func NewServer(m *Manager) *Server {
+	s := &Server{m: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("POST /jobs/{id}/pause", s.action((*Manager).Pause))
+	s.mux.HandleFunc("POST /jobs/{id}/resume", s.action((*Manager).Resume))
+	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.action((*Manager).Cancel))
+	s.mux.HandleFunc("GET /jobs/{id}/artifact", s.handleArtifact)
+	s.mux.Handle("GET /jobs/{id}/debug/", http.HandlerFunc(s.handleDebug))
+	s.mux.HandleFunc("GET /scheduler", s.handleScheduler)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return s
+}
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, apiError{Error: err.Error()})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(req.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("jobs: decoding spec: %w", err))
+		return
+	}
+	view, err := s.m.Submit(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, view)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.List())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, req *http.Request) {
+	view, ok := s.m.Get(req.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errUnknownJob(req.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// action adapts a lifecycle method (Pause/Resume/Cancel) to a handler.
+// Unknown jobs map to 404, illegal transitions to 409.
+func (s *Server) action(fn func(*Manager, string) (JobView, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		id := req.PathValue("id")
+		view, err := fn(s.m, id)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusOK, view)
+		case strings.Contains(err.Error(), "unknown job"):
+			writeError(w, http.StatusNotFound, err)
+		default:
+			writeError(w, http.StatusConflict, err)
+		}
+	}
+}
+
+func (s *Server) handleArtifact(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	view, ok := s.m.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, errUnknownJob(id))
+		return
+	}
+	path, _ := s.m.ArtifactPath(id)
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		writeError(w, http.StatusNotFound, fmt.Errorf("jobs: job %s has no artifact yet", id))
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	defer f.Close()
+	// Serve only the durable prefix: bytes past the last pause point
+	// belong to a segment still in flight and are not yet stable.
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(view.ArtifactBytes, 10))
+	io.CopyN(w, f, view.ArtifactBytes)
+}
+
+func (s *Server) handleDebug(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	dbg, ok := s.m.Debug(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, errUnknownJob(id))
+		return
+	}
+	prefix := "/jobs/" + id + "/debug"
+	http.StripPrefix(prefix, dbg.Handler()).ServeHTTP(w, req)
+}
+
+func (s *Server) handleScheduler(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.Stats())
+}

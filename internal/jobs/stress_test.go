@@ -1,0 +1,292 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"iwscan/internal/netsim"
+)
+
+// TestConcurrentClientsStress drives the HTTP API with hundreds of
+// concurrent clients — submitters, pollers and cancellers — and then
+// audits every job: completed jobs' artifacts must be byte-identical to
+// a reference run of the same spec (no lost or duplicated records), and
+// cancelled jobs must hold an exact prefix of it.
+func TestConcurrentClientsStress(t *testing.T) {
+	// Four distinct workloads: three finish within one segment, the
+	// fourth (seed 404) spans several segments so cancellation has a
+	// real window to land mid-flight.
+	seeds := []uint64{101, 202, 303, 404}
+	makeSpec := func(tenant string, seed uint64) Spec {
+		s := Spec{
+			Tenant: tenant, Seed: seed, SampleFraction: 0.0003,
+			Rate: 2000, MSSList: []int{64}, Repeats: 1,
+		}
+		if seed == 404 {
+			s.SampleFraction, s.Rate = 0.002, 60
+		}
+		return s
+	}
+	refs := make(map[uint64][]byte, len(seeds))
+	for _, seed := range seeds {
+		refs[seed] = referenceBytes(t, makeSpec("ref", seed))
+	}
+
+	m, err := NewManager(Config{
+		Dir: t.TempDir(), MaxConcurrent: 4, SliceVirtual: 5 * netsim.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	srv := httptest.NewServer(NewServer(m).Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	const (
+		submitters = 40
+		pollers    = 100
+		cancellers = 60
+		jobsEach   = 2
+	)
+
+	var (
+		mu        sync.Mutex
+		jobSeed   = make(map[string]uint64) // job id → workload seed
+		submitErr []string
+	)
+	ids := make(chan string, submitters*jobsEach)
+
+	var wg sync.WaitGroup
+	// Submitters: POST specs, record the returned ids.
+	for i := 0; i < submitters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < jobsEach; k++ {
+				seed := seeds[(i+k)%len(seeds)]
+				spec := makeSpec(fmt.Sprintf("t%02d", i%8), seed)
+				body, _ := json.Marshal(spec)
+				resp, err := client.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
+				if err != nil {
+					mu.Lock()
+					submitErr = append(submitErr, err.Error())
+					mu.Unlock()
+					continue
+				}
+				var view JobView
+				err = json.NewDecoder(resp.Body).Decode(&view)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusCreated {
+					mu.Lock()
+					submitErr = append(submitErr, fmt.Sprintf("submit: HTTP %d (%v)", resp.StatusCode, err))
+					mu.Unlock()
+					continue
+				}
+				mu.Lock()
+				jobSeed[view.ID] = seed
+				mu.Unlock()
+				ids <- view.ID
+			}
+		}(i)
+	}
+	// Cancellers: race cancellation against execution. Any of 200
+	// (applied), 404 (id not seen — impossible here) or 409 (already
+	// terminal) is legitimate; anything else is a server bug.
+	cancelled := make(chan string, cancellers)
+	for i := 0; i < cancellers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			select {
+			case id := <-ids:
+				resp, err := client.Post(srv.URL+"/jobs/"+id+"/cancel", "", nil)
+				if err != nil {
+					t.Errorf("cancel %s: %v", id, err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					cancelled <- id
+				case http.StatusConflict:
+				default:
+					t.Errorf("cancel %s: HTTP %d", id, resp.StatusCode)
+				}
+			case <-time.After(5 * time.Second):
+			}
+		}()
+	}
+	// Pollers: hammer the read endpoints while the fleet churns.
+	for i := 0; i < pollers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			paths := []string{"/jobs", "/scheduler", "/healthz"}
+			for k := 0; k < 10; k++ {
+				resp, err := client.Get(srv.URL + paths[(i+k)%len(paths)])
+				if err != nil {
+					t.Errorf("poll: %v", err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("poll %s: HTTP %d", paths[(i+k)%len(paths)], resp.StatusCode)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(cancelled)
+	if len(submitErr) > 0 {
+		t.Fatalf("%d submissions failed; first: %s", len(submitErr), submitErr[0])
+	}
+	if len(jobSeed) != submitters*jobsEach {
+		t.Fatalf("submitted %d jobs, want %d", len(jobSeed), submitters*jobsEach)
+	}
+
+	// Drain to quiescence: every job must reach a terminal state.
+	deadline := time.Now().Add(120 * time.Second)
+	for {
+		views := m.List()
+		done := 0
+		for _, v := range views {
+			if v.State.Terminal() {
+				done++
+			}
+		}
+		if done == len(views) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d jobs terminal after 120s", done, len(views))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Audit: completed artifacts byte-identical to the reference (no
+	// record lost, none duplicated); cancelled ones an exact prefix.
+	counts := map[State]int{}
+	for _, v := range m.List() {
+		counts[v.State]++
+		want, ok := refs[jobSeed[v.ID]]
+		if !ok {
+			t.Fatalf("job %s has no recorded seed", v.ID)
+		}
+		path, _ := m.ArtifactPath(v.ID)
+		got, err := os.ReadFile(path)
+		if err != nil && !os.IsNotExist(err) {
+			t.Fatal(err)
+		}
+		switch v.State {
+		case StateCompleted:
+			if !bytes.Equal(got, want) {
+				t.Fatalf("job %s completed with %d artifact bytes, reference has %d",
+					v.ID, len(got), len(want))
+			}
+			// The HTTP artifact endpoint serves the same bytes.
+			resp, err := client.Get(srv.URL + "/jobs/" + v.ID + "/artifact")
+			if err != nil {
+				t.Fatal(err)
+			}
+			served, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if !bytes.Equal(served, want) {
+				t.Fatalf("job %s: artifact endpoint served %d bytes, want %d",
+					v.ID, len(served), len(want))
+			}
+		case StateCancelled:
+			if !bytes.HasPrefix(want, got) {
+				t.Fatalf("job %s cancelled with a non-prefix artifact (%d bytes)", v.ID, len(got))
+			}
+		default:
+			t.Fatalf("job %s ended as %s (%s)", v.ID, v.State, v.Error)
+		}
+	}
+	if counts[StateCompleted] == 0 {
+		t.Fatal("no job completed — stress audit proved nothing")
+	}
+	t.Logf("stress: %d completed, %d cancelled across %d clients",
+		counts[StateCompleted], counts[StateCancelled], submitters+pollers+cancellers)
+}
+
+// TestServerAPISurface covers the HTTP status mapping: 404s for unknown
+// jobs, 400 for malformed specs, 409 for illegal lifecycle verbs, and
+// the per-job debug endpoint lifecycle (503 between segments, live
+// during them — here we only see the settled 503 since the job is
+// terminal).
+func TestServerAPISurface(t *testing.T) {
+	m, err := NewManager(Config{Dir: t.TempDir(), SliceVirtual: 5 * netsim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	srv := httptest.NewServer(NewServer(m).Handler())
+	defer srv.Close()
+	client := srv.Client()
+
+	status := func(method, path, body string) int {
+		t.Helper()
+		req, _ := http.NewRequest(method, srv.URL+path, bytes.NewReader([]byte(body)))
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := status("POST", "/jobs", `{"tenant":""}`); got != http.StatusBadRequest {
+		t.Fatalf("invalid spec: HTTP %d, want 400", got)
+	}
+	if got := status("POST", "/jobs", `{"tenant":"x","bogus_field":1}`); got != http.StatusBadRequest {
+		t.Fatalf("unknown field: HTTP %d, want 400", got)
+	}
+	for _, path := range []string{"/jobs/nope", "/jobs/nope/artifact", "/jobs/nope/debug/metrics"} {
+		if got := status("GET", path, ""); got != http.StatusNotFound {
+			t.Fatalf("GET %s: HTTP %d, want 404", path, got)
+		}
+	}
+	if got := status("POST", "/jobs/nope/pause", ""); got != http.StatusNotFound {
+		t.Fatalf("pause unknown: HTTP %d, want 404", got)
+	}
+
+	// A real job: submit a tiny spec, wait for completion.
+	spec := Spec{Tenant: "api", Seed: 9, SampleFraction: 0.0003, Rate: 2000, MSSList: []int{64}, Repeats: 1}
+	body, _ := json.Marshal(spec)
+	resp, err := client.Post(srv.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view JobView
+	json.NewDecoder(resp.Body).Decode(&view)
+	resp.Body.Close()
+	waitJob(t, m, view.ID, "completion", func(v JobView) bool { return v.State.Terminal() })
+
+	if got := status("POST", "/jobs/"+view.ID+"/pause", ""); got != http.StatusConflict {
+		t.Fatalf("pause completed job: HTTP %d, want 409", got)
+	}
+	if got := status("GET", "/jobs/"+view.ID, ""); got != http.StatusOK {
+		t.Fatalf("get job: HTTP %d", got)
+	}
+	// Between/after segments the per-job debug data handlers answer 503
+	// (the segment's registries were reset), but the endpoint routes.
+	if got := status("GET", "/jobs/"+view.ID+"/debug/metrics", ""); got != http.StatusServiceUnavailable {
+		t.Fatalf("debug metrics on settled job: HTTP %d, want 503", got)
+	}
+	if got := status("GET", "/jobs/"+view.ID+"/debug/dash", ""); got != http.StatusOK {
+		t.Fatalf("debug dash: HTTP %d, want 200", got)
+	}
+}

@@ -2,6 +2,7 @@ package output
 
 import (
 	"errors"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -136,5 +137,98 @@ func TestAsyncSinkWriteAfterClose(t *testing.T) {
 	}
 	if err := a.Close(); err != nil {
 		t.Fatalf("second Close = %v", err)
+	}
+}
+
+// slowSink delays every write — a destination slow enough that a
+// cancelled job always catches it mid-stream with a non-empty queue.
+type slowSink struct {
+	n      atomic.Int64
+	closed atomic.Int64
+}
+
+func (s *slowSink) WriteRecord(*analysis.Record) error {
+	time.Sleep(200 * time.Microsecond)
+	s.n.Add(1)
+	return nil
+}
+func (s *slowSink) Flush() error { return nil }
+func (s *slowSink) Close() error { s.closed.Add(1); return nil }
+
+// TestAsyncSinkCancelNoGoroutineLeak is the job-cancellation contract:
+// when a scan job is cancelled mid-stream the producer stops writing
+// and closes the sink. Close must drain what was queued, close the
+// destination exactly once, leave later writes failing cleanly, and —
+// the goleak-style part — leave no drain goroutine behind, no matter
+// how many sinks the process has cycled through.
+func TestAsyncSinkCancelNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	const rounds = 50
+	for i := 0; i < rounds; i++ {
+		dst := &slowSink{}
+		a := NewAsyncSink(dst, 8)
+		r := testRecord()
+
+		// A producer streams records until the "job" is cancelled
+		// mid-stream; the queue is still partly full at that point.
+		stop := make(chan struct{})
+		wrote := make(chan int64)
+		go func() {
+			var n int64
+			for {
+				select {
+				case <-stop:
+					wrote <- n
+					return
+				default:
+				}
+				if err := a.WriteRecord(&r); err != nil {
+					t.Errorf("round %d: mid-stream write failed: %v", i, err)
+					wrote <- n
+					return
+				}
+				n++
+			}
+		}()
+		time.Sleep(2 * time.Millisecond) // let the stream get going
+		close(stop)                      // cancel: producer stops...
+		n := <-wrote
+		if err := a.Close(); err != nil { // ...and the runner closes the sink
+			t.Fatalf("round %d: Close after cancel = %v", i, err)
+		}
+
+		// Clean error contract after the cancel: writes fail with the
+		// closed error, Close stays idempotent, and nothing queued was
+		// dropped on the floor — the destination saw every record the
+		// producer wrote before the cancel.
+		if err := a.WriteRecord(&r); err == nil {
+			t.Fatalf("round %d: write after cancelled Close succeeded", i)
+		}
+		if err := a.Close(); err != nil {
+			t.Fatalf("round %d: second Close = %v", i, err)
+		}
+		if got := dst.n.Load(); got != n {
+			t.Fatalf("round %d: destination saw %d of %d records written before cancel", i, got, n)
+		}
+		if got := dst.closed.Load(); got != 1 {
+			t.Fatalf("round %d: destination closed %d times", i, got)
+		}
+	}
+
+	// Goroutine accounting: every drain goroutine must have exited. The
+	// runtime needs a moment to reap them, so poll with a deadline
+	// instead of asserting instantly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if now := runtime.NumGoroutine(); now <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines: %d before, %d after %d cancelled sinks — drain goroutine leaked",
+				before, runtime.NumGoroutine(), rounds)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
