@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 
 	"time"
@@ -31,6 +32,7 @@ import (
 	"iwscan/internal/inet"
 	"iwscan/internal/jobs"
 	"iwscan/internal/netsim"
+	"iwscan/internal/prefixtree"
 	"iwscan/internal/wire"
 )
 
@@ -60,7 +62,24 @@ type Report struct {
 	// slower than serial. Gated like the per-workload numbers so the
 	// ratio cannot silently regress.
 	ScalingEfficiency float64 `json:"scaling_efficiency,omitempty"`
+	// Smart/hitlist efficiency: probes saved vs the full scan (fraction
+	// of the full run's probes *not* sent) and hosts found (fraction of
+	// the full run's responsive hosts the rescan still reached). Both
+	// rescans reuse the full workload's seed and universe, so the
+	// numbers are deterministic and gated absolutely — a smart rescan
+	// must save >= 30% of probes while keeping >= 95% of hosts, the
+	// paper's economics for repeat scanning.
+	SmartProbesSaved   float64 `json:"smart_probes_saved,omitempty"`
+	SmartHostsFound    float64 `json:"smart_hosts_found,omitempty"`
+	HitlistProbesSaved float64 `json:"hitlist_probes_saved,omitempty"`
+	HitlistHostsFound  float64 `json:"hitlist_hosts_found,omitempty"`
 }
+
+// Smart-rescan efficiency gates (absolute, not baseline-relative).
+const (
+	minProbesSaved = 0.30
+	minHostsFound  = 0.95
+)
 
 func main() {
 	out := flag.String("out", "BENCH_scan.json", "write results to this file")
@@ -103,6 +122,11 @@ func main() {
 	if rep.ScalingEfficiency > 0 {
 		fmt.Printf("scaling efficiency (parallel/serial): %.2f\n", rep.ScalingEfficiency)
 	}
+	gateErr := smartEfficiency(&rep)
+	fmt.Printf("smart rescan:   %.1f%% probes saved, %.1f%% hosts found\n",
+		100*rep.SmartProbesSaved, 100*rep.SmartHostsFound)
+	fmt.Printf("hitlist rescan: %.1f%% probes saved, %.1f%% hosts found\n",
+		100*rep.HitlistProbesSaved, 100*rep.HitlistHostsFound)
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -114,6 +138,10 @@ func main() {
 	}
 	fmt.Printf("wrote %s (%d workloads)\n", *out, len(rep.Workloads))
 
+	if gateErr != nil {
+		fmt.Fprintf(os.Stderr, "iwbench: %v\n", gateErr)
+		os.Exit(1)
+	}
 	if *check != "" {
 		if err := compare(*check, rep, *tolerance); err != nil {
 			fmt.Fprintf(os.Stderr, "iwbench: %v\n", err)
@@ -237,8 +265,99 @@ func workloads() []workload {
 			}
 			return experiments.RunScan(inet.NewInternet2017(55), cfg)
 		})},
+		{name: "scan_smart_http", fn: benchScan(func() *experiments.ScanResult {
+			return experiments.RunScan(inet.NewInternet2017(55), smartScanInputs().smartCfg())
+		})},
+		{name: "scan_hitlist", fn: benchScan(func() *experiments.ScanResult {
+			return experiments.RunScan(inet.NewInternet2017(55), smartScanInputs().hitlistCfg())
+		})},
 		{name: "jobs_concurrent", fn: benchJobsConcurrent},
 	}
+}
+
+// smartInputs is the shared setup for the smart-rescan workloads: one
+// full training pass of the serial workload, its records folded into a
+// responsiveness model and a hitlist. Built once — the full run is
+// deterministic, so every workload and gate computation sees the same
+// plan.
+type smartInputs struct {
+	plan       *prefixtree.Plan
+	hitlist    []wire.Addr
+	fullProbes int64
+	fullHosts  int
+}
+
+var (
+	smartOnce sync.Once
+	smartIn   smartInputs
+)
+
+func smartScanInputs() *smartInputs {
+	smartOnce.Do(func() {
+		full := experiments.RunScan(inet.NewInternet2017(55), serialCfg())
+		model := prefixtree.New()
+		model.ObserveRecords(full.Records)
+		smartIn.plan = prefixtree.NewPlan(model, prefixtree.PlanConfig{
+			Threshold: 0.01, Seed: serialCfg().Seed,
+		})
+		smartIn.hitlist = prefixtree.Hitlist(full.Records)
+		smartIn.fullProbes = full.Scan.ProbesStarted
+		smartIn.fullHosts = len(smartIn.hitlist)
+	})
+	return &smartIn
+}
+
+// smartCfg is the serial workload re-run under the trained plan: same
+// seed and sample, so the deterministic sampler re-selects the same
+// addresses and the model's per-/24 verdicts apply exactly.
+func (in *smartInputs) smartCfg() experiments.ScanConfig {
+	cfg := serialCfg()
+	cfg.Smart = in.plan
+	return cfg
+}
+
+// hitlistCfg probes only the previously responsive hosts, all of them.
+func (in *smartInputs) hitlistCfg() experiments.ScanConfig {
+	cfg := serialCfg()
+	cfg.Hitlist = in.hitlist
+	cfg.SampleFraction = 1
+	return cfg
+}
+
+// smartEfficiency runs one deterministic smart rescan and one hitlist
+// rescan, fills the report's efficiency fields, and returns an error
+// when the smart rescan misses the absolute gate (>= 30% probes saved
+// at >= 95% hosts found). The hitlist numbers are reported but only
+// gated on hosts found — a hitlist that loses hosts means the space
+// construction broke, while its probe savings are definitional.
+func smartEfficiency(rep *Report) error {
+	in := smartScanInputs()
+	smart := experiments.RunScan(inet.NewInternet2017(55), in.smartCfg())
+	hit := experiments.RunScan(inet.NewInternet2017(55), in.hitlistCfg())
+	rep.SmartProbesSaved = 1 - float64(smart.Scan.ProbesStarted)/float64(in.fullProbes)
+	rep.SmartHostsFound = float64(len(prefixtree.Hitlist(smart.Records))) / float64(in.fullHosts)
+	rep.HitlistProbesSaved = 1 - float64(hit.Scan.ProbesStarted)/float64(in.fullProbes)
+	rep.HitlistHostsFound = float64(len(prefixtree.Hitlist(hit.Records))) / float64(in.fullHosts)
+	var failures []string
+	if rep.SmartProbesSaved < minProbesSaved {
+		failures = append(failures, fmt.Sprintf("smart rescan saved %.1f%% of probes, want >= %.0f%%",
+			100*rep.SmartProbesSaved, 100*minProbesSaved))
+	}
+	if rep.SmartHostsFound < minHostsFound {
+		failures = append(failures, fmt.Sprintf("smart rescan found %.1f%% of hosts, want >= %.0f%%",
+			100*rep.SmartHostsFound, 100*minHostsFound))
+	}
+	if rep.HitlistHostsFound < minHostsFound {
+		failures = append(failures, fmt.Sprintf("hitlist rescan found %.1f%% of hosts, want >= %.0f%%",
+			100*rep.HitlistHostsFound, 100*minHostsFound))
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "GATE %s\n", f)
+		}
+		return fmt.Errorf("smart-rescan efficiency gate failed (%d)", len(failures))
+	}
+	return nil
 }
 
 // serialCfg is the shared fixed-seed scan workload: a sampled HTTP scan

@@ -35,6 +35,13 @@
 //	iwscan -sample 0.01 -flight-dir fr -trace-host 10.4.7.23   # always record this host
 //	iwscan -sample 0.1 -debug-addr localhost:6060              # live pprof//metrics//flight
 //
+// Topology-aware smart scanning (prefix responsiveness model, hitlists):
+//
+//	iwscan -sample 0.01 -out full.csv -smart-model web.iwsm -smart-update  # full sweep, train model
+//	iwscan -sample 0.01 -out smart.csv -smart-model web.iwsm               # hot prefixes first, dark pruned
+//	iwscan -sample 0.01 -out s.csv -smart-model web.iwsm -smart-threshold 0.01 -smart-update
+//	iwscan -out hit.csv -sample 1 -hitlist full.csv                        # probe only prior responders
+//
 // Checkpoint/resume (interruption-survivable scans):
 //
 //	iwscan -sample 0.5 -out big.csv -checkpoint big.ck        # checkpoint as it runs
@@ -66,6 +73,7 @@ import (
 	"iwscan/internal/inet"
 	"iwscan/internal/netsim"
 	"iwscan/internal/output"
+	"iwscan/internal/prefixtree"
 	"iwscan/internal/scanner"
 	"iwscan/internal/timeseries"
 	"iwscan/internal/trace"
@@ -113,6 +121,13 @@ func main() {
 		reorderP     = flag.Float64("reorder", 0, "per-packet reordering probability on the path")
 		telemOut     = flag.String("telemetry-out", "", "stream time-series telemetry to this file (JSONL, one line per interval sample or anomaly; appends under -resume)")
 		telemIv      = flag.Duration("telemetry-interval", 0, "virtual-time cadence between telemetry samples (0 = 100ms default)")
+
+		smartModel   = flag.String("smart-model", "", "responsiveness model file (IWSM1) enabling topology-aware -smart scanning; train it with -smart-update")
+		smartThresh  = flag.Float64("smart-threshold", 0.02, "prune prefixes whose trained responsiveness ratio falls below this")
+		smartExplore = flag.Float64("smart-explore", 0.05, "exploration floor: fraction of prunable prefixes still scanned (negative = none)")
+		smartMinPr   = flag.Uint64("smart-min-probes", 1, "minimum observations before a /24 may be pruned")
+		smartUpdate  = flag.Bool("smart-update", false, "after a completed scan, fold its results into -smart-model (creates the model if missing)")
+		hitlist      = flag.String("hitlist", "", "seed targets from a prior scan's output file (csv, jsonl or iwb) instead of sweeping the space")
 	)
 	flag.Parse()
 
@@ -134,12 +149,21 @@ func main() {
 
 	// Reject flag combinations that earlier versions resolved silently
 	// (dropping -parallel under -pcap, overwriting user shard specs).
-	userSharded := false
+	userSharded, userSampled := false, false
 	flag.Visit(func(f *flag.Flag) {
-		if f.Name == "shard" || f.Name == "shards" {
+		switch f.Name {
+		case "shard", "shards":
 			userSharded = true
+		case "sample":
+			userSampled = true
 		}
 	})
+	// A hitlist is already a curated target set: probe all of it unless
+	// the user explicitly asked for a sub-sample. Leaving the address-
+	// space default (1%) in force would silently skip 99% of the list.
+	if *hitlist != "" && !userSampled {
+		*sample = 1
+	}
 	flightEnabled := *flightDir != "" || *flightOn != "" || *traceHost != "" || *flightSample > 0
 	if *parallel > 1 {
 		if *pcap != "" {
@@ -161,6 +185,28 @@ func main() {
 	}
 	if *alexa > 0 && (*ckPath != "" || *resume != "" || *tlimit > 0) {
 		fatalf("-checkpoint/-resume/-time-limit apply to address-space scans, not -alexa list scans")
+	}
+	smartFlagSet := false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "smart-threshold", "smart-explore", "smart-min-probes", "smart-update":
+			smartFlagSet = true
+		}
+	})
+	if *smartModel == "" && smartFlagSet {
+		fatalf("-smart-threshold/-smart-explore/-smart-min-probes/-smart-update need -smart-model")
+	}
+	if *smartModel != "" && *hitlist != "" {
+		fatalf("-smart-model and -hitlist are different target-selection modes; use one")
+	}
+	if *alexa > 0 && (*smartModel != "" || *hitlist != "") {
+		fatalf("-smart-model/-hitlist apply to address-space scans, not -alexa list scans")
+	}
+	if *smartThresh <= 0 || *smartThresh >= 1 {
+		fatalf("-smart-threshold %v out of range: want 0 < t < 1", *smartThresh)
+	}
+	if *smartExplore >= 1 {
+		fatalf("-smart-explore %v out of range: want e < 1", *smartExplore)
 	}
 	if *alexa > 0 && (flightEnabled || *debugAddr != "" || *telemOut != "") {
 		fatalf("the flight recorder, -debug-addr and -telemetry-out apply to address-space scans, not -alexa list scans")
@@ -296,6 +342,7 @@ func main() {
 	}
 
 	var res *experiments.ScanResult
+	var model *prefixtree.Model
 	if *alexa > 0 {
 		res = experiments.RunPopularScan(u, *alexa, strat, *seed)
 		if err := output.WriteAll(sink, res.Records); err != nil {
@@ -318,6 +365,11 @@ func main() {
 			CheckpointInterval: netsim.Time(*ckEvery),
 			TimeLimit:          netsim.Time(*tlimit),
 		}
+		if *smartUpdate && *out == "" {
+			// Training re-reads -out after the scan; without a file the
+			// in-memory records are the only training source.
+			cfg.KeepRecords = true
+		}
 		if *statusIv > 0 {
 			cfg.StatusOut = os.Stderr
 		}
@@ -330,6 +382,54 @@ func main() {
 			bf.Close()
 			if err != nil {
 				fatalf("%v", err)
+			}
+		}
+		if *smartModel != "" {
+			m, err := prefixtree.Load(*smartModel)
+			switch {
+			case err == nil:
+				model = m
+			case os.IsNotExist(err) && *smartUpdate:
+				model = prefixtree.New() // first training run: full sweep, then save
+			case os.IsNotExist(err):
+				fatalf("-smart-model %s does not exist (train one with -smart-update)", *smartModel)
+			default:
+				fatalf("-smart-model: %v", err)
+			}
+			if model.Len() > 0 {
+				explore := *smartExplore
+				if explore <= 0 {
+					explore = -1
+				}
+				plan := prefixtree.NewPlan(model, prefixtree.PlanConfig{
+					Threshold: *smartThresh,
+					Explore:   explore,
+					MinProbes: *smartMinPr,
+					Seed:      *seed,
+				})
+				cfg.Smart = plan
+				if !*quiet {
+					s := plan.Summary()
+					fmt.Fprintf(os.Stderr,
+						"smart: model %s (%d /24s known); plan: %d hot, %d cold, %d pruned /24s, %d pruned /16s, %d explored\n",
+						plan.ModelHash(), model.Len(), s.Hot24, s.Cold24, s.Pruned24, s.Pruned16, s.Explored)
+				}
+			} else if !*quiet {
+				fmt.Fprintf(os.Stderr, "smart: model %s is empty; running a full sweep to train it\n", *smartModel)
+			}
+		}
+		if *hitlist != "" {
+			recs, err := output.ReadRecordsFile(*hitlist)
+			if err != nil {
+				fatalf("-hitlist: %v", err)
+			}
+			cfg.Hitlist = prefixtree.Hitlist(recs)
+			if len(cfg.Hitlist) == 0 {
+				fatalf("-hitlist %s contains no responsive hosts", *hitlist)
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "hitlist: %d responsive hosts from %s (of %d records)\n",
+					len(cfg.Hitlist), *hitlist, len(recs))
 			}
 		}
 		if *resume != "" {
@@ -402,6 +502,36 @@ func main() {
 	if outFile != os.Stdout {
 		if err := outFile.Close(); err != nil {
 			fatalf("closing %s: %v", *out, err)
+		}
+	}
+
+	// Model-update-on-completion: fold the finished scan into the
+	// responsiveness model. A resumed scan's in-memory records cover only
+	// its own segment, so when the output went to a file the whole file
+	// (all segments) is re-read instead. Incomplete scans never train —
+	// a half-visited permutation would bias every prefix it missed dark
+	// on the next threshold pass.
+	if *smartUpdate {
+		if res.Incomplete {
+			fmt.Fprintf(os.Stderr, "iwscan: scan incomplete; -smart-model %s left unchanged\n", *smartModel)
+		} else {
+			recs := res.Records
+			if *out != "" {
+				var err error
+				if recs, err = output.ReadRecordsFile(*out); err != nil {
+					fatalf("-smart-update: re-reading %s: %v", *out, err)
+				}
+			}
+			model.ObserveRecords(recs)
+			if err := prefixtree.Save(*smartModel, model); err != nil {
+				fatalf("-smart-update: %v", err)
+			}
+			if !*quiet {
+				t := model.Total()
+				fmt.Fprintf(os.Stderr,
+					"smart: model %s updated with %d records (now %d /24s, %d probed, %d responsive, %d live, %d dark)\n",
+					*smartModel, len(recs), model.Len(), t.Probed, t.Responsive, t.Live, t.Dark)
+			}
 		}
 	}
 

@@ -32,6 +32,14 @@
 //	    -shards n shards each contributed at least one sample, and
 //	    with -require-anomaly at least one anomaly fired), then print
 //	    a per-shard summary. The make telemetry-smoke gate.
+//
+//	iwtrace smartcmp [-min-saved f] [-min-found f] <full> <smart>
+//	    Compare a smart (or hitlist) rescan's output against the full
+//	    scan it was trained on: probes saved (records the rescan did
+//	    not emit) and hosts found (fraction of the full scan's
+//	    responsive hosts the rescan still reached). Exits nonzero when
+//	    either fraction is below its -min gate. Both files may be in
+//	    any output format (csv, jsonl, iwb). The make smart-smoke gate.
 package main
 
 import (
@@ -44,6 +52,8 @@ import (
 	"strings"
 
 	"iwscan/internal/flight"
+	"iwscan/internal/output"
+	"iwscan/internal/prefixtree"
 	"iwscan/internal/timeseries"
 )
 
@@ -69,6 +79,8 @@ func main() {
 		err = runSmoke(args[1:])
 	case "telemetry":
 		err = runTelemetry(args[1:])
+	case "smartcmp":
+		err = runSmartCmp(args[1:])
 	default:
 		fmt.Fprintf(os.Stderr, "iwtrace: unknown mode %q\n\n", args[0])
 		usage()
@@ -88,6 +100,7 @@ func usage() {
   iwtrace diff <a.flight.json> <b.flight.json>
   iwtrace smoke <dir>
   iwtrace telemetry [-shards n] [-require-anomaly] <stream.jsonl>
+  iwtrace smartcmp [-min-saved f] [-min-found f] <full> <smart>
 `)
 }
 
@@ -355,6 +368,46 @@ func lcs(a, b []string) []match {
 		}
 	}
 	return out
+}
+
+// runSmartCmp quantifies a smart rescan against its training scan.
+func runSmartCmp(args []string) error {
+	fs := flag.NewFlagSet("smartcmp", flag.ExitOnError)
+	minSaved := fs.Float64("min-saved", 0, "fail when probes saved is below this fraction")
+	minFound := fs.Float64("min-found", 0, "fail when hosts found is below this fraction")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("smartcmp wants exactly two scan-output files: full then smart")
+	}
+	full, err := output.ReadRecordsFile(fs.Arg(0))
+	if err != nil {
+		return fmt.Errorf("reading full scan %s: %w", fs.Arg(0), err)
+	}
+	smart, err := output.ReadRecordsFile(fs.Arg(1))
+	if err != nil {
+		return fmt.Errorf("reading smart scan %s: %w", fs.Arg(1), err)
+	}
+	if len(full) == 0 {
+		return fmt.Errorf("full scan %s has no records", fs.Arg(0))
+	}
+	fullHosts := len(prefixtree.Hitlist(full))
+	if fullHosts == 0 {
+		return fmt.Errorf("full scan %s found no responsive hosts", fs.Arg(0))
+	}
+	saved := 1 - float64(len(smart))/float64(len(full))
+	found := float64(len(prefixtree.Hitlist(smart))) / float64(fullHosts)
+	fmt.Printf("full:  %d probes, %d responsive hosts\n", len(full), fullHosts)
+	fmt.Printf("smart: %d probes, %d responsive hosts\n", len(smart), len(prefixtree.Hitlist(smart)))
+	fmt.Printf("probes saved: %.1f%%   hosts found: %.1f%%\n", 100*saved, 100*found)
+	if saved < *minSaved {
+		return fmt.Errorf("smartcmp: probes saved %.1f%% below gate %.0f%%", 100*saved, 100**minSaved)
+	}
+	if found < *minFound {
+		return fmt.Errorf("smartcmp: hosts found %.1f%% below gate %.0f%%", 100*found, 100**minFound)
+	}
+	return nil
 }
 
 // runTelemetry parses and verifies a -telemetry-out JSONL stream.

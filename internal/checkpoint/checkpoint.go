@@ -39,6 +39,7 @@ type ShardState struct {
 	Launched  int64 `json:"launched"`
 	Completed int64 `json:"completed"`
 	Skipped   int64 `json:"skipped"`
+	Pruned    int64 `json:"pruned,omitempty"`
 	Retries   int64 `json:"retries"`
 }
 
@@ -78,15 +79,37 @@ func (s *State) Find(shard, shards uint64) (*ShardState, error) {
 	return nil, fmt.Errorf("checkpoint: no cursor for shard %d/%d", shard, shards)
 }
 
+// MismatchError reports a resume attempt whose scan configuration does
+// not match the checkpoint's fingerprint. Fields names the differing
+// configuration fields ("name: checkpoint X, scan Y") when the
+// checkpoint recorded its field breakdown; checkpoints written before
+// field recording leave it empty. Callers assert it with errors.As to
+// distinguish a config mismatch from I/O or version errors.
+type MismatchError struct {
+	CheckpointFingerprint string
+	ScanFingerprint       string
+	Fields                []string
+}
+
+func (e *MismatchError) Error() string {
+	if len(e.Fields) > 0 {
+		return fmt.Sprintf("checkpoint: fingerprint mismatch (checkpoint %s, scan %s); differing fields: %s",
+			e.CheckpointFingerprint, e.ScanFingerprint, strings.Join(e.Fields, "; "))
+	}
+	return fmt.Sprintf("checkpoint: fingerprint %s does not match scan config %s (same seed, universe, strategy, sample, shards and blacklist required)",
+		e.CheckpointFingerprint, e.ScanFingerprint)
+}
+
 // Validate checks that the checkpoint can seed a scan with the given
-// configuration fingerprint.
+// configuration fingerprint. A fingerprint mismatch is returned as a
+// *MismatchError (without field diagnosis — use ValidateConfig for
+// that).
 func (s *State) Validate(fingerprint string) error {
 	if s.Version != Version {
 		return fmt.Errorf("checkpoint: version %d, want %d", s.Version, Version)
 	}
 	if s.Fingerprint != fingerprint {
-		return fmt.Errorf("checkpoint: fingerprint %s does not match scan config %s (same seed, universe, strategy, sample, shards and blacklist required)",
-			s.Fingerprint, fingerprint)
+		return &MismatchError{CheckpointFingerprint: s.Fingerprint, ScanFingerprint: fingerprint}
 	}
 	if s.Completed {
 		return fmt.Errorf("checkpoint: scan already completed")
@@ -96,21 +119,21 @@ func (s *State) Validate(fingerprint string) error {
 
 // ValidateConfig is Validate with field-level diagnosis: the scan's
 // configuration arrives as named fields, and on a fingerprint mismatch
-// the error lists exactly which fields differ between the checkpoint
-// and the resuming scan (when the checkpoint recorded its own field
-// breakdown; older checkpoints fall back to the hash-only message).
+// the returned *MismatchError lists exactly which fields differ
+// between the checkpoint and the resuming scan (when the checkpoint
+// recorded its own field breakdown; older checkpoints fall back to the
+// hash-only message).
 func (s *State) ValidateConfig(fields []Field) error {
 	fp := FingerprintFields(fields)
 	if s.Version != Version {
 		return fmt.Errorf("checkpoint: version %d, want %d", s.Version, Version)
 	}
 	if s.Fingerprint != fp {
-		if diff := DiffFields(s.Config, fields); len(diff) > 0 {
-			return fmt.Errorf("checkpoint: fingerprint mismatch (checkpoint %s, scan %s); differing fields: %s",
-				s.Fingerprint, fp, strings.Join(diff, "; "))
+		return &MismatchError{
+			CheckpointFingerprint: s.Fingerprint,
+			ScanFingerprint:       fp,
+			Fields:                DiffFields(s.Config, fields),
 		}
-		return fmt.Errorf("checkpoint: fingerprint %s does not match scan config %s (same seed, universe, strategy, sample, shards and blacklist required)",
-			s.Fingerprint, fp)
 	}
 	if s.Completed {
 		return fmt.Errorf("checkpoint: scan already completed")

@@ -90,13 +90,19 @@ func TestKeepRecordsStillPopulatesResult(t *testing.T) {
 // time-limited runs spliced via checkpoint/resume, appending CSV to buf.
 // It returns the number of interrupted segments.
 func runSegments(t *testing.T, u *inet.Universe, buf *bytes.Buffer, ckPath string, limits []netsim.Time) int {
+	return runSegmentsCfg(t, u, streamCfg, buf, ckPath, limits)
+}
+
+// runSegmentsCfg is runSegments over any base configuration factory
+// (called fresh per segment so segments never share mutable state).
+func runSegmentsCfg(t *testing.T, u *inet.Universe, mk func() ScanConfig, buf *bytes.Buffer, ckPath string, limits []netsim.Time) int {
 	t.Helper()
 	interrupted := 0
 	for seg := 0; ; seg++ {
 		if seg >= 40 {
 			t.Fatal("scan did not complete within 40 segments — resume is not making progress")
 		}
-		cfg := streamCfg()
+		cfg := mk()
 		cfg.CheckpointPath = ckPath
 		cfg.CheckpointInterval = netsim.Second
 		cfg.TimeLimit = limits[seg%len(limits)]

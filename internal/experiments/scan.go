@@ -7,7 +7,9 @@ package experiments
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"time"
 
@@ -97,6 +99,22 @@ type ScanConfig struct {
 	Shard, Shards uint64
 	// Blacklist excludes prefixes from probing.
 	Blacklist []wire.Prefix
+	// Smart, when set, enables topology-aware iteration: the engine
+	// visits prefixes the plan marks hot first and skips prefixes it
+	// prunes (internal/prefixtree compiles plans from trained
+	// responsiveness models). The plan is identity-defining — its
+	// fingerprint key, which embeds the model hash, joins the checkpoint
+	// fingerprint, so -resume refuses a retrained model with a
+	// field-level MismatchError. Plans are immutable, so one plan is
+	// safe to share across parallel shards.
+	Smart scanner.SmartPlan
+	// Hitlist, when non-empty, replaces the universe's announced
+	// prefixes as the target space with this explicit address list
+	// (typically the responsive hosts of a prior scan, see
+	// prefixtree.Hitlist). The blacklist still applies. The list is
+	// identity-defining and joins the checkpoint fingerprint by content
+	// hash.
+	Hitlist []wire.Addr
 	// StatusInterval, when positive together with StatusOut, prints a
 	// ZMap-style one-line progress report to StatusOut every interval of
 	// wall time while the scan runs.
@@ -180,7 +198,47 @@ func (c *ScanConfig) configFields(universeSeed uint64, spaceSize uint64) []check
 		"path_set", c.Path != nil,
 		"path", path,
 		"flight_triggers", c.Flight.FingerprintKey(),
+		"smart", smartKey(c.Smart),
+		"hitlist", hitlistKey(c.Hitlist),
 	)
+}
+
+// smartKey renders the smart plan's fingerprint contribution ("" for a
+// plain sweep).
+func smartKey(p scanner.SmartPlan) string {
+	if p == nil {
+		return ""
+	}
+	return p.FingerprintKey()
+}
+
+// hitlistKey renders a hitlist's fingerprint contribution: its length
+// plus a content hash ("" for a prefix-space scan).
+func hitlistKey(addrs []wire.Addr) string {
+	if len(addrs) == 0 {
+		return ""
+	}
+	h := fnv.New64a()
+	var buf [4]byte
+	for _, a := range addrs {
+		binary.LittleEndian.PutUint32(buf[:], uint32(a))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%d:%016x", len(addrs), h.Sum64())
+}
+
+// space materializes the configuration's target space against u: the
+// universe's announced prefixes, or the explicit hitlist when set,
+// minus the blacklist either way.
+func (c *ScanConfig) space(u *inet.Universe) *scanner.TargetSpace {
+	var space *scanner.TargetSpace
+	if len(c.Hitlist) > 0 {
+		space = scanner.NewSpaceFromList(c.Hitlist)
+	} else {
+		space = scanner.NewSpaceFromPrefixes(u.Prefixes())
+	}
+	space.AddBlacklist(c.Blacklist...)
+	return space
 }
 
 // ConfigFields returns the named fingerprint fields this configuration
@@ -189,9 +247,7 @@ func (c *ScanConfig) configFields(universeSeed uint64, spaceSize uint64) []check
 // uses it to build checkpoint states of its own at slice boundaries.
 func (c *ScanConfig) ConfigFields(u *inet.Universe) []checkpoint.Field {
 	cfg := c.withDefaults()
-	space := scanner.NewSpaceFromPrefixes(u.Prefixes())
-	space.AddBlacklist(cfg.Blacklist...)
-	return cfg.configFields(u.Seed, space.Size())
+	return cfg.configFields(u.Seed, cfg.space(u).Size())
 }
 
 // ScanResult is a completed scan with everything the analyses need.
@@ -271,8 +327,7 @@ func RunScanChecked(u *inet.Universe, cfg ScanConfig) (*ScanResult, error) {
 		}
 	}
 
-	space := scanner.NewSpaceFromPrefixes(u.Prefixes())
-	space.AddBlacklist(cfg.Blacklist...)
+	space := cfg.space(u)
 	fields := cfg.configFields(u.Seed, space.Size())
 	fp := checkpoint.FingerprintFields(fields)
 
@@ -284,6 +339,7 @@ func RunScanChecked(u *inet.Universe, cfg ScanConfig) (*ScanResult, error) {
 		Shard:          cfg.Shard,
 		Shards:         cfg.Shards,
 		MaxRetries:     cfg.MaxRetries,
+		Smart:          cfg.Smart,
 	}
 	startSeq := uint64(0)
 	if cfg.Resume != nil {
@@ -382,7 +438,7 @@ func RunScanChecked(u *inet.Universe, cfg ScanConfig) (*ScanResult, error) {
 			Shards: []checkpoint.ShardState{{
 				Shard: cfg.Shard, Shards: cfg.Shards, Cursor: eng.Cursor(),
 				Launched: st.Launched, Completed: st.Completed,
-				Skipped: st.Skipped, Retries: st.Retries,
+				Skipped: st.Skipped, Pruned: st.Pruned, Retries: st.Retries,
 			}},
 		}
 		var buf bytes.Buffer

@@ -32,7 +32,10 @@ import (
 	"strings"
 
 	"iwscan/internal/core"
+	"iwscan/internal/experiments"
 	"iwscan/internal/inet"
+	"iwscan/internal/output"
+	"iwscan/internal/prefixtree"
 )
 
 // State is a job's lifecycle state.
@@ -128,6 +131,26 @@ type Spec struct {
 
 	// Format is the artifact codec: "csv" (default), "jsonl" or "bin".
 	Format string `json:"format,omitempty"`
+
+	// ScanMode selects the target-selection strategy: "full" (default)
+	// sweeps the whole announced space; "smart" compiles the
+	// responsiveness model file named by SmartModel into a prune/reorder
+	// plan (internal/prefixtree); "hitlist" probes only the responsive
+	// hosts of the prior scan output named by HitlistPath. Both files
+	// are server-side paths, read at every segment start — they must
+	// stay unchanged while the job runs (the checkpoint fingerprint
+	// embeds the model hash / list hash and refuses a drifted file).
+	ScanMode string `json:"scan_mode,omitempty"`
+	// SmartModel is the IWSM1 model file driving scan_mode "smart".
+	SmartModel string `json:"smart_model,omitempty"`
+	// SmartThreshold / SmartExplore tune the plan (0 = the prefixtree
+	// defaults: threshold 0.02, exploration floor 0.05; a negative
+	// explore disables exploration, matching the CLI's -smart-explore).
+	SmartThreshold float64 `json:"smart_threshold,omitempty"`
+	SmartExplore   float64 `json:"smart_explore,omitempty"`
+	// HitlistPath is the prior scan output (csv, jsonl or iwb) seeding
+	// scan_mode "hitlist".
+	HitlistPath string `json:"hitlist_path,omitempty"`
 }
 
 // adversityProfiles maps profile names to their knob defaults.
@@ -220,6 +243,33 @@ func (s *Spec) Normalize() error {
 	default:
 		problems = append(problems, fmt.Sprintf("unknown format %q (want csv, jsonl or bin)", s.Format))
 	}
+	switch s.ScanMode {
+	case "":
+		s.ScanMode = "full"
+	case "full":
+	case "smart":
+		if strings.TrimSpace(s.SmartModel) == "" {
+			problems = append(problems, "scan_mode smart requires smart_model")
+		}
+	case "hitlist":
+		if strings.TrimSpace(s.HitlistPath) == "" {
+			problems = append(problems, "scan_mode hitlist requires hitlist_path")
+		}
+	default:
+		problems = append(problems, fmt.Sprintf("unknown scan_mode %q (want full, smart or hitlist)", s.ScanMode))
+	}
+	if s.ScanMode != "smart" && (s.SmartModel != "" || s.SmartThreshold != 0 || s.SmartExplore != 0) {
+		problems = append(problems, "smart_model, smart_threshold and smart_explore require scan_mode smart")
+	}
+	if s.ScanMode != "hitlist" && s.HitlistPath != "" {
+		problems = append(problems, "hitlist_path requires scan_mode hitlist")
+	}
+	if s.SmartThreshold < 0 || s.SmartThreshold >= 1 {
+		problems = append(problems, fmt.Sprintf("smart_threshold %v out of range [0, 1)", s.SmartThreshold))
+	}
+	if s.SmartExplore >= 1 {
+		problems = append(problems, fmt.Sprintf("smart_explore %v out of range (want < 1; negative disables exploration)", s.SmartExplore))
+	}
 	if len(problems) > 0 {
 		sort.Strings(problems)
 		return fmt.Errorf("jobs: invalid spec: %s", strings.Join(problems, "; "))
@@ -248,6 +298,40 @@ func (s *Spec) strategy() core.Strategy {
 	default:
 		return core.StrategyHTTP
 	}
+}
+
+// applyTargets resolves the spec's scan mode into the segment config:
+// "smart" compiles the model file into a prune/reorder plan, "hitlist"
+// loads the prior scan output into an explicit address list, "full"
+// does nothing. It runs at every segment start — both inputs are plain
+// files, so as long as they are unmodified every segment compiles the
+// identical plan and the checkpoint fingerprint splice holds; a
+// retrained model mid-job surfaces as a fingerprint mismatch, not as
+// silently different coverage.
+func (s *Spec) applyTargets(cfg *experiments.ScanConfig) error {
+	switch s.ScanMode {
+	case "smart":
+		m, err := prefixtree.Load(s.SmartModel)
+		if err != nil {
+			return fmt.Errorf("jobs: smart model: %w", err)
+		}
+		cfg.Smart = prefixtree.NewPlan(m, prefixtree.PlanConfig{
+			Threshold: s.SmartThreshold,
+			Explore:   s.SmartExplore,
+			Seed:      s.Seed,
+		})
+	case "hitlist":
+		recs, err := output.ReadRecordsFile(s.HitlistPath)
+		if err != nil {
+			return fmt.Errorf("jobs: hitlist: %w", err)
+		}
+		hl := prefixtree.Hitlist(recs)
+		if len(hl) == 0 {
+			return fmt.Errorf("jobs: hitlist %s contains no responsive hosts", s.HitlistPath)
+		}
+		cfg.Hitlist = hl
+	}
+	return nil
 }
 
 // artifactName is the job's output file name (within its artifact

@@ -3,6 +3,8 @@ package jobs
 import (
 	"strings"
 	"testing"
+
+	"iwscan/internal/experiments"
 )
 
 // TestLifecycleStateMachine pins the full transition matrix: every
@@ -67,6 +69,64 @@ func TestSpecNormalizeAdversityProfiles(t *testing.T) {
 	}
 	if s.Loss != 0.11 {
 		t.Fatalf("explicit loss overridden by profile: %v", s.Loss)
+	}
+}
+
+func TestSpecNormalizeScanModes(t *testing.T) {
+	cases := []struct {
+		name string
+		spec Spec
+		want string // "" = valid
+	}{
+		{"default-full", Spec{Tenant: "a"}, ""},
+		{"explicit-full", Spec{Tenant: "a", ScanMode: "full"}, ""},
+		{"smart-ok", Spec{Tenant: "a", ScanMode: "smart", SmartModel: "m.iwsm", SmartThreshold: 0.01}, ""},
+		{"hitlist-ok", Spec{Tenant: "a", ScanMode: "hitlist", HitlistPath: "full.csv"}, ""},
+		{"unknown-mode", Spec{Tenant: "a", ScanMode: "psychic"}, `unknown scan_mode "psychic"`},
+		{"smart-no-model", Spec{Tenant: "a", ScanMode: "smart"}, "scan_mode smart requires smart_model"},
+		{"hitlist-no-path", Spec{Tenant: "a", ScanMode: "hitlist"}, "scan_mode hitlist requires hitlist_path"},
+		{"smart-fields-on-full", Spec{Tenant: "a", SmartModel: "m.iwsm"}, "require scan_mode smart"},
+		{"hitlist-path-on-full", Spec{Tenant: "a", HitlistPath: "x.csv"}, "hitlist_path requires scan_mode hitlist"},
+		{"threshold-range", Spec{Tenant: "a", ScanMode: "smart", SmartModel: "m", SmartThreshold: 1.5},
+			"smart_threshold 1.5 out of range"},
+		{"explore-disabled", Spec{Tenant: "a", ScanMode: "smart", SmartModel: "m", SmartExplore: -1}, ""},
+		{"explore-range", Spec{Tenant: "a", ScanMode: "smart", SmartModel: "m", SmartExplore: 1.5},
+			"smart_explore 1.5 out of range"},
+	}
+	for _, c := range cases {
+		err := c.spec.Normalize()
+		switch {
+		case c.want == "" && err != nil:
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		case c.want == "" && c.spec.ScanMode == "":
+			t.Errorf("%s: ScanMode not defaulted to full", c.name)
+		case c.want != "" && err == nil:
+			t.Errorf("%s: invalid spec accepted", c.name)
+		case c.want != "" && !strings.Contains(err.Error(), c.want):
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestApplyTargetsFailsOnMissingInputs: a job whose model or hitlist
+// file is unreadable must fail at segment start with a named error, not
+// silently scan the full space.
+func TestApplyTargetsFailsOnMissingInputs(t *testing.T) {
+	smart := Spec{Tenant: "a", ScanMode: "smart", SmartModel: "/nonexistent/m.iwsm"}
+	if err := smart.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	var cfg experiments.ScanConfig
+	if err := smart.applyTargets(&cfg); err == nil || !strings.Contains(err.Error(), "smart model") {
+		t.Errorf("missing model: err = %v, want smart model error", err)
+	}
+	hit := Spec{Tenant: "a", ScanMode: "hitlist", HitlistPath: "/nonexistent/full.csv"}
+	if err := hit.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	cfg = experiments.ScanConfig{}
+	if err := hit.applyTargets(&cfg); err == nil || !strings.Contains(err.Error(), "hitlist") {
+		t.Errorf("missing hitlist: err = %v, want hitlist error", err)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"iwscan/internal/inet"
 	"iwscan/internal/netsim"
 	"iwscan/internal/output"
+	"iwscan/internal/prefixtree"
 	"iwscan/internal/scanner"
 	"iwscan/internal/timeseries"
 )
@@ -90,6 +91,7 @@ type Job struct {
 	Launched  int64 `json:"launched"`
 	Completed int64 `json:"completed"`
 	Skipped   int64 `json:"skipped"`
+	Pruned    int64 `json:"pruned,omitempty"`
 	Retries   int64 `json:"retries"`
 	// VirtualNS is the summed virtual time of all segments; Slices is
 	// the segment count.
@@ -137,6 +139,7 @@ type JobView struct {
 	Launched        int64   `json:"launched"`
 	Completed       int64   `json:"completed"`
 	Skipped         int64   `json:"skipped"`
+	Pruned          int64   `json:"pruned,omitempty"`
 	Retries         int64   `json:"retries"`
 	Slices          int     `json:"slices"`
 	VirtualNS       int64   `json:"virtual_ns"`
@@ -359,8 +362,20 @@ func (m *Manager) Submit(spec Spec) (JobView, error) {
 	return m.viewLocked(j), nil
 }
 
-// estimateTargets sizes the job: the space net of sampling.
+// estimateTargets sizes the job: the space net of sampling. Hitlist
+// jobs are sized by the list itself; an unreadable list yields a zero
+// estimate and the first segment fails the job with the real error.
+// Smart jobs keep the full-space estimate — pruning savings show up as
+// early completion, not a smaller denominator, because the plan is
+// compiled per segment rather than at submission.
 func (s *Spec) estimateTargets() int64 {
+	if s.ScanMode == "hitlist" {
+		recs, err := output.ReadRecordsFile(s.HitlistPath)
+		if err != nil {
+			return 0
+		}
+		return int64(float64(len(prefixtree.Hitlist(recs)))*s.SampleFraction + 0.5)
+	}
 	sp := scanner.NewSpaceFromPrefixes(s.universe().Prefixes())
 	return int64(float64(sp.Size())*s.SampleFraction + 0.5)
 }
@@ -511,7 +526,8 @@ func (m *Manager) viewLocked(j *job) JobView {
 		State: j.State, PauseRequested: j.PauseRequested, CancelRequested: j.CancelRequested,
 		Error: j.Error, Spec: j.Spec, EffectiveRate: j.EffectiveRate,
 		Estimate: j.Estimate, RecordsEmitted: j.Frontier,
-		Launched: j.Launched, Completed: j.Completed, Skipped: j.Skipped, Retries: j.Retries,
+		Launched: j.Launched, Completed: j.Completed, Skipped: j.Skipped,
+		Pruned: j.Pruned, Retries: j.Retries,
 		Slices: j.Slices, VirtualNS: j.VirtualNS, ArtifactBytes: j.ArtifactBytes,
 		Anomalies:     j.Anomalies,
 		Artifact:      filepath.Join("jobs", j.ID, j.Spec.artifactName()),
@@ -654,7 +670,15 @@ func (m *Manager) runSegment(j *job) {
 	cfg.Debug = j.debug
 
 	art := filepath.Join(m.jobDir(j.ID), spec.artifactName())
-	res, size, runErr := m.runSink(u, &cfg, art, artBytes, slices > 0, spec.Format)
+	// Resolve smart-plan / hitlist inputs before running: a missing or
+	// corrupt model file fails the segment (and the job) up front, and
+	// the loaded plan participates in the config fingerprint below.
+	var res *experiments.ScanResult
+	size := artBytes
+	runErr := spec.applyTargets(&cfg)
+	if runErr == nil {
+		res, size, runErr = m.runSink(u, &cfg, art, artBytes, slices > 0, spec.Format)
+	}
 	// Detach the segment's registries again: between segments (and
 	// after the job settles) the debug data handlers answer 503 rather
 	// than serving a dead segment's numbers as if they were live.
@@ -676,6 +700,7 @@ func (m *Manager) runSegment(j *job) {
 		j.Launched += res.Engine.Launched
 		j.Completed += res.Engine.Completed
 		j.Skipped += res.Engine.Skipped
+		j.Pruned += res.Engine.Pruned
 		j.Retries += res.Engine.Retries
 		j.VirtualNS += int64(res.VirtualTime)
 		actual = int64(res.Cursor.Seq - j.Frontier)
@@ -693,7 +718,7 @@ func (m *Manager) runSegment(j *job) {
 			Shards: []checkpoint.ShardState{{
 				Shard: 0, Shards: 1, Cursor: *res.Cursor,
 				Launched: st.Launched, Completed: st.Completed,
-				Skipped: st.Skipped, Retries: st.Retries,
+				Skipped: st.Skipped, Pruned: st.Pruned, Retries: st.Retries,
 			}},
 		}
 	}

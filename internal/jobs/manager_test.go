@@ -3,6 +3,7 @@ package jobs
 import (
 	"bytes"
 	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -11,6 +12,7 @@ import (
 	"iwscan/internal/experiments"
 	"iwscan/internal/netsim"
 	"iwscan/internal/output"
+	"iwscan/internal/prefixtree"
 )
 
 // testSpec is a scan small enough to finish in seconds but long enough
@@ -32,6 +34,9 @@ func referenceBytes(t *testing.T, spec Spec) []byte {
 	}
 	j := &job{Job: Job{Spec: spec, EffectiveRate: spec.Rate}}
 	cfg := j.scanConfig()
+	if err := spec.applyTargets(&cfg); err != nil {
+		t.Fatal(err)
+	}
 	var buf bytes.Buffer
 	sink, err := output.NewFileSink(&buf, spec.Format, false)
 	if err != nil {
@@ -170,6 +175,67 @@ func TestPauseResumeRestartByteIdentical(t *testing.T) {
 	}
 	if done.RecordsEmitted == 0 || done.Launched < done.Completed {
 		t.Fatalf("implausible counters: %+v", done)
+	}
+}
+
+// TestSmartJobEndToEnd: a smart-mode job trained on a prior full scan
+// runs through the manager, prunes real space, and produces the same
+// artifact as the uninterrupted reference run of the same spec.
+func TestSmartJobEndToEnd(t *testing.T) {
+	train := testSpec()
+	if err := train.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	j := &job{Job: Job{Spec: train, EffectiveRate: train.Rate}}
+	cfg := j.scanConfig()
+	cfg.Rate = 10000
+	res, err := experiments.RunScanChecked(train.universe(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incomplete || len(res.Records) == 0 {
+		t.Fatal("training run incomplete or empty")
+	}
+	model := prefixtree.New()
+	model.ObserveRecords(res.Records)
+	modelPath := filepath.Join(t.TempDir(), "model.iwsm")
+	if err := prefixtree.Save(modelPath, model); err != nil {
+		t.Fatal(err)
+	}
+
+	spec := testSpec()
+	spec.ScanMode = "smart"
+	spec.SmartModel = modelPath
+	spec.SmartThreshold = 0.01
+	want := referenceBytes(t, spec)
+
+	m, err := NewManager(Config{Dir: t.TempDir(), SliceVirtual: 5 * netsim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	v, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := waitJob(t, m, v.ID, "completion", func(v JobView) bool { return v.State.Terminal() })
+	if done.State != StateCompleted {
+		t.Fatalf("smart job finished as %s (%s), want completed", done.State, done.Error)
+	}
+	if done.Pruned == 0 {
+		t.Fatal("smart job pruned nothing — the plan is not engaged")
+	}
+	art, ok := m.ArtifactPath(v.ID)
+	if !ok {
+		t.Fatalf("no artifact path for %s", v.ID)
+	}
+	got, err := os.ReadFile(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("managed smart artifact differs from the reference run (%d vs %d bytes)",
+			len(got), len(want))
 	}
 }
 

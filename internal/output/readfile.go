@@ -1,0 +1,40 @@
+package output
+
+import (
+	"bufio"
+	"io"
+	"os"
+
+	"iwscan/internal/analysis"
+)
+
+// ReadRecords decodes a whole scan-output stream in any of the three
+// codecs, sniffing the format from the first bytes: the IWB1 magic
+// selects binary, a '{' selects JSONL, anything else is read as CSV.
+// This is what lets one scan's output seed another (hitlists, model
+// training) without the caller tracking which -format produced it.
+func ReadRecords(r io.Reader) ([]analysis.Record, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(len(binaryMagic))
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	switch {
+	case string(head) == binaryMagic:
+		return ReadBinary(br)
+	case len(head) > 0 && head[0] == '{':
+		return ReadJSONL(br)
+	default:
+		return analysis.ReadCSV(br)
+	}
+}
+
+// ReadRecordsFile is ReadRecords over a file.
+func ReadRecordsFile(path string) ([]analysis.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadRecords(f)
+}

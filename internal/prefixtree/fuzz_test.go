@@ -1,0 +1,108 @@
+package prefixtree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"iwscan/internal/wire"
+)
+
+// fuzzSeedModel is a small deterministic model whose encoding seeds
+// both fuzzers with a structurally valid input.
+func fuzzSeedModel() []byte {
+	rng := rand.New(rand.NewSource(42))
+	m := randomModel(rng, 40)
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzModelReader feeds arbitrary bytes — including torn tails and
+// corrupted headers of a valid encoding — to ReadModel. The contract
+// under test is the IWB1 one: errors, never panics, and any model that
+// does decode satisfies the structural invariants.
+func FuzzModelReader(f *testing.F) {
+	valid := fuzzSeedModel()
+	f.Add(valid)
+	// Torn tails at every interesting boundary.
+	for _, cut := range []int{0, 1, 4, 5, 6, 7, len(valid) / 2, len(valid) - 1} {
+		if cut <= len(valid) {
+			f.Add(valid[:cut])
+		}
+	}
+	// Corrupt header bytes.
+	for i := 0; i < len(valid) && i < 8; i++ {
+		mut := bytes.Clone(valid)
+		mut[i] ^= 0xff
+		f.Add(mut)
+	}
+	f.Add([]byte("IWSM1"))
+	f.Add([]byte("IWB1\x00"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadModel(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// A decode that succeeds must yield a consistent model that
+		// re-encodes and re-decodes to the same hash.
+		checkParentSums(t, m.root, true)
+		var buf bytes.Buffer
+		if err := m.Encode(&buf); err != nil {
+			t.Fatalf("re-encode of decoded model: %v", err)
+		}
+		back, err := ReadModel(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded model: %v", err)
+		}
+		if back.Hash() != m.Hash() {
+			t.Fatalf("hash changed across re-encode: %s vs %s", back.Hash(), m.Hash())
+		}
+	})
+}
+
+// FuzzModelRoundTrip builds a model from fuzzer-chosen observations
+// and checks Encode → ReadModel reproduces it exactly.
+func FuzzModelRoundTrip(f *testing.F) {
+	f.Add(uint32(0x0a000000), uint64(3), uint64(1), uint64(1), uint64(2), uint64(0))
+	f.Add(uint32(0xffffffff), uint64(1), uint64(0), uint64(0), uint64(1), uint64(0))
+	f.Add(uint32(0), uint64(0), uint64(0), uint64(0), uint64(0), uint64(0))
+	f.Fuzz(func(t *testing.T, addr uint32, probed, responsive, live, dark, ghost uint64) {
+		m := New()
+		// Derive a handful of observations from the inputs so splits and
+		// merges happen; clamp into the consistency invariant the reader
+		// enforces (Responsive+Dark+Ghost <= Probed, Live <= Responsive).
+		for i := uint32(0); i < 8; i++ {
+			c := Counts{
+				Probed:     probed%16 + 1,
+				Responsive: responsive % 16,
+				Live:       live % 16,
+				Dark:       dark % 16,
+				Ghost:      ghost % 16,
+			}
+			if c.Responsive+c.Dark+c.Ghost > c.Probed {
+				c.Probed = c.Responsive + c.Dark + c.Ghost
+			}
+			if c.Live > c.Responsive {
+				c.Live = c.Responsive
+			}
+			m.Observe(wire.Addr(addr^(i*0x01010101)), c)
+		}
+		var buf bytes.Buffer
+		if err := m.Encode(&buf); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		back, err := ReadModel(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("decode of own encoding: %v", err)
+		}
+		if back.Hash() != m.Hash() {
+			t.Fatalf("round trip changed hash: %s vs %s", back.Hash(), m.Hash())
+		}
+		if back.Len() != m.Len() {
+			t.Fatalf("round trip changed leaf count: %d vs %d", back.Len(), m.Len())
+		}
+	})
+}

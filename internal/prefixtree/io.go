@@ -1,0 +1,212 @@
+package prefixtree
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"iwscan/internal/checkpoint"
+	"iwscan/internal/wire"
+)
+
+// On-disk model format ("IWSM1"): a 5-byte magic, then length-prefixed
+// frames exactly like the IWB1 record codec — a uvarint payload length
+// followed by the payload. The first frame is the header (uvarint
+// schema version, uvarint leaf granularity in bits); every following
+// frame is one /24 leaf (uvarint key, then the five counts), in
+// strictly ascending key order. The ordering requirement makes the
+// encoding canonical (equal models serialize identically, so the file
+// is a stable function of Hash) and turns several corruption shapes
+// into immediate errors. The reader follows the IWB1 contract: a clean
+// io.EOF at a frame boundary ends the stream, a torn tail surfaces as
+// io.ErrUnexpectedEOF, and implausible frame lengths are rejected
+// before any allocation.
+const modelMagic = "IWSM1"
+
+// modelVersion is the current IWSM schema version.
+const modelVersion = 1
+
+// maxModelFrame bounds a single frame: a leaf frame is six uvarints
+// (<= 60 bytes), so anything near this limit is corruption, not data.
+const maxModelFrame = 1 << 12
+
+// Encode writes the model to w in IWSM1 format.
+func (m *Model) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(modelMagic); err != nil {
+		return err
+	}
+	var frame []byte
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		frame = append(frame, tmp[:n]...)
+	}
+	writeFrame := func() error {
+		n := binary.PutUvarint(tmp[:], uint64(len(frame)))
+		if _, err := bw.Write(tmp[:n]); err != nil {
+			return err
+		}
+		_, err := bw.Write(frame)
+		return err
+	}
+	put(modelVersion)
+	put(leafBits)
+	if err := writeFrame(); err != nil {
+		return err
+	}
+	for _, lf := range m.Leaves() {
+		frame = frame[:0]
+		put(uint64(lf.Key))
+		put(lf.Counts.Probed)
+		put(lf.Counts.Responsive)
+		put(lf.Counts.Live)
+		put(lf.Counts.Dark)
+		put(lf.Counts.Ghost)
+		if err := writeFrame(); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// modelFrame walks one frame's payload with a sticky error, the same
+// shape as the IWB1 frame decoder.
+type modelFrame struct {
+	b   []byte
+	err error
+}
+
+func (f *modelFrame) uvarint() uint64 {
+	if f.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(f.b)
+	if n <= 0 {
+		f.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	f.b = f.b[n:]
+	return v
+}
+
+// readFrame reads one length-prefixed frame. At a clean end of stream
+// it returns (nil, io.EOF); a torn length or payload is
+// io.ErrUnexpectedEOF.
+func readFrame(br *bufio.Reader, buf []byte) ([]byte, error) {
+	size, err := binary.ReadUvarint(br)
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("prefixtree: reading frame length: %w", err)
+	}
+	if size > maxModelFrame {
+		return nil, fmt.Errorf("prefixtree: implausible frame length %d", size)
+	}
+	if uint64(cap(buf)) < size {
+		buf = make([]byte, size)
+	}
+	buf = buf[:size]
+	if _, err := io.ReadFull(br, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ReadModel decodes an IWSM1 stream.
+func ReadModel(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(modelMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("prefixtree: reading IWSM1 magic: %w", err)
+	}
+	if string(magic) != modelMagic {
+		return nil, fmt.Errorf("prefixtree: bad magic %q, want %q", magic, modelMagic)
+	}
+	hdr, err := readFrame(br, nil)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("prefixtree: reading header: %w", err)
+	}
+	h := modelFrame{b: hdr}
+	version := h.uvarint()
+	leaf := h.uvarint()
+	if h.err != nil {
+		return nil, fmt.Errorf("prefixtree: corrupt header: %w", h.err)
+	}
+	if version != modelVersion {
+		return nil, fmt.Errorf("prefixtree: model version %d, want %d", version, modelVersion)
+	}
+	if leaf != leafBits {
+		return nil, fmt.Errorf("prefixtree: leaf granularity /%d, want /%d", leaf, leafBits)
+	}
+
+	m := New()
+	var buf []byte
+	lastKey := int64(-1)
+	for {
+		buf, err = readFrame(br, buf)
+		if err == io.EOF {
+			return m, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		f := modelFrame{b: buf}
+		key := f.uvarint()
+		c := Counts{
+			Probed:     f.uvarint(),
+			Responsive: f.uvarint(),
+			Live:       f.uvarint(),
+			Dark:       f.uvarint(),
+			Ghost:      f.uvarint(),
+		}
+		if f.err != nil {
+			return nil, fmt.Errorf("prefixtree: corrupt leaf frame: %w", f.err)
+		}
+		if len(f.b) != 0 {
+			return nil, fmt.Errorf("prefixtree: %d trailing bytes in leaf frame", len(f.b))
+		}
+		if key >= 1<<leafBits {
+			return nil, fmt.Errorf("prefixtree: leaf key %#x out of range", key)
+		}
+		if int64(key) <= lastKey {
+			return nil, fmt.Errorf("prefixtree: leaf key %#x out of order (after %#x)", key, lastKey)
+		}
+		if c.Responsive+c.Dark+c.Ghost > c.Probed || c.Live > c.Responsive {
+			return nil, fmt.Errorf("prefixtree: inconsistent counts for leaf %#x", key)
+		}
+		lastKey = int64(key)
+		m.Observe(wire.Addr(uint32(key)<<8), c)
+	}
+}
+
+// Save atomically persists the model (temp file + rename, the same
+// crash discipline as checkpoints): a crash mid-save leaves the
+// previous model intact, never a torn file.
+func Save(path string, m *Model) error {
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		return err
+	}
+	return checkpoint.WriteFileAtomic(path, buf.Bytes())
+}
+
+// Load reads a model previously written by Save.
+func Load(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadModel(f)
+}

@@ -1,0 +1,192 @@
+package prefixtree
+
+import (
+	"fmt"
+	"sort"
+
+	"iwscan/internal/scanner"
+	"iwscan/internal/stats"
+	"iwscan/internal/wire"
+)
+
+// PlanConfig tunes how a model is compiled into a pruning/reordering
+// policy.
+type PlanConfig struct {
+	// Threshold prunes a prefix whose posterior responsiveness
+	// (Counts.Ratio, the raw responsive/probed ratio) is below it,
+	// provided the prefix has at least MinProbes observations. Default
+	// 0.02 — under the 2017 universe the sparsest genuinely populated
+	// profile sits near 5% density, so 2% only prunes space that has
+	// never answered.
+	Threshold float64
+	// HotRatio promotes a /24 to the first pass when its ratio is at
+	// least this (default 0.5).
+	HotRatio float64
+	// Explore is the exploration floor: this fraction of otherwise
+	// prunable prefixes is kept (as cold) so dark space is still
+	// occasionally re-sampled and the model can notice new hosts.
+	// Selection is a deterministic hash of Seed and the prefix, so the
+	// same plan always explores the same prefixes. Default 0.05;
+	// negative disables exploration.
+	Explore float64
+	// MinProbes is the evidence floor for pruning a /24 (default 1).
+	MinProbes uint64
+	// MinProbes16 is the evidence floor for pruning a whole /16
+	// (default 64): coarse pruning needs proportionally more evidence.
+	MinProbes16 uint64
+	// Seed drives the exploration hash.
+	Seed uint64
+}
+
+func (c PlanConfig) withDefaults() PlanConfig {
+	if c.Threshold == 0 {
+		c.Threshold = 0.02
+	}
+	if c.HotRatio == 0 {
+		c.HotRatio = 0.5
+	}
+	if c.Explore == 0 {
+		c.Explore = 0.05
+	}
+	if c.Explore < 0 {
+		c.Explore = 0
+	}
+	if c.MinProbes == 0 {
+		c.MinProbes = 1
+	}
+	if c.MinProbes16 == 0 {
+		c.MinProbes16 = 64
+	}
+	return c
+}
+
+// PlanSummary counts a plan's decisions, for logging.
+type PlanSummary struct {
+	Hot24    int // /24s scheduled in the first pass
+	Cold24   int // known /24s left in the regular pass
+	Pruned24 int // /24s pruned individually
+	Pruned16 int // whole /16s pruned
+	Explored int // prunable prefixes kept by the exploration floor
+}
+
+// Plan is a compiled, immutable target-selection policy: per-/24
+// decisions plus a pruned-/16 set, precomputed from a model so Decide
+// is two map lookups on the engine's launch path. Plans are safe to
+// share across goroutines (parallel shards consult one plan).
+type Plan struct {
+	cfg       PlanConfig
+	modelHash string
+	dec       map[uint32]scanner.SmartDecision // /24 key → decision
+	pruned16  map[uint32]bool                  // /16 key → pruned
+	pruned    []wire.Prefix                    // deduped, sorted
+	summary   PlanSummary
+}
+
+// NewPlan compiles model into a policy. The model is read once here
+// and never referenced again, so it may keep training afterwards.
+func NewPlan(model *Model, cfg PlanConfig) *Plan {
+	cfg = cfg.withDefaults()
+	p := &Plan{
+		cfg:       cfg,
+		modelHash: model.Hash(),
+		dec:       make(map[uint32]scanner.SmartDecision),
+		pruned16:  make(map[uint32]bool),
+	}
+	leaves := model.Leaves()
+	agg16 := make(map[uint32]Counts)
+	for _, lf := range leaves {
+		c := agg16[lf.Key>>8]
+		c.Add(lf.Counts)
+		agg16[lf.Key>>8] = c
+	}
+	for k16, c := range agg16 {
+		if c.Probed < cfg.MinProbes16 || c.Ratio() >= cfg.Threshold {
+			continue
+		}
+		if p.explore(k16, 16) {
+			p.summary.Explored++
+			continue
+		}
+		p.pruned16[k16] = true
+		p.summary.Pruned16++
+		p.pruned = append(p.pruned, wire.Prefix{Addr: wire.Addr(k16 << 16), Bits: 16})
+	}
+	for _, lf := range leaves {
+		if p.pruned16[lf.Key>>8] {
+			continue
+		}
+		c := lf.Counts
+		switch {
+		case c.Probed >= cfg.MinProbes && c.Ratio() < cfg.Threshold:
+			if p.explore(lf.Key, 24) {
+				p.summary.Explored++
+				p.dec[lf.Key] = scanner.SmartCold
+				p.summary.Cold24++
+				continue
+			}
+			p.dec[lf.Key] = scanner.SmartPruned
+			p.summary.Pruned24++
+			p.pruned = append(p.pruned, lf.Prefix())
+		case c.Responsive > 0 && c.Ratio() >= cfg.HotRatio:
+			p.dec[lf.Key] = scanner.SmartHot
+			p.summary.Hot24++
+		default:
+			p.dec[lf.Key] = scanner.SmartCold
+			p.summary.Cold24++
+		}
+	}
+	sort.Slice(p.pruned, func(i, j int) bool {
+		if p.pruned[i].Addr != p.pruned[j].Addr {
+			return p.pruned[i].Addr < p.pruned[j].Addr
+		}
+		return p.pruned[i].Bits < p.pruned[j].Bits
+	})
+	return p
+}
+
+// explore reports whether the exploration floor keeps the prefix
+// despite its dark history. Deterministic in (Seed, prefix), so the
+// decision survives plan recompilation.
+func (p *Plan) explore(key uint32, bits uint64) bool {
+	if p.cfg.Explore <= 0 {
+		return false
+	}
+	thr := uint64(p.cfg.Explore * float64(1<<63) * 2)
+	return stats.HashIP64(p.cfg.Seed^bits*0x9e3779b97f4a7c15, key) < thr
+}
+
+// Decide classifies one address: pruned if its /16 or /24 is pruned,
+// hot if its /24 has a strong responsive history, cold otherwise
+// (including all space the model has never seen — unknown prefixes are
+// scanned normally, never skipped).
+func (p *Plan) Decide(a wire.Addr) scanner.SmartDecision {
+	if p.pruned16[uint32(a)>>16] {
+		return scanner.SmartPruned
+	}
+	if d, ok := p.dec[uint32(a)>>8]; ok {
+		return d
+	}
+	return scanner.SmartCold
+}
+
+// PrunedPrefixes returns the pruned set (sorted; /24s under a pruned
+// /16 are represented by the /16 alone, though TargetSpace's
+// nested-CIDR dedup would also tolerate overlap). Callers must not
+// modify it.
+func (p *Plan) PrunedPrefixes() []wire.Prefix { return p.pruned }
+
+// ModelHash returns the hash of the model the plan was compiled from.
+func (p *Plan) ModelHash() string { return p.modelHash }
+
+// Summary returns the plan's decision tallies.
+func (p *Plan) Summary() PlanSummary { return p.summary }
+
+// FingerprintKey renders the plan's scan-identity: the model hash and
+// every knob that shapes decisions. It joins the checkpoint
+// fingerprint, so resuming a smart scan with a retrained model or
+// different thresholds is refused instead of corrupting the splice.
+func (p *Plan) FingerprintKey() string {
+	return fmt.Sprintf("iwsm1:%s/t=%v/h=%v/e=%v/mp=%d/mp16=%d/es=%d",
+		p.modelHash, p.cfg.Threshold, p.cfg.HotRatio, p.cfg.Explore,
+		p.cfg.MinProbes, p.cfg.MinProbes16, p.cfg.Seed)
+}

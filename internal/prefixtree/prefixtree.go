@@ -1,0 +1,327 @@
+// Package prefixtree accumulates per-prefix responsiveness statistics
+// from completed scans and turns them into topology-aware target
+// selection. The motivating observation is the one "Towards Better
+// Internet Citizenship" makes about full-space censuses like the
+// paper's: most of the address space never answers, so a scanner that
+// remembers where hosts were found can visit responsive prefixes first
+// and skip prefixes that have only ever been dark — millions of hosts,
+// a fraction of the traffic.
+//
+// The package has three layers:
+//
+//   - Model: a compressed binary trie over the IPv4 space keeping
+//     Counts (probed / responsive / live / dark / ghost) at /24
+//     granularity, with every internal node holding the sum of its
+//     children, so per-/16 (or any coarser prefix) rollups are a
+//     single lookup. Models merge, hash deterministically, and
+//     round-trip through a versioned on-disk format (IWSM1) with the
+//     same torn-tail error contract as the IWB1 record codec.
+//   - Plan: an immutable pruning/reordering policy compiled from a
+//     Model plus thresholds. It implements scanner.SmartPlan: Decide
+//     maps an address to hot / cold / pruned, PrunedPrefixes feeds the
+//     engine's target estimate, and FingerprintKey binds the model
+//     hash into checkpoint fingerprints so -resume never splices a
+//     scan driven by a different model.
+//   - Training helpers: ClassifyOutcome / ClassifyVerdict map probe
+//     outcomes (or the validate oracle's verdict taxonomy) onto Counts
+//     observations, and Hitlist extracts the responsive addresses of a
+//     prior scan's output as an explicit target list.
+package prefixtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math/bits"
+	"sort"
+
+	"iwscan/internal/analysis"
+	"iwscan/internal/core"
+	"iwscan/internal/wire"
+)
+
+// leafBits is the granularity of the trie: statistics are kept per /24
+// (the paper's census unit for rate spreading, and fine enough that a
+// pruned leaf is 256 addresses, not a whole allocation).
+const leafBits = 24
+
+// Counts is the per-prefix observation tally. Responsive counts probes
+// whose handshake completed (the host exists); Live narrows that to
+// probes where a service actually served data (the IW measurement
+// succeeded); Dark counts probes nothing answered. Ghost counts probes
+// the validate oracle called ghosts — the scan claimed a response from
+// truly dark space — which is evidence against trusting the prefix's
+// responsive tally.
+type Counts struct {
+	Probed     uint64
+	Responsive uint64
+	Live       uint64
+	Dark       uint64
+	Ghost      uint64
+}
+
+// Add accumulates o into c.
+func (c *Counts) Add(o Counts) {
+	c.Probed += o.Probed
+	c.Responsive += o.Responsive
+	c.Live += o.Live
+	c.Dark += o.Dark
+	c.Ghost += o.Ghost
+}
+
+// Ratio is the raw posterior responsiveness: responsive probes over
+// probes. It is deliberately unsmoothed — at low sample fractions a
+// /24 often holds a single probe, and any additive smoothing would
+// keep provably-dark leaves above every useful pruning threshold.
+// Callers gate on Probed (Plan's MinProbes) instead of smoothing.
+func (c Counts) Ratio() float64 {
+	if c.Probed == 0 {
+		return 0
+	}
+	return float64(c.Responsive) / float64(c.Probed)
+}
+
+// node is one trie node. Prefixes on a root-to-leaf path strictly
+// extend each other (path compression skips single-child chains), and
+// an internal node's counts are the sum of its children's by
+// construction — Observe adds along the descent path.
+type node struct {
+	addr   uint32 // prefix value, host byte order, low bits zero
+	bitlen int    // prefix length, leafBits at leaves
+	counts Counts
+	child  [2]*node
+}
+
+// Model is the trained responsiveness map: a compressed binary trie
+// over /24 observations. The zero value is an empty, usable model.
+// Models are not safe for concurrent mutation; compile a Plan (which
+// is immutable) before sharing across goroutines.
+type Model struct {
+	root   *node
+	leaves int
+}
+
+// New returns an empty model.
+func New() *Model { return &Model{} }
+
+// Len returns the number of distinct /24 leaves with observations.
+func (m *Model) Len() int { return m.leaves }
+
+// Total returns the whole-model tally (the root's counts).
+func (m *Model) Total() Counts {
+	if m.root == nil {
+		return Counts{}
+	}
+	return m.root.counts
+}
+
+func bitAt(v uint32, i int) int { return int(v>>(31-i)) & 1 }
+
+// maskBits is the network mask of a b-bit prefix (b in [0, 32]).
+func maskBits(b int) uint32 {
+	if b <= 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - b)
+}
+
+// commonPrefixLen returns the length of the longest common prefix of a
+// and b, capped at max.
+func commonPrefixLen(a, b uint32, max int) int {
+	cp := bits.LeadingZeros32(a ^ b)
+	if cp > max {
+		cp = max
+	}
+	return cp
+}
+
+// Observe adds one observation for addr's /24.
+func (m *Model) Observe(addr wire.Addr, c Counts) {
+	key := uint32(addr) & maskBits(leafBits)
+	if m.root == nil {
+		m.root = &node{}
+	}
+	n := m.root
+	n.counts.Add(c)
+	for n.bitlen < leafBits {
+		b := bitAt(key, n.bitlen)
+		ch := n.child[b]
+		if ch == nil {
+			n.child[b] = &node{addr: key, bitlen: leafBits, counts: c}
+			m.leaves++
+			return
+		}
+		if cp := commonPrefixLen(key, ch.addr, ch.bitlen); cp < ch.bitlen {
+			// key diverges inside ch's compressed edge: split at the fork.
+			mid := &node{addr: key & maskBits(cp), bitlen: cp, counts: ch.counts}
+			mid.counts.Add(c)
+			mid.child[bitAt(ch.addr, cp)] = ch
+			mid.child[bitAt(key, cp)] = &node{addr: key, bitlen: leafBits, counts: c}
+			n.child[b] = mid
+			m.leaves++
+			return
+		}
+		ch.counts.Add(c)
+		n = ch
+	}
+}
+
+// Stats returns the aggregate counts of every observation under p
+// (p.Bits <= 24; finer prefixes are clamped to the /24 granularity).
+// Thanks to the parent-sum invariant this is a single descent.
+func (m *Model) Stats(p wire.Prefix) Counts {
+	qbits := p.Bits
+	if qbits > leafBits {
+		qbits = leafBits
+	}
+	q := uint32(p.First()) & maskBits(qbits)
+	n := m.root
+	for n != nil {
+		mb := n.bitlen
+		if qbits < mb {
+			mb = qbits
+		}
+		if (n.addr^q)&maskBits(mb) != 0 {
+			return Counts{}
+		}
+		if n.bitlen >= qbits {
+			return n.counts
+		}
+		n = n.child[bitAt(q, n.bitlen)]
+	}
+	return Counts{}
+}
+
+// Stats24 returns the counts of addr's /24.
+func (m *Model) Stats24(addr wire.Addr) Counts {
+	return m.Stats(wire.Prefix{Addr: addr, Bits: 24})
+}
+
+// Stats16 returns the rolled-up counts of addr's /16.
+func (m *Model) Stats16(addr wire.Addr) Counts {
+	return m.Stats(wire.Prefix{Addr: addr, Bits: 16})
+}
+
+// Leaf is one /24 entry of the model: Key is the /24 network address
+// shifted right by 8 (a 24-bit value), the unit of the on-disk format.
+type Leaf struct {
+	Key    uint32
+	Counts Counts
+}
+
+// Prefix returns the leaf's /24.
+func (l Leaf) Prefix() wire.Prefix {
+	return wire.Prefix{Addr: wire.Addr(l.Key << 8), Bits: 24}
+}
+
+// Leaves returns every /24 entry in ascending address order (the
+// trie's in-order walk: left children hold the 0 bit).
+func (m *Model) Leaves() []Leaf {
+	out := make([]Leaf, 0, m.leaves)
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.bitlen == leafBits {
+			out = append(out, Leaf{Key: n.addr >> 8, Counts: n.counts})
+			return
+		}
+		walk(n.child[0])
+		walk(n.child[1])
+	}
+	walk(m.root)
+	return out
+}
+
+// Merge folds every observation of o into m. Merging is commutative
+// and associative over leaf tallies, and merging a model into an empty
+// one reproduces it exactly — the property tests pin both.
+func (m *Model) Merge(o *Model) {
+	for _, lf := range o.Leaves() {
+		m.Observe(wire.Addr(lf.Key<<8), lf.Counts)
+	}
+}
+
+// Hash returns a short stable digest of the model contents (FNV-64a
+// over the ordered leaves). Two models with equal leaves hash equally
+// regardless of insertion order; the hash is what binds a trained
+// model into a scan's checkpoint fingerprint.
+func (m *Model) Hash() string {
+	h := fnv.New64a()
+	var buf [8 * 6]byte
+	for _, lf := range m.Leaves() {
+		binary.LittleEndian.PutUint64(buf[0:], uint64(lf.Key))
+		binary.LittleEndian.PutUint64(buf[8:], lf.Counts.Probed)
+		binary.LittleEndian.PutUint64(buf[16:], lf.Counts.Responsive)
+		binary.LittleEndian.PutUint64(buf[24:], lf.Counts.Live)
+		binary.LittleEndian.PutUint64(buf[32:], lf.Counts.Dark)
+		binary.LittleEndian.PutUint64(buf[40:], lf.Counts.Ghost)
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// ClassifyOutcome maps a probe outcome onto its training observation:
+// any completed handshake is responsive, a served measurement
+// (success or truncated data) is additionally live, and an unreachable
+// target is dark.
+func ClassifyOutcome(o core.Outcome) Counts {
+	c := Counts{Probed: 1}
+	switch o {
+	case core.OutcomeUnreachable:
+		c.Dark = 1
+	case core.OutcomeSuccess, core.OutcomeFewData:
+		c.Responsive = 1
+		c.Live = 1
+	default:
+		c.Responsive = 1
+	}
+	return c
+}
+
+// ClassifyVerdict refines ClassifyOutcome with the validate oracle's
+// verdict taxonomy: "dark" and "ghost" verdicts override the outcome
+// (a ghost is a response the oracle knows came from dark space — it is
+// counted probed+ghost, not responsive, so fabricated answers never
+// train a prefix hot).
+func ClassifyVerdict(o core.Outcome, verdict string) Counts {
+	switch verdict {
+	case "dark":
+		return Counts{Probed: 1, Dark: 1}
+	case "ghost":
+		return Counts{Probed: 1, Ghost: 1}
+	default:
+		return ClassifyOutcome(o)
+	}
+}
+
+// ObserveRecord trains the model with one completed scan record.
+func (m *Model) ObserveRecord(r *analysis.Record) {
+	m.Observe(r.Addr, ClassifyOutcome(r.Outcome))
+}
+
+// ObserveRecords trains the model with a completed scan's output.
+func (m *Model) ObserveRecords(recs []analysis.Record) {
+	for i := range recs {
+		m.ObserveRecord(&recs[i])
+	}
+}
+
+// Hitlist extracts the responsive addresses of a prior scan's output —
+// deduplicated and in ascending order — for use as an explicit target
+// list (experiments.ScanConfig.Hitlist).
+func Hitlist(recs []analysis.Record) []wire.Addr {
+	seen := make(map[wire.Addr]bool, len(recs))
+	var out []wire.Addr
+	for i := range recs {
+		r := &recs[i]
+		if r.Outcome == core.OutcomeUnreachable || seen[r.Addr] {
+			continue
+		}
+		seen[r.Addr] = true
+		out = append(out, r.Addr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

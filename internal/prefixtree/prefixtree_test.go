@@ -1,0 +1,358 @@
+package prefixtree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"iwscan/internal/core"
+	"iwscan/internal/scanner"
+	"iwscan/internal/wire"
+)
+
+// randomCounts builds a Counts that satisfies the model's consistency
+// invariant (Responsive+Dark+Ghost <= Probed, Live <= Responsive).
+func randomCounts(rng *rand.Rand) Counts {
+	var c Counts
+	c.Probed = uint64(rng.Intn(8) + 1)
+	rest := c.Probed
+	c.Responsive = uint64(rng.Intn(int(rest) + 1))
+	rest -= c.Responsive
+	c.Dark = uint64(rng.Intn(int(rest) + 1))
+	rest -= c.Dark
+	c.Ghost = uint64(rng.Intn(int(rest) + 1))
+	c.Live = uint64(rng.Intn(int(c.Responsive) + 1))
+	return c
+}
+
+// randomModel fills a model with n observations drawn from a clustered
+// universe: a handful of /16s so that splits, compressed edges and
+// multi-leaf /16 rollups all occur.
+func randomModel(rng *rand.Rand, n int) *Model {
+	m := New()
+	nets := make([]uint32, 1+rng.Intn(6))
+	for i := range nets {
+		nets[i] = rng.Uint32() &^ 0xffff
+	}
+	for i := 0; i < n; i++ {
+		addr := nets[rng.Intn(len(nets))] | uint32(rng.Intn(1<<16))
+		m.Observe(wire.Addr(addr), randomCounts(rng))
+	}
+	return m
+}
+
+// checkParentSums walks the trie verifying that every internal node's
+// counts equal the sum of its children's — the invariant that makes a
+// single-descent Stats query exact at any prefix length. The root is
+// the one node allowed a single child (it anchors the trie at /0;
+// every other single-child chain is path-compressed away).
+func checkParentSums(t *testing.T, n *node, isRoot bool) {
+	t.Helper()
+	if n == nil {
+		return
+	}
+	if n.child[0] == nil && n.child[1] == nil {
+		if n.bitlen != leafBits {
+			t.Fatalf("leaf %08x has bitlen %d, want %d", n.addr, n.bitlen, leafBits)
+		}
+		return
+	}
+	if (n.child[0] == nil || n.child[1] == nil) && !isRoot {
+		t.Fatalf("internal node %08x/%d has exactly one child (should be path-compressed away)",
+			n.addr, n.bitlen)
+	}
+	var sum Counts
+	for _, ch := range n.child {
+		if ch != nil {
+			sum.Add(ch.counts)
+		}
+	}
+	if sum != n.counts {
+		t.Fatalf("node %08x/%d counts %+v != children sum %+v", n.addr, n.bitlen, n.counts, sum)
+	}
+	checkParentSums(t, n.child[0], false)
+	checkParentSums(t, n.child[1], false)
+}
+
+func TestParentSumInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		m := randomModel(rng, 200)
+		checkParentSums(t, m.root, true)
+	}
+}
+
+// TestRollupConsistency checks that every /16's stats equal the sum of
+// its member /24 leaves, and that the model total equals the sum over
+// all /16s — the /24 ↔ /16 rollup the planner relies on.
+func TestRollupConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		m := randomModel(rng, 300)
+		by16 := make(map[uint32]Counts)
+		var total Counts
+		for _, lf := range m.Leaves() {
+			c := by16[lf.Key>>8]
+			c.Add(lf.Counts)
+			by16[lf.Key>>8] = c
+			total.Add(lf.Counts)
+		}
+		for k16, want := range by16 {
+			got := m.Stats16(wire.Addr(k16 << 16))
+			if got != want {
+				t.Fatalf("Stats16(%08x): %+v, want leaf sum %+v", k16<<16, got, want)
+			}
+		}
+		if m.Total() != total {
+			t.Fatalf("Total() %+v != leaf sum %+v", m.Total(), total)
+		}
+	}
+}
+
+// TestStatsMatchesBruteForce compares single-descent Stats against a
+// brute-force sum over leaves for random prefixes of every length.
+func TestStatsMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := randomModel(rng, 500)
+	leaves := m.Leaves()
+	for trial := 0; trial < 2000; trial++ {
+		bits := rng.Intn(25)
+		var p wire.Prefix
+		if len(leaves) > 0 && rng.Intn(2) == 0 {
+			// Half the queries hit populated space.
+			p = wire.Prefix{Addr: wire.Addr(leaves[rng.Intn(len(leaves))].Key << 8), Bits: bits}
+		} else {
+			p = wire.Prefix{Addr: wire.Addr(rng.Uint32()), Bits: bits}
+		}
+		p.Addr &= wire.Addr(maskBits(p.Bits))
+		var want Counts
+		for _, lf := range leaves {
+			if p.Contains(wire.Addr(lf.Key << 8)) {
+				want.Add(lf.Counts)
+			}
+		}
+		if got := m.Stats(p); got != want {
+			t.Fatalf("Stats(%v): %+v, want %+v", p, got, want)
+		}
+	}
+}
+
+// TestObserveOrderIndependent: the same observations in any order build
+// the same model (same leaves, same hash).
+func TestObserveOrderIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	type obs struct {
+		addr wire.Addr
+		c    Counts
+	}
+	var all []obs
+	for i := 0; i < 300; i++ {
+		all = append(all, obs{wire.Addr(rng.Uint32()), randomCounts(rng)})
+	}
+	a, b := New(), New()
+	for _, o := range all {
+		a.Observe(o.addr, o.c)
+	}
+	perm := rng.Perm(len(all))
+	for _, i := range perm {
+		b.Observe(all[i].addr, all[i].c)
+	}
+	if a.Hash() != b.Hash() {
+		t.Fatalf("hash differs across observation order: %s vs %s", a.Hash(), b.Hash())
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("leaf count differs: %d vs %d", a.Len(), b.Len())
+	}
+}
+
+// TestMergeIdempotentAndCommutative: merging two models equals
+// observing their union, in either order, and merging a model into an
+// empty one copies it exactly.
+func TestMergeIdempotentAndCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		a := randomModel(rng, 150)
+		b := randomModel(rng, 150)
+
+		ab := New()
+		ab.Merge(a)
+		ab.Merge(b)
+		ba := New()
+		ba.Merge(b)
+		ba.Merge(a)
+		if ab.Hash() != ba.Hash() {
+			t.Fatalf("merge not commutative: %s vs %s", ab.Hash(), ba.Hash())
+		}
+		checkParentSums(t, ab.root, true)
+
+		copyA := New()
+		copyA.Merge(a)
+		if copyA.Hash() != a.Hash() {
+			t.Fatalf("merge into empty changed model: %s vs %s", copyA.Hash(), a.Hash())
+		}
+
+		// Union totals: every leaf in ab equals a's plus b's.
+		for _, lf := range ab.Leaves() {
+			var want Counts
+			want.Add(a.Stats24(wire.Addr(lf.Key << 8)))
+			want.Add(b.Stats24(wire.Addr(lf.Key << 8)))
+			if lf.Counts != want {
+				t.Fatalf("merged leaf %06x: %+v, want %+v", lf.Key, lf.Counts, want)
+			}
+		}
+	}
+}
+
+// TestLeavesAscending: Leaves() must come back in strictly ascending
+// key order — the serialization contract.
+func TestLeavesAscending(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		m := randomModel(rng, 400)
+		leaves := m.Leaves()
+		if len(leaves) != m.Len() {
+			t.Fatalf("Leaves() returned %d, Len() says %d", len(leaves), m.Len())
+		}
+		for i := 1; i < len(leaves); i++ {
+			if leaves[i].Key <= leaves[i-1].Key {
+				t.Fatalf("leaves not strictly ascending at %d: %06x then %06x",
+					i, leaves[i-1].Key, leaves[i].Key)
+			}
+		}
+	}
+}
+
+// TestRoundTrip: Encode → ReadModel reproduces the model bit for bit
+// (same hash, same leaves) over randomized universes.
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		m := randomModel(rng, rng.Intn(500))
+		var buf bytes.Buffer
+		if err := m.Encode(&buf); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		back, err := ReadModel(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if back.Hash() != m.Hash() {
+			t.Fatalf("round trip changed hash: %s vs %s", back.Hash(), m.Hash())
+		}
+		if back.Len() != m.Len() {
+			t.Fatalf("round trip changed leaf count: %d vs %d", back.Len(), m.Len())
+		}
+		checkParentSums(t, back.root, true)
+	}
+}
+
+// TestRoundTripEmpty: an empty model survives the file format too.
+func TestRoundTripEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New().Encode(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	m, err := ReadModel(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("empty round trip has %d leaves", m.Len())
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := randomModel(rng, 200)
+	path := t.TempDir() + "/model.iwsm"
+	if err := Save(path, m); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	back, err := Load(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if back.Hash() != m.Hash() {
+		t.Fatalf("save/load changed hash: %s vs %s", back.Hash(), m.Hash())
+	}
+}
+
+func TestClassifyOutcome(t *testing.T) {
+	cases := []struct {
+		o    core.Outcome
+		want Counts
+	}{
+		{core.OutcomeUnreachable, Counts{Probed: 1, Dark: 1}},
+		{core.OutcomeSuccess, Counts{Probed: 1, Responsive: 1, Live: 1}},
+		{core.OutcomeFewData, Counts{Probed: 1, Responsive: 1, Live: 1}},
+		{core.OutcomeNoData, Counts{Probed: 1, Responsive: 1}},
+	}
+	for _, c := range cases {
+		if got := ClassifyOutcome(c.o); got != c.want {
+			t.Errorf("ClassifyOutcome(%v) = %+v, want %+v", c.o, got, c.want)
+		}
+	}
+	if got := ClassifyVerdict(core.OutcomeSuccess, "dark"); got != (Counts{Probed: 1, Dark: 1}) {
+		t.Errorf("ClassifyVerdict dark = %+v", got)
+	}
+	if got := ClassifyVerdict(core.OutcomeSuccess, "ghost"); got != (Counts{Probed: 1, Ghost: 1}) {
+		t.Errorf("ClassifyVerdict ghost = %+v", got)
+	}
+}
+
+// TestPlanPrunesAndKeeps: a model with one all-dark /24 and one
+// responsive /24 prunes exactly the dark one (exploration disabled).
+func TestPlanPrunesAndKeeps(t *testing.T) {
+	m := New()
+	dark := wire.Addr(0x0a000100)
+	live := wire.Addr(0x0a000200)
+	for i := 0; i < 10; i++ {
+		m.Observe(dark+wire.Addr(i), Counts{Probed: 1, Dark: 1})
+		m.Observe(live+wire.Addr(i), Counts{Probed: 1, Responsive: 1, Live: 1})
+	}
+	p := NewPlan(m, PlanConfig{Threshold: 0.02, Explore: -1})
+	if got := p.Decide(dark + 5); got.String() != "pruned" {
+		t.Fatalf("dark /24 decided %v, want pruned", got)
+	}
+	if got := p.Decide(live + 5); got.String() != "hot" {
+		t.Fatalf("live /24 decided %v, want hot", got)
+	}
+	// Unknown space stays cold (probed), never pruned.
+	if got := p.Decide(wire.Addr(0x0b000000)); got.String() != "cold" {
+		t.Fatalf("unknown /24 decided %v, want cold", got)
+	}
+	s := p.Summary()
+	if s.Pruned24 != 1 || s.Hot24 != 1 {
+		t.Fatalf("summary %+v, want 1 pruned, 1 hot", s)
+	}
+	if got := p.PrunedPrefixes(); len(got) != 1 || got[0].Addr != dark || got[0].Bits != 24 {
+		t.Fatalf("PrunedPrefixes() = %v", got)
+	}
+}
+
+// TestPlanMinProbes: a /24 with fewer than MinProbes observations is
+// never pruned regardless of its ratio.
+func TestPlanMinProbes(t *testing.T) {
+	m := New()
+	m.Observe(wire.Addr(0x0a000100), Counts{Probed: 1, Dark: 1})
+	p := NewPlan(m, PlanConfig{Threshold: 0.02, MinProbes: 2, Explore: -1})
+	if got := p.Decide(wire.Addr(0x0a000105)); got == scanner.SmartPruned {
+		t.Fatalf("single-probe /24 pruned despite MinProbes=2")
+	}
+}
+
+// TestPlanDeterministicFingerprint: same model + config → same
+// fingerprint key; different threshold → different key.
+func TestPlanDeterministicFingerprint(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m := randomModel(rng, 200)
+	a := NewPlan(m, PlanConfig{Threshold: 0.02, Seed: 7})
+	b := NewPlan(m, PlanConfig{Threshold: 0.02, Seed: 7})
+	if a.FingerprintKey() != b.FingerprintKey() {
+		t.Fatalf("same plan, different fingerprint: %q vs %q", a.FingerprintKey(), b.FingerprintKey())
+	}
+	c := NewPlan(m, PlanConfig{Threshold: 0.5, Seed: 7})
+	if a.FingerprintKey() == c.FingerprintKey() {
+		t.Fatalf("different threshold, same fingerprint %q", a.FingerprintKey())
+	}
+}

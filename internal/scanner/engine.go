@@ -37,11 +37,18 @@ type Config struct {
 	// via Engine.Fail, up to this many extra attempts. 0 disables
 	// retries (Fail always reports the failure as final).
 	MaxRetries int
+	// Smart, when non-nil, switches the engine to topology-aware
+	// iteration: the permutation is walked twice (hot prefixes first,
+	// then the rest) and addresses the plan prunes are skipped, counted
+	// in Stats.Pruned. The plan must be immutable; its fingerprint is
+	// part of the scan identity, so callers include it in checkpoint
+	// fingerprints.
+	Smart SmartPlan
 	// Resume, when non-nil, starts the engine from a checkpointed
 	// cursor instead of the beginning of the permutation. The cursor
 	// must come from an engine with the same space size, Seed,
-	// SampleFraction and Shard/Shards; callers enforce that with a
-	// config fingerprint.
+	// SampleFraction, Shard/Shards and Smart plan; callers enforce that
+	// with a config fingerprint.
 	Resume *Cursor
 }
 
@@ -67,6 +74,7 @@ type Stats struct {
 	Launched    int64
 	Completed   int64
 	Skipped     int64 // blacklisted or outside the sample
+	Pruned      int64 // skipped by the smart plan (within the sample)
 	Retries     int64 // extra launch attempts after failed ones
 	StartedAt   netsim.Time
 	FinishedAt  netsim.Time
@@ -95,6 +103,16 @@ type probeState struct {
 	completed bool
 }
 
+// iterator is the engine's permutation source: a plain Shard, or a
+// SmartShard when a plan re-orders the walk. Both expose the same
+// resumable cursor.
+type iterator interface {
+	Next() (uint64, bool)
+	LastPos() uint64
+	State() ShardState
+	SetState(ShardState)
+}
+
 // Engine drives probes over a target space at a fixed rate with bounded
 // concurrency, in virtual time.
 type Engine struct {
@@ -102,7 +120,7 @@ type Engine struct {
 	space    *TargetSpace
 	cfg      Config
 	launch   LaunchFunc
-	iter     *Shard
+	iter     iterator
 	sampler  *Sampler
 	interval netsim.Time
 
@@ -124,6 +142,7 @@ type Engine struct {
 	mLaunched  *metrics.Counter
 	mCompleted *metrics.Counter
 	mSkipped   *metrics.Counter
+	mPruned    *metrics.Counter
 	mRetries   *metrics.Counter
 	mInFlight  *metrics.Gauge
 	mProbeDur  *metrics.Histogram // launch → done, virtual ns
@@ -133,12 +152,16 @@ type Engine struct {
 // is responsible for running the network.
 func NewEngine(n *netsim.Network, space *TargetSpace, cfg Config, launch LaunchFunc) *Engine {
 	cfg = cfg.withDefaults()
+	var iter iterator = NewShard(space.Size(), cfg.Seed, cfg.Shard%cfg.Shards, cfg.Shards)
+	if cfg.Smart != nil {
+		iter = NewSmartShard(space, cfg.Seed, cfg.Shard%cfg.Shards, cfg.Shards, cfg.Smart)
+	}
 	e := &Engine{
 		net:      n,
 		space:    space,
 		cfg:      cfg,
 		launch:   launch,
-		iter:     NewShard(space.Size(), cfg.Seed, cfg.Shard%cfg.Shards, cfg.Shards),
+		iter:     iter,
 		sampler:  NewSampler(cfg.Seed, cfg.SampleFraction),
 		interval: netsim.Time(float64(netsim.Second) / cfg.Rate),
 		pending:  make(map[uint64]*probeState),
@@ -146,6 +169,7 @@ func NewEngine(n *netsim.Network, space *TargetSpace, cfg Config, launch LaunchF
 		mLaunched:  n.Metrics().Counter("engine.launched"),
 		mCompleted: n.Metrics().Counter("engine.completed"),
 		mSkipped:   n.Metrics().Counter("engine.skipped"),
+		mPruned:    n.Metrics().Counter("engine.pruned"),
 		mRetries:   n.Metrics().Counter("engine.retries"),
 		mInFlight:  n.Metrics().Gauge("engine.in_flight"),
 		mProbeDur:  n.Metrics().Histogram("engine.probe_duration_ns"),
@@ -162,11 +186,19 @@ func NewEngine(n *netsim.Network, space *TargetSpace, cfg Config, launch LaunchF
 }
 
 // TargetEstimate returns the expected number of launches for this
-// engine: the shard's slice of the space, net of the blacklist, scaled
-// by the sample fraction. It is an estimate (sampling is per-index
-// pseudorandom), used for the %-done figure in progress reports.
+// engine: the shard's slice of the space, net of the blacklist and —
+// under a smart plan — of the pruned prefixes, scaled by the sample
+// fraction. Pruned prefixes are subtracted with the same nested-CIDR
+// dedup as the blacklist (and deduped against it: an address both
+// blacklisted and pruned is excluded once), otherwise a smart scan's
+// %-done figure would never reach 100%. It is an estimate (sampling is
+// per-index pseudorandom), used for progress reports.
 func (e *Engine) TargetEstimate() int64 {
-	scannable := e.space.Size() - e.space.BlacklistedCount()
+	excluded := e.space.BlacklistedCount()
+	if e.cfg.Smart != nil {
+		excluded = e.space.ExcludedCount(e.cfg.Smart.PrunedPrefixes())
+	}
+	scannable := e.space.Size() - excluded
 	est := float64(scannable) / float64(e.cfg.Shards) * e.cfg.SampleFraction
 	return int64(est + 0.5)
 }
@@ -305,17 +337,31 @@ func (e *Engine) fire(seq uint64, ps *probeState) {
 	e.launch(ps.addr, func() { e.probeDone(seq, launchedAt) })
 }
 
-// nextIndex advances the iterator past blacklisted and unsampled
-// entries.
+// nextIndex advances the iterator past unsampled, blacklisted and
+// (under a smart plan) pruned entries. The sampler runs first so
+// Pruned counts only sampled addresses, matching TargetEstimate's
+// arithmetic (pruned space is subtracted before the sample fraction is
+// applied).
 func (e *Engine) nextIndex() (uint64, bool) {
 	for {
 		idx, ok := e.iter.Next()
 		if !ok {
 			return 0, false
 		}
-		if !e.sampler.Keep(idx) || e.space.Blacklisted(e.space.At(idx)) {
+		if !e.sampler.Keep(idx) {
 			e.stats.Skipped++
 			e.mSkipped.Inc()
+			continue
+		}
+		addr := e.space.At(idx)
+		if e.space.Blacklisted(addr) {
+			e.stats.Skipped++
+			e.mSkipped.Inc()
+			continue
+		}
+		if e.cfg.Smart != nil && e.cfg.Smart.Decide(addr) == SmartPruned {
+			e.stats.Pruned++
+			e.mPruned.Inc()
 			continue
 		}
 		return idx, true

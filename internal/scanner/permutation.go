@@ -128,10 +128,13 @@ func (s *Shard) Next() (uint64, bool) {
 func (s *Shard) LastPos() uint64 { return s.pos - 1 }
 
 // ShardState is the resumable cursor of a Shard: the underlying cycle
-// cursor plus the count of cycle positions consumed so far.
+// cursor plus the count of cycle positions consumed so far. Phase is
+// used only by SmartShard (which walks the cycle twice); a plain Shard
+// leaves it zero.
 type ShardState struct {
 	Cycle CycleState `json:"cycle"`
 	Pos   uint64     `json:"pos"`
+	Phase int        `json:"phase,omitempty"`
 }
 
 // State returns the cursor after the most recent Next call.

@@ -1,0 +1,185 @@
+package scanner
+
+import (
+	"testing"
+
+	"iwscan/internal/netsim"
+	"iwscan/internal/wire"
+)
+
+// fakePlan is a SmartPlan with explicit hot /24s and pruned prefixes —
+// package scanner cannot import internal/prefixtree (prefixtree imports
+// scanner), and the engine contract only depends on the interface.
+type fakePlan struct {
+	pruned []wire.Prefix
+	hot    map[wire.Addr]bool // keyed by /24 network address
+}
+
+func (p *fakePlan) Decide(a wire.Addr) SmartDecision {
+	for _, pre := range p.pruned {
+		if pre.Contains(a) {
+			return SmartPruned
+		}
+	}
+	if p.hot[a&^0xff] {
+		return SmartHot
+	}
+	return SmartCold
+}
+
+func (p *fakePlan) PrunedPrefixes() []wire.Prefix { return p.pruned }
+func (p *fakePlan) FingerprintKey() string        { return "fake" }
+
+// TestTargetEstimateSubtractsPruned: with a smart plan the estimate
+// must subtract pruned prefixes the same way it subtracts blacklisted
+// space — deduplicating nested entries and overlap with the blacklist —
+// and the engine must then launch exactly that many probes.
+func TestTargetEstimateSubtractsPruned(t *testing.T) {
+	n := netsim.New(1)
+	space := NewSpaceFromPrefixes([]wire.Prefix{wire.MustParsePrefix("10.0.0.0/24")})
+	space.AddBlacklist(wire.MustParsePrefix("10.0.0.0/26")) // 64 addresses
+	plan := &fakePlan{pruned: []wire.Prefix{
+		wire.MustParsePrefix("10.0.0.0/25"),   // overlaps the blacklist: 64 extra
+		wire.MustParsePrefix("10.0.0.64/26"),  // nested in the /25: no extra
+		wire.MustParsePrefix("10.0.0.128/26"), // 64 more
+		wire.MustParsePrefix("192.0.2.0/24"),  // outside the space: no extra
+	}}
+	launched := int64(0)
+	launch := func(addr wire.Addr, done func()) {
+		launched++
+		if plan.Decide(addr) == SmartPruned {
+			t.Errorf("launched pruned address %v", addr)
+		}
+		done()
+	}
+	e := NewEngine(n, space, Config{Rate: 1e6, Seed: 5, Smart: plan}, launch)
+	// 256 total - 128 blacklisted∪pruned (/25) - 64 pruned (10.0.0.128/26) = 64.
+	if got := e.TargetEstimate(); got != 64 {
+		t.Fatalf("TargetEstimate = %d, want 64", got)
+	}
+	e.Start()
+	n.RunUntilIdle()
+	if launched != 64 {
+		t.Fatalf("launched %d, estimate promised 64", launched)
+	}
+	// Pruned counts addresses skipped by the plan net of the blacklist:
+	// 10.0.0.64/26 and 10.0.0.128/26 → 128.
+	if got := e.Stats().Pruned; got != 128 {
+		t.Fatalf("Stats().Pruned = %d, want 128", got)
+	}
+}
+
+// TestTargetEstimateWithoutPlanUnchanged: a nil plan must keep the
+// legacy blacklist-only arithmetic.
+func TestTargetEstimateWithoutPlanUnchanged(t *testing.T) {
+	n := netsim.New(1)
+	space := NewSpaceFromPrefixes([]wire.Prefix{wire.MustParsePrefix("10.0.0.0/24")})
+	space.AddBlacklist(wire.MustParsePrefix("10.0.0.0/26"))
+	e := NewEngine(n, space, Config{Rate: 1e6, Seed: 5}, func(addr wire.Addr, done func()) { done() })
+	if got := e.TargetEstimate(); got != 192 {
+		t.Fatalf("TargetEstimate = %d, want 192", got)
+	}
+}
+
+// TestSmartShardCoversSliceOnceHotFirst: the two-phase iterator emits
+// exactly the plain shard's index set, each index once, with every hot
+// index before every non-hot index.
+func TestSmartShardCoversSliceOnceHotFirst(t *testing.T) {
+	space := NewSpaceFromPrefixes([]wire.Prefix{wire.MustParsePrefix("10.0.0.0/22")}) // 1024 addrs
+	plan := &fakePlan{hot: map[wire.Addr]bool{
+		wire.MustParsePrefix("10.0.1.0/24").Addr: true,
+		wire.MustParsePrefix("10.0.3.0/24").Addr: true,
+	}}
+	for _, shards := range []uint64{1, 3} {
+		for shard := uint64(0); shard < shards; shard++ {
+			want := make(map[uint64]bool)
+			plain := NewShard(space.Size(), 7, shard, shards)
+			for {
+				idx, ok := plain.Next()
+				if !ok {
+					break
+				}
+				want[idx] = true
+			}
+			s := NewSmartShard(space, 7, shard, shards, plan)
+			got := make(map[uint64]bool)
+			seenCold := false
+			lastPos := uint64(0)
+			for {
+				idx, ok := s.Next()
+				if !ok {
+					break
+				}
+				if got[idx] {
+					t.Fatalf("shard %d/%d: index %d emitted twice", shard, shards, idx)
+				}
+				got[idx] = true
+				hot := plan.Decide(space.At(idx)) == SmartHot
+				if hot && seenCold {
+					t.Fatalf("shard %d/%d: hot index %d after a cold one", shard, shards, idx)
+				}
+				if !hot {
+					seenCold = true
+				}
+				if pos := s.LastPos(); pos <= lastPos && len(got) > 1 {
+					t.Fatalf("shard %d/%d: LastPos not increasing (%d then %d)", shard, shards, lastPos, pos)
+				} else {
+					lastPos = pos
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("shard %d/%d: emitted %d indices, plain shard has %d", shard, shards, len(got), len(want))
+			}
+			for idx := range got {
+				if !want[idx] {
+					t.Fatalf("shard %d/%d: index %d not in plain shard's slice", shard, shards, idx)
+				}
+			}
+		}
+	}
+}
+
+// TestSmartShardStateRoundTrip: interrupting the iterator at every
+// position and restoring into a fresh one reproduces the remaining
+// sequence exactly, including across the phase boundary.
+func TestSmartShardStateRoundTrip(t *testing.T) {
+	space := NewSpaceFromPrefixes([]wire.Prefix{wire.MustParsePrefix("10.0.0.0/24")})
+	// Pruned addresses decide non-hot, so phase 0 emits the hot
+	// remainder and phase 1 emits the pruned quarter — every cut point
+	// below the phase boundary and above it gets exercised.
+	plan := &fakePlan{
+		hot:    map[wire.Addr]bool{wire.MustParsePrefix("10.0.0.0/24").Addr: true},
+		pruned: []wire.Prefix{wire.MustParsePrefix("10.0.0.128/26")},
+	}
+
+	full := NewSmartShard(space, 3, 0, 1, plan)
+	var seq []uint64
+	for {
+		idx, ok := full.Next()
+		if !ok {
+			break
+		}
+		seq = append(seq, idx)
+	}
+	for cut := 0; cut <= len(seq); cut++ {
+		s := NewSmartShard(space, 3, 0, 1, plan)
+		for i := 0; i < cut; i++ {
+			if idx, ok := s.Next(); !ok || idx != seq[i] {
+				t.Fatalf("cut %d: prefix diverged at %d", cut, i)
+			}
+		}
+		st := s.State()
+		r := NewSmartShard(space, 3, 0, 1, plan)
+		r.SetState(st)
+		for i := cut; i < len(seq); i++ {
+			idx, ok := r.Next()
+			if !ok || idx != seq[i] {
+				t.Fatalf("cut %d: resumed sequence diverged at %d (got %d ok=%v, want %d)",
+					cut, i, idx, ok, seq[i])
+			}
+		}
+		if _, ok := r.Next(); ok {
+			t.Fatalf("cut %d: resumed iterator emitted extra index", cut)
+		}
+	}
+}

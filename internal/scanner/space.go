@@ -83,26 +83,49 @@ func (t *TargetSpace) Blacklisted(a wire.Addr) bool {
 // scannable population rather than the raw space size (otherwise a
 // heavily blacklisted scan's %-done figure stalls below 100%).
 func (t *TargetSpace) BlacklistedCount() uint64 {
-	if len(t.blacklist) == 0 {
+	return t.CoveredCount(t.blacklist)
+}
+
+// ExcludedCount returns the number of addresses in the space excluded
+// by the blacklist or by extra (a smart plan's pruned prefixes). The
+// two sets are counted as one union, so an address both blacklisted
+// and pruned is excluded once — the invariant smart target estimates
+// rely on.
+func (t *TargetSpace) ExcludedCount(extra []wire.Prefix) uint64 {
+	if len(extra) == 0 {
+		return t.BlacklistedCount()
+	}
+	all := make([]wire.Prefix, 0, len(t.blacklist)+len(extra))
+	all = append(all, t.blacklist...)
+	all = append(all, extra...)
+	return t.CoveredCount(all)
+}
+
+// CoveredCount returns the number of addresses in the space covered by
+// the given prefixes, deduplicating nested (or repeated) entries.
+func (t *TargetSpace) CoveredCount(cover []wire.Prefix) uint64 {
+	if len(cover) == 0 {
 		return 0
 	}
 	if t.list != nil {
 		var n uint64
 		for _, a := range t.list {
-			if t.Blacklisted(a) {
-				n++
+			for _, p := range cover {
+				if p.Contains(a) {
+					n++
+					break
+				}
 			}
 		}
 		return n
 	}
-	// Two CIDRs either nest or are disjoint, so dropping blacklist
-	// entries contained in another leaves a disjoint cover whose
-	// per-prefix intersections with the space sum without double
-	// counting.
+	// Two CIDRs either nest or are disjoint, so dropping cover entries
+	// contained in another leaves a disjoint cover whose per-prefix
+	// intersections with the space sum without double counting.
 	var n uint64
-	for i, b := range t.blacklist {
+	for i, b := range cover {
 		covered := false
-		for j, o := range t.blacklist {
+		for j, o := range cover {
 			if j == i {
 				continue
 			}
