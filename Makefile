@@ -19,7 +19,7 @@ FUZZ_PKGS := ./internal/wire ./internal/output ./internal/httpsim ./internal/tls
 # build does not fail below it, the number is for trend-watching.
 COVER_TARGET ?= 70
 
-.PHONY: check fmt vet build test race cover bench bench-check bench-refresh bench-smoke fuzz-smoke flight-smoke telemetry-smoke serve-smoke smart-smoke validate-smoke validate-sweep
+.PHONY: check fmt vet build test race cover bench bench-check bench-compare bench-refresh bench-smoke fuzz-smoke flight-smoke telemetry-smoke serve-smoke smart-smoke validate-smoke validate-sweep
 
 check: fmt vet build test race flight-smoke telemetry-smoke serve-smoke smart-smoke validate-smoke
 
@@ -40,10 +40,12 @@ test:
 
 # The scanner fans out over shards, the output pipeline runs async
 # sinks, and experiments drives both end to end — all under -race along
-# with the shared metrics registry, the core estimator, and the pooled
-# packet paths (netsim + tcpstack recycle buffers through one
-# process-wide pool; the experiments stress test hammers it from
-# concurrent parallel scans).
+# with the shared metrics registry, the core estimator, and the packet
+# paths (each netsim.Network now owns its packet/event free lists, so
+# the race pass guards the remaining cross-shard surfaces: the k-way
+# merge, the timeseries store, the debug server, and the jobs
+# scheduler; the experiments stress tests hammer them with concurrent
+# parallel scans, checkpoint interrupts, and live scrapes).
 race:
 	$(GO) test -race ./internal/metrics/... ./internal/core/... \
 		./internal/scanner/... ./internal/output/... ./internal/experiments/... \
@@ -65,7 +67,9 @@ cover:
 
 # bench runs the canonical fixed-seed benchmark harness (cmd/iwbench)
 # and writes $(VALIDATE_OUT)/BENCH_scan.json (ns/op, B/op, allocs/op,
-# probes/sec per workload); CI uploads it as an artifact.
+# probes/sec per workload); CI uploads it as an artifact. The absolute
+# gates run here: smart-rescan efficiency always, the 4-shard
+# scaling-efficiency floor on runners with >= 4 cores.
 bench:
 	@mkdir -p $(VALIDATE_OUT)
 	$(GO) run ./cmd/iwbench -out $(VALIDATE_OUT)/BENCH_scan.json
@@ -83,6 +87,14 @@ bench-check:
 # machine) whenever a deliberate change shifts the numbers.
 bench-refresh:
 	$(GO) run ./cmd/iwbench -out BENCH_scan.json
+
+# bench-compare re-gates the report `make bench` just wrote against the
+# checked-in baseline without measuring again. CI runs bench (blocking,
+# absolute gates) then bench-compare (non-blocking — timing noise on
+# shared runners makes baseline-relative deltas advisory).
+bench-compare:
+	$(GO) run ./cmd/iwbench -replay $(VALIDATE_OUT)/BENCH_scan.json \
+		-check BENCH_scan.json -tolerance 0.25
 
 # bench-smoke runs every benchmark in the module exactly once — a fast
 # CI guard that the benchmark harnesses still build and run, without

@@ -347,7 +347,7 @@ func BenchmarkNetsimEventThroughput(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		p := netsim.GetPacket()
+		p := net.GetPacket()
 		p.B = wire.EncodeIPv4(p.B, hdr, payload)
 		net.SendPacket(p)
 		if i%1024 == 1023 {

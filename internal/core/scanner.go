@@ -199,7 +199,7 @@ func (s *Scanner) send(dst wire.Addr, h *wire.TCPHeader, payload []byte) {
 		ID:       s.ipid,
 		Flags:    wire.IPFlagDF,
 	}
-	p := netsim.GetPacket()
+	p := s.net.GetPacket()
 	p.B = wire.AppendTCPPacket(p.B, &hdr, h, payload)
 	s.net.SendPacket(p)
 }

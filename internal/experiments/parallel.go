@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -11,12 +12,14 @@ import (
 )
 
 // RunScanParallel runs one logical scan as several ZMap-style shards,
-// each in its own deterministic simulation on its own goroutine, and
-// merges the results. The shards partition the permutation exactly, so
-// the merged record set equals a single-instance scan of the same
-// space; only wall-clock time changes. This mirrors how the paper's
-// scans would be distributed across machines. It panics on
-// configuration errors; prefer RunScanParallelChecked when using sinks.
+// each a fully independent simulator — its own virtual clock, event
+// heap, RNG, packet/event pools and metrics registry — on its own
+// OS-thread-pinned goroutine, and merges the results. The shards
+// partition the permutation exactly, so the merged record set equals a
+// single-instance scan of the same space; only wall-clock time
+// changes. This mirrors how the paper's scans would be distributed
+// across machines. It panics on configuration errors; prefer
+// RunScanParallelChecked when using sinks.
 func RunScanParallel(u *inet.Universe, cfg ScanConfig, shards int) *ScanResult {
 	res, err := RunScanParallelChecked(u, cfg, shards)
 	if err != nil {
@@ -30,6 +33,18 @@ func RunScanParallel(u *inet.Universe, cfg ScanConfig, shards int) *ScanResult {
 // keyed by global permutation position, so the sink receives one
 // ordered stream — byte-identical to what an unsharded scan would
 // write — without any shard accumulating its records.
+//
+// Concurrency model: each shard's RunScanChecked builds a private
+// netsim.Network, so nothing mutable is shared between the event
+// loops — the universe is a pure function of (seed, address), and
+// hosts materialize into the per-shard network's node table. The only
+// cross-shard interactions are the bounded k-way output.Merge, the
+// (mutex-guarded) timeseries store and debug-server attach points, and
+// the final stats fold after Wait. Each loop is pinned to an OS thread
+// for its lifetime so the kernel can schedule the shards onto distinct
+// cores; per-shard output is byte-identical for any GOMAXPROCS and any
+// interleaving (the determinism matrix test in this package holds the
+// engine to that).
 func RunScanParallelChecked(u *inet.Universe, cfg ScanConfig, shards int) (*ScanResult, error) {
 	if shards <= 1 {
 		return RunScanChecked(u, cfg)
@@ -68,6 +83,13 @@ func RunScanParallelChecked(u *inet.Universe, cfg ScanConfig, shards int) (*Scan
 		wg.Add(1)
 		go func(shard int) {
 			defer wg.Done()
+			// One OS thread per shard event loop: the loop is a long-running
+			// CPU-bound goroutine, and pinning it keeps the Go scheduler from
+			// migrating it between Ps mid-scan (migration cost and cache
+			// churn were part of the PR 6 contention diagnosis). Unpinning
+			// happens implicitly when the goroutine exits.
+			runtime.LockOSThread()
+			defer runtime.UnlockOSThread()
 			c := cfg
 			c.Shard = uint64(shard)
 			c.Shards = uint64(shards)

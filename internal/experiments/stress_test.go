@@ -8,12 +8,12 @@ import (
 	"iwscan/internal/inet"
 )
 
-// TestConcurrentPooledScansStress runs several parallel-sharded scans at
-// once, so many single-threaded simulations recycle packet buffers and
-// events through the shared process-wide pool concurrently. Under
-// `make race` this is the regression gate for the pooling contract: a
-// buffer recycled while another goroutine still reads it, or a Put/Get
-// race in the pool plumbing, surfaces here as a race report or as a
+// TestConcurrentPooledScansStress runs several parallel-sharded scans
+// at once — many single-threaded simulations recycling packet buffers
+// and events concurrently. Each Network owns its free lists now, so
+// under `make race` this is the isolation gate for that split: a buffer
+// that escapes one simulator into another's free list, or any leftover
+// cross-shard plumbing, surfaces here as a race report or as a
 // nondeterministic record set.
 func TestConcurrentPooledScansStress(t *testing.T) {
 	cfg := ScanConfig{Seed: 31, Strategy: core.StrategyHTTP, SampleFraction: 0.003, MSSList: []int{64}, Repeats: 1}
@@ -27,7 +27,7 @@ func TestConcurrentPooledScansStress(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			// Each run gets its own universe (hosts are per-network state)
-			// but all shards of all runs share the global packet pool.
+			// and every shard of every run its own packet free list.
 			got[i] = RunScanParallel(inet.NewInternet2017(77), cfg, 4)
 		}(i)
 	}

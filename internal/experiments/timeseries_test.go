@@ -179,3 +179,69 @@ func TestTelemetryStreamFromScan(t *testing.T) {
 		t.Fatalf("VerifyStream: %v", err)
 	}
 }
+
+// TestPoolSeriesPerShardSelfConsistent is the accounting gate for the
+// per-network packet pools: with no process-wide pool left, each
+// shard's netsim.packets_pooled / netsim.pool_miss telemetry series
+// must sum to exactly what that shard's own simulator counted — which,
+// because shards are fully independent, equals a standalone run of the
+// same slice — and the shard sums must add up to the parallel run's
+// merged snapshot with nothing double counted and nothing lost.
+func TestPoolSeriesPerShardSelfConsistent(t *testing.T) {
+	u := inet.NewInternet2017(77)
+	const shards = 4
+	base := ScanConfig{Seed: 5, Strategy: core.StrategyHTTP, SampleFraction: 0.002}
+
+	ts := timeseries.NewStore(timeseries.Config{})
+	cfg := base
+	cfg.Timeseries = ts
+	par, err := RunScanParallelChecked(u, cfg, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sumPooled, sumMiss int64
+	for _, id := range ts.Shards() {
+		samples, _ := ts.Series(id)
+		var pooled, miss int64
+		for i := range samples {
+			pooled += samples[i].C("netsim.packets_pooled")
+			miss += samples[i].C("netsim.pool_miss")
+		}
+
+		// Ground truth: the same slice run standalone. Shard slices are
+		// independent simulations, so the parallel shard must have
+		// counted exactly this — cross-shard bleed (the old shared-pool
+		// failure mode) would show up as a mismatch here.
+		solo := base
+		solo.Shard = uint64(id)
+		solo.Shards = shards
+		res, err := RunScanChecked(u, solo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPooled := res.Metrics.Counters["netsim.packets_pooled"]
+		wantMiss := res.Metrics.Counters["netsim.pool_miss"]
+		if pooled != wantPooled || miss != wantMiss {
+			t.Errorf("shard %d series: pooled %d / miss %d, standalone run counted %d / %d",
+				id, pooled, miss, wantPooled, wantMiss)
+		}
+		if miss == 0 {
+			t.Errorf("shard %d: pool_miss = 0 — a cold free list must miss at least once", id)
+		}
+		sumPooled += pooled
+		sumMiss += miss
+	}
+
+	if got := par.Metrics.Counters["netsim.packets_pooled"]; got != sumPooled {
+		t.Errorf("merged packets_pooled %d != per-shard series sum %d", got, sumPooled)
+	}
+	if got := par.Metrics.Counters["netsim.pool_miss"]; got != sumMiss {
+		t.Errorf("merged pool_miss %d != per-shard series sum %d", got, sumMiss)
+	}
+	// hits + misses is the total GetPacket call count; a scan that sent
+	// packets cannot have zero of it.
+	if sumPooled+sumMiss == 0 {
+		t.Error("pool counters all zero — the per-network pool is not reporting through the registry")
+	}
+}

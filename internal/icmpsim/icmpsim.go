@@ -90,7 +90,7 @@ func (pr *probe) send(id uint16) {
 		Dst:      pr.target,
 		Flags:    wire.IPFlagDF,
 	}
-	p := netsim.GetPacket()
+	p := pr.p.net.GetPacket()
 	p.B = wire.EncodeIPv4(p.B, &hdr, msg)
 	pr.p.net.SendPacket(p)
 	pr.timer.Cancel()

@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -648,6 +649,12 @@ func (j *job) scanConfig() experiments.ScanConfig {
 // its lifecycle at the cooperative pause point.
 func (m *Manager) runSegment(j *job) {
 	defer m.wg.Done()
+	// Segment event loops are CPU-bound single simulators, exactly like
+	// the scan engine's parallel shards: pin each to an OS thread so
+	// concurrently running jobs spread across cores instead of migrating
+	// between Ps mid-slice.
+	runtime.LockOSThread()
+	defer runtime.UnlockOSThread()
 
 	// Snapshot what the segment needs under the lock.
 	m.mu.Lock()

@@ -23,7 +23,7 @@ func TestDeliveryAllocBudget(t *testing.T) {
 	hdr := &wire.IPv4Header{Protocol: wire.ProtoTCP, Src: 1, Dst: dst}
 	payload := make([]byte, 512)
 	roundTrip := func() {
-		p := GetPacket()
+		p := n.GetPacket()
 		p.B = wire.EncodeIPv4(p.B, hdr, payload)
 		n.SendPacket(p)
 		n.RunUntilIdle()
@@ -113,7 +113,7 @@ func TestPooledBuffersDoNotAlias(t *testing.T) {
 	hdr := &wire.IPv4Header{Protocol: wire.ProtoTCP, Src: 1, Dst: dst}
 	want := []string{"first-payload", "second-payload", "third-payload"}
 	for _, w := range want {
-		p := GetPacket()
+		p := n.GetPacket()
 		p.B = wire.EncodeIPv4(p.B, hdr, []byte(w))
 		n.SendPacket(p)
 		n.RunUntilIdle()

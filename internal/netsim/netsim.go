@@ -116,6 +116,8 @@ type netMetrics struct {
 	pathDelay         *metrics.Histogram // actual per-delivery delay (propagation+jitter+serialization)
 	eventsDispatched  *metrics.Counter
 	drainBatch        *metrics.Histogram // events dispatched per same-timestamp drain round
+	packetsPooled     *metrics.Counter   // GetPacket calls served from the free list
+	poolMiss          *metrics.Counter   // GetPacket calls that allocated a fresh buffer
 }
 
 func newNetMetrics(reg *metrics.Registry) netMetrics {
@@ -134,6 +136,8 @@ func newNetMetrics(reg *metrics.Registry) netMetrics {
 		pathDelay:         reg.Histogram("netsim.path_delay_ns"),
 		eventsDispatched:  reg.Counter("netsim.events_dispatched"),
 		drainBatch:        reg.Histogram("netsim.drain_batch"),
+		packetsPooled:     reg.Counter("netsim.packets_pooled"),
+		poolMiss:          reg.Counter("netsim.pool_miss"),
 	}
 }
 
@@ -153,11 +157,14 @@ type Network struct {
 	nm      netMetrics
 	obs     Observer
 
-	// evFree recycles event structs (the network is single-threaded, so a
-	// plain free list beats a sync.Pool here), and batch is the reusable
-	// scratch for the ready-event drain in Run/RunUntilIdle.
-	evFree []*event
-	batch  []*event
+	// evFree and pktFree recycle event structs and packet buffers (the
+	// network is single-threaded, so plain free lists beat a sync.Pool —
+	// and, unlike a process-wide pool, they share nothing with other
+	// shards' simulations); batch is the reusable scratch for the
+	// ready-event drain in Run/RunUntilIdle.
+	evFree  []*event
+	pktFree []*Packet
+	batch   []*event
 }
 
 // linkKey identifies a directed bottleneck link.
@@ -304,7 +311,7 @@ func (n *Network) send(pkt []byte, pb *Packet) {
 		n.stats.PacketsLost++
 		n.nm.packetsLost.Inc()
 		n.observe(OpDropMalformed, pkt)
-		PutPacket(pb)
+		n.PutPacket(pb)
 		return
 	}
 	n.stats.PacketsSent++
@@ -318,7 +325,7 @@ func (n *Network) send(pkt []byte, pb *Packet) {
 			n.stats.PacketsFiltered++
 			n.nm.packetsFiltered.Inc()
 			n.observe(OpDropFilter, pkt)
-			PutPacket(pb)
+			n.PutPacket(pb)
 			return
 		}
 	}
@@ -333,7 +340,7 @@ func (n *Network) send(pkt []byte, pb *Packet) {
 		}
 		// Without DF a real router would fragment; our endpoints never
 		// exceed the MTU except when probing, so dropping is fine.
-		PutPacket(pb)
+		n.PutPacket(pb)
 		return
 	}
 
@@ -341,7 +348,7 @@ func (n *Network) send(pkt []byte, pb *Packet) {
 		n.stats.PacketsLost++
 		n.nm.packetsLost.Inc()
 		n.observe(OpDropLoss, pkt)
-		PutPacket(pb)
+		n.PutPacket(pb)
 		return
 	}
 
@@ -367,7 +374,7 @@ func (n *Network) send(pkt []byte, pb *Packet) {
 			n.stats.PacketsQueueDrop++
 			n.nm.packetsQueueDrop.Inc()
 			n.observe(OpDropQueue, pkt)
-			PutPacket(pb)
+			n.PutPacket(pb)
 			return
 		}
 		txTime := Time(int64(len(pkt)) * 8 * int64(Second) / p.Rate)
@@ -382,7 +389,7 @@ func (n *Network) send(pkt []byte, pb *Packet) {
 		n.stats.PacketsDuplicated++
 		n.nm.packetsDuplicated.Inc()
 		n.observe(OpDuplicate, pkt)
-		dup := GetPacket()
+		dup := n.GetPacket()
 		dup.B = append(dup.B, pkt...)
 		n.scheduleDelivery(dup.B, dup, p, extra)
 	}
@@ -402,7 +409,7 @@ func (n *Network) sendFragNeeded(orig wire.IPv4Header, pkt []byte, mtu int) {
 		NextHopMTU: uint16(mtu),
 		Body:       pkt[:bodyLen],
 	})
-	rp := GetPacket()
+	rp := n.GetPacket()
 	rp.B = wire.EncodeIPv4(rp.B, &wire.IPv4Header{
 		Protocol: wire.ProtoICMP,
 		Src:      orig.Dst, // nominally the router; the destination stands in
@@ -551,7 +558,7 @@ func (n *Network) newEvent() *event {
 
 // freeEvent recycles ev, returning any pool-owned packet buffer first.
 func (n *Network) freeEvent(ev *event) {
-	PutPacket(ev.pb)
+	n.PutPacket(ev.pb)
 	*ev = event{}
 	n.evFree = append(n.evFree, ev)
 }

@@ -1,14 +1,15 @@
 package netsim
 
-import (
-	"sync"
-	"sync/atomic"
-)
-
 // DefaultPacketCap is the initial capacity of pooled packet buffers:
 // enough for a full 1500-byte MTU frame plus headroom, so steady-state
 // sends never grow a buffer.
 const DefaultPacketCap = 2048
+
+// packetFreeMax caps a network's private packet free list. A scan's
+// live packet population is bounded by the event queue (in-flight
+// deliveries), so the cap only matters after a burst; buffers past it
+// are released to the garbage collector instead of held forever.
+const packetFreeMax = 4096
 
 // Packet is a pooled, reusable packet buffer. B holds the encoded IPv4
 // datagram; senders encode into B (typically with B[:0] as the append
@@ -16,7 +17,7 @@ const DefaultPacketCap = 2048
 //
 // Ownership contract:
 //
-//   - GetPacket transfers ownership to the caller.
+//   - Network.GetPacket transfers ownership to the caller.
 //   - Network.SendPacket transfers ownership to the network. The sender
 //     must not touch the Packet (or any slice aliasing B) afterwards.
 //   - The network recycles the buffer as soon as the packet's fate is
@@ -25,49 +26,43 @@ const DefaultPacketCap = 2048
 //     returns on delivery. Nodes therefore must not retain the pkt
 //     slice they are handed — copy what outlives the callback (this has
 //     always been the Node contract; pooling is what enforces it).
-//   - A Packet that is never sent must be returned with PutPacket.
+//   - A Packet that is never sent must be returned with
+//     Network.PutPacket.
 //
-// The pool is a process-wide sync.Pool shared by every Network, so
-// parallel shards running their own single-threaded simulations recycle
-// buffers through one concurrency-safe pool without ever sharing a live
-// buffer across goroutines.
+// The pool is per-Network: each shard of a parallel scan runs its own
+// single-threaded simulation, so buffers recycle through an
+// unsynchronized free list that no other shard (and no GC cycle) can
+// drain. This replaced the original process-wide sync.Pool, whose
+// per-P shard bouncing and GC clearing showed up as a doubled miss
+// rate under 4-shard parallel scans (see EXPERIMENTS.md).
 type Packet struct {
 	B []byte
 }
 
-var packetPool = sync.Pool{
-	New: func() interface{} {
-		atomic.AddInt64(&poolNews, 1)
-		return &Packet{B: make([]byte, 0, DefaultPacketCap)}
-	},
+// GetPacket returns a pooled packet buffer with B reset to length
+// zero, from this network's private free list. Hits and misses are
+// counted in the network's own metrics registry (netsim.packets_pooled
+// and netsim.pool_miss), so per-shard telemetry attributes pool
+// behaviour to the shard that caused it.
+func (n *Network) GetPacket() *Packet {
+	if k := len(n.pktFree) - 1; k >= 0 {
+		p := n.pktFree[k]
+		n.pktFree[k] = nil
+		n.pktFree = n.pktFree[:k]
+		p.B = p.B[:0]
+		n.nm.packetsPooled.Inc()
+		return p
+	}
+	n.nm.poolMiss.Inc()
+	return &Packet{B: make([]byte, 0, DefaultPacketCap)}
 }
 
-// poolGets counts GetPacket calls; poolNews counts the subset that
-// missed the pool and allocated. gets-news is the hit count. The
-// counters are process-wide like the pool itself: under parallel shards
-// a rising miss rate is the signature of buffers bouncing between
-// per-P pool shards (and of GC clearing the pool), which is exactly
-// the contention the timeseries sampler wants to surface.
-var poolGets, poolNews int64
-
-// PoolStats returns the cumulative process-wide packet-pool counters:
-// total GetPacket calls and how many of them allocated a fresh buffer.
-func PoolStats() (gets, news int64) {
-	return atomic.LoadInt64(&poolGets), atomic.LoadInt64(&poolNews)
-}
-
-// GetPacket returns a pooled packet buffer with B reset to length zero.
-func GetPacket() *Packet {
-	atomic.AddInt64(&poolGets, 1)
-	p := packetPool.Get().(*Packet)
-	p.B = p.B[:0]
-	return p
-}
-
-// PutPacket returns p to the pool. p must not be used afterwards.
-func PutPacket(p *Packet) {
-	if p == nil {
+// PutPacket returns p to this network's free list. p must not be used
+// afterwards. Only packets that were never handed to SendPacket need
+// an explicit return; the network recycles sent packets itself.
+func (n *Network) PutPacket(p *Packet) {
+	if p == nil || len(n.pktFree) >= packetFreeMax {
 		return
 	}
-	packetPool.Put(p)
+	n.pktFree = append(n.pktFree, p)
 }

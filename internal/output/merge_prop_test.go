@@ -1,0 +1,203 @@
+package output
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// Property coverage for the k-way merge under independently-progressing
+// shard clocks. Since the engine split gave every shard its own
+// simulator, nothing synchronizes shard progress except the merge
+// itself: one shard can finish its entire slice of the permutation
+// before another delivers a first record. The merge's contract must
+// hold for ANY interleaving of writes and completions, so these tests
+// drive it with generated schedules rather than a few hand-picked ones.
+
+// mergeTrial is one generated scenario: n global positions partitioned
+// across k shard streams, written in a generated interleaving.
+type mergeTrial struct {
+	shards  int
+	streams [][]uint64 // per-shard ascending seqs, disjoint, covering 0..n-1
+	n       int
+}
+
+// genTrial partitions positions 0..n-1 across k streams. Each position
+// lands on a random shard, so stream lengths are unbalanced and
+// shard→position ownership is arbitrary — a superset of the cyclic
+// ZMap assignment the engine actually uses.
+func genTrial(rng *rand.Rand) mergeTrial {
+	k := 1 + rng.Intn(8)
+	n := rng.Intn(200)
+	streams := make([][]uint64, k)
+	for seq := 0; seq < n; seq++ {
+		s := rng.Intn(k)
+		streams[s] = append(streams[s], uint64(seq))
+	}
+	return mergeTrial{shards: k, streams: streams, n: n}
+}
+
+// runSchedule plays the trial against a fresh merge using next() to
+// pick which shard advances at each step (write its next record, or
+// close once drained). next must eventually advance every shard.
+func runSchedule(t *testing.T, tr mergeTrial, next func(remaining []int, open []bool) int) {
+	t.Helper()
+	mem := NewMemorySink()
+	merge, handles := NewMerge(mem, tr.shards)
+	remaining := make([]int, tr.shards) // index of next unwritten record
+	open := make([]bool, tr.shards)
+	for i := range open {
+		open[i] = true
+	}
+	live := tr.shards
+	for live > 0 {
+		s := next(remaining, open)
+		if !open[s] {
+			continue
+		}
+		if remaining[s] < len(tr.streams[s]) {
+			r := recAt(tr.streams[s][remaining[s]])
+			if err := handles[s].WriteRecord(&r); err != nil {
+				t.Fatal(err)
+			}
+			remaining[s]++
+			continue
+		}
+		if err := handles[s].Close(); err != nil {
+			t.Fatal(err)
+		}
+		open[s] = false
+		live--
+	}
+	verifyMerged(t, tr, mem, merge)
+}
+
+// verifyMerged asserts the merge contract: the destination saw every
+// position exactly once in strictly ascending order, wait accounting
+// totals match what was written, and buffering was bounded by what the
+// schedule could actually leave pending.
+func verifyMerged(t *testing.T, tr mergeTrial, mem *MemorySink, merge *Merge) {
+	t.Helper()
+	got := mem.Records()
+	if len(got) != tr.n {
+		t.Fatalf("merged %d records, want %d", len(got), tr.n)
+	}
+	for i, r := range got {
+		if r.Seq != uint64(i) {
+			t.Fatalf("merged position %d holds seq %d; stream is not in permutation order", i, r.Seq)
+		}
+	}
+	waits := merge.WaitStats()
+	if len(waits) != tr.shards {
+		t.Fatalf("WaitStats reported %d shards, want %d", len(waits), tr.shards)
+	}
+	var writes int64
+	for s, w := range waits {
+		if w.Shard != s {
+			t.Fatalf("WaitStats[%d].Shard = %d", s, w.Shard)
+		}
+		if w.Writes != int64(len(tr.streams[s])) {
+			t.Fatalf("shard %d: %d writes accounted, want %d", s, w.Writes, len(tr.streams[s]))
+		}
+		if w.MaxQueued > len(tr.streams[s]) {
+			t.Fatalf("shard %d: MaxQueued %d exceeds its own stream length %d", s, w.MaxQueued, len(tr.streams[s]))
+		}
+		writes += w.Writes
+	}
+	if writes != int64(tr.n) {
+		t.Fatalf("accounted writes %d, want %d", writes, tr.n)
+	}
+	if merge.MaxPending() > tr.n {
+		t.Fatalf("MaxPending %d exceeds total records %d", merge.MaxPending(), tr.n)
+	}
+}
+
+// TestMergePropertyRandomInterleavings: quickcheck-style sweep. Each
+// trial generates a partition and a uniformly random step schedule —
+// shards advance in arbitrary relative order, including closing while
+// others still hold buffered records.
+func TestMergePropertyRandomInterleavings(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		tr := genTrial(rng)
+		runSchedule(t, tr, func(remaining []int, open []bool) int {
+			return rng.Intn(len(open))
+		})
+	}
+}
+
+// TestMergePropertyShardRunsFullyAhead: adversarial clock skew — each
+// shard in turn sprints through its whole stream and closes before any
+// other shard writes a record. The merge must buffer that shard's
+// entire stream (its clock is unboundedly ahead) yet still release
+// everything in global order once the stragglers arrive.
+func TestMergePropertyShardRunsFullyAhead(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		tr := genTrial(rng)
+		if tr.shards < 2 {
+			continue
+		}
+		fast := rng.Intn(tr.shards)
+		runSchedule(t, tr, func(remaining []int, open []bool) int {
+			if open[fast] {
+				return fast
+			}
+			return rng.Intn(len(open))
+		})
+	}
+}
+
+// TestMergePropertyReverseCompletion: shards drain and close strictly
+// one after another in descending index order — the degenerate
+// "sequential shards" interleaving a free run of independent loops can
+// produce on one core.
+func TestMergePropertyReverseCompletion(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		tr := genTrial(rng)
+		cur := tr.shards - 1
+		runSchedule(t, tr, func(remaining []int, open []bool) int {
+			for !open[cur] && cur > 0 {
+				cur--
+			}
+			return cur
+		})
+	}
+}
+
+// TestMergePropertyConcurrentWriters: the real shape — one goroutine
+// per shard writing its stream at full speed with no coordination.
+// Order of arrival is decided by the scheduler; the output contract
+// must hold anyway. Run under -race this also proves the merge's
+// locking covers the wait accounting.
+func TestMergePropertyConcurrentWriters(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		tr := genTrial(rng)
+		mem := NewMemorySink()
+		merge, handles := NewMerge(mem, tr.shards)
+		var wg sync.WaitGroup
+		for s := 0; s < tr.shards; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				for _, seq := range tr.streams[s] {
+					r := recAt(seq)
+					if err := handles[s].WriteRecord(&r); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				if err := handles[s].Close(); err != nil {
+					t.Error(err)
+				}
+			}(s)
+		}
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+		verifyMerged(t, tr, mem, merge)
+	}
+}

@@ -92,7 +92,7 @@ func (c *Client) send(dst wire.Addr, h *wire.TCPHeader, payload []byte) {
 	hdr := wire.IPv4Header{
 		Protocol: wire.ProtoTCP, Src: c.addr, Dst: dst, ID: c.ipid, Flags: wire.IPFlagDF,
 	}
-	p := netsim.GetPacket()
+	p := c.net.GetPacket()
 	p.B = wire.AppendTCPPacket(p.B, &hdr, h, payload)
 	c.net.SendPacket(p)
 }

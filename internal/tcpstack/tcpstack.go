@@ -330,7 +330,7 @@ func (h *Host) sendTCP(dst wire.Addr, tcp *wire.TCPHeader, payload []byte) {
 		Dst:      dst,
 		ID:       h.ipid,
 	}
-	p := netsim.GetPacket()
+	p := h.net.GetPacket()
 	p.B = wire.AppendTCPPacket(p.B, &hdr, tcp, payload)
 	h.net.SendPacket(p)
 }
@@ -346,7 +346,7 @@ func (h *Host) sendIP(dst wire.Addr, proto byte, payload []byte, df bool) {
 	if df {
 		hdr.Flags = wire.IPFlagDF
 	}
-	p := netsim.GetPacket()
+	p := h.net.GetPacket()
 	p.B = wire.EncodeIPv4(p.B, &hdr, payload)
 	h.net.SendPacket(p)
 }

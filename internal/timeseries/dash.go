@@ -173,7 +173,7 @@ var METRICS = [
   {key:"sink",       title:"Sink queue depth",            get:gauge("sink.queue_depth")},
   {key:"heap",       title:"Heap alloc MB",               get:function(s){ return ((s.gauges||{})["runtime.heap_alloc"]||0)/1048576; }, fmt:fmt1},
   {key:"gcpause",    title:"GC pause ms / interval",      get:function(s){ return ((s.counters||{})["runtime.gc_pause_ns"]||0)/1e6; }, fmt:fmt1},
-  {key:"poolnews",   title:"Pool misses (new allocs) / interval", get:counter("netsim.pool_news"), mergedOnly:true},
+  {key:"poolmiss",   title:"Pool misses (new allocs) / interval", get:counter("netsim.pool_miss")},
 ];
 function fmt1(v){ return (Math.round(v*10)/10).toLocaleString(); }
 function fmt0(v){ return Math.round(v).toLocaleString(); }
@@ -358,22 +358,14 @@ function update(doc){
     var c = ensureChart(m);
     c.series = [];
     c.firstIndex = 0;
-    if (!m.mergedOnly){
-      doc.shards.slice(0,MAX_LINES).forEach(function(sh,i){
-        c.series.push({label:"shard "+sh.shard, cssVar:SHARD_VARS[i],
-                       vals:sh.samples.map(m.get)});
-        if (sh.samples.length) c.firstIndex = sh.samples[0].index;
-      });
-    }
+    doc.shards.slice(0,MAX_LINES).forEach(function(sh,i){
+      c.series.push({label:"shard "+sh.shard, cssVar:SHARD_VARS[i],
+                     vals:sh.samples.map(m.get)});
+      if (sh.samples.length) c.firstIndex = sh.samples[0].index;
+    });
     if (doc.merged && doc.merged.length){
       c.series.push({label:"all", cssVar:MERGED_VAR, vals:doc.merged.map(m.get)});
       c.firstIndex = doc.merged[0].index;
-    } else if (m.mergedOnly && doc.shards.length){
-      // Single-shard store: the pool-lead shard carries the series.
-      var sh = doc.shards[0];
-      c.series.push({label:"shard "+sh.shard, cssVar:SHARD_VARS[0],
-                     vals:sh.samples.map(m.get)});
-      if (sh.samples.length) c.firstIndex = sh.samples[0].index;
     }
     render(c);
   });

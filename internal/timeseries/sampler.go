@@ -35,9 +35,6 @@ type Sampler struct {
 	prevWall     time.Time
 	prevGC       uint32
 	prevPauseNS  uint64
-	prevGets     int64
-	prevNews     int64
-	poolLead     bool
 
 	probes  []Probe
 	timer   *netsim.Timer
@@ -59,10 +56,6 @@ func Attach(n *netsim.Network, store *Store, shard int) *Sampler {
 		epoch:        n.Now(),
 		prevCounters: n.Metrics().Snapshot().Counters,
 		prevWall:     time.Now(),
-		poolLead:     store.claimPoolLead(),
-	}
-	if s.poolLead {
-		s.prevGets, s.prevNews = netsim.PoolStats()
 	}
 	runtime.ReadMemStats(&s.mem)
 	s.prevGC = s.mem.NumGC
@@ -127,18 +120,11 @@ func (s *Sampler) sample(final bool) {
 	}
 	s.prevPauseNS = s.mem.PauseTotalNs
 
-	// Packet-pool hit/miss: process-wide, so only the store's first
-	// sampler records it (the merged view must not multiply-count it).
-	if s.poolLead {
-		gets, news := netsim.PoolStats()
-		if d := gets - s.prevGets; d > 0 {
-			counters["netsim.pool_gets"] = d
-		}
-		if d := news - s.prevNews; d > 0 {
-			counters["netsim.pool_news"] = d
-		}
-		s.prevGets, s.prevNews = gets, news
-	}
+	// Packet-pool hit/miss (netsim.packets_pooled / netsim.pool_miss)
+	// need no special handling here: the pool is per-network since the
+	// multi-core engine split, so each shard's counters arrive through
+	// the registry snapshot above like every other series, and the
+	// merged view sums them without double counting.
 
 	gauges["netsim.event_queue"] = int64(s.n.QueueLen())
 	set := func(name string, v int64) { gauges[name] = v }

@@ -213,7 +213,6 @@ type Store struct {
 	mergeWaits []MergeWait
 
 	stream    *jsonlWriter
-	poolLead  bool
 	skewAbove uint64 // interval indexes <= this were already skew-checked
 }
 
@@ -228,19 +227,6 @@ func NewStore(cfg Config) *Store {
 
 // Config returns the effective (defaulted) configuration.
 func (st *Store) Config() Config { return st.cfg }
-
-// claimPoolLead returns true exactly once per store: the first sampler
-// to attach becomes the one that records the process-wide packet-pool
-// counters, so merged views do not multiply-count them.
-func (st *Store) claimPoolLead() bool {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if st.poolLead {
-		return false
-	}
-	st.poolLead = true
-	return true
-}
 
 // Append stores one sample, streams it to the JSONL writer when one is
 // attached, and runs the anomaly detector. It returns the newly fired

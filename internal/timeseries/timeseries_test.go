@@ -307,15 +307,23 @@ func TestSamplerOnNetwork(t *testing.T) {
 	}
 }
 
-// TestPoolLeadSingleRecorder: only the first-attached sampler reports
-// the process-wide pool counters, so a merged view cannot multiply-count.
-func TestPoolLeadSingleRecorder(t *testing.T) {
+// TestPoolSeriesMergeAdditively: packet-pool counters are per-shard
+// registry series since the pool split, so the merged view must be the
+// exact sum of the shard series — the property that replaced the old
+// single-recorder "pool lead" discipline.
+func TestPoolSeriesMergeAdditively(t *testing.T) {
 	st := NewStore(Config{})
-	if !st.claimPoolLead() {
-		t.Fatalf("first claim should win the pool lead")
+	st.Append(mk(0, 0, map[string]int64{"netsim.packets_pooled": 40, "netsim.pool_miss": 3}, nil))
+	st.Append(mk(1, 0, map[string]int64{"netsim.packets_pooled": 25, "netsim.pool_miss": 7}, nil))
+	merged := st.Merged()
+	if len(merged) != 1 {
+		t.Fatalf("merged has %d intervals, want 1", len(merged))
 	}
-	if st.claimPoolLead() {
-		t.Fatalf("second claim should lose the pool lead")
+	if got := merged[0].C("netsim.packets_pooled"); got != 65 {
+		t.Fatalf("merged packets_pooled = %d, want 65", got)
+	}
+	if got := merged[0].C("netsim.pool_miss"); got != 10 {
+		t.Fatalf("merged pool_miss = %d, want 10", got)
 	}
 }
 
