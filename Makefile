@@ -19,9 +19,9 @@ FUZZ_PKGS := ./internal/wire ./internal/output ./internal/httpsim ./internal/tls
 # build does not fail below it, the number is for trend-watching.
 COVER_TARGET ?= 70
 
-.PHONY: check fmt vet build test race cover bench bench-check bench-compare bench-refresh bench-smoke fuzz-smoke flight-smoke telemetry-smoke serve-smoke smart-smoke validate-smoke validate-sweep
+.PHONY: check fmt vet build test race cover bench bench-check bench-compare bench-refresh bench-smoke fuzz-smoke flight-smoke telemetry-smoke serve-smoke events-smoke smart-smoke validate-smoke validate-sweep
 
-check: fmt vet build test race flight-smoke telemetry-smoke serve-smoke smart-smoke validate-smoke
+check: fmt vet build test race flight-smoke telemetry-smoke serve-smoke events-smoke smart-smoke validate-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -50,7 +50,7 @@ race:
 	$(GO) test -race ./internal/metrics/... ./internal/core/... \
 		./internal/scanner/... ./internal/output/... ./internal/experiments/... \
 		./internal/netsim/... ./internal/tcpstack/... ./internal/flight/... \
-		./internal/timeseries/... ./internal/jobs/...
+		./internal/timeseries/... ./internal/jobs/... ./internal/events/...
 
 # cover writes one aggregate coverage profile across every package to
 # $(VALIDATE_OUT)/cover.out (CI uploads it) plus an HTML render, and
@@ -152,6 +152,25 @@ telemetry-smoke:
 serve-smoke:
 	@mkdir -p $(VALIDATE_OUT)
 	$(GO) run ./cmd/iwserve -smoke -state $(VALIDATE_OUT)/serve
+
+# events-smoke is the control-plane observability gate: the iwserve
+# -events-smoke scenario runs a fixed-seed job twice (journal disarmed
+# for the reference artifact, then armed with a live SSE watcher) and
+# requires (a) the full queued -> running -> completed lifecycle
+# observed from the watch stream alone — no /jobs/{id} polls, (b) the
+# armed run's artifact byte-identical to the disarmed reference, and
+# (c) sequence numbers continuing gap-free across a mid-scenario
+# daemon restart. The journal it leaves in
+# $(VALIDATE_OUT)/events-serve/events is then re-read offline by
+# iwtrace jobs -validate, which enforces the semantic invariants
+# (legal lifecycle edges, balanced segment spans, at least one
+# dispatch-audit event per job that ran) and that the Chrome trace
+# export parses. CI uploads the journal with the other artifacts.
+events-smoke:
+	@mkdir -p $(VALIDATE_OUT)
+	$(GO) run ./cmd/iwserve -events-smoke -state $(VALIDATE_OUT)/events-serve
+	$(GO) run ./cmd/iwtrace jobs -validate -min-dispatch 1 \
+		$(VALIDATE_OUT)/events-serve/events/events.jsonl
 
 # smart-smoke is the topology-aware-scanning gate: a fixed-seed full
 # scan trains a fresh responsiveness model (-smart-update), a rescan of

@@ -1,0 +1,402 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"iwscan/internal/events"
+	"iwscan/internal/jobs"
+	"iwscan/internal/netsim"
+)
+
+// runEventsSmoke drives the control-plane observability scenario end
+// to end against real listeners:
+//
+//  1. Reference: a journal-disarmed daemon runs a fixed-seed job and
+//     its artifact bytes are kept as ground truth.
+//  2. Watched run: a journal-armed daemon runs the identical spec
+//     while an SSE client watches /events/watch. The client must see
+//     the full submitted → dispatched → running → completed lifecycle
+//     (plus at least one dispatch audit and one heartbeat) without a
+//     single poll of /jobs/{id}, the SSE ids must be gap-free, and
+//     the artifact must be byte-identical to the reference — the
+//     journal is observational only.
+//  3. Restart: the daemon is stopped (the watcher must receive the
+//     terminal server_shutdown before its stream ends) and rebooted
+//     on the same state. Sequence numbers must continue monotonically,
+//     a watcher resuming from its last SSE id must see no gap, and a
+//     second job must complete under watch as before.
+//  4. The full journal is re-read over paginated /events and checked
+//     contiguous from 1 to the high-water mark.
+//
+// The journal file is left behind for `iwtrace jobs -validate` — the
+// make events-smoke gate runs both.
+func runEventsSmoke(cfg jobs.Config) error {
+	if err := os.RemoveAll(cfg.Dir); err != nil {
+		return err
+	}
+	cfg.MaxConcurrent = 1
+	cfg.SliceVirtual = 5 * netsim.Second
+
+	spec := jobs.Spec{
+		Tenant: "obs", Seed: 7, SampleFraction: 0.006,
+		Rate: 150, MSSList: []int{64}, Repeats: 1,
+	}
+
+	// Phase 1 — reference artifact with the journal disarmed.
+	refCfg := cfg
+	refCfg.Dir = filepath.Join(cfg.Dir, "reference")
+	refBytes, err := referenceArtifact(refCfg, spec)
+	if err != nil {
+		return fmt.Errorf("reference run: %w", err)
+	}
+	fmt.Printf("events-smoke: reference artifact %d bytes (journal disarmed)\n", len(refBytes))
+
+	// Phase 2 — the same spec under a journal-armed daemon, observed
+	// purely over SSE.
+	jr, err := events.Open(filepath.Join(cfg.Dir, "events"))
+	if err != nil {
+		return err
+	}
+	armed := cfg
+	armed.Events = jr
+	m, err := jobs.NewManager(armed)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	js := jobs.NewServer(m)
+	js.Heartbeat = 150 * time.Millisecond
+	srv := &http.Server{Handler: js.Handler()}
+	go srv.Serve(ln)
+	c := smokeClient{base: "http://" + ln.Addr().String()}
+	fmt.Printf("events-smoke: daemon on %s (journal %s)\n", c.base, filepath.Join(cfg.Dir, "events"))
+
+	// The watch opens BEFORE the submit: everything below about job 1
+	// is learned from the stream alone.
+	w, err := openWatch(c.base + "/events/watch?from=1")
+	if err != nil {
+		return err
+	}
+	job1, err := c.submit(spec)
+	if err != nil {
+		return err
+	}
+	if err := awaitLifecycle(w, job1.ID); err != nil {
+		return fmt.Errorf("watching job 1: %w", err)
+	}
+	// With the job done the stream idles; a heartbeat must keep the
+	// connection warm within a few intervals.
+	if err := w.awaitHeartbeat(5 * time.Second); err != nil {
+		return err
+	}
+	fmt.Printf("events-smoke: job 1 lifecycle observed over SSE (%d events, %d heartbeats, no /jobs polls)\n",
+		len(w.evs), w.heartbeats.Load())
+
+	var h jobs.Health
+	if err := c.getJSON("/healthz", &h); err != nil {
+		return err
+	}
+	if !h.JournalArmed || h.JournalSeq == 0 || h.Watchers < 1 {
+		return fmt.Errorf("healthz inconsistent: armed=%v seq=%d watchers=%d", h.JournalArmed, h.JournalSeq, h.Watchers)
+	}
+
+	gotBytes, err := c.artifact(job1.ID)
+	if err != nil {
+		return err
+	}
+	if len(gotBytes) == 0 || !bytes.Equal(gotBytes, refBytes) {
+		return fmt.Errorf("journal-armed artifact differs from disarmed reference (%d vs %d bytes)",
+			len(gotBytes), len(refBytes))
+	}
+	fmt.Printf("events-smoke: artifact byte-identical with journal armed (%d bytes)\n", len(gotBytes))
+
+	// Phase 3 — graceful stop. The open watcher must end with the
+	// terminal server_shutdown event, never a silent drop.
+	m.Close()
+	if err := w.awaitClose(10*time.Second, events.TypeServerShutdown); err != nil {
+		return err
+	}
+	lastSeq := w.lastSeq
+	srv.Close()
+	fmt.Printf("events-smoke: shutdown delivered server_shutdown to the watcher (seq %d)\n", lastSeq)
+
+	// Reboot on the same state: sequences continue, a resume-from-
+	// cursor watch sees no gap, and a second job completes under watch.
+	jr2, err := events.Open(filepath.Join(cfg.Dir, "events"))
+	if err != nil {
+		return err
+	}
+	if hw := jr2.HighWater(); hw != lastSeq {
+		return fmt.Errorf("journal high water %d after reopen, watcher saw %d", hw, lastSeq)
+	}
+	armed.Events = jr2
+	m2, err := jobs.NewManager(armed)
+	if err != nil {
+		return err
+	}
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	js2 := jobs.NewServer(m2)
+	js2.Heartbeat = 150 * time.Millisecond
+	srv2 := &http.Server{Handler: js2.Handler()}
+	go srv2.Serve(ln2)
+	defer srv2.Close()
+	c = smokeClient{base: "http://" + ln2.Addr().String()}
+
+	w2, err := openWatch(c.base + "/events/watch?from=" + strconv.FormatUint(lastSeq+1, 10))
+	if err != nil {
+		return err
+	}
+	spec.Seed = 8
+	job2, err := c.submit(spec)
+	if err != nil {
+		return err
+	}
+	if err := awaitLifecycle(w2, job2.ID); err != nil {
+		return fmt.Errorf("watching job 2 after restart: %w", err)
+	}
+	if w2.firstSeq != lastSeq+1 {
+		return fmt.Errorf("restart broke sequence continuity: resume cursor %d but first event %d",
+			lastSeq+1, w2.firstSeq)
+	}
+	if w2.types["daemon_start"] == 0 {
+		return fmt.Errorf("no daemon_start event after restart")
+	}
+	fmt.Printf("events-smoke: restart continued sequences at %d; job 2 observed over SSE\n", w2.firstSeq)
+
+	// Phase 4 — paginated walk of the whole journal, contiguous from 1.
+	var next, want uint64 = 1, 1
+	for {
+		var page jobs.EventsPage
+		if err := c.getJSON("/events?limit=50&from="+strconv.FormatUint(next, 10), &page); err != nil {
+			return err
+		}
+		for _, ev := range page.Events {
+			if ev.Seq != want {
+				return fmt.Errorf("paginated walk: got seq %d, want %d", ev.Seq, want)
+			}
+			want++
+		}
+		if page.Next > page.HighWater {
+			if want != page.HighWater+1 {
+				return fmt.Errorf("paginated walk ended at %d, high water %d", want-1, page.HighWater)
+			}
+			fmt.Printf("events-smoke: paginated /events walk contiguous over %d events\n", want-1)
+			break
+		}
+		next = page.Next
+	}
+
+	m2.Close()
+	if err := w2.awaitClose(10*time.Second, events.TypeServerShutdown); err != nil {
+		return err
+	}
+	return nil
+}
+
+// referenceArtifact completes one job on a journal-disarmed daemon and
+// returns its artifact bytes.
+func referenceArtifact(cfg jobs.Config, spec jobs.Spec) ([]byte, error) {
+	m, err := jobs.NewManager(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer m.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: jobs.NewServer(m).Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	c := smokeClient{base: "http://" + ln.Addr().String()}
+	v, err := c.submit(spec)
+	if err != nil {
+		return nil, err
+	}
+	fin, err := c.await(v.ID, 120*time.Second, func(v jobs.JobView) bool { return v.State.Terminal() })
+	if err != nil {
+		return nil, err
+	}
+	if fin.State != jobs.StateCompleted {
+		return nil, fmt.Errorf("reference job finished as %s (%s)", fin.State, fin.Error)
+	}
+	return c.artifact(v.ID)
+}
+
+// sseWatch is a minimal SSE client over one /events/watch stream.
+type sseWatch struct {
+	resp       *http.Response
+	ch         chan events.Event
+	done       chan error
+	evs        []events.Event
+	types      map[string]int
+	firstSeq   uint64
+	lastSeq    uint64
+	heartbeats atomic.Int64
+}
+
+func openWatch(url string) (*sseWatch, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("watch %s: HTTP %d", url, resp.StatusCode)
+	}
+	w := &sseWatch{resp: resp, ch: make(chan events.Event, 256), done: make(chan error, 1), types: map[string]int{}}
+	go w.read()
+	return w, nil
+}
+
+// read parses the stream: "id:"/"event:"/"data:" fields per event,
+// ": heartbeat" comment lines counted on the side.
+func (w *sseWatch) read() {
+	defer close(w.ch)
+	sc := bufio.NewScanner(w.resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var id uint64
+	var data string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, ": heartbeat"):
+			w.heartbeats.Add(1)
+		case strings.HasPrefix(line, "id: "):
+			id, _ = strconv.ParseUint(strings.TrimPrefix(line, "id: "), 10, 64)
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "" && data != "":
+			var ev events.Event
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				w.done <- fmt.Errorf("watch: bad SSE data at id %d: %w", id, err)
+				return
+			}
+			if ev.Seq != id {
+				w.done <- fmt.Errorf("watch: SSE id %d but event seq %d", id, ev.Seq)
+				return
+			}
+			w.ch <- ev
+			data = ""
+		}
+	}
+	w.done <- sc.Err()
+}
+
+// next returns the following event on the stream, enforcing gap-free
+// sequence numbers as they arrive.
+func (w *sseWatch) next(timeout time.Duration) (events.Event, error) {
+	select {
+	case ev, ok := <-w.ch:
+		if !ok {
+			err := <-w.done
+			if err == nil {
+				err = fmt.Errorf("watch stream closed")
+			}
+			return events.Event{}, err
+		}
+		if w.lastSeq != 0 && ev.Seq != w.lastSeq+1 {
+			return events.Event{}, fmt.Errorf("watch: sequence gap %d -> %d", w.lastSeq, ev.Seq)
+		}
+		if w.firstSeq == 0 {
+			w.firstSeq = ev.Seq
+		}
+		w.lastSeq = ev.Seq
+		w.evs = append(w.evs, ev)
+		w.types[ev.Type]++
+		return ev, nil
+	case <-time.After(timeout):
+		return events.Event{}, fmt.Errorf("watch: no event within %s", timeout)
+	}
+}
+
+// awaitHeartbeat waits until at least one SSE heartbeat comment has
+// arrived on the stream.
+func (w *sseWatch) awaitHeartbeat(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for w.heartbeats.Load() == 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("no SSE heartbeat within %s", timeout)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return nil
+}
+
+// awaitClose drains the stream to EOF and requires the final event to
+// be of the given type (the shutdown contract: watchers are told, not
+// dropped).
+func (w *sseWatch) awaitClose(timeout time.Duration, finalType string) error {
+	deadline := time.Now().Add(timeout)
+	last := ""
+	for {
+		ev, err := w.next(time.Until(deadline))
+		if err != nil {
+			if strings.Contains(err.Error(), "stream closed") {
+				if last != finalType {
+					return fmt.Errorf("watch closed after %q, want terminal %q", last, finalType)
+				}
+				w.resp.Body.Close()
+				return nil
+			}
+			return err
+		}
+		last = ev.Type
+	}
+}
+
+// awaitLifecycle consumes the stream until jobID completes, then
+// checks the full lifecycle was visible: submission, at least one
+// dispatch audit, the running edge and the terminal completed edge —
+// all learned from events, never from polling the job resource.
+func awaitLifecycle(w *sseWatch, jobID string) error {
+	deadline := time.Now().Add(120 * time.Second)
+	var submitted, running, completed, dispatches int
+	for completed == 0 {
+		ev, err := w.next(time.Until(deadline))
+		if err != nil {
+			return err
+		}
+		if ev.Job != jobID {
+			continue
+		}
+		switch ev.Type {
+		case events.TypeJobSubmitted:
+			submitted++
+		case events.TypeDispatch:
+			dispatches++
+		case events.TypeStateChange:
+			to, _ := ev.Fields["to"].(string)
+			switch jobs.State(to) {
+			case jobs.StateRunning:
+				running++
+			case jobs.StateCompleted:
+				completed++
+			case jobs.StateFailed, jobs.StateCancelled:
+				return fmt.Errorf("job %s reached %s: %v", jobID, to, ev.Fields["reason"])
+			}
+		}
+	}
+	if submitted == 0 || running == 0 || dispatches == 0 {
+		return fmt.Errorf("incomplete lifecycle on the stream: submitted=%d running=%d dispatches=%d",
+			submitted, running, dispatches)
+	}
+	return nil
+}

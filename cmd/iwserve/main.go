@@ -15,6 +15,16 @@
 // atomic write. A paused-then-resumed job — including across a daemon
 // restart — produces byte-identical output to an uninterrupted run.
 //
+// Every control-plane decision is journaled: the daemon appends one
+// structured event per state transition, scheduler dispatch (with the
+// losing candidates and their virtual times), vtime charge/settlement,
+// segment and shard execution, checkpoint write and restart-recovery
+// action to an append-only events.jsonl under the state directory.
+// The journal is observational only — artifacts stay byte-identical
+// with it armed — and sequence numbers continue monotonically across
+// restarts. Watch endpoints stream it live over SSE; `iwtrace jobs`
+// validates it offline and exports the span tree as a Chrome trace.
+//
 // API (see internal/jobs for the handlers):
 //
 //	POST /jobs                 submit (JSON spec) → job view
@@ -25,8 +35,16 @@
 //	POST /jobs/{id}/cancel     cancel, keeping the artifact prefix
 //	GET  /jobs/{id}/artifact   download the durable artifact prefix
 //	GET  /jobs/{id}/debug/     per-job live debug (/metrics, /dash, ...)
+//	GET  /jobs/{id}/events     one job's journal page (?from=&limit=&wait=)
+//	GET  /jobs/{id}/watch      live SSE stream for one job
+//	GET  /events               full journal page (?from=&limit=&wait=)
+//	GET  /events/watch         live SSE stream, all events
 //	GET  /scheduler            fair-share accounts and budget state
-//	GET  /healthz              liveness
+//	GET  /scheduler/audit      scheduler decisions (dispatch/vtime events)
+//	GET  /metrics              control-plane metrics, Prometheus format
+//	GET  /metrics.json         same snapshot as JSON
+//	GET  /dash/jobs            live control-plane dashboard
+//	GET  /healthz              liveness + journal high-water mark
 //
 // Examples:
 //
@@ -34,12 +52,18 @@
 //	iwserve -state ./serve -budget 150000 -concurrency 4
 //	curl -s -X POST localhost:8070/jobs -d '{"tenant":"acme","seed":7,"sample_fraction":0.01}'
 //	curl -s localhost:8070/scheduler | jq .tenants
+//	curl -sN localhost:8070/events/watch?from=1   # SSE replay + live tail
+//	iwtrace jobs -validate serve/events/events.jsonl
 //
 // The -smoke flag runs a self-contained two-tenant scenario against a
 // real listener (submit at 3:1 weights, pause and resume one job
 // mid-flight, verify fair-share convergence and byte-identical output)
 // and exits non-zero on any violation; `make serve-smoke` wires it into
-// the repo's checks.
+// the repo's checks. The -events-smoke flag runs the observability
+// scenario instead (lifecycle watched purely over SSE, a mid-scenario
+// restart with sequence continuation, artifact byte-identity with the
+// journal armed); `make events-smoke` wires it in and validates the
+// journal it leaves behind with `iwtrace jobs -validate`.
 package main
 
 import (
@@ -50,9 +74,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
+	"iwscan/internal/events"
 	"iwscan/internal/jobs"
 	"iwscan/internal/netsim"
 )
@@ -64,7 +90,10 @@ func main() {
 		budget      = flag.Float64("budget", 150000, "global probe budget in probes/sec of virtual time, split across tenants by weight (§3.4)")
 		concurrency = flag.Int("concurrency", 2, "segments executing concurrently")
 		slice       = flag.Duration("slice", 10*time.Second, "virtual-time length of one scheduling segment (pause/cancel granularity)")
+		eventsDir   = flag.String("events", "", "event-journal directory (default <state>/events; empty string for the default, \"off\" to disarm)")
+		heartbeat   = flag.Duration("heartbeat", 5*time.Second, "SSE heartbeat interval for /events/watch streams")
 		smoke       = flag.Bool("smoke", false, "run the two-tenant smoke scenario against a real listener and exit")
+		eventsSmoke = flag.Bool("events-smoke", false, "run the observability smoke scenario (SSE lifecycle watch, restart continuity, journal validity) and exit")
 	)
 	flag.Parse()
 
@@ -83,6 +112,31 @@ func main() {
 		fmt.Println("smoke: OK")
 		return
 	}
+	if *eventsSmoke {
+		if err := runEventsSmoke(cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "events-smoke: FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("events-smoke: OK")
+		return
+	}
+
+	// Arm the journal before anything else touches the state directory:
+	// an unwritable or foreign-file-bearing events dir is a named,
+	// actionable refusal at startup, not a mid-scan surprise (the same
+	// guard iwscan applies to -flight-dir).
+	journalDir := *eventsDir
+	if journalDir == "" {
+		journalDir = filepath.Join(*state, "events")
+	}
+	if journalDir != "off" {
+		j, err := events.Open(journalDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "iwserve: events dir:", err)
+			os.Exit(1)
+		}
+		cfg.Events = j
+	}
 
 	m, err := jobs.NewManager(cfg)
 	if err != nil {
@@ -95,9 +149,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "iwserve:", err)
 		os.Exit(1)
 	}
-	srv := &http.Server{Handler: jobs.NewServer(m).Handler()}
-	fmt.Printf("iwserve: listening on http://%s (state %s, budget %.0f pps, %d slots)\n",
-		ln.Addr(), *state, *budget, *concurrency)
+	js := jobs.NewServer(m)
+	js.Heartbeat = *heartbeat
+	srv := &http.Server{Handler: js.Handler()}
+	fmt.Printf("iwserve: listening on http://%s (state %s, budget %.0f pps, %d slots, journal %s)\n",
+		ln.Addr(), *state, *budget, *concurrency, journalDir)
 
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
@@ -111,12 +167,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "iwserve:", err)
 	}
 
-	// Graceful stop: close the listener, then let every executing
-	// segment reach its pause point so the state directory is left at a
-	// clean boundary a restart resumes exactly.
+	// Graceful stop: drain the manager first — every executing segment
+	// reaches its pause point, the journal records server_shutdown and
+	// closes, and closing it releases every SSE watcher (their streams
+	// end with the terminal event). Only then can srv.Shutdown drain
+	// the HTTP side, because watch handlers block until the journal
+	// closes: the reverse order would deadlock the drain on its own
+	// watchers until the timeout.
+	m.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	srv.Shutdown(ctx)
 	cancel()
-	m.Close()
 	fmt.Println("iwserve: state drained, bye")
 }

@@ -40,6 +40,17 @@
 //	    responsive hosts the rescan still reached). Exits nonzero when
 //	    either fraction is below its -min gate. Both files may be in
 //	    any output format (csv, jsonl, iwb). The make smart-smoke gate.
+//
+//	iwtrace jobs [-validate] [-min-dispatch n] [-job id] [-fmt summary|trace] <events.jsonl>
+//	    Inspect an iwserve control-plane event journal. The default
+//	    summary prints event/job/dispatch counts per type and tenant;
+//	    -fmt trace exports the span tree (job lifecycle -> segments ->
+//	    shards) as Chrome trace-event JSON for Perfetto, optionally
+//	    filtered to one job with -job. -validate additionally enforces
+//	    the journal invariants (contiguous sequences, legal lifecycle
+//	    edges, balanced spans, dispatch audits present — see
+//	    jobs.ValidateJournal) and that the trace export parses; the
+//	    make events-smoke gate runs it with -min-dispatch 1.
 package main
 
 import (
@@ -81,6 +92,8 @@ func main() {
 		err = runTelemetry(args[1:])
 	case "smartcmp":
 		err = runSmartCmp(args[1:])
+	case "jobs":
+		err = runJobs(args[1:])
 	default:
 		fmt.Fprintf(os.Stderr, "iwtrace: unknown mode %q\n\n", args[0])
 		usage()
@@ -101,6 +114,7 @@ func usage() {
   iwtrace smoke <dir>
   iwtrace telemetry [-shards n] [-require-anomaly] <stream.jsonl>
   iwtrace smartcmp [-min-saved f] [-min-found f] <full> <smart>
+  iwtrace jobs [-validate] [-min-dispatch n] [-job id] [-fmt summary|trace] <events.jsonl>
 `)
 }
 

@@ -1,0 +1,94 @@
+// Package events is the control-plane observability layer: an
+// append-only, sequence-numbered journal of structured events plus a
+// span model that nests job lifecycle -> scheduler decisions ->
+// virtual-time segments -> per-shard execution into a trace tree.
+//
+// The journal is tagged JSONL with the same durability contract as the
+// IWB1/IWSM1 binary formats: every line is a complete JSON object, the
+// sidecar meta file is written with temp+fsync+rename, and readers
+// tolerate a torn final line (a crash mid-append) while treating any
+// corruption before the tail as a hard error. Sequence numbers are
+// monotonic across daemon restarts: reopening a journal continues from
+// the highest durable sequence.
+//
+// Emission is observation only. Appends never fail the caller — write
+// errors go sticky on the journal and surface through Err/Close — and
+// nothing in this package touches scan state or draws randomness, so a
+// journal-armed run produces byte-identical artifacts (proven by test
+// at the jobs layer).
+package events
+
+import "fmt"
+
+// Event is one journal entry. Seq is assigned by Journal.Append and is
+// contiguous from 1 within a journal file. WallNS is the wall-clock
+// stamp; VirtualNS, when set, is the owning job's cumulative virtual
+// time at emission. Span/Parent/Phase describe the trace tree: an
+// event with Phase "begin" opens its Span, "end" closes it, and an
+// empty Phase is an instant attributed to Span (or to the global
+// scheduler track when Span is empty).
+type Event struct {
+	Seq       uint64         `json:"seq"`
+	WallNS    int64          `json:"wall_ns"`
+	VirtualNS int64          `json:"virtual_ns,omitempty"`
+	Type      string         `json:"type"`
+	Job       string         `json:"job,omitempty"`
+	Tenant    string         `json:"tenant,omitempty"`
+	Span      string         `json:"span,omitempty"`
+	Parent    string         `json:"parent,omitempty"`
+	Phase     string         `json:"phase,omitempty"`
+	Fields    map[string]any `json:"fields,omitempty"`
+}
+
+// Span phases.
+const (
+	PhaseBegin = "begin"
+	PhaseEnd   = "end"
+)
+
+// Event types emitted by the jobs control plane. The journal itself is
+// type-agnostic; these constants are the shared vocabulary between the
+// emitter (internal/jobs), the validator (jobs.ValidateJournal), the
+// watch streams, and the trace exporter.
+const (
+	// Daemon lifecycle.
+	TypeDaemonStart    = "daemon_start"
+	TypeServerShutdown = "server_shutdown"
+
+	// Job lifecycle. job_submitted opens the job span (Phase begin);
+	// the state_change into a terminal state closes it (Phase end).
+	TypeJobSubmitted = "job_submitted"
+	TypeStateChange  = "state_change"
+	TypeRequest      = "request"
+	TypeRecovery     = "recovery"
+
+	// Scheduler audit trail.
+	TypeDispatch    = "dispatch"
+	TypeVtimeCharge = "vtime_charge"
+	TypeVtimeSettle = "vtime_settle"
+	TypeTenantWake  = "tenant_wake"
+
+	// Execution spans.
+	TypeSegmentStart = "segment_start"
+	TypeSegmentEnd   = "segment_end"
+	TypeShardStart   = "shard_start"
+	TypeShardEnd     = "shard_end"
+
+	// Durability.
+	TypeCheckpointWrite = "checkpoint_write"
+)
+
+// JobSpan returns the span id for a job's whole lifecycle.
+func JobSpan(jobID string) string { return "job:" + jobID }
+
+// SegmentSpan returns the span id for one virtual-time segment of a
+// job (slice is the zero-based segment index).
+func SegmentSpan(jobID string, slice int) string {
+	return fmt.Sprintf("seg:%s/%d", jobID, slice)
+}
+
+// ShardSpan returns the span id for one shard's execution within a
+// segment.
+func ShardSpan(jobID string, slice, shard int) string {
+	return fmt.Sprintf("shard:%s/%d/%d", jobID, slice, shard)
+}

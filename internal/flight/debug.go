@@ -26,6 +26,8 @@ import (
 //	/flight/<n>     one record; ?fmt=json|txt|trace selects the format
 //	/timeseries     telemetry document (per-shard series + anomalies)
 //	/dash           self-contained HTML sparkline dashboard
+//	/events         control-plane event page for the owning job
+//	                (?from=&limit=), when a source is attached
 //
 // The server is shard-aware: a parallel scan attaches one registry per
 // shard (AttachShard) and /metrics serves their merged snapshot, the
@@ -34,13 +36,20 @@ import (
 // then the handlers answer 503. All handlers are safe to hit mid-scan:
 // registries are atomic, and the recorder and store are mutex-guarded.
 type DebugServer struct {
-	mu     sync.Mutex
-	regs   map[int]*metrics.Registry
-	shards []int // attach order
-	rec    *Recorder
-	ts     *timeseries.Store
-	mux    *http.ServeMux
+	mu       sync.Mutex
+	regs     map[int]*metrics.Registry
+	shards   []int // attach order
+	rec      *Recorder
+	ts       *timeseries.Store
+	eventsFn EventsPageFunc
+	mux      *http.ServeMux
 }
+
+// EventsPageFunc serves one page of control-plane events scoped to the
+// debug server's owner (the jobs layer supplies a closure over its
+// journal). It returns any JSON-marshalable page; ok is false when no
+// journal is armed.
+type EventsPageFunc func(from uint64, limit int) (page any, ok bool)
 
 // NewDebugServer creates the server with no registry or recorder yet.
 func NewDebugServer() *DebugServer {
@@ -58,6 +67,7 @@ func NewDebugServer() *DebugServer {
 	s.mux.HandleFunc("/flight/", s.handleFlightRecord)
 	s.mux.HandleFunc("/timeseries", s.handleTimeseries)
 	s.mux.HandleFunc("/dash", s.handleDash)
+	s.mux.HandleFunc("/events", s.handleEvents)
 	return s
 }
 
@@ -91,6 +101,14 @@ func (s *DebugServer) SetTimeseries(ts *timeseries.Store) {
 	s.mu.Unlock()
 }
 
+// SetEvents attaches a control-plane event source; /events goes live
+// once it is set.
+func (s *DebugServer) SetEvents(fn EventsPageFunc) {
+	s.mu.Lock()
+	s.eventsFn = fn
+	s.mu.Unlock()
+}
+
 // Reset detaches every shard registry, the flight recorder and the
 // telemetry store, returning the server to its pre-attach state: the
 // data handlers answer 503 again until the next scan attaches. A
@@ -105,6 +123,7 @@ func (s *DebugServer) Reset() {
 	s.shards = nil
 	s.rec = nil
 	s.ts = nil
+	s.eventsFn = nil
 	s.mu.Unlock()
 }
 
@@ -156,6 +175,7 @@ func (s *DebugServer) handleIndex(w http.ResponseWriter, req *http.Request) {
   /flight         forensic records
   /timeseries     telemetry document (per-shard series + anomalies)
   /dash           live sparkline dashboard
+  /events         control-plane events for the owning job (?from=&limit=)
 `)
 }
 
@@ -194,6 +214,30 @@ func (s *DebugServer) handleTimeseries(w http.ResponseWriter, req *http.Request)
 func (s *DebugServer) handleDash(w http.ResponseWriter, req *http.Request) {
 	w.Header().Set("Content-Type", "text/html; charset=utf-8")
 	fmt.Fprint(w, timeseries.DashboardHTML())
+}
+
+func (s *DebugServer) handleEvents(w http.ResponseWriter, req *http.Request) {
+	s.mu.Lock()
+	fn := s.eventsFn
+	s.mu.Unlock()
+	if fn == nil {
+		http.Error(w, "no event source attached", http.StatusServiceUnavailable)
+		return
+	}
+	from, _ := strconv.ParseUint(req.URL.Query().Get("from"), 10, 64)
+	if from < 1 {
+		from = 1
+	}
+	limit, _ := strconv.Atoi(req.URL.Query().Get("limit"))
+	page, ok := fn(from, limit)
+	if !ok {
+		http.Error(w, "event journal not armed", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(page)
 }
 
 // flightSummary is one row of the /flight listing.

@@ -1,0 +1,433 @@
+package jobs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"iwscan/internal/events"
+	"iwscan/internal/netsim"
+)
+
+// armedManager builds a manager with a journal in its own subdirectory
+// of dir. The manager owns the journal; closing the manager closes it.
+func armedManager(t *testing.T, dir string, cfg Config) *Manager {
+	t.Helper()
+	jr, err := events.Open(filepath.Join(dir, "events"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Dir = dir
+	cfg.Events = jr
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestJournalNonPerturbing is the acceptance gate for the journal
+// being observational only: a job executed with the journal armed and
+// a live watcher subscribed must produce an artifact byte-identical to
+// the bare reference run.
+func TestJournalNonPerturbing(t *testing.T) {
+	spec := testSpec()
+	want := referenceBytes(t, spec)
+
+	dir := t.TempDir()
+	m := armedManager(t, dir, Config{SliceVirtual: 5 * netsim.Second})
+	defer m.Close()
+
+	// A live watcher consuming every event while the scan runs: the
+	// fanout path is exercised, not just the file append.
+	watcher, _ := m.Journal().Subscribe(1, 4096)
+	defer watcher.Close()
+	got := 0
+	watchDone := make(chan struct{})
+	go func() {
+		defer close(watchDone)
+		for range watcher.C() {
+			got++
+		}
+	}()
+
+	v, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin := waitJob(t, m, v.ID, "completion", func(v JobView) bool { return v.State.Terminal() })
+	if fin.State != StateCompleted {
+		t.Fatalf("job finished as %s (%s)", fin.State, fin.Error)
+	}
+
+	art, ok := m.ArtifactPath(v.ID)
+	if !ok {
+		t.Fatal("no artifact path")
+	}
+	data, err := os.ReadFile(art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatalf("artifact with journal+watcher armed differs from reference (%d vs %d bytes)", len(data), len(want))
+	}
+
+	m.Close() // closes the journal, ending the watcher
+	<-watchDone
+	if got == 0 {
+		t.Fatal("watcher saw no events")
+	}
+	if watcher.Overflowed() {
+		t.Fatal("watcher overflowed on a small run")
+	}
+
+	// The journal on disk must pass full semantic validation.
+	evs, torn, err := events.ReadFile(filepath.Join(dir, "events", events.FileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn != 0 {
+		t.Fatalf("torn tail of %d bytes after clean close", torn)
+	}
+	sum, err := ValidateJournal(evs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Jobs != 1 || sum.Dispatches == 0 || sum.Segments == 0 || sum.Shutdowns != 1 {
+		t.Fatalf("summary off: %+v", sum)
+	}
+}
+
+// TestMetricsExposed checks the jobs.* registry family and both
+// /metrics renderings.
+func TestMetricsExposed(t *testing.T) {
+	dir := t.TempDir()
+	m := armedManager(t, dir, Config{SliceVirtual: 5 * netsim.Second})
+	defer m.Close()
+	srv := httptest.NewServer(NewServer(m).Handler())
+	defer srv.Close()
+
+	v, err := m.Submit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, m, v.ID, "completion", func(v JobView) bool { return v.State.Terminal() })
+
+	snap := m.Registry().Snapshot()
+	for _, name := range []string{"jobs.submitted", "jobs.completed", "jobs.dispatches", "jobs.segments"} {
+		if snap.Counters[name] == 0 {
+			t.Fatalf("counter %s missing or zero (have %v)", name, snap.Counters)
+		}
+	}
+	for _, name := range []string{"jobs.segment_wall_ns", "jobs.dispatch_latency_ns"} {
+		if snap.Histograms[name].Count == 0 {
+			t.Fatalf("histogram %s missing or empty", name)
+		}
+	}
+	if _, ok := snap.Gauges["jobs.vtime.acme"]; !ok {
+		t.Fatalf("per-tenant vtime gauge missing: %v", snap.Gauges)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := readAll(resp)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "jobs_submitted") {
+		t.Fatalf("/metrics: HTTP %d, body %.200s", resp.StatusCode, body)
+	}
+	resp, err = http.Get(srv.URL + "/metrics.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = readAll(resp)
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "jobs.completed") {
+		t.Fatalf("/metrics.json: HTTP %d, body %.200s", resp.StatusCode, body)
+	}
+}
+
+func readAll(resp *http.Response) (string, error) {
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(resp.Body)
+	return buf.String(), err
+}
+
+// TestEventsEndpointsDisarmed: every journal-backed endpoint answers
+// 503 with a named error when the daemon runs without a journal, and
+// /healthz reports it disarmed rather than failing.
+func TestEventsEndpointsDisarmed(t *testing.T) {
+	m, err := NewManager(Config{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	srv := httptest.NewServer(NewServer(m).Handler())
+	defer srv.Close()
+
+	for _, path := range []string{"/events", "/events/watch", "/scheduler/audit"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := readAll(resp)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("GET %s disarmed: HTTP %d, want 503", path, resp.StatusCode)
+		}
+		if !strings.Contains(body, "journal not armed") {
+			t.Fatalf("GET %s disarmed: unnamed error %q", path, body)
+		}
+	}
+	var h Health
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.JournalArmed || h.Status != "ok" {
+		t.Fatalf("disarmed healthz: %+v", h)
+	}
+}
+
+// TestWatchLifecycleOverSSE watches a job from submission to
+// completion purely over the SSE stream — no /jobs/{id} polls — and
+// checks the ids are the journal sequences, gap-free.
+func TestWatchLifecycleOverSSE(t *testing.T) {
+	dir := t.TempDir()
+	m := armedManager(t, dir, Config{SliceVirtual: 5 * netsim.Second})
+	defer m.Close()
+	s := NewServer(m)
+	s.Heartbeat = 100 * time.Millisecond
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/events/watch?from=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("watch: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("watch content type %q", ct)
+	}
+
+	type seen struct {
+		running, completed, dispatches int
+		lastSeq                        uint64
+		heartbeats                     int
+	}
+	got := make(chan seen, 1)
+	fail := make(chan error, 1)
+	v, err := m.Submit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		var st seen
+		sc := bufio.NewScanner(resp.Body)
+		var ev events.Event
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, ": heartbeat"):
+				st.heartbeats++
+			case strings.HasPrefix(line, "data: "):
+				if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+					fail <- err
+					return
+				}
+				if st.lastSeq != 0 && ev.Seq != st.lastSeq+1 {
+					fail <- &gapError{st.lastSeq, ev.Seq}
+					return
+				}
+				st.lastSeq = ev.Seq
+				if ev.Job != v.ID {
+					continue
+				}
+				switch ev.Type {
+				case events.TypeDispatch:
+					st.dispatches++
+				case events.TypeStateChange:
+					to, _ := ev.Fields["to"].(string)
+					if State(to) == StateRunning {
+						st.running++
+					}
+					if State(to) == StateCompleted {
+						st.completed++
+						got <- st
+						return
+					}
+				}
+			}
+		}
+		fail <- sc.Err()
+	}()
+
+	select {
+	case st := <-got:
+		if st.running == 0 || st.dispatches == 0 {
+			t.Fatalf("lifecycle incomplete on stream: %+v", st)
+		}
+	case err := <-fail:
+		t.Fatalf("watch stream: %v", err)
+	case <-time.After(60 * time.Second):
+		t.Fatal("timed out watching the job lifecycle over SSE")
+	}
+}
+
+type gapError struct{ prev, got uint64 }
+
+func (e *gapError) Error() string { return "sequence gap" }
+
+// TestSchedulerAuditAndJobEvents: the audit view carries dispatch
+// decisions with candidates, and the per-job page is scoped and
+// terminates under pagination.
+func TestSchedulerAuditAndJobEvents(t *testing.T) {
+	dir := t.TempDir()
+	m := armedManager(t, dir, Config{SliceVirtual: 5 * netsim.Second})
+	defer m.Close()
+	srv := httptest.NewServer(NewServer(m).Handler())
+	defer srv.Close()
+
+	v, err := m.Submit(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, m, v.ID, "completion", func(v JobView) bool { return v.State.Terminal() })
+
+	var audit struct {
+		Scheduler SchedulerStats `json:"scheduler"`
+		Audit     EventsPage     `json:"audit"`
+	}
+	resp, err := http.Get(srv.URL + "/scheduler/audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&audit); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	dispatches := 0
+	for _, ev := range audit.Audit.Events {
+		if ev.Type == events.TypeDispatch {
+			dispatches++
+			if _, ok := ev.Fields["candidates"]; !ok {
+				t.Fatalf("dispatch audit without candidates: %+v", ev)
+			}
+		}
+	}
+	if dispatches == 0 {
+		t.Fatal("no dispatch decisions in /scheduler/audit")
+	}
+
+	// Paginated per-job walk: every event is the job's, and the cursor
+	// reaches the high-water mark even though most sequences are
+	// filtered out of later pages.
+	next, total := uint64(1), 0
+	for {
+		var page EventsPage
+		resp, err := http.Get(srv.URL + "/jobs/" + v.ID + "/events?limit=5&from=" + uintStr(next))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		for _, ev := range page.Events {
+			if ev.Job != v.ID {
+				t.Fatalf("foreign event on the job page: %+v", ev)
+			}
+			total++
+		}
+		if page.Next > page.HighWater {
+			break
+		}
+		if page.Next <= next {
+			t.Fatalf("pagination stuck at %d", next)
+		}
+		next = page.Next
+	}
+	if total == 0 {
+		t.Fatal("job page empty")
+	}
+
+	resp, err = http.Get(srv.URL + "/jobs/nosuch/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job events: HTTP %d, want 404", resp.StatusCode)
+	}
+}
+
+func uintStr(v uint64) string {
+	var buf [20]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			return string(buf[i:])
+		}
+	}
+}
+
+// TestHealthzArmed: the armed health view carries the journal
+// high-water mark and watcher count, and degrades (not dies) on a
+// sticky journal error.
+func TestHealthzArmed(t *testing.T) {
+	dir := t.TempDir()
+	m := armedManager(t, dir, Config{SliceVirtual: 5 * netsim.Second})
+	defer m.Close()
+	s := NewServer(m)
+	s.Heartbeat = time.Hour // no heartbeats; the watcher just parks
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/events/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for m.Journal().Watchers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("watcher never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	var h Health
+	hr, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	hr.Body.Close()
+	if !h.JournalArmed || h.JournalSeq == 0 {
+		t.Fatalf("armed healthz lost the journal: %+v", h)
+	}
+	if h.Watchers < 1 {
+		t.Fatalf("healthz watcher count %d, want >= 1", h.Watchers)
+	}
+	if h.UptimeNS <= 0 {
+		t.Fatalf("uptime %d", h.UptimeNS)
+	}
+}

@@ -12,9 +12,11 @@ import (
 	"time"
 
 	"iwscan/internal/checkpoint"
+	"iwscan/internal/events"
 	"iwscan/internal/experiments"
 	"iwscan/internal/flight"
 	"iwscan/internal/inet"
+	"iwscan/internal/metrics"
 	"iwscan/internal/netsim"
 	"iwscan/internal/output"
 	"iwscan/internal/prefixtree"
@@ -43,6 +45,19 @@ type Config struct {
 	// cancel and restart take effect (default 10 virtual seconds, the
 	// CLI's checkpoint cadence).
 	SliceVirtual netsim.Time
+	// Events, when non-nil, arms the control-plane journal: every
+	// lifecycle transition, admission, dispatch decision, vtime
+	// charge/settle, segment/shard span, checkpoint write and recovery
+	// action is appended to it. The manager takes ownership — Close
+	// emits the terminal server_shutdown event and closes the journal.
+	// A nil journal disarms emission entirely (and provably does not
+	// perturb artifacts either way; see TestJournalNonPerturbation).
+	Events *events.Journal
+	// Metrics, when non-nil, receives the jobs.* control-plane metrics
+	// (state counters/gauges, segment-duration and dispatch-latency
+	// histograms, per-tenant vtime gauges). A private registry is used
+	// otherwise; either way it is reachable via Manager.Registry.
+	Metrics *metrics.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +135,11 @@ type job struct {
 	sliceContended bool
 	debug          *flight.DebugServer
 	ts             *timeseries.Store // executing segment's telemetry
+	// dispatchableSince is when the job last became eligible for a
+	// slot (submit, resume, recovery re-queue, or segment end with
+	// work remaining); the dispatch-latency histogram observes the gap
+	// to the actual dispatch.
+	dispatchableSince time.Time
 }
 
 // JobView is the API snapshot of a job.
@@ -167,16 +187,19 @@ type SchedulerStats struct {
 // Manager owns the job table, the fair-share scheduler and the segment
 // runners. All public methods are safe for concurrent use.
 type Manager struct {
-	cfg Config
+	cfg     Config
+	journal *events.Journal
+	reg     *metrics.Registry
 
-	mu      sync.Mutex
-	jobs    map[string]*job
-	sched   *scheduler
-	running int
-	closed  bool
-	nextID  int
-	nextSeq int
-	wg      sync.WaitGroup
+	mu       sync.Mutex
+	jobs     map[string]*job
+	sched    *scheduler
+	running  int
+	closed   bool
+	shutdown bool
+	nextID   int
+	nextSeq  int
+	wg       sync.WaitGroup
 }
 
 // NewManager opens (or creates) the state directory and recovers every
@@ -191,14 +214,108 @@ func NewManager(cfg Config) (*Manager, error) {
 	if err := os.MkdirAll(filepath.Join(cfg.Dir, "jobs"), 0o755); err != nil {
 		return nil, err
 	}
-	m := &Manager{cfg: cfg, jobs: make(map[string]*job), sched: newScheduler()}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	m := &Manager{cfg: cfg, journal: cfg.Events, reg: reg,
+		jobs: make(map[string]*job), sched: newScheduler()}
+	m.emit(events.Event{Type: events.TypeDaemonStart, Fields: map[string]any{
+		"dir": cfg.Dir, "budget_pps": cfg.BudgetPPS,
+		"max_concurrent": cfg.MaxConcurrent, "slice_virtual_ns": int64(cfg.SliceVirtual),
+	}})
 	if err := m.recover(); err != nil {
 		return nil, err
 	}
 	m.mu.Lock()
+	m.updateStateGaugesLocked()
 	m.dispatchLocked()
 	m.mu.Unlock()
 	return m, nil
+}
+
+// Journal returns the armed event journal (nil when disarmed).
+func (m *Manager) Journal() *events.Journal { return m.journal }
+
+// Registry returns the control-plane metrics registry (jobs.*).
+func (m *Manager) Registry() *metrics.Registry { return m.reg }
+
+// emit appends one event to the journal. Emission is observation only:
+// it is a no-op when disarmed, never fails the caller, and touches
+// nothing the scan engine reads, so artifacts are byte-identical with
+// or without it.
+func (m *Manager) emit(ev events.Event) {
+	if m.journal != nil {
+		m.journal.Append(ev)
+	}
+}
+
+// jobEvent seeds an event with a job's identity, span and virtual
+// clock.
+func jobEvent(j *job, typ string) events.Event {
+	return events.Event{
+		Type: typ, Job: j.ID, Tenant: j.Spec.Tenant,
+		Span: events.JobSpan(j.ID), VirtualNS: j.VirtualNS,
+	}
+}
+
+// transitionLocked applies a lifecycle edge and records it: the
+// state_change event (which closes the job span on a terminal edge),
+// the per-state counters and the queue-depth gauges.
+func (m *Manager) transitionLocked(j *job, to State, reason string) {
+	from := j.State
+	setState(j, to)
+	switch to {
+	case StateCompleted:
+		m.reg.Counter("jobs.completed").Inc()
+	case StateFailed:
+		m.reg.Counter("jobs.failed").Inc()
+	case StateCancelled:
+		m.reg.Counter("jobs.cancelled").Inc()
+	case StateQueued:
+		j.dispatchableSince = time.Now()
+	}
+	m.updateStateGaugesLocked()
+	ev := jobEvent(j, events.TypeStateChange)
+	ev.Fields = map[string]any{"from": string(from), "to": string(to), "reason": reason}
+	if to.Terminal() {
+		ev.Phase = events.PhaseEnd
+	}
+	m.emit(ev)
+}
+
+// updateStateGaugesLocked recomputes the queue-depth gauges.
+func (m *Manager) updateStateGaugesLocked() {
+	var queued, running, paused int64
+	for _, j := range m.jobs {
+		switch j.State {
+		case StateQueued:
+			queued++
+		case StateRunning:
+			running++
+		case StatePaused:
+			paused++
+		}
+	}
+	m.reg.Gauge("jobs.queued").Set(queued)
+	m.reg.Gauge("jobs.running").Set(running)
+	m.reg.Gauge("jobs.paused").Set(paused)
+}
+
+// vtimeGaugeLocked mirrors a tenant's scheduler clock into the
+// registry (probes, truncated — the gauge is for dashboards; the
+// journal carries the exact float).
+func (m *Manager) vtimeGaugeLocked(t *tenantState) {
+	m.reg.Gauge("jobs.vtime." + t.Name).Set(int64(t.vtime))
+}
+
+// emitRequestLocked records a lifecycle request that did not change
+// state immediately (deferred to the pause point, or withdrawing an
+// earlier request).
+func (m *Manager) emitRequestLocked(j *job, verb, disposition string) {
+	ev := jobEvent(j, events.TypeRequest)
+	ev.Fields = map[string]any{"verb": verb, "disposition": disposition}
+	m.emit(ev)
 }
 
 // recover loads persisted jobs and resolves interrupted lifecycle
@@ -219,28 +336,50 @@ func (m *Manager) recover() error {
 			return fmt.Errorf("jobs: recovering %s: %w", e.Name(), err)
 		}
 		j := &job{Job: rec, debug: flight.NewDebugServer()}
-		// Requests made while a segment was executing are honored here
-		// if the daemon died before the pause point did it.
+		// The action is fully determined by the loaded record; name it
+		// up front so the recovery event (which re-introduces the job
+		// to the journal, in its as-loaded state) precedes the
+		// state_change edges that carry it out.
+		action, post := "kept", j.State
 		switch {
 		case j.CancelRequested && !j.State.Terminal():
-			setState(j, StateCancelled)
-			j.CancelRequested, j.PauseRequested = false, false
+			action, post = "cancelled", StateCancelled
 		case j.PauseRequested && !j.State.Terminal():
-			setState(j, StatePaused)
-			j.PauseRequested = false
+			action, post = "paused", StatePaused
 		case j.State == StateRunning:
-			// Interrupted mid-run: the last pause point is durable, so
-			// the job simply rejoins the queue and resumes from it.
-			setState(j, StateQueued)
+			action, post = "requeued", StateQueued
 		}
 		// Roll a torn artifact tail back to the last pause point.
-		if !j.State.Terminal() || j.State == StateCancelled {
+		var truncated int64
+		if !post.Terminal() || post == StateCancelled {
 			art := filepath.Join(root, j.ID, j.Spec.artifactName())
 			if fi, err := os.Stat(art); err == nil && fi.Size() > j.ArtifactBytes {
+				truncated = fi.Size() - j.ArtifactBytes
 				if err := os.Truncate(art, j.ArtifactBytes); err != nil {
 					return fmt.Errorf("jobs: truncating %s: %w", art, err)
 				}
 			}
+		}
+		ev := jobEvent(j, events.TypeRecovery)
+		ev.Fields = map[string]any{
+			"state": string(j.State), "action": action,
+			"pause_requested": j.PauseRequested, "cancel_requested": j.CancelRequested,
+			"truncated_bytes": truncated,
+		}
+		m.emit(ev)
+		// Requests made while a segment was executing are honored here
+		// if the daemon died before the pause point did it.
+		switch action {
+		case "cancelled":
+			m.transitionLocked(j, StateCancelled, "recovery: pending cancel honored")
+			j.CancelRequested, j.PauseRequested = false, false
+		case "paused":
+			m.transitionLocked(j, StatePaused, "recovery: pending pause honored")
+			j.PauseRequested = false
+		case "requeued":
+			// Interrupted mid-run: the last pause point is durable, so
+			// the job simply rejoins the queue and resumes from it.
+			m.transitionLocked(j, StateQueued, "recovery: interrupted segment re-queued")
 		}
 		m.jobs[j.ID] = j
 		m.sched.tenant(j.Spec.Tenant, j.Spec.Weight)
@@ -274,12 +413,26 @@ func loadJSON(path string, v any) error {
 // Close stops dispatching, waits for executing segments to reach their
 // pause point, and leaves every job durably at a clean boundary. A
 // restarted manager over the same directory picks each job up exactly
-// where it left off.
+// where it left off. With a journal armed, Close appends a terminal
+// server_shutdown event — delivered to every live watcher before their
+// streams end — and then closes the journal. Close is idempotent.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	m.closed = true
 	m.mu.Unlock()
 	m.wg.Wait()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.shutdown {
+		return
+	}
+	m.shutdown = true
+	m.emit(events.Event{Type: events.TypeServerShutdown, Fields: map[string]any{
+		"jobs": len(m.jobs),
+	}})
+	if m.journal != nil {
+		m.journal.Close()
+	}
 }
 
 func (m *Manager) jobDir(id string) string { return filepath.Join(m.cfg.Dir, "jobs", id) }
@@ -352,9 +505,30 @@ func (m *Manager) Submit(spec Spec) (JobView, error) {
 		return JobView{}, err
 	}
 	m.jobs[id] = j
+	j.dispatchableSince = time.Now()
 	if !active[spec.Tenant] {
+		before := t.vtime
 		m.sched.wake(t, active)
+		if t.vtime != before {
+			m.emit(events.Event{Type: events.TypeTenantWake, Tenant: t.Name,
+				Fields: map[string]any{"vtime_before": before, "vtime_after": t.vtime}})
+			m.vtimeGaugeLocked(t)
+		}
 	}
+	// The admission audit record: requested vs budget-capped rate and
+	// the share arithmetic behind it. Phase begin opens the job span.
+	ev := jobEvent(j, events.TypeJobSubmitted)
+	ev.Phase = events.PhaseBegin
+	ev.Fields = map[string]any{
+		"requested_rate": spec.Rate, "effective_rate": eff,
+		"budget_pps": m.cfg.BudgetPPS, "share": share,
+		"weight": t.Weight, "total_weight": m.sched.totalWeight(),
+		"estimate": estimate, "submit_seq": j.SubmitSeq,
+		"scan_mode": spec.ScanMode,
+	}
+	m.emit(ev)
+	m.reg.Counter("jobs.submitted").Inc()
+	m.updateStateGaugesLocked()
 	if err := m.persistLocked(j); err != nil {
 		delete(m.jobs, id)
 		return JobView{}, err
@@ -393,9 +567,10 @@ func (m *Manager) Pause(id string) (JobView, error) {
 	}
 	switch {
 	case j.State == StateQueued, j.State == StateRunning && !j.executing:
-		setState(j, StatePaused)
+		m.transitionLocked(j, StatePaused, "pause requested")
 	case j.State == StateRunning:
 		j.PauseRequested = true
+		m.emitRequestLocked(j, "pause", "deferred to pause point")
 	case j.State == StatePaused:
 		// Idempotent.
 	default:
@@ -418,12 +593,20 @@ func (m *Manager) Resume(id string) (JobView, error) {
 	switch {
 	case j.State == StatePaused:
 		active := m.activeTenantsLocked()
-		setState(j, StateQueued)
+		m.transitionLocked(j, StateQueued, "resume requested")
 		if !active[j.Spec.Tenant] {
-			m.sched.wake(m.sched.tenant(j.Spec.Tenant, 0), active)
+			t := m.sched.tenant(j.Spec.Tenant, 0)
+			before := t.vtime
+			m.sched.wake(t, active)
+			if t.vtime != before {
+				m.emit(events.Event{Type: events.TypeTenantWake, Tenant: t.Name,
+					Fields: map[string]any{"vtime_before": before, "vtime_after": t.vtime}})
+				m.vtimeGaugeLocked(t)
+			}
 		}
 	case j.State == StateRunning && j.PauseRequested:
 		j.PauseRequested = false
+		m.emitRequestLocked(j, "resume", "pending pause withdrawn")
 	case j.State == StateQueued, j.State == StateRunning:
 		// Idempotent.
 	default:
@@ -448,10 +631,11 @@ func (m *Manager) Cancel(id string) (JobView, error) {
 	}
 	switch {
 	case j.State == StateQueued, j.State == StatePaused, j.State == StateRunning && !j.executing:
-		setState(j, StateCancelled)
+		m.transitionLocked(j, StateCancelled, "cancel requested")
 		j.PauseRequested = false
 	case j.State == StateRunning:
 		j.CancelRequested = true
+		m.emitRequestLocked(j, "cancel", "deferred to pause point")
 	case j.State == StateCancelled:
 		// Idempotent.
 	default:
@@ -553,7 +737,22 @@ func (m *Manager) viewLocked(j *job) JobView {
 
 func (m *Manager) persistLocked(j *job) error {
 	j.UpdatedUnixNS = time.Now().UnixNano()
-	return checkpoint.SaveJSON(filepath.Join(m.jobDir(j.ID), "job.json"), &j.Job)
+	err := checkpoint.SaveJSON(filepath.Join(m.jobDir(j.ID), "job.json"), &j.Job)
+	if err == nil {
+		ev := jobEvent(j, events.TypeCheckpointWrite)
+		ev.Fields = map[string]any{
+			"state": string(j.State), "frontier": j.Frontier,
+			"artifact_bytes": j.ArtifactBytes, "slices": j.Slices,
+		}
+		m.emit(ev)
+		// Job state just became durable; make the journal at least as
+		// durable so a crash cannot lose events describing persisted
+		// state (the meta high-water mark advances with the fsync).
+		if m.journal != nil {
+			m.journal.Sync()
+		}
+	}
+	return err
 }
 
 // activeTenantsLocked names tenants with live (non-terminal) jobs.
@@ -577,38 +776,75 @@ func dispatchableLocked(j *job) bool {
 
 // dispatchLocked fills free execution slots: pick the minimum
 // virtual-time tenant with a dispatchable job, charge the estimated
-// segment cost, and launch the segment runner.
+// segment cost, and launch the segment runner. Each decision is
+// journaled with the full candidate set — every runnable tenant's
+// vtime and FIFO-next job, losers included — so a fairness dispute is
+// answerable from the audit trail alone.
 func (m *Manager) dispatchLocked() {
 	for !m.closed && m.running < m.cfg.MaxConcurrent {
 		runnable := make(map[string]bool)
+		fifoNext := make(map[string]*job)
 		for _, j := range m.jobs {
 			if dispatchableLocked(j) {
 				runnable[j.Spec.Tenant] = true
+				if cur := fifoNext[j.Spec.Tenant]; cur == nil || j.SubmitSeq < cur.SubmitSeq {
+					fifoNext[j.Spec.Tenant] = j
+				}
 			}
 		}
 		if len(runnable) == 0 {
 			return
 		}
 		t := m.sched.pick(runnable)
-		var next *job
-		for _, j := range m.jobs {
-			if j.Spec.Tenant != t.Name || !dispatchableLocked(j) {
-				continue
-			}
-			if next == nil || j.SubmitSeq < next.SubmitSeq {
-				next = j
-			}
-		}
+		next := fifoNext[t.Name]
 		if next == nil {
 			return
 		}
 		if next.State == StateQueued {
-			setState(next, StateRunning)
+			m.transitionLocked(next, StateRunning, "dispatched")
 		}
 		next.executing = true
 		next.sliceContended = len(runnable) > 1
 		next.sliceEst = next.EffectiveRate * float64(m.cfg.SliceVirtual) / float64(netsim.Second)
+
+		// Audit the decision before mutating the clocks: candidates are
+		// sorted by tenant name so fixed-seed runs journal identically.
+		names := make([]string, 0, len(runnable))
+		for name := range runnable {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		cands := make([]map[string]any, 0, len(names))
+		for _, name := range names {
+			ct := m.sched.tenant(name, 0)
+			cands = append(cands, map[string]any{
+				"tenant": name, "vtime": ct.vtime, "weight": ct.Weight,
+				"next_job": fifoNext[name].ID, "submit_seq": fifoNext[name].SubmitSeq,
+			})
+		}
+		dev := jobEvent(next, events.TypeDispatch)
+		dev.Fields = map[string]any{
+			"chosen": t.Name, "candidates": cands,
+			"slice_est": next.sliceEst, "contended": next.sliceContended,
+			"slice": next.Slices, "slot_used": m.running + 1, "slots": m.cfg.MaxConcurrent,
+		}
+		m.emit(dev)
+		m.reg.Counter("jobs.dispatches").Inc()
+		if !next.dispatchableSince.IsZero() {
+			m.reg.Histogram("jobs.dispatch_latency_ns").Observe(time.Since(next.dispatchableSince).Nanoseconds())
+			next.dispatchableSince = time.Time{}
+		}
+
+		before := t.vtime
 		m.sched.chargeEstimate(t, next.sliceEst)
+		cev := jobEvent(next, events.TypeVtimeCharge)
+		cev.Fields = map[string]any{
+			"tenant": t.Name, "estimate": next.sliceEst,
+			"vtime_before": before, "vtime_after": t.vtime,
+		}
+		m.emit(cev)
+		m.vtimeGaugeLocked(t)
+
 		m.running++
 		m.wg.Add(1)
 		go m.runSegment(next)
@@ -665,7 +901,19 @@ func (m *Manager) runSegment(j *job) {
 	spec := j.Spec
 	ts := timeseries.NewStore(timeseries.Config{Ring: 256})
 	j.ts = ts
+	segSpan := events.SegmentSpan(j.ID, slices)
+	sev := jobEvent(j, events.TypeSegmentStart)
+	sev.Span, sev.Parent, sev.Phase = segSpan, events.JobSpan(j.ID), events.PhaseBegin
+	resumeSeq := uint64(0)
+	if resume != nil && len(resume.Shards) > 0 {
+		resumeSeq = resume.Shards[0].Cursor.Seq
+	}
+	sev.Fields = map[string]any{
+		"slice": slices, "resume_seq": resumeSeq, "artifact_bytes": artBytes,
+	}
+	m.emit(sev)
 	m.mu.Unlock()
+	segStart := time.Now()
 
 	u := spec.universe()
 	cfg.TimeLimit = m.cfg.SliceVirtual
@@ -675,6 +923,16 @@ func (m *Manager) runSegment(j *job) {
 	// registry is never served as if it were the live one.
 	j.debug.Reset()
 	cfg.Debug = j.debug
+	if jr := m.journal; jr != nil {
+		// Per-job journal view on the debug surface, live for the
+		// segment like the rest of the debug data.
+		id := j.ID
+		j.debug.SetEvents(func(from uint64, limit int) (any, bool) {
+			return eventsPage(jr, from, limit, func(ev events.Event) bool {
+				return ev.Job == id
+			}), true
+		})
+	}
 
 	art := filepath.Join(m.jobDir(j.ID), spec.artifactName())
 	// Resolve smart-plan / hitlist inputs before running: a missing or
@@ -684,7 +942,25 @@ func (m *Manager) runSegment(j *job) {
 	size := artBytes
 	runErr := spec.applyTargets(&cfg)
 	if runErr == nil {
+		// The segment runs as a single shard (shard 0) today; the shard
+		// span keeps the trace tree ready for multi-shard segments.
+		shSpan := events.ShardSpan(j.ID, slices, 0)
+		shev := events.Event{Type: events.TypeShardStart, Job: j.ID, Tenant: spec.Tenant,
+			Span: shSpan, Parent: segSpan, Phase: events.PhaseBegin,
+			Fields: map[string]any{"shard": 0, "shards": 1}}
+		m.emit(shev)
 		res, size, runErr = m.runSink(u, &cfg, art, artBytes, slices > 0, spec.Format)
+		shend := events.Event{Type: events.TypeShardEnd, Job: j.ID, Tenant: spec.Tenant,
+			Span: shSpan, Phase: events.PhaseEnd,
+			Fields: map[string]any{"shard": 0}}
+		if res != nil {
+			shend.Fields["launched"] = res.Engine.Launched
+			shend.Fields["completed"] = res.Engine.Completed
+		}
+		if runErr != nil {
+			shend.Fields["error"] = runErr.Error()
+		}
+		m.emit(shend)
 	}
 	// Detach the segment's registries again: between segments (and
 	// after the job settles) the debug data handlers answer 503 rather
@@ -730,24 +1006,53 @@ func (m *Manager) runSegment(j *job) {
 		}
 	}
 	t := m.sched.tenant(spec.Tenant, 0)
+	vtBefore := t.vtime
 	m.sched.settle(t, j.sliceEst, actual, j.sliceContended)
+	stev := jobEvent(j, events.TypeVtimeSettle)
+	stev.Fields = map[string]any{
+		"tenant": t.Name, "estimate": j.sliceEst, "actual": actual,
+		"contended": j.sliceContended, "vtime_before": vtBefore, "vtime_after": t.vtime,
+	}
+	m.emit(stev)
+	m.vtimeGaugeLocked(t)
+
+	segWall := time.Since(segStart)
+	m.reg.Counter("jobs.segments").Inc()
+	m.reg.Histogram("jobs.segment_wall_ns").Observe(segWall.Nanoseconds())
+	eev := jobEvent(j, events.TypeSegmentEnd)
+	eev.Span, eev.Phase = segSpan, events.PhaseEnd
+	eev.Fields = map[string]any{
+		"slice": slices, "wall_ns": segWall.Nanoseconds(),
+		"records_delta": actual, "frontier": j.Frontier,
+		"artifact_bytes": j.ArtifactBytes,
+	}
+	if res != nil {
+		eev.Fields["incomplete"] = res.Incomplete
+	}
+	if runErr != nil {
+		eev.Fields["error"] = runErr.Error()
+	}
+	m.emit(eev)
 
 	switch {
 	case runErr != nil:
-		setState(j, StateFailed)
+		m.transitionLocked(j, StateFailed, "segment error: "+runErr.Error())
 		j.Error = runErr.Error()
 		j.PauseRequested, j.CancelRequested = false, false
 	case !res.Incomplete:
 		// Completion wins over a pending cancel or pause: the artifact
 		// is already whole.
-		setState(j, StateCompleted)
+		m.transitionLocked(j, StateCompleted, "scan complete")
 		j.PauseRequested, j.CancelRequested = false, false
 	case j.CancelRequested:
-		setState(j, StateCancelled)
+		m.transitionLocked(j, StateCancelled, "pending cancel honored at pause point")
 		j.PauseRequested, j.CancelRequested = false, false
 	case j.PauseRequested:
-		setState(j, StatePaused)
+		m.transitionLocked(j, StatePaused, "pending pause honored at pause point")
 		j.PauseRequested = false
+	default:
+		// Still running with work left: eligible for the next slot.
+		j.dispatchableSince = time.Now()
 	}
 	if err := m.persistLocked(j); err != nil && j.Error == "" {
 		// The in-memory state is ahead of the durable file; surface it

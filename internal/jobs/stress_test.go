@@ -1,19 +1,99 @@
 package jobs
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"iwscan/internal/events"
 	"iwscan/internal/netsim"
 )
+
+// runWatcher consumes /events/watch as an SSE client, reconnecting
+// with a resume cursor whenever the stream ends (slow-watcher
+// disconnect, server restart) and enforcing that the sequence numbers
+// arrive with no gap — the journal's core streaming guarantee. base
+// is called per reconnect so a restarted server's new address is
+// picked up. It returns once done says so; n counts delivered events,
+// which equals last exactly when the watcher missed nothing from 1.
+func runWatcher(client *http.Client, base func() string, deadline time.Time, done func(ev events.Event) bool) (last uint64, n int, err error) {
+	next := uint64(1)
+	for time.Now().Before(deadline) {
+		ctx, cancel := context.WithDeadline(context.Background(), deadline)
+		req, _ := http.NewRequestWithContext(ctx, "GET", fmt.Sprintf("%s/events/watch?from=%d", base(), next), nil)
+		resp, err := client.Do(req)
+		if err != nil {
+			// Mid-restart there is a window with no listener; retry.
+			cancel()
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			cancel()
+			time.Sleep(20 * time.Millisecond)
+			continue
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		finished := false
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "data: ") {
+				continue
+			}
+			var ev events.Event
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				resp.Body.Close()
+				cancel()
+				return last, n, fmt.Errorf("bad SSE data after seq %d: %v", last, err)
+			}
+			if ev.Seq != next {
+				resp.Body.Close()
+				cancel()
+				return last, n, fmt.Errorf("sequence gap: got %d, want %d", ev.Seq, next)
+			}
+			last, next = ev.Seq, ev.Seq+1
+			n++
+			if done(ev) {
+				finished = true
+				break
+			}
+		}
+		resp.Body.Close()
+		cancel()
+		if finished {
+			return last, n, nil
+		}
+	}
+	return last, n, fmt.Errorf("watcher timed out at seq %d", last)
+}
+
+// terminalCounter returns a done predicate that fires once `want`
+// distinct jobs have reached a terminal state on the stream.
+func terminalCounter(want int) func(ev events.Event) bool {
+	seen := map[string]bool{}
+	return func(ev events.Event) bool {
+		if ev.Type == events.TypeStateChange {
+			if to, _ := ev.Fields["to"].(string); State(to).Terminal() {
+				seen[ev.Job] = true
+			}
+		}
+		return len(seen) >= want
+	}
+}
 
 // TestConcurrentClientsStress drives the HTTP API with hundreds of
 // concurrent clients — submitters, pollers and cancellers — and then
@@ -40,12 +120,8 @@ func TestConcurrentClientsStress(t *testing.T) {
 		refs[seed] = referenceBytes(t, makeSpec("ref", seed))
 	}
 
-	m, err := NewManager(Config{
-		Dir: t.TempDir(), MaxConcurrent: 4, SliceVirtual: 5 * netsim.Second,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
+	dir := t.TempDir()
+	m := armedManager(t, dir, Config{MaxConcurrent: 4, SliceVirtual: 5 * netsim.Second})
 	defer m.Close()
 	srv := httptest.NewServer(NewServer(m).Handler())
 	defer srv.Close()
@@ -55,8 +131,31 @@ func TestConcurrentClientsStress(t *testing.T) {
 		submitters = 40
 		pollers    = 100
 		cancellers = 60
+		watchers   = 8
 		jobsEach   = 2
 	)
+
+	// Watchers: live SSE streams running for the whole stress, each
+	// required to observe every job's terminal edge with gap-free
+	// sequences (reconnecting with a resume cursor if it falls behind
+	// and is disconnected).
+	type watchResult struct {
+		last uint64
+		n    int
+		err  error
+	}
+	watchRes := make(chan watchResult, watchers)
+	var watchWG sync.WaitGroup
+	watchDeadline := time.Now().Add(120 * time.Second)
+	for i := 0; i < watchers; i++ {
+		watchWG.Add(1)
+		go func() {
+			defer watchWG.Done()
+			last, n, err := runWatcher(client, func() string { return srv.URL }, watchDeadline,
+				terminalCounter(submitters*jobsEach))
+			watchRes <- watchResult{last, n, err}
+		}()
+	}
 
 	var (
 		mu        sync.Mutex
@@ -217,8 +316,174 @@ func TestConcurrentClientsStress(t *testing.T) {
 	if counts[StateCompleted] == 0 {
 		t.Fatal("no job completed — stress audit proved nothing")
 	}
-	t.Logf("stress: %d completed, %d cancelled across %d clients",
-		counts[StateCompleted], counts[StateCancelled], submitters+pollers+cancellers)
+
+	// Every watcher saw every job die, with zero sequence gaps; since
+	// each started from 1 and reconnects on disconnect, its delivered
+	// count must equal its last sequence — nothing skipped.
+	watchWG.Wait()
+	close(watchRes)
+	highWater := m.Journal().HighWater()
+	for res := range watchRes {
+		if res.err != nil {
+			t.Fatalf("watcher: %v", res.err)
+		}
+		if res.n != int(res.last) {
+			t.Fatalf("watcher delivered %d events up to seq %d — something was skipped", res.n, res.last)
+		}
+		if res.last > highWater {
+			t.Fatalf("watcher saw seq %d beyond journal high water %d", res.last, highWater)
+		}
+	}
+
+	// The journal itself must pass full semantic validation over the
+	// whole churn, and account for every submitted job.
+	m.Close()
+	evs, torn, err := events.ReadFile(filepath.Join(dir, "events", events.FileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn != 0 {
+		t.Fatalf("torn journal tail of %d bytes after clean close", torn)
+	}
+	sum, err := ValidateJournal(evs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Jobs != submitters*jobsEach {
+		t.Fatalf("journal accounts for %d jobs, want %d", sum.Jobs, submitters*jobsEach)
+	}
+	t.Logf("stress: %d completed, %d cancelled across %d clients; %d journal events, all %d watchers gap-free",
+		counts[StateCompleted], counts[StateCancelled], submitters+pollers+cancellers+watchers, sum.Events, watchers)
+}
+
+// TestWatchersAcrossRestart keeps SSE watchers attached while the
+// daemon is stopped mid-stress and rebooted on the same state. Each
+// watcher must ride through the restart by reconnecting from its last
+// sequence and still observe every job's terminal edge with no gap;
+// the combined journal must validate with both daemon generations in
+// it.
+func TestWatchersAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{MaxConcurrent: 2, SliceVirtual: 5 * netsim.Second}
+	m1 := armedManager(t, dir, cfg)
+	srv1 := httptest.NewServer(NewServer(m1).Handler())
+
+	// Multi-segment workloads so the restart lands mid-flight.
+	const jobsN = 4
+	spec := Spec{
+		Tenant: "w", Seed: 404, SampleFraction: 0.002,
+		Rate: 60, MSSList: []int{64}, Repeats: 1,
+	}
+	for i := 0; i < jobsN; i++ {
+		spec.Tenant = fmt.Sprintf("w%d", i%2)
+		if _, err := m1.Submit(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var baseMu sync.Mutex
+	base := srv1.URL
+	baseFn := func() string { baseMu.Lock(); defer baseMu.Unlock(); return base }
+
+	const watchers = 4
+	type watchResult struct {
+		last uint64
+		n    int
+		err  error
+	}
+	watchRes := make(chan watchResult, watchers)
+	var watchWG sync.WaitGroup
+	deadline := time.Now().Add(120 * time.Second)
+	for i := 0; i < watchers; i++ {
+		watchWG.Add(1)
+		go func() {
+			defer watchWG.Done()
+			last, n, err := runWatcher(http.DefaultClient, baseFn, deadline, terminalCounter(jobsN))
+			watchRes <- watchResult{last, n, err}
+		}()
+	}
+
+	// Let the fleet make real progress, then stop the daemon: the
+	// manager drain emits server_shutdown (ending every watch stream
+	// politely) before the HTTP server goes away.
+	progress := time.Now().Add(60 * time.Second)
+	for {
+		ran := 0
+		for _, v := range m1.List() {
+			if v.Slices >= 1 {
+				ran++
+			}
+		}
+		if ran >= 2 {
+			break
+		}
+		if time.Now().After(progress) {
+			t.Fatal("no job made progress before the restart")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m1.Close()
+	srv1.Close()
+
+	// Reboot on the same state directory: recovery requeues whatever
+	// was running, sequences continue from the reopened journal.
+	m2 := armedManager(t, dir, cfg)
+	defer m2.Close()
+	srv2 := httptest.NewServer(NewServer(m2).Handler())
+	defer srv2.Close()
+	baseMu.Lock()
+	base = srv2.URL
+	baseMu.Unlock()
+
+	drain := time.Now().Add(120 * time.Second)
+	for {
+		done := 0
+		views := m2.List()
+		for _, v := range views {
+			if v.State == StateCompleted {
+				done++
+			} else if v.State.Terminal() {
+				t.Fatalf("job %s ended as %s (%s)", v.ID, v.State, v.Error)
+			}
+		}
+		if done == len(views) && len(views) == jobsN {
+			break
+		}
+		if time.Now().After(drain) {
+			t.Fatalf("only %d of %d jobs completed after restart", done, jobsN)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	watchWG.Wait()
+	close(watchRes)
+	for res := range watchRes {
+		if res.err != nil {
+			t.Fatalf("watcher across restart: %v", res.err)
+		}
+		if res.n != int(res.last) {
+			t.Fatalf("watcher delivered %d events up to seq %d — restart lost some", res.n, res.last)
+		}
+	}
+
+	m2.Close()
+	evs, torn, err := events.ReadFile(filepath.Join(dir, "events", events.FileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torn != 0 {
+		t.Fatalf("torn journal tail of %d bytes", torn)
+	}
+	sum, err := ValidateJournal(evs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Restarts != 2 || sum.Shutdowns != 2 {
+		t.Fatalf("journal shows %d starts / %d shutdowns, want 2 / 2", sum.Restarts, sum.Shutdowns)
+	}
+	if sum.TypeCounts["recovery"] == 0 {
+		t.Fatal("no recovery events after a mid-stress restart")
+	}
 }
 
 // TestServerAPISurface covers the HTTP status mapping: 404s for unknown
